@@ -1,0 +1,92 @@
+// Network audit: biconnectivity as a reliability analysis. A synthetic
+// wide-area network (a backbone ring of regions, each an internal mesh,
+// hung with access trees) is audited for single points of failure:
+// articulation points (router failures that partition the network) and
+// bridges (link failures that do). The BC labeling answers both in O(1)
+// per query after one O(n)-write construction (§5.2), and the block-cut
+// tree summarizes the failure domains.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// buildNetwork returns a synthetic WAN: `regions` meshes of `meshSize`
+// routers joined in a redundant ring, each mesh serving an access tree of
+// `treeSize` edge routers (trees are where the single points of failure
+// live).
+func buildNetwork(regions, meshSize, treeSize int, seed uint64) *graph.Graph {
+	rng := graph.NewRNG(seed)
+	var edges [][2]int32
+	n := 0
+	meshBase := make([]int, regions)
+	for r := 0; r < regions; r++ {
+		meshBase[r] = n
+		// Region mesh: a cycle plus chords (2-connected).
+		for i := 0; i < meshSize; i++ {
+			edges = append(edges, [2]int32{int32(n + i), int32(n + (i+1)%meshSize)})
+		}
+		for c := 0; c < meshSize/2; c++ {
+			a := n + rng.Intn(meshSize)
+			b := n + rng.Intn(meshSize)
+			if a != b {
+				edges = append(edges, [2]int32{int32(a), int32(b)})
+			}
+		}
+		n += meshSize
+	}
+	// Redundant backbone ring: two parallel links between adjacent regions.
+	for r := 0; r < regions; r++ {
+		next := (r + 1) % regions
+		edges = append(edges, [2]int32{int32(meshBase[r]), int32(meshBase[next])})
+		edges = append(edges, [2]int32{int32(meshBase[r] + 1), int32(meshBase[next] + 1)})
+	}
+	// Access trees: each hangs off one mesh router — pure bridges.
+	for r := 0; r < regions; r++ {
+		attach := meshBase[r] + 2
+		for t := 0; t < treeSize; t++ {
+			parent := attach
+			if t > 0 {
+				parent = n + rng.Intn(t)
+			}
+			edges = append(edges, [2]int32{int32(parent), int32(n + t)})
+		}
+		n += treeSize
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func main() {
+	g := buildNetwork(6, 40, 25, 11)
+	sys := core.New(g, core.Config{Omega: 64, Seed: 3})
+	bc := sys.NewBCLabeling()
+
+	artic, bridges := 0, 0
+	for v := int32(0); int(v) < g.N(); v++ {
+		if bc.IsArticulation(v) {
+			artic++
+		}
+	}
+	for _, e := range g.Edges() {
+		if bc.IsBridge(e[0], e[1]) {
+			bridges++
+		}
+	}
+	fmt.Printf("network: %d routers, %d links\n", g.N(), g.M())
+	fmt.Printf("single-point-of-failure routers (articulation points): %d\n", artic)
+	fmt.Printf("single-point-of-failure links (bridges): %d\n", bridges)
+	fmt.Printf("failure domains (biconnected components): %d\n", bc.NumBCC())
+	fmt.Printf("block-cut tree: %d attachment edges\n", len(bc.BlockCutTree()))
+
+	// Reliability queries: can these two routers survive any single
+	// router/link failure elsewhere?
+	pairs := [][2]int32{{0, 40}, {0, 120}, {2, int32(g.N() - 1)}}
+	for _, p := range pairs {
+		fmt.Printf("routers %4d-%4d: survives any router failure: %-5v  any link failure: %v\n",
+			p[0], p[1], bc.SameBCC(p[0], p[1]), bc.Same2EdgeCC(p[0], p[1]))
+	}
+	fmt.Printf("\nconstruction cost: %v (queries: %v)\n", sys.Cost(), bc.QueryCost())
+}

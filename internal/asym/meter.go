@@ -1,0 +1,131 @@
+// Package asym implements the Asymmetric RAM cost model of Blelloch et al.
+// (and its parallel Asymmetric NP variant) used throughout the paper
+// "Implicit Decomposition for Write-Efficient Connectivity Algorithms".
+//
+// The model has an infinitely large asymmetric memory in which a write costs
+// ω ≫ 1 and a read costs 1, plus a small symmetric memory (a cache) whose
+// reads and writes are free but whose size is budgeted (O(ω log n) words in
+// the paper). The package provides:
+//
+//   - Meter: a concurrent-safe counter of asymmetric reads, asymmetric
+//     writes, and unit-cost operations, from which Work = other + reads +
+//     ω·writes is derived.
+//   - Array / BitArray: metered asymmetric-memory arrays; every access is
+//     charged to a Meter.
+//   - SymTracker: a high-water-mark tracker for symmetric-memory usage so the
+//     paper's O(k log n)-word budgets are testable.
+//
+// All counters use atomics so that parallel algorithms (package parallel)
+// can share a single Meter.
+package asym
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// DefaultOmega is the write-cost used when a caller does not specify one.
+// The paper treats ω as a hardware parameter; projections for PCM and ReRAM
+// put it between one and two orders of magnitude (Appendix A).
+const DefaultOmega = 64
+
+// Meter accumulates the cost of a computation under the Asymmetric RAM
+// model. The zero value is not usable; construct with NewMeter.
+type Meter struct {
+	omega  int64
+	reads  atomic.Int64 // asymmetric-memory reads
+	writes atomic.Int64 // asymmetric-memory writes
+	ops    atomic.Int64 // other unit-cost operations
+}
+
+// NewMeter returns a Meter charging each asymmetric write cost omega.
+// omega < 1 is treated as 1 (the symmetric-cost RAM model).
+func NewMeter(omega int) *Meter {
+	if omega < 1 {
+		omega = 1
+	}
+	return &Meter{omega: int64(omega)}
+}
+
+// Omega returns the write cost ω this meter charges.
+func (m *Meter) Omega() int { return int(m.omega) }
+
+// Read charges n asymmetric-memory reads.
+func (m *Meter) Read(n int) { m.reads.Add(int64(n)) }
+
+// Write charges n asymmetric-memory writes.
+func (m *Meter) Write(n int) { m.writes.Add(int64(n)) }
+
+// Op charges n unit-cost operations (arithmetic, branches, symmetric-memory
+// traffic beyond what is already implied by reads).
+func (m *Meter) Op(n int) { m.ops.Add(int64(n)) }
+
+// Reads returns the number of asymmetric reads charged so far.
+func (m *Meter) Reads() int64 { return m.reads.Load() }
+
+// Writes returns the number of asymmetric writes charged so far.
+func (m *Meter) Writes() int64 { return m.writes.Load() }
+
+// Ops returns the number of other unit-cost operations charged so far.
+func (m *Meter) Ops() int64 { return m.ops.Load() }
+
+// Work returns reads + ops + ω·writes, the Asymmetric RAM time (equivalently
+// the Asymmetric NP work) of everything charged to the meter.
+func (m *Meter) Work() int64 {
+	return m.reads.Load() + m.ops.Load() + m.omega*m.writes.Load()
+}
+
+// Reset zeroes all counters, keeping ω.
+func (m *Meter) Reset() {
+	m.reads.Store(0)
+	m.writes.Store(0)
+	m.ops.Store(0)
+}
+
+// Snapshot captures the current counter values.
+func (m *Meter) Snapshot() Cost {
+	return Cost{
+		Omega:  int(m.omega),
+		Reads:  m.reads.Load(),
+		Writes: m.writes.Load(),
+		Ops:    m.ops.Load(),
+	}
+}
+
+// Cost is an immutable snapshot of a Meter.
+type Cost struct {
+	Omega  int
+	Reads  int64
+	Writes int64
+	Ops    int64
+}
+
+// Work returns reads + ops + ω·writes for the snapshot.
+func (c Cost) Work() int64 { return c.Reads + c.Ops + int64(c.Omega)*c.Writes }
+
+// Sub returns the component-wise difference c - other; use it to isolate the
+// cost of a phase bracketed by two snapshots.
+func (c Cost) Sub(other Cost) Cost {
+	return Cost{
+		Omega:  c.Omega,
+		Reads:  c.Reads - other.Reads,
+		Writes: c.Writes - other.Writes,
+		Ops:    c.Ops - other.Ops,
+	}
+}
+
+// Add returns the component-wise sum of c and other.
+func (c Cost) Add(other Cost) Cost {
+	return Cost{
+		Omega:  c.Omega,
+		Reads:  c.Reads + other.Reads,
+		Writes: c.Writes + other.Writes,
+		Ops:    c.Ops + other.Ops,
+	}
+}
+
+// String formats the cost in the shape used by EXPERIMENTS.md tables.
+func (c Cost) String() string {
+	return fmt.Sprintf("reads=%d writes=%d ops=%d work=%d (ω=%d)",
+		c.Reads, c.Writes, c.Ops, c.Work(), c.Omega)
+}

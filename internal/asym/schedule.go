@@ -1,0 +1,28 @@
+package asym
+
+// ProjectedTime applies the scheduling theorem of Ben-David et al. [9]: a
+// work-stealing scheduler executes a computation with Asymmetric NP work W
+// and depth D in O(W/P + ω·D) expected time on P processors. Depth values
+// produced by package parallel already carry ω on their write steps, so the
+// projection here is W/P + D.
+//
+// The projection turns the simulator's (work, depth) pairs into the
+// machine-scaling curves an evaluation on real hardware would plot; the
+// wecbench "scaling" experiment prints them.
+func ProjectedTime(work, depth int64, procs int) int64 {
+	if procs < 1 {
+		procs = 1
+	}
+	return work/int64(procs) + depth
+}
+
+// ProjectedSpeedup returns ProjectedTime(1) / ProjectedTime(procs) as a
+// float — the self-relative speedup the depth bound permits.
+func ProjectedSpeedup(work, depth int64, procs int) float64 {
+	t1 := ProjectedTime(work, depth, 1)
+	tp := ProjectedTime(work, depth, procs)
+	if tp == 0 {
+		return 1
+	}
+	return float64(t1) / float64(tp)
+}

@@ -1,0 +1,218 @@
+package bfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asym"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+func setup(g *graph.Graph, omega int) (graph.View, *parallel.Ctx, *asym.Meter) {
+	m := asym.NewMeter(omega)
+	return graph.View{G: g, M: m}, parallel.NewCtx(m, asym.NewSymTracker(0)), m
+}
+
+func TestTreeCoversComponent(t *testing.T) {
+	g := graph.Grid2D(8, 8)
+	vw, c, m := setup(g, 8)
+	parent := asym.NewArray(m, g.N())
+	parent.Fill(Unvisited)
+	res := Tree(c, vw, 0, parent)
+	if res.Visited != 64 {
+		t.Fatalf("visited = %d, want 64", res.Visited)
+	}
+	if res.Levels != 15 { // eccentricity of corner in 8x8 grid is 14
+		t.Fatalf("levels = %d, want 15", res.Levels)
+	}
+	if parent.Raw()[0] != 0 {
+		t.Fatal("root parent not self")
+	}
+	// Every parent pointer is a real edge toward the root.
+	for v := 1; v < g.N(); v++ {
+		p := parent.Raw()[v]
+		found := false
+		for _, u := range g.Adj(v) {
+			if u == p {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("parent[%d]=%d is not a neighbor", v, p)
+		}
+	}
+}
+
+func TestTreeStopsAtComponent(t *testing.T) {
+	g := graph.Disconnected(graph.Cycle(5), 2)
+	vw, c, m := setup(g, 8)
+	parent := asym.NewArray(m, g.N())
+	parent.Fill(Unvisited)
+	res := Tree(c, vw, 0, parent)
+	if res.Visited != 5 {
+		t.Fatalf("visited = %d, want 5", res.Visited)
+	}
+	for v := 5; v < 10; v++ {
+		if parent.Raw()[v] != Unvisited {
+			t.Fatalf("vertex %d in other component visited", v)
+		}
+	}
+}
+
+func TestTreeParentDistancesMonotone(t *testing.T) {
+	// BFS parents must give shortest-path distances: dist(v) = dist(parent)+1.
+	g := graph.GNM(200, 600, 3, true)
+	vw, c, m := setup(g, 4)
+	parent := asym.NewArray(m, g.N())
+	parent.Fill(Unvisited)
+	Tree(c, vw, 0, parent)
+	dist := refDistances(g, 0)
+	for v := 1; v < g.N(); v++ {
+		p := parent.Raw()[v]
+		if dist[v] != dist[p]+1 {
+			t.Fatalf("vertex %d: dist %d but parent dist %d", v, dist[v], dist[p])
+		}
+	}
+}
+
+func refDistances(g *graph.Graph, src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	q := []int{src}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for _, u := range g.Adj(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				q = append(q, int(u))
+			}
+		}
+	}
+	return dist
+}
+
+func TestWriteEfficiency(t *testing.T) {
+	// The defining property: writes O(n visited), independent of m.
+	g := graph.GNM(500, 8000, 5, true)
+	vw, c, m := setup(g, 16)
+	parent := asym.NewArray(m, g.N())
+	parent.Fill(Unvisited)
+	before := m.Snapshot()
+	Tree(c, vw, 0, parent)
+	d := m.Snapshot().Sub(before)
+	if d.Writes > int64(2*g.N()) {
+		t.Fatalf("writes = %d for n=%d m=%d; BFS must write O(n)", d.Writes, g.N(), g.M())
+	}
+	if d.Reads < int64(g.M()) {
+		t.Fatalf("reads = %d < m=%d; every edge must be scanned", d.Reads, g.M())
+	}
+}
+
+func TestLabelMultiSource(t *testing.T) {
+	g := graph.Disconnected(graph.Cycle(6), 3) // components {0..5},{6..11},{12..17}
+	vw, c, m := setup(g, 8)
+	label := asym.NewArray(m, g.N())
+	label.Fill(Unvisited)
+	srcs := []int32{0, 6, 12}
+	res := Label(c, vw, srcs, label, func(i int) int32 { return int32(100 + i) })
+	if res.Visited != 18 {
+		t.Fatalf("visited = %d", res.Visited)
+	}
+	for v := 0; v < 18; v++ {
+		want := int32(100 + v/6)
+		if label.Raw()[v] != want {
+			t.Fatalf("label[%d] = %d, want %d", v, label.Raw()[v], want)
+		}
+	}
+}
+
+func TestLabelWavefrontPartition(t *testing.T) {
+	// Two sources on a path: each claims its own half.
+	g := graph.Path(11)
+	vw, c, m := setup(g, 8)
+	label := asym.NewArray(m, g.N())
+	label.Fill(Unvisited)
+	Label(c, vw, []int32{0, 10}, label, func(i int) int32 { return int32(i) })
+	for v := 0; v <= 4; v++ {
+		if label.Raw()[v] != 0 {
+			t.Fatalf("label[%d] = %d", v, label.Raw()[v])
+		}
+	}
+	for v := 6; v <= 10; v++ {
+		if label.Raw()[v] != 1 {
+			t.Fatalf("label[%d] = %d", v, label.Raw()[v])
+		}
+	}
+}
+
+func TestLabelDuplicateSources(t *testing.T) {
+	g := graph.Cycle(4)
+	vw, c, m := setup(g, 8)
+	label := asym.NewArray(m, g.N())
+	label.Fill(Unvisited)
+	res := Label(c, vw, []int32{0, 0}, label, func(i int) int32 { return int32(i) })
+	if res.Visited != 4 {
+		t.Fatalf("visited = %d", res.Visited)
+	}
+	for v := 0; v < 4; v++ {
+		if label.Raw()[v] != 0 {
+			t.Fatalf("label[%d] = %d", v, label.Raw()[v])
+		}
+	}
+}
+
+func TestDepthScalesWithLevelsNotEdges(t *testing.T) {
+	// A long path has depth ~ levels; a dense blob has small depth.
+	long := graph.Path(4096)
+	vwL, cL, mL := setup(long, 4)
+	pL := asym.NewArray(mL, long.N())
+	pL.Fill(Unvisited)
+	Tree(cL, vwL, 0, pL)
+
+	dense := graph.GNM(4096, 40960, 2, true)
+	vwD, cD, mD := setup(dense, 4)
+	pD := asym.NewArray(mD, dense.N())
+	pD.Fill(Unvisited)
+	Tree(cD, vwD, 0, pD)
+
+	if cD.Depth() >= cL.Depth() {
+		t.Fatalf("dense depth %d >= path depth %d", cD.Depth(), cL.Depth())
+	}
+}
+
+func TestTreeProperty(t *testing.T) {
+	// Property: on arbitrary connected graphs, BFS visits everything and
+	// parent pointers form an acyclic in-forest rooted at the source.
+	f := func(seed uint64) bool {
+		g := graph.GNM(60, 120, seed, true)
+		vw, c, m := setup(g, 4)
+		parent := asym.NewArray(m, g.N())
+		parent.Fill(Unvisited)
+		res := Tree(c, vw, 0, parent)
+		if res.Visited != g.N() {
+			return false
+		}
+		for v := 0; v < g.N(); v++ {
+			// Walk to root; must terminate within n steps.
+			x, steps := int32(v), 0
+			for parent.Raw()[x] != x {
+				x = parent.Raw()[x]
+				if steps++; steps > g.N() {
+					return false
+				}
+			}
+			if x != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

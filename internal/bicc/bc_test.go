@@ -1,0 +1,279 @@
+package bicc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asym"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+func buildBC(g *graph.Graph, omega int) (*BCLabeling, *asym.Meter, *parallel.Ctx) {
+	m := asym.NewMeter(omega)
+	c := parallel.NewCtx(m, asym.NewSymTracker(0))
+	return Build(c, graph.View{G: g, M: m}), m, c
+}
+
+// figure2 reproduces the paper's Figure 2 graph (1-indexed in the paper,
+// 0-indexed here): spanning tree rooted at 1; bridges {(2,5)}, articulation
+// points {2,6}, BCCs {{1,2,3,4,6,7},{2,5},{6,8,9}}.
+func figure2() *graph.Graph {
+	// 0-indexed: bridges {(1,4)}, artic {1,5}, BCCs {{0,1,2,3,5,6},{1,4},{5,7,8}}.
+	return graph.FromEdges(9, [][2]int32{
+		{0, 1}, {0, 2}, {1, 2}, {1, 3}, {3, 5}, {0, 5}, {5, 6}, {6, 0},
+		{1, 4}, // bridge
+		{5, 7}, {7, 8}, {8, 5},
+	})
+}
+
+// checkAgainstRef compares every query the BC labeling answers against the
+// Hopcroft–Tarjan ground truth.
+func checkAgainstRef(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	b, _, _ := buildBC(g, 8)
+	ref := NewRef(g)
+	qm := asym.NewMeter(8)
+
+	for v := int32(0); int(v) < g.N(); v++ {
+		if got, want := b.IsArticulation(qm, v), ref.IsArticulation[v]; got != want {
+			t.Fatalf("IsArticulation(%d) = %v, want %v", v, got, want)
+		}
+	}
+	for i, e := range g.Edges() {
+		if e[0] == e[1] {
+			continue
+		}
+		if got, want := b.IsBridge(qm, e[0], e[1]), ref.BridgeSet[i]; got != want {
+			t.Fatalf("IsBridge(%d,%d) = %v, want %v", e[0], e[1], got, want)
+		}
+	}
+	// Edge labels must induce the same partition as the reference.
+	fwd := map[int32]int32{}
+	bwd := map[int32]int32{}
+	for i, e := range g.Edges() {
+		if e[0] == e[1] {
+			continue
+		}
+		got := b.EdgeLabel(qm, e[0], e[1])
+		want := ref.EdgeBCC[i]
+		if x, ok := fwd[got]; ok && x != want {
+			t.Fatalf("edge (%d,%d): label %d maps to both %d and %d", e[0], e[1], got, x, want)
+		}
+		if x, ok := bwd[want]; ok && x != got {
+			t.Fatalf("edge (%d,%d): ref %d maps to both %d and %d", e[0], e[1], want, x, got)
+		}
+		fwd[got] = want
+		bwd[want] = got
+	}
+	if b.NumBCC != ref.NumBCC {
+		t.Fatalf("NumBCC = %d, want %d", b.NumBCC, ref.NumBCC)
+	}
+	// Pairwise vertex queries on a sample.
+	rng := graph.NewRNG(12345)
+	for i := 0; i < 200; i++ {
+		u := int32(rng.Intn(g.N()))
+		v := int32(rng.Intn(g.N()))
+		if u == v {
+			continue
+		}
+		if got, want := b.SameBCC(qm, u, v), ref.SameBCC(u, v); got != want {
+			t.Fatalf("SameBCC(%d,%d) = %v, want %v", u, v, got, want)
+		}
+		if got, want := b.Same2EdgeCC(qm, u, v), ref.TwoEdgeCC[u] == ref.TwoEdgeCC[v]; got != want {
+			t.Fatalf("Same2EdgeCC(%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	g := figure2()
+	b, _, _ := buildBC(g, 8)
+	qm := asym.NewMeter(8)
+	if !b.IsBridge(qm, 1, 4) {
+		t.Fatal("(1,4) not a bridge")
+	}
+	if b.IsBridge(qm, 0, 1) || b.IsBridge(qm, 5, 7) {
+		t.Fatal("false bridge")
+	}
+	wantArtic := map[int32]bool{1: true, 5: true}
+	for v := int32(0); v < 9; v++ {
+		if b.IsArticulation(qm, v) != wantArtic[v] {
+			t.Fatalf("IsArticulation(%d) = %v", v, b.IsArticulation(qm, v))
+		}
+	}
+	if b.NumBCC != 3 {
+		t.Fatalf("NumBCC = %d, want 3", b.NumBCC)
+	}
+	// {5,7,8} share a BCC; 1 and 4 share the bridge BCC; 0 and 7 do not.
+	if !b.SameBCC(qm, 5, 7) || !b.SameBCC(qm, 1, 4) || b.SameBCC(qm, 0, 7) {
+		t.Fatal("SameBCC wrong on figure 2")
+	}
+	checkAgainstRef(t, g)
+}
+
+func TestAgainstRefFamilies(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"cycle":      graph.Cycle(30),
+		"path":       graph.Path(20),
+		"ladder":     graph.Ladder(15),
+		"lollipop":   graph.Lollipop(8, 10),
+		"grid":       graph.Grid2D(7, 7),
+		"tree":       graph.RandomTree(60, 3),
+		"gnm":        graph.GNM(80, 120, 5, true),
+		"gnm-sparse": graph.GNM(100, 110, 7, true),
+		"two-comps":  graph.Disconnected(graph.Lollipop(6, 4), 2),
+		"star":       graph.Star(12),
+		"complete":   graph.Complete(8),
+	} {
+		t.Run(name, func(t *testing.T) { checkAgainstRef(t, g) })
+	}
+}
+
+func TestAgainstRefProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := graph.GNM(60, 90, seed, false)
+		b, _, _ := buildBC(g, 4)
+		ref := NewRef(g)
+		qm := asym.NewMeter(4)
+		for v := int32(0); int(v) < g.N(); v++ {
+			if b.IsArticulation(qm, v) != ref.IsArticulation[v] {
+				return false
+			}
+		}
+		for i, e := range g.Edges() {
+			if e[0] == e[1] {
+				continue
+			}
+			if b.IsBridge(qm, e[0], e[1]) != ref.BridgeSet[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBCLabelingWrites(t *testing.T) {
+	// Lemma 5.1: O(n + m/ω) writes — in particular writes must not scale
+	// with m the way the standard Θ(m)-size output does.
+	dense := graph.GNM(500, 8000, 9, true)
+	b, m, _ := buildBC(dense, 16)
+	_ = b
+	// Allowance: c·n for the forest, ranks, lifting tables (log n factor),
+	// labels, heads, and 2ecc labels.
+	limit := int64(30 * dense.N())
+	if m.Writes() > limit {
+		t.Fatalf("writes = %d > %d (n=%d m=%d)", m.Writes(), limit, dense.N(), dense.M())
+	}
+	if m.Writes() > int64(dense.M()) {
+		t.Fatalf("writes = %d exceed m=%d: no better than the classic output",
+			m.Writes(), dense.M())
+	}
+}
+
+func TestQueriesNoWrites(t *testing.T) {
+	g := graph.Lollipop(10, 10)
+	b, _, _ := buildBC(g, 8)
+	qm := asym.NewMeter(8)
+	before := qm.Writes()
+	b.IsArticulation(qm, 3)
+	b.IsBridge(qm, 9, 10)
+	b.SameBCC(qm, 0, 5)
+	b.Same2EdgeCC(qm, 0, 5)
+	b.EdgeLabel(qm, 0, 1)
+	if qm.Writes() != before {
+		t.Fatal("queries wrote to asymmetric memory")
+	}
+	if qm.Reads() == 0 {
+		t.Fatal("queries charged no reads")
+	}
+}
+
+func TestBlockCutTree(t *testing.T) {
+	g := figure2()
+	b, _, _ := buildBC(g, 8)
+	qm := asym.NewMeter(8)
+	bct := b.BlockCutTree(qm)
+	// Figure 2: articulation points {1,5}; vertex 1 joins its own BCC and
+	// heads the bridge BCC; vertex 5 joins its own and heads {5,7,8}.
+	if len(bct) != 4 {
+		t.Fatalf("block-cut tree edges = %v", bct)
+	}
+	seen := map[int32]int{}
+	for _, e := range bct {
+		seen[e[1]]++
+	}
+	if seen[1] != 2 || seen[5] != 2 {
+		t.Fatalf("articulation degrees: %v", seen)
+	}
+}
+
+func TestEdgeLabelConsistentWithinBCC(t *testing.T) {
+	g := graph.Ladder(10)
+	b, _, _ := buildBC(g, 8)
+	qm := asym.NewMeter(8)
+	// The ladder is biconnected: every edge must carry one label.
+	labels := map[int32]bool{}
+	for _, e := range g.Edges() {
+		labels[b.EdgeLabel(qm, e[0], e[1])] = true
+	}
+	if len(labels) != 1 {
+		t.Fatalf("biconnected graph produced %d labels", len(labels))
+	}
+	if b.NumBCC != 1 {
+		t.Fatalf("NumBCC = %d", b.NumBCC)
+	}
+}
+
+func TestIsolatedAndTinyGraphs(t *testing.T) {
+	// Isolated vertices, a single edge, empty graph.
+	g := graph.FromEdges(4, [][2]int32{{0, 1}})
+	b, _, _ := buildBC(g, 4)
+	qm := asym.NewMeter(4)
+	if !b.IsBridge(qm, 0, 1) {
+		t.Fatal("single edge not a bridge")
+	}
+	if b.IsArticulation(qm, 0) || b.IsArticulation(qm, 1) {
+		t.Fatal("endpoints of a single edge are not articulation points")
+	}
+	if b.NumBCC != 1 {
+		t.Fatalf("NumBCC = %d", b.NumBCC)
+	}
+
+	empty := graph.FromEdges(3, nil)
+	be, _, _ := buildBC(empty, 4)
+	if be.NumBCC != 0 {
+		t.Fatalf("empty graph NumBCC = %d", be.NumBCC)
+	}
+}
+
+func TestRefSelfConsistency(t *testing.T) {
+	// The reference itself on known shapes.
+	g := graph.Lollipop(5, 3) // K5 + path of 3
+	ref := NewRef(g)
+	// K5 part: one BCC; each path edge its own BCC. Total 1 + 3.
+	if ref.NumBCC != 4 {
+		t.Fatalf("NumBCC = %d", ref.NumBCC)
+	}
+	if !ref.IsArticulation[4] { // clique vertex attached to path
+		t.Fatal("attachment not articulation")
+	}
+	if ref.IsArticulation[0] {
+		t.Fatal("interior clique vertex marked articulation")
+	}
+	if !ref.IsBridge(4, 5) || !ref.IsBridge(5, 6) {
+		t.Fatal("path edges not bridges")
+	}
+	if ref.IsBridge(0, 1) {
+		t.Fatal("clique edge marked bridge")
+	}
+	if ref.SameBCC(0, 5) {
+		t.Fatal("clique interior and path vertex share BCC")
+	}
+	if !ref.SameBCC(4, 5) {
+		t.Fatal("bridge endpoints share no BCC")
+	}
+}

@@ -1,0 +1,399 @@
+package bicc
+
+import (
+	"repro/internal/decomp"
+	"repro/internal/eulertour"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Oracle is the §5.3 sublinear-write biconnectivity oracle (Theorem 5.3).
+// Construction stores only O(n/k) words: the clusters spanning tree with
+// per-edge witness vertices, the BC labeling of the clusters graph, one
+// root-biconnectivity bit (and one bridge analog) per cluster tree edge
+// (Definition 5, Lemma 5.6), the rootfix "deepest blocked ancestor" values
+// that make path checks O(1), the spanning-BCC equivalence over cluster
+// tree edges, and per-cluster label offsets (Lemma 5.7).
+//
+// Queries rebuild the O(k)-sized *local graph* of at most three clusters
+// (Definition 4, Figure 3) in symmetric memory — O(k²) expected reads and
+// no writes — and combine local Hopcroft–Tarjan answers with the stored
+// bits.
+type Oracle struct {
+	D *decomp.Decomposition
+	g *graph.Graph
+
+	// Clusters spanning tree, in center-index space (0..n'-1).
+	ctree         *eulertour.Tree
+	parentCluster []int32 // parent index; self for tree roots
+	rootVertex    []int32 // the vertex of C on the tree edge to the parent (-1 for roots)
+	parentAttach  []int32 // the vertex of parent(C) on that tree edge (-1 for roots)
+	treeRoot      []int32 // root cluster index of C's tree
+
+	// BC labeling of the clusters graph (vertex labels on clusters).
+	clusterLabel []int32 // canonical: min center index in the component
+
+	// Per-cluster-tree-edge bits, indexed by the child cluster.
+	bridgeBit []bool // the tree edge is a bridge of G
+	rbV       []bool // root biconnectivity (vertex version, Def. 5)
+	rbE       []bool // bridge analog (1-edge connectivity version)
+
+	// Rootfix: deepest ancestor-or-self Y with ¬rb{V,E}[Y] (-1 if none).
+	deepBlockV []int32
+	deepBlockE []int32
+
+	// Spanning biconnected components: union-find over cluster tree edges
+	// (indexed by child cluster); spanBCC is the canonical id.
+	spanBCC []int32
+	// internalOffset[C] is the prefix-sum offset of C's fully-internal
+	// BCCs in the global label space (which places all spanning BCC ids
+	// below spanBase... above, rather: internal ids start at 0 per prefix
+	// sums, spanning ids are spanBase+component).
+	internalOffset []int32
+	spanBase       int32
+
+	// NumBCC is the total number of biconnected components with >= 1 edge.
+	NumBCC int
+}
+
+// localGraph is the Definition 4 local graph of one cluster, rebuilt in
+// symmetric memory on demand.
+type localGraph struct {
+	ref    *Ref
+	idOf   map[int32]int32 // original vertex -> local id
+	nodes  []int32         // local id -> original vertex
+	inside map[int32]bool  // original vertex is a cluster member (Vi)
+	// voEdge maps a Vo node's local id to the cluster tree edge it
+	// represents, identified by the child cluster index (for the parent
+	// edge of C this is C itself).
+	voEdge map[int32]int32
+}
+
+// BuildOracle constructs the oracle over the graph behind vw using the
+// given implicit k-decomposition (pass nil to build one with k = √ω).
+func BuildOracle(c *parallel.Ctx, vw graph.View, d *decomp.Decomposition, k int, seed uint64) *Oracle {
+	m := vw.M
+	if d == nil {
+		if k <= 0 {
+			k = defaultK(m.Omega())
+		}
+		d = decomp.Build(c, vw, k, seed, decomp.Options{})
+	}
+	o := &Oracle{D: d, g: vw.G}
+	np := d.NumCenters()
+	o.parentCluster = make([]int32, np)
+	o.rootVertex = make([]int32, np)
+	o.parentAttach = make([]int32, np)
+	o.treeRoot = make([]int32, np)
+	o.clusterLabel = make([]int32, np)
+	o.bridgeBit = make([]bool, np)
+	o.rbV = make([]bool, np)
+	o.rbE = make([]bool, np)
+	o.deepBlockV = make([]int32, np)
+	o.deepBlockE = make([]int32, np)
+	o.spanBCC = make([]int32, np)
+	o.internalOffset = make([]int32, np)
+	if np == 0 {
+		return o
+	}
+
+	// --- Clusters spanning tree by BFS over the implicit clusters graph.
+	sym := c.Sym()
+	for i := range o.parentCluster {
+		o.parentCluster[i] = -1
+		o.rootVertex[i] = -1
+		o.parentAttach[i] = -1
+	}
+	var roots []int32
+	neighborCache := make([][]decomp.CenterEdge, np)
+	nbrs := func(ci int32) []decomp.CenterEdge {
+		if neighborCache[ci] == nil {
+			s := d.Center(m, int(ci))
+			es := d.NeighborCenters(m, sym, s)
+			if es == nil {
+				es = []decomp.CenterEdge{}
+			}
+			neighborCache[ci] = es
+		}
+		return neighborCache[ci]
+	}
+	for s := int32(0); s < int32(np); s++ {
+		if o.parentCluster[s] >= 0 {
+			continue
+		}
+		o.parentCluster[s] = s
+		roots = append(roots, s)
+		frontier := []int32{s}
+		for len(frontier) > 0 {
+			var next []int32
+			for _, ci := range frontier {
+				for _, e := range nbrs(ci) {
+					cj := int32(d.CenterIndex(m, e.Other))
+					if o.parentCluster[cj] >= 0 {
+						continue
+					}
+					o.parentCluster[cj] = ci
+					o.rootVertex[cj] = e.To     // vertex inside the child cluster
+					o.parentAttach[cj] = e.From // vertex inside ci
+					next = append(next, cj)
+				}
+			}
+			frontier = next
+		}
+	}
+	m.Write(3 * np) // tree arrays
+	o.ctree = eulertour.NewForest(m, roots, o.parentCluster)
+	// Force the LCA lifting table now so its writes are charged to the
+	// construction, keeping queries write-free.
+	_ = o.ctree.LCA(m, roots[0], roots[0])
+	rootfix := o.ctree.Rootfix(m, func(v int32) int64 {
+		if o.parentCluster[v] == v {
+			return int64(v)
+		}
+		return -1
+	}, func(par, self int64) int64 {
+		if self >= 0 {
+			return self
+		}
+		return par
+	}, nil)
+	for i := range o.treeRoot {
+		o.treeRoot[i] = int32(rootfix[i])
+	}
+	m.Write(np)
+
+	// --- BC labeling of the clusters graph: wmin/wmax from non-tree
+	// cluster edges (multiplicity-aware), low/high leaffix, critical
+	// edges, then connectivity over the non-critical cluster edges.
+	wmin := make([]int64, np)
+	wmax := make([]int64, np)
+	isTreeEdge := func(a, b int32) bool {
+		return (o.parentCluster[a] == b && a != b) || (o.parentCluster[b] == a && b != a)
+	}
+	for ci := int32(0); ci < int32(np); ci++ {
+		f := int64(o.ctree.First(m, ci))
+		wmin[ci], wmax[ci] = f, f
+		for _, e := range nbrs(ci) {
+			cj := int32(d.CenterIndex(m, e.Other))
+			// A tree edge with multiplicity 1 is excluded; everything
+			// else (non-tree, or extra parallel copies) contributes.
+			if isTreeEdge(ci, cj) && e.Multiplicity == 1 {
+				continue
+			}
+			fj := int64(o.ctree.First(m, cj))
+			if fj < wmin[ci] {
+				wmin[ci] = fj
+			}
+			if fj > wmax[ci] {
+				wmax[ci] = fj
+			}
+		}
+	}
+	m.Write(2 * np)
+	low := o.ctree.Leaffix(m, func(v int32) int64 { return wmin[v] },
+		func(a, x int64) int64 {
+			if x < a {
+				return x
+			}
+			return a
+		}, nil)
+	high := o.ctree.Leaffix(m, func(v int32) int64 { return wmax[v] },
+		func(a, x int64) int64 {
+			if x > a {
+				return x
+			}
+			return a
+		}, nil)
+	m.Write(2 * np)
+	critical := make([]bool, np)
+	for ci := int32(0); ci < int32(np); ci++ {
+		if o.parentCluster[ci] == ci {
+			continue
+		}
+		p := o.parentCluster[ci]
+		if int64(o.ctree.First(m, p)) <= low[ci] && high[ci] <= int64(o.ctree.Last(m, p)) {
+			critical[ci] = true
+		}
+	}
+	m.Write(np)
+	// Components of the clusters graph minus critical tree edges.
+	cuf := newRefUF(np)
+	for ci := int32(0); ci < int32(np); ci++ {
+		for _, e := range nbrs(ci) {
+			cj := int32(d.CenterIndex(m, e.Other))
+			if cj < ci {
+				continue
+			}
+			if isTreeEdge(ci, cj) && e.Multiplicity == 1 {
+				child := ci
+				if o.parentCluster[cj] == ci {
+					child = cj
+				}
+				if critical[child] {
+					continue
+				}
+			}
+			cuf.union(ci, cj)
+		}
+	}
+	minOf := map[int32]int32{}
+	for ci := int32(0); ci < int32(np); ci++ {
+		r := cuf.find(ci)
+		if cur, ok := minOf[r]; !ok || ci < cur {
+			minOf[r] = ci
+		}
+	}
+	for ci := int32(0); ci < int32(np); ci++ {
+		o.clusterLabel[ci] = minOf[cuf.find(ci)]
+	}
+	m.Write(np)
+	// Cluster tree edge (P, C) is a bridge of G iff it is a bridge of the
+	// clusters multigraph: C's component is the singleton {C}.
+	compSize := map[int32]int32{}
+	for ci := int32(0); ci < int32(np); ci++ {
+		compSize[o.clusterLabel[ci]]++
+	}
+	for ci := int32(0); ci < int32(np); ci++ {
+		if o.parentCluster[ci] != ci && o.clusterLabel[ci] == ci && compSize[ci] == 1 {
+			o.bridgeBit[ci] = true
+		}
+	}
+	m.Write(np)
+
+	// --- Per-cluster local-graph pass: root-biconnectivity bits for each
+	// tree edge, spanning-BCC unions, and internal BCC counts (Lemma 5.6,
+	// Lemma 5.7). One local graph per cluster: O(k²) each, O(nk) total.
+	huf := newRefUF(np) // H-graph: nodes are tree edges keyed by child cluster
+	internalCount := make([]int32, np)
+	for ci := int32(0); ci < int32(np); ci++ {
+		lg := o.local(m, sym, ci)
+		// Bits for each child edge D: can one pass from D through ci to
+		// ci's parent side?
+		if o.parentCluster[ci] != ci {
+			exit := lg.idOf[o.parentAttach[ci]]
+			for voID, child := range lg.voEdge {
+				if child == ci {
+					continue // the parent edge itself
+				}
+				y := voID
+				o.rbV[child] = lg.ref.SameBCC(y, exit)
+				o.rbE[child] = lg.ref.TwoEdgeCC[y] == lg.ref.TwoEdgeCC[exit]
+			}
+		} else {
+			// Root cluster: no parent side; mark children passable only
+			// for path checks that terminate here (unused values).
+			for _, child := range lg.voEdge {
+				if child != ci {
+					o.rbV[child] = true
+					o.rbE[child] = true
+				}
+			}
+		}
+		// Spanning-BCC equivalence: tree edges whose Vo nodes share a
+		// local BCC belong to one biconnected component of G.
+		vos := make([]int32, 0, len(lg.voEdge))
+		for voID := range lg.voEdge {
+			vos = append(vos, voID)
+		}
+		for i := 0; i < len(vos); i++ {
+			for j := i + 1; j < len(vos); j++ {
+				if lg.ref.SameBCC(vos[i], vos[j]) {
+					huf.union(lg.voEdge[vos[i]], lg.voEdge[vos[j]])
+				}
+			}
+		}
+		// Internal BCCs: local BCCs containing no Vo node.
+		voBCC := map[int32]bool{}
+		for _, voID := range vos {
+			for _, b := range lg.ref.VertexBCCs[voID] {
+				voBCC[b] = true
+			}
+		}
+		cnt := int32(0)
+		for b := 0; b < lg.ref.NumBCC; b++ {
+			if !voBCC[int32(b)] {
+				cnt++
+			}
+		}
+		internalCount[ci] = cnt
+	}
+	// Prefix sums for internal label offsets; spanning ids live above.
+	var off int32
+	for ci := 0; ci < np; ci++ {
+		o.internalOffset[ci] = off
+		off += internalCount[ci]
+	}
+	o.spanBase = off
+	m.Write(np)
+	hmin := map[int32]int32{}
+	spanComps := map[int32]bool{}
+	for ci := int32(0); ci < int32(np); ci++ {
+		if o.parentCluster[ci] == ci {
+			continue
+		}
+		r := huf.find(ci)
+		if cur, ok := hmin[r]; !ok || ci < cur {
+			hmin[r] = ci
+		}
+	}
+	for ci := int32(0); ci < int32(np); ci++ {
+		if o.parentCluster[ci] == ci {
+			o.spanBCC[ci] = -1
+			continue
+		}
+		o.spanBCC[ci] = o.spanBase + hmin[huf.find(ci)]
+		spanComps[o.spanBCC[ci]] = true
+	}
+	m.Write(np)
+	o.NumBCC = int(off) + len(spanComps)
+
+	// --- Rootfix for deepest blocked ancestors.
+	dbv := o.ctree.Rootfix(m, func(v int32) int64 {
+		if o.parentCluster[v] != v && !o.rbV[v] {
+			return int64(o.ctree.Depth(m, v))
+		}
+		return -1
+	}, func(par, self int64) int64 {
+		if self > par {
+			return self
+		}
+		return par
+	}, nil)
+	dbe := o.ctree.Rootfix(m, func(v int32) int64 {
+		if o.parentCluster[v] != v && !o.rbE[v] {
+			return int64(o.ctree.Depth(m, v))
+		}
+		return -1
+	}, func(par, self int64) int64 {
+		if self > par {
+			return self
+		}
+		return par
+	}, nil)
+	for i := range o.deepBlockV {
+		o.deepBlockV[i] = int32(dbv[i])
+		o.deepBlockE[i] = int32(dbe[i])
+	}
+	m.Write(2 * np)
+
+	// --- Count the biconnected components of small primary-free
+	// components (answered implicitly at query time, but NumBCC should
+	// cover the whole graph). One ρ query per vertex, one materialization
+	// per implicit component: O(nk) expected reads.
+	for v := int32(0); int(v) < vw.G.N(); v++ {
+		s := d.Rho(m, sym, v)
+		if d.CenterIndex(m, s) < 0 && s == v {
+			ref, _ := o.smallComponent(m, sym, v)
+			o.NumBCC += ref.NumBCC
+		}
+	}
+	return o
+}
+
+func defaultK(omega int) int {
+	k := 2
+	for k*k < omega {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,429 @@
+package bicc
+
+import (
+	"repro/internal/asym"
+	"repro/internal/graph"
+)
+
+// This file holds the query side of the §5.3 oracle: on-demand local-graph
+// construction (Definition 4) and the bridge / articulation-point /
+// biconnected / 1-edge-connected / edge-label queries, each touching at
+// most three local graphs plus O(1) stored words.
+
+// clusterOf returns the center index of v's cluster, or -1 for vertices of
+// small primary-free components (implicit centers).
+func (o *Oracle) clusterOf(m *asym.Meter, sym *asym.SymTracker, v int32) int32 {
+	s := o.D.Rho(m, sym, v)
+	return int32(o.D.CenterIndex(m, s))
+}
+
+// local rebuilds the Definition 4 local graph of cluster ci in symmetric
+// memory: O(k²) expected reads, no writes.
+func (o *Oracle) local(m *asym.Meter, sym *asym.SymTracker, ci int32) *localGraph {
+	d := o.D
+	s := d.Center(m, int(ci))
+	members := d.Cluster(m, sym, s)
+	lg := &localGraph{
+		idOf:   make(map[int32]int32, 2*len(members)),
+		inside: make(map[int32]bool, len(members)),
+		voEdge: map[int32]int32{},
+	}
+	addNode := func(v int32) int32 {
+		if id, ok := lg.idOf[v]; ok {
+			return id
+		}
+		id := int32(len(lg.nodes))
+		lg.idOf[v] = id
+		lg.nodes = append(lg.nodes, v)
+		return id
+	}
+	for _, v := range members {
+		lg.inside[v] = true
+		addNode(v)
+	}
+	if sym != nil {
+		sym.Acquire(4 * len(members))
+		defer sym.Release(4 * len(members))
+	}
+
+	// Tree neighbors: the parent edge plus one edge per child cluster.
+	type treeNbr struct {
+		child  int32 // cluster index keying the tree edge
+		inV    int32 // endpoint inside this cluster
+		outV   int32 // endpoint outside (the Vo node)
+		isPar  bool
+		labelC int32 // cluster label of the neighbor cluster
+	}
+	var tns []treeNbr
+	if o.parentCluster[ci] != ci {
+		// The grouping label of a tree edge is the BC label of its lower
+		// endpoint (§5.2), so the parent edge (P, C) carries l(C) — two
+		// tree edges incident to C share a clusters-graph BCC exactly when
+		// their labels match, which is the Definition 4 chaining rule.
+		tns = append(tns, treeNbr{
+			child: ci, inV: o.rootVertex[ci], outV: o.parentAttach[ci],
+			isPar: true, labelC: o.clusterLabel[ci],
+		})
+		m.Read(3)
+	}
+	// Children are found among neighbor clusters.
+	for _, e := range o.D.NeighborCenters(m, sym, s) {
+		cj := int32(o.D.CenterIndex(m, e.Other))
+		m.Read(1)
+		if o.parentCluster[cj] == ci {
+			tns = append(tns, treeNbr{
+				child: cj, inV: o.parentAttach[cj], outV: o.rootVertex[cj],
+				labelC: o.clusterLabel[cj],
+			})
+			m.Read(3)
+		}
+	}
+
+	var edges [][2]int32
+	addEdge := func(a, b int32) { edges = append(edges, [2]int32{addNode(a), addNode(b)}) }
+
+	// Category 1a: intra-cluster edges.
+	vw := graph.View{G: o.g, M: m}
+	for _, v := range members {
+		deg := vw.Degree(int(v))
+		for i := 0; i < deg; i++ {
+			u := vw.Neighbor(int(v), i)
+			if lg.inside[u] && u >= v { // each once; self-loops dropped by Ref
+				if u != v {
+					addEdge(v, u)
+				}
+			}
+		}
+	}
+	// Category 1b: the cluster tree edges, registering Vo nodes.
+	for _, tn := range tns {
+		vo := addNode(tn.outV)
+		lg.voEdge[vo] = tn.child
+		addEdge(tn.inV, tn.outV)
+	}
+	// Category 2: chain same-labeled tree neighbors' outside vertices.
+	byLabel := map[int32][]int32{}
+	for _, tn := range tns {
+		byLabel[tn.labelC] = append(byLabel[tn.labelC], tn.outV)
+	}
+	for _, group := range byLabel {
+		for i := 0; i+1 < len(group); i++ {
+			addEdge(group[i], group[i+1])
+		}
+	}
+	// Category 3: boundary edges (v1 in C, v2 outside, not a tree edge)
+	// re-attach to the Vo node whose cluster subtree contains cluster(v2).
+	isTreeWitness := func(a, b int32) bool {
+		for _, tn := range tns {
+			if tn.inV == a && tn.outV == b {
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range members {
+		deg := vw.Degree(int(v))
+		for i := 0; i < deg; i++ {
+			u := vw.Neighbor(int(v), i)
+			if lg.inside[u] {
+				continue
+			}
+			if isTreeWitness(v, u) {
+				continue // category 1b already added it
+			}
+			cu := o.clusterOf(m, sym, u)
+			vo := int32(-1)
+			for _, tn := range tns {
+				if tn.isPar {
+					continue
+				}
+				if o.ctree.IsAncestor(m, tn.child, cu) {
+					vo = tn.outV
+					break
+				}
+			}
+			if vo < 0 {
+				// Not under any child: the external cluster lies on the
+				// parent side.
+				if o.parentCluster[ci] == ci {
+					continue // isolated tree; cannot happen on valid input
+				}
+				vo = o.parentAttach[ci]
+			}
+			addEdge(v, vo)
+		}
+	}
+	lg.ref = NewRef(graph.FromEdges(len(lg.nodes), edges))
+	m.Op(len(lg.nodes) + len(edges))
+	return lg
+}
+
+// smallComponent answers queries inside a primary-free small component by
+// materializing it (it has fewer than k vertices) in symmetric memory.
+func (o *Oracle) smallComponent(m *asym.Meter, sym *asym.SymTracker, v int32) (*Ref, map[int32]int32) {
+	idOf := map[int32]int32{v: 0}
+	nodes := []int32{v}
+	var edges [][2]int32
+	vw := graph.View{G: o.g, M: m}
+	for qi := 0; qi < len(nodes); qi++ {
+		x := nodes[qi]
+		deg := vw.Degree(int(x))
+		for i := 0; i < deg; i++ {
+			u := vw.Neighbor(int(x), i)
+			if _, ok := idOf[u]; !ok {
+				idOf[u] = int32(len(nodes))
+				nodes = append(nodes, u)
+			}
+			if x < u {
+				edges = append(edges, [2]int32{idOf[x], idOf[u]})
+			}
+		}
+	}
+	if sym != nil {
+		sym.Acquire(2 * len(nodes))
+		defer sym.Release(2 * len(nodes))
+	}
+	return NewRef(graph.FromEdges(len(nodes), edges)), idOf
+}
+
+// IsBridge reports whether edge {u,v} is a bridge of G. Three cases (§5.3):
+// in-cluster edges use the local graph (Lemma 5.5), cluster tree edges use
+// the precomputed clusters-graph bridge bit, cross edges are never bridges.
+func (o *Oracle) IsBridge(m *asym.Meter, sym *asym.SymTracker, u, v int32) bool {
+	cu := o.clusterOf(m, sym, u)
+	cv := o.clusterOf(m, sym, v)
+	if cu < 0 || cv < 0 {
+		if cu != cv {
+			return false
+		}
+		ref, id := o.smallComponent(m, sym, u)
+		return ref.IsBridge(id[u], id[v])
+	}
+	if cu == cv {
+		lg := o.local(m, sym, cu)
+		return lg.ref.IsBridge(lg.idOf[u], lg.idOf[v])
+	}
+	// Tree edge between adjacent clusters?
+	child := int32(-1)
+	if o.parentCluster[cv] == cu && ((o.rootVertex[cv] == v && o.parentAttach[cv] == u) || (o.rootVertex[cv] == u && o.parentAttach[cv] == v)) {
+		child = cv
+	}
+	if o.parentCluster[cu] == cv && ((o.rootVertex[cu] == u && o.parentAttach[cu] == v) || (o.rootVertex[cu] == v && o.parentAttach[cu] == u)) {
+		child = cu
+	}
+	m.Read(4)
+	if child >= 0 {
+		m.Read(1)
+		return o.bridgeBit[child]
+	}
+	return false // cross edge
+}
+
+// IsArticulation reports whether v is a cut vertex of G: exactly when it is
+// one in its cluster's local graph (§5.3 "Articulation points").
+func (o *Oracle) IsArticulation(m *asym.Meter, sym *asym.SymTracker, v int32) bool {
+	ci := o.clusterOf(m, sym, v)
+	if ci < 0 {
+		ref, id := o.smallComponent(m, sym, v)
+		return ref.IsArticulation[id[v]]
+	}
+	lg := o.local(m, sym, ci)
+	return lg.ref.IsArticulation[lg.idOf[v]]
+}
+
+// pathCheck runs the shared machinery of the pairwise queries: it verifies
+// the cluster tree path between c1 and c2 is passable under the given
+// blocked-depth array and local predicate, with vertices v1, v2 as the
+// endpoints inside c1, c2.
+func (o *Oracle) pathCheck(m *asym.Meter, sym *asym.SymTracker, v1, v2 int32, c1, c2 int32,
+	deepBlock []int32,
+	localPred func(lg *localGraph, a, b int32) bool) bool {
+	m.Read(2)
+	if o.treeRoot[c1] != o.treeRoot[c2] {
+		return false // different components
+	}
+	if c1 == c2 {
+		lg := o.local(m, sym, c1)
+		return localPred(lg, lg.idOf[v1], lg.idOf[v2])
+	}
+	cl := o.ctree.LCA(m, c1, c2)
+	dl := o.ctree.Depth(m, cl)
+
+	// endpointSide handles one endpoint's chain up to the LCA: the local
+	// exit check inside its own cluster, the blocked-ancestor test for the
+	// intermediate clusters, and returns the Vo entry vertex into the LCA
+	// cluster (or the endpoint itself when its cluster IS the LCA).
+	endpointSide := func(v int32, c int32) (int32, bool) {
+		if c == cl {
+			return v, true
+		}
+		// Exit check inside c: v must reach the parent attach vertex.
+		lg := o.local(m, sym, c)
+		m.Read(1)
+		if !localPred(lg, lg.idOf[v], lg.idOf[o.parentAttach[c]]) {
+			return 0, false
+		}
+		// Intermediate clusters: all Y on the chain with depth >= dl+2
+		// must be passable.
+		m.Read(1)
+		if deepBlock[c] >= dl+2 {
+			return 0, false
+		}
+		// Entry into the LCA cluster: the Vo node of the child on c's side.
+		top := o.ctree.AncestorAtDepth(m, c, dl+1)
+		m.Read(1)
+		return o.rootVertex[top], true
+	}
+	a1, ok := endpointSide(v1, c1)
+	if !ok {
+		return false
+	}
+	a2, ok := endpointSide(v2, c2)
+	if !ok {
+		return false
+	}
+	lg := o.local(m, sym, cl)
+	return localPred(lg, lg.idOf[a1], lg.idOf[a2])
+}
+
+// Biconnected reports whether no single vertex removal disconnects v1 from
+// v2 — equivalently, whether they share a biconnected component. O(k²)
+// expected reads, no writes.
+func (o *Oracle) Biconnected(m *asym.Meter, sym *asym.SymTracker, v1, v2 int32) bool {
+	if v1 == v2 {
+		return true
+	}
+	c1 := o.clusterOf(m, sym, v1)
+	c2 := o.clusterOf(m, sym, v2)
+	if c1 < 0 || c2 < 0 {
+		if c1 != c2 {
+			return false
+		}
+		ref, id := o.smallComponent(m, sym, v1)
+		if _, ok := id[v2]; !ok {
+			return false
+		}
+		return ref.SameBCC(id[v1], id[v2])
+	}
+	return o.pathCheck(m, sym, v1, v2, c1, c2, o.deepBlockV,
+		func(lg *localGraph, a, b int32) bool {
+			if a == b {
+				return true
+			}
+			return lg.ref.SameBCC(a, b)
+		})
+}
+
+// OneEdgeConnected reports whether no single edge removal disconnects v1
+// from v2 (they are in the same 2-edge-connected component). O(k²) expected
+// reads, no writes.
+func (o *Oracle) OneEdgeConnected(m *asym.Meter, sym *asym.SymTracker, v1, v2 int32) bool {
+	if v1 == v2 {
+		return true
+	}
+	c1 := o.clusterOf(m, sym, v1)
+	c2 := o.clusterOf(m, sym, v2)
+	if c1 < 0 || c2 < 0 {
+		if c1 != c2 {
+			return false
+		}
+		ref, id := o.smallComponent(m, sym, v1)
+		if _, ok := id[v2]; !ok {
+			return false
+		}
+		return ref.TwoEdgeCC[id[v1]] == ref.TwoEdgeCC[id[v2]]
+	}
+	return o.pathCheck(m, sym, v1, v2, c1, c2, o.deepBlockE,
+		func(lg *localGraph, a, b int32) bool {
+			if a == b {
+				return true
+			}
+			return lg.ref.TwoEdgeCC[a] == lg.ref.TwoEdgeCC[b]
+		})
+}
+
+// EdgeBCCLabel returns a globally unique label for the biconnected
+// component containing edge {u,v} (the standard output of [21, 32],
+// answered in O(k²) reads per §5.3 "Queries on biconnected-component
+// labels"). Labels below spanBase are cluster-internal BCCs; labels at or
+// above it are spanning BCCs keyed by their cluster-tree-edge class.
+// Returns -1 for self-loops and absent edges.
+func (o *Oracle) EdgeBCCLabel(m *asym.Meter, sym *asym.SymTracker, u, v int32) int32 {
+	if u == v {
+		return -1
+	}
+	cu := o.clusterOf(m, sym, u)
+	cv := o.clusterOf(m, sym, v)
+	if cu < 0 || cv < 0 {
+		if cu != cv {
+			return -1
+		}
+		// Small components have no stored offsets; label by the component's
+		// local BCC id offset by the implicit center (unique per component,
+		// disjoint from stored labels by sign trick: use negative space).
+		ref, id := o.smallComponent(m, sym, u)
+		lab := ref.EdgeLabel(id[u], id[v])
+		if lab < 0 {
+			return -1
+		}
+		return -(o.D.Rho(m, sym, u)*int32(o.D.K()) + lab + 2)
+	}
+	if cu == cv {
+		lg := o.local(m, sym, cu)
+		return o.globalize(m, lg, cu, lg.ref.EdgeLabel(lg.idOf[u], lg.idOf[v]))
+	}
+	// Tree edge?
+	for _, cand := range [][3]int32{{cu, u, v}, {cv, v, u}} {
+		c, a, b := cand[0], cand[1], cand[2]
+		m.Read(3)
+		if o.parentCluster[c] != c && o.rootVertex[c] == a && o.parentAttach[c] == b {
+			return o.spanBCC[c]
+		}
+	}
+	// Cross edge: resolve inside u's cluster via the replaced edge (u, vo).
+	lg := o.local(m, sym, cu)
+	// The replaced edge's Vo endpoint: find it by scanning u's incident
+	// local edges for a Vo neighbor whose subtree holds cv.
+	uid := lg.idOf[u]
+	for _, w := range lg.ref.G.Adj(int(uid)) {
+		if child, ok := lg.voEdge[w]; ok {
+			m.Read(1)
+			inSubtree := o.ctree.IsAncestor(m, child, cv)
+			onParentSide := child == cu && !o.ctree.IsAncestor(m, cu, cv)
+			if (child != cu && inSubtree) || onParentSide {
+				return o.globalize(m, lg, cu, lg.ref.EdgeLabel(uid, w))
+			}
+		}
+	}
+	return -1
+}
+
+// globalize maps a local BCC id to the global label space: spanning BCCs
+// resolve through the cluster-tree-edge classes, internal BCCs through the
+// cluster's prefix offset plus the BCC's rank among internal BCCs.
+func (o *Oracle) globalize(m *asym.Meter, lg *localGraph, ci int32, localBCC int32) int32 {
+	if localBCC < 0 {
+		return -1
+	}
+	// Spanning: does this local BCC contain a Vo node?
+	voBCC := map[int32]int32{} // local BCC -> tree-edge key
+	for voID, child := range lg.voEdge {
+		for _, b := range lg.ref.VertexBCCs[voID] {
+			voBCC[b] = child
+		}
+	}
+	if child, ok := voBCC[localBCC]; ok {
+		m.Read(1)
+		return o.spanBCC[child]
+	}
+	// Internal: rank among internal BCC ids (deterministic: Ref numbers
+	// BCCs in DFS pop order).
+	rank := int32(0)
+	for b := int32(0); b < localBCC; b++ {
+		if _, spanning := voBCC[b]; !spanning {
+			rank++
+		}
+	}
+	m.Read(1)
+	return o.internalOffset[ci] + rank
+}

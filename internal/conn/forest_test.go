@@ -1,0 +1,76 @@
+package conn
+
+import (
+	"testing"
+
+	"repro/internal/asym"
+	"repro/internal/graph"
+	"repro/internal/unionfind"
+)
+
+// checkSpanningForest verifies the §4.3 forest enumeration: every emitted
+// pair is a real edge, the set is acyclic, and it spans every component.
+func checkSpanningForest(t *testing.T, g *graph.Graph, k int, seed uint64) {
+	t.Helper()
+	m, c := env(k * k)
+	o := BuildOracle(c, graph.View{G: g, M: m}, k, seed)
+	qm := asym.NewMeter(k * k)
+	uf := unionfind.NewRef(g.N())
+	count := 0
+	before := qm.Snapshot()
+	o.VisitSpanningForest(qm, nil, func(u, v int32) {
+		count++
+		// Real edge?
+		found := false
+		for _, w := range g.Adj(int(u)) {
+			if w == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("forest edge (%d,%d) not in graph", u, v)
+		}
+		if !uf.Union(u, v) {
+			t.Fatalf("forest edge (%d,%d) creates a cycle", u, v)
+		}
+	})
+	if d := qm.Snapshot().Sub(before); d.Writes != 0 {
+		t.Fatalf("forest enumeration wrote %d words", d.Writes)
+	}
+	// Count components of g.
+	ref := unionfind.NewRef(g.N())
+	for _, e := range g.Edges() {
+		ref.Union(e[0], e[1])
+	}
+	comps := map[int32]bool{}
+	for v := 0; v < g.N(); v++ {
+		comps[ref.Find(int32(v))] = true
+	}
+	want := g.N() - len(comps)
+	if count != want {
+		t.Fatalf("forest has %d edges, want %d", count, want)
+	}
+	// Spanning: the forest connects exactly what g connects.
+	for v := 0; v < g.N(); v++ {
+		if uf.Find(int32(v)) != uf.Find(ref.Find(int32(v))) {
+			t.Fatalf("vertex %d not connected to its component in the forest", v)
+		}
+	}
+}
+
+func TestOracleSpanningForestFamilies(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"3regular":     graph.RandomRegular(300, 3, 7),
+		"grid":         graph.Grid2D(12, 12),
+		"cycle":        graph.Cycle(50),
+		"disconnected": graph.Disconnected(graph.Cycle(9), 4),
+		"small-comps":  graph.Disconnected(graph.Path(3), 5),
+		"tree":         graph.RandomTree(80, 3),
+	} {
+		t.Run(name, func(t *testing.T) { checkSpanningForest(t, g, 5, 17) })
+	}
+}
+
+func TestOracleSpanningForestLargerK(t *testing.T) {
+	checkSpanningForest(t, graph.RandomRegular(500, 3, 9), 12, 19)
+}

@@ -1,0 +1,204 @@
+package conn
+
+import (
+	"math"
+
+	"repro/internal/asym"
+	"repro/internal/decomp"
+	"repro/internal/graph"
+	"repro/internal/ldd"
+	"repro/internal/parallel"
+	"repro/internal/spanning"
+)
+
+// Oracle is the sublinear-write connectivity oracle of Theorem 4.4: an
+// implicit k-decomposition plus one component label per center. For
+// bounded-degree graphs with k = √ω, construction performs O(n/√ω) writes
+// and O(√ω·n) work; a query costs O(√ω) expected reads and no writes.
+type Oracle struct {
+	D *decomp.Decomposition
+	// labels[i] is the canonical component label of the i-th center: the
+	// smallest center id in its clusters-graph component. O(n/k) words.
+	labels *asym.Array
+	// NumComponents counts components that contain at least one stored
+	// center; small primary-free components are answered implicitly and
+	// not counted here.
+	NumComponents int
+}
+
+// clustersGraph is the implicit clusters graph: vertex i is the i-th center
+// of the decomposition; neighbors are recomputed on every visit via the
+// O(k²) listing of Lemma 4.3 and never written to asymmetric memory.
+type clustersGraph struct {
+	d   *decomp.Decomposition
+	m   *asym.Meter
+	sym *asym.SymTracker
+}
+
+// Size returns the number of centers.
+func (cg clustersGraph) Size() int { return cg.d.NumCenters() }
+
+// Visit enumerates the clusters-graph neighbors of center index v.
+func (cg clustersGraph) Visit(v int32, f func(u int32)) {
+	s := cg.d.Center(cg.m, int(v))
+	for _, e := range cg.d.NeighborCenters(cg.m, cg.sym, s) {
+		f(int32(cg.d.CenterIndex(cg.m, e.Other)))
+	}
+}
+
+// DefaultK returns the paper's choice k = ⌈√ω⌉ (at least 2).
+func DefaultK(omega int) int {
+	k := int(math.Ceil(math.Sqrt(float64(omega))))
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// BuildOracle constructs a connectivity oracle over the bounded-degree
+// graph behind vw. k <= 0 selects √ω. All costs are charged to vw.M and
+// symmetric scratch is tracked on c's tracker.
+func BuildOracle(c *parallel.Ctx, vw graph.View, k int, seed uint64) *Oracle {
+	m := vw.M
+	if k <= 0 {
+		k = DefaultK(m.Omega())
+	}
+	// Step 1: implicit k-decomposition (Theorem 3.1).
+	d := decomp.Build(c, vw, k, seed, decomp.Options{})
+
+	// Step 2: the write-efficient connectivity algorithm of §4.2 with
+	// β = 1/k on the *implicit* clusters graph: the LDD queries neighbor
+	// lists on demand (Lemma 4.3) instead of writing Θ(m') edges.
+	cg := clustersGraph{d: d, m: m, sym: c.Sym()}
+	nPrime := cg.Size()
+	o := &Oracle{D: d}
+	if nPrime == 0 {
+		o.labels = asym.NewArray(m, 0)
+		return o
+	}
+	beta := 1.0 / float64(k)
+	dec := ldd.Decompose(c, cg, m, beta, seed+0x9e37)
+
+	// Contract: pack cross-cluster clusters-graph edges explicitly (the
+	// contracted graph has O(n') vertices and O(βm') expected edges, so
+	// it may be written, per Theorem 4.2 step 4).
+	var cross [][2]int32
+	for i := 0; i < nPrime; i++ {
+		ci := dec.Cluster.Get(i)
+		cg.Visit(int32(i), func(j int32) {
+			m.Read(1)
+			if int32(i) < j && dec.Cluster.Raw()[j] != ci {
+				cross = append(cross, [2]int32{ci, dec.Cluster.Raw()[j]})
+				m.Write(2)
+			}
+		})
+	}
+	labels := asym.NewArray(m, nPrime)
+	spanning.Components(m, nPrime, cross, labels)
+	// Center i's component label: follow its LDD source's contracted
+	// label (a source's own label never changes, so update order is free).
+	for i := 0; i < nPrime; i++ {
+		labels.Set(i, labels.Get(int(dec.Cluster.Get(i))))
+	}
+	// Canonicalize to the smallest center index per component, so the
+	// stored label is the component's smallest center id once resolved.
+	minOf := map[int32]int32{}
+	for i := 0; i < nPrime; i++ {
+		lab := labels.Get(i)
+		if cur, ok := minOf[lab]; !ok || int32(i) < cur {
+			minOf[lab] = int32(i)
+		}
+	}
+	for i := 0; i < nPrime; i++ {
+		labels.Set(i, minOf[labels.Get(i)])
+	}
+	o.labels = labels
+	o.NumComponents = len(minOf)
+	return o
+}
+
+// Query returns the component label of v: the smallest center id in v's
+// component, or the implicit center itself for small primary-free
+// components. O(k) expected reads (the ρ query) plus O(log n) for the
+// center-index lookup; no writes.
+func (o *Oracle) Query(m *asym.Meter, sym *asym.SymTracker, v int32) int32 {
+	s := o.D.Rho(m, sym, v)
+	i := o.D.CenterIndex(m, s)
+	if i < 0 {
+		// Implicit center of a small primary-free component: the center id
+		// itself is the canonical label (it is the component's smallest
+		// vertex and can collide with no stored component's label, which
+		// is always a stored center in a different component).
+		return s
+	}
+	m.Read(1)
+	labIdx := o.labels.Raw()[i]
+	return o.D.Center(m, int(labIdx))
+}
+
+// Connected reports whether u and v are in the same component.
+func (o *Oracle) Connected(m *asym.Meter, sym *asym.SymTracker, u, v int32) bool {
+	return o.Query(m, sym, u) == o.Query(m, sym, v)
+}
+
+// VisitSpanningForest enumerates the edges of a spanning forest of the
+// whole graph, realizing the spanning-forest remark at the end of §4.3:
+// the per-cluster shortest-path trees of Lemma 3.3 are *recomputed* (never
+// stored), one witness edge joins each pair of clusters chosen by a BFS
+// over the implicit clusters graph, and small primary-free components
+// contribute their own search trees. The enumeration performs O(√ω·n)
+// expected reads and zero asymmetric writes; the visited-cluster marks use
+// O(n/k) symmetric words (beyond the O(k log n) query budget — acceptable
+// for an output-enumeration pass, which the paper prices like
+// construction).
+//
+// visit receives each forest edge once as an original-graph edge (u, v).
+func (o *Oracle) VisitSpanningForest(m *asym.Meter, sym *asym.SymTracker, visit func(u, v int32)) {
+	d := o.D
+	np := d.NumCenters()
+	// Cluster-internal trees: every non-center vertex contributes the
+	// first edge of its path to its center. Covering all vertices costs
+	// one ρ-path query each.
+	n := d.Graph().N()
+	implicitRoots := map[int32]bool{}
+	for v := int32(0); int(v) < n; v++ {
+		path := d.PathToCenter(m, sym, v)
+		if len(path) >= 2 {
+			visit(path[0], path[1])
+		}
+		if i := d.CenterIndex(m, path[len(path)-1]); i < 0 {
+			implicitRoots[path[len(path)-1]] = true
+		}
+	}
+	_ = implicitRoots // implicit components are fully covered by their paths
+	// Clusters-graph spanning forest: BFS over the implicit clusters
+	// graph, emitting each tree edge's witness original edge.
+	seen := make([]bool, np)
+	if sym != nil {
+		sym.Acquire(np)
+		defer sym.Release(np)
+	}
+	for s := 0; s < np; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		frontier := []int32{int32(s)}
+		for len(frontier) > 0 {
+			var next []int32
+			for _, ci := range frontier {
+				center := d.Center(m, int(ci))
+				for _, e := range d.NeighborCenters(m, sym, center) {
+					cj := d.CenterIndex(m, e.Other)
+					if cj < 0 || seen[cj] {
+						continue
+					}
+					seen[cj] = true
+					visit(e.From, e.To)
+					next = append(next, int32(cj))
+				}
+			}
+			frontier = next
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package core is the public facade of the write-efficient connectivity
+// library: it wires the substrates (cost model, fork-join runtime, graphs)
+// to the paper's algorithms and exposes them behind a small API.
+//
+// A System owns one graph, one Asymmetric RAM meter (with write cost ω),
+// and one fork-join context. Constructions charge the System's meter;
+// every oracle carries its own query meter so construction and query costs
+// are separable — exactly the split Table 1 reports.
+//
+//	g := graph.RandomRegular(100_000, 3, 1)
+//	sys := core.New(g, core.Config{Omega: 256})
+//	oracle := sys.NewConnectivityOracle()
+//	same := oracle.Connected(u, v)
+//	fmt.Println(sys.Cost(), oracle.QueryCost())
+package core
+
+import (
+	"repro/internal/asym"
+	"repro/internal/bicc"
+	"repro/internal/conn"
+	"repro/internal/decomp"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Config selects the cost-model and algorithm parameters.
+type Config struct {
+	// Omega is the asymmetric write cost ω (default asym.DefaultOmega).
+	Omega int
+	// K overrides the cluster-size parameter of the implicit
+	// decomposition; 0 selects the paper's √ω.
+	K int
+	// Beta overrides the low-diameter decomposition parameter of the
+	// parallel connectivity algorithm; 0 selects the paper's 1/ω.
+	Beta float64
+	// Seed drives all randomized choices (sampling, shifts).
+	Seed uint64
+	// SymWords bounds the symmetric memory (0 = track the high-water mark
+	// without enforcing a limit).
+	SymWords int
+}
+
+// System binds a graph to one metered execution environment.
+type System struct {
+	G     *graph.Graph
+	cfg   Config
+	meter *asym.Meter
+	sym   *asym.SymTracker
+	ctx   *parallel.Ctx
+}
+
+// New creates a System for g under cfg.
+func New(g *graph.Graph, cfg Config) *System {
+	if cfg.Omega <= 0 {
+		cfg.Omega = asym.DefaultOmega
+	}
+	m := asym.NewMeter(cfg.Omega)
+	sym := asym.NewSymTracker(cfg.SymWords)
+	return &System{
+		G:     g,
+		cfg:   cfg,
+		meter: m,
+		sym:   sym,
+		ctx:   parallel.NewCtx(m, sym),
+	}
+}
+
+// Omega returns the configured write cost.
+func (s *System) Omega() int { return s.meter.Omega() }
+
+// K returns the effective cluster parameter (√ω unless overridden).
+func (s *System) K() int {
+	if s.cfg.K > 0 {
+		return s.cfg.K
+	}
+	return conn.DefaultK(s.meter.Omega())
+}
+
+// Cost returns a snapshot of everything charged to the System so far
+// (construction traffic; queries charge the per-oracle meters).
+func (s *System) Cost() asym.Cost { return s.meter.Snapshot() }
+
+// Depth returns the critical-path cost of the fork-join work so far.
+func (s *System) Depth() int64 { return s.ctx.Depth() }
+
+// SymHighWater returns the peak symmetric-memory words used.
+func (s *System) SymHighWater() int64 { return s.sym.HighWater() }
+
+// Meter exposes the construction meter (for benchmarks).
+func (s *System) Meter() *asym.Meter { return s.meter }
+
+func (s *System) view() graph.View { return graph.View{G: s.G, M: s.meter} }
+
+// --- Connectivity (§4) ---
+
+// ConnectivitySequential runs the classic BFS labeling: O(m) operations,
+// O(n) writes.
+func (s *System) ConnectivitySequential(wantForest bool) conn.Result {
+	return conn.Sequential(s.ctx, s.view(), wantForest)
+}
+
+// ConnectivityParallel runs the Theorem 4.2 algorithm: O(n + m/ω) expected
+// writes and O(m + ωn) expected work at the default β = 1/ω.
+func (s *System) ConnectivityParallel(wantForest bool) conn.Result {
+	return conn.Parallel(s.ctx, s.view(), s.cfg.Beta, s.cfg.Seed, wantForest)
+}
+
+// ConnectivityBaseline runs the prior-work recursive-contraction algorithm
+// [43]: Θ(m) writes per round, hence Θ(ωm) work — the Table 1 comparator.
+func (s *System) ConnectivityBaseline() conn.Result {
+	return conn.Baseline(s.ctx, s.view(), s.cfg.Seed)
+}
+
+// ConnectivityOracle answers component queries in O(√ω) expected reads
+// after an O(n/√ω)-write construction (Theorem 4.4).
+type ConnectivityOracle struct {
+	o  *conn.Oracle
+	qm *asym.Meter
+	s  *System
+}
+
+// NewConnectivityOracle builds the Theorem 4.4 oracle (bounded-degree
+// graphs; apply graph.BoundDegree first for others).
+func (s *System) NewConnectivityOracle() *ConnectivityOracle {
+	o := conn.BuildOracle(s.ctx, s.view(), s.cfg.K, s.cfg.Seed)
+	return &ConnectivityOracle{o: o, qm: asym.NewMeter(s.meter.Omega()), s: s}
+}
+
+// Component returns v's component label.
+func (c *ConnectivityOracle) Component(v int32) int32 {
+	return c.o.Query(c.qm, c.s.sym, v)
+}
+
+// Connected reports whether u and v share a component.
+func (c *ConnectivityOracle) Connected(u, v int32) bool {
+	return c.o.Connected(c.qm, c.s.sym, u, v)
+}
+
+// NumComponents counts components with stored centers.
+func (c *ConnectivityOracle) NumComponents() int { return c.o.NumComponents }
+
+// ComponentsBatch answers a batch of component queries as a parallel for
+// over independent queries (queries touch no shared mutable state, so the
+// Asymmetric NP depth of the batch is one query plus the O(log n) fork
+// spine; §5.4 notes the same for biconnectivity queries).
+func (c *ConnectivityOracle) ComponentsBatch(vs []int32) []int32 {
+	out := make([]int32, len(vs))
+	ctx := parallel.NewCtx(c.qm, c.s.sym)
+	ctx.For(0, len(vs), func(cc *parallel.Ctx, i int) {
+		out[i] = c.o.Query(c.qm, c.s.sym, vs[i])
+		cc.AddDepth(int64(c.s.K()))
+	})
+	return out
+}
+
+// SpanningForest materializes a spanning forest of the graph from the
+// oracle's implicit state (§4.3's spanning-forest remark). The enumeration
+// itself performs no asymmetric writes; only the returned slice is new.
+func (c *ConnectivityOracle) SpanningForest() [][2]int32 {
+	var out [][2]int32
+	c.o.VisitSpanningForest(c.qm, c.s.sym, func(u, v int32) {
+		out = append(out, [2]int32{u, v})
+	})
+	return out
+}
+
+// QueryCost returns the cost charged by queries so far.
+func (c *ConnectivityOracle) QueryCost() asym.Cost { return c.qm.Snapshot() }
+
+// --- Biconnectivity (§5) ---
+
+// BCLabeling is the dense biconnectivity structure of §5.2: O(n)-word
+// output with O(1) queries.
+type BCLabeling struct {
+	b  *bicc.BCLabeling
+	qm *asym.Meter
+}
+
+// NewBCLabeling builds the BC labeling (Lemma 5.1).
+func (s *System) NewBCLabeling() *BCLabeling {
+	return &BCLabeling{
+		b:  bicc.Build(s.ctx, s.view()),
+		qm: asym.NewMeter(s.meter.Omega()),
+	}
+}
+
+// IsBridge reports whether edge {u,v} is a bridge.
+func (b *BCLabeling) IsBridge(u, v int32) bool { return b.b.IsBridge(b.qm, u, v) }
+
+// IsArticulation reports whether v is a cut vertex.
+func (b *BCLabeling) IsArticulation(v int32) bool { return b.b.IsArticulation(b.qm, v) }
+
+// EdgeLabel returns the biconnected-component label of edge {u,v}.
+func (b *BCLabeling) EdgeLabel(u, v int32) int32 { return b.b.EdgeLabel(b.qm, u, v) }
+
+// SameBCC reports whether u and v share a biconnected component.
+func (b *BCLabeling) SameBCC(u, v int32) bool { return b.b.SameBCC(b.qm, u, v) }
+
+// Same2EdgeCC reports whether u and v are 1-edge connected.
+func (b *BCLabeling) Same2EdgeCC(u, v int32) bool { return b.b.Same2EdgeCC(b.qm, u, v) }
+
+// BlockCutTree returns (component label, articulation vertex) pairs.
+func (b *BCLabeling) BlockCutTree() [][2]int32 { return b.b.BlockCutTree(b.qm) }
+
+// BridgeBlockTree returns one (2ecc label, 2ecc label) pair per bridge.
+func (b *BCLabeling) BridgeBlockTree() [][2]int32 { return b.b.BridgeBlockTree(b.qm) }
+
+// TwoEdgeLabel returns v's 2-edge-connected component label.
+func (b *BCLabeling) TwoEdgeLabel(v int32) int32 { return b.b.TwoEdgeLabel(b.qm, v) }
+
+// NumBCC counts biconnected components with at least one edge.
+func (b *BCLabeling) NumBCC() int { return b.b.NumBCC }
+
+// QueryCost returns the cost charged by queries so far.
+func (b *BCLabeling) QueryCost() asym.Cost { return b.qm.Snapshot() }
+
+// BiconnectivityOracle is the sublinear-write oracle of §5.3.
+type BiconnectivityOracle struct {
+	o  *bicc.Oracle
+	qm *asym.Meter
+	s  *System
+}
+
+// NewBiconnectivityOracle builds the Theorem 5.3 oracle (bounded-degree
+// graphs; apply graph.BoundDegree first for others).
+func (s *System) NewBiconnectivityOracle() *BiconnectivityOracle {
+	o := bicc.BuildOracle(s.ctx, s.view(), nil, s.cfg.K, s.cfg.Seed)
+	return &BiconnectivityOracle{o: o, qm: asym.NewMeter(s.meter.Omega()), s: s}
+}
+
+// IsBridge reports whether edge {u,v} is a bridge.
+func (b *BiconnectivityOracle) IsBridge(u, v int32) bool {
+	return b.o.IsBridge(b.qm, b.s.sym, u, v)
+}
+
+// IsArticulation reports whether v is a cut vertex.
+func (b *BiconnectivityOracle) IsArticulation(v int32) bool {
+	return b.o.IsArticulation(b.qm, b.s.sym, v)
+}
+
+// Biconnected reports whether u and v share a biconnected component.
+func (b *BiconnectivityOracle) Biconnected(u, v int32) bool {
+	return b.o.Biconnected(b.qm, b.s.sym, u, v)
+}
+
+// OneEdgeConnected reports whether no single edge separates u from v.
+func (b *BiconnectivityOracle) OneEdgeConnected(u, v int32) bool {
+	return b.o.OneEdgeConnected(b.qm, b.s.sym, u, v)
+}
+
+// EdgeBCCLabel returns the biconnected-component label of edge {u,v}.
+func (b *BiconnectivityOracle) EdgeBCCLabel(u, v int32) int32 {
+	return b.o.EdgeBCCLabel(b.qm, b.s.sym, u, v)
+}
+
+// NumBCC counts biconnected components with at least one edge.
+func (b *BiconnectivityOracle) NumBCC() int { return b.o.NumBCC }
+
+// BiconnectedBatch answers pairwise biconnectivity queries as a parallel
+// for over independent queries (§5.4: "multiple queries can be done in
+// parallel").
+func (b *BiconnectivityOracle) BiconnectedBatch(pairs [][2]int32) []bool {
+	out := make([]bool, len(pairs))
+	ctx := parallel.NewCtx(b.qm, b.s.sym)
+	ctx.For(0, len(pairs), func(cc *parallel.Ctx, i int) {
+		out[i] = b.o.Biconnected(b.qm, b.s.sym, pairs[i][0], pairs[i][1])
+		cc.AddDepth(int64(b.s.Omega()))
+	})
+	return out
+}
+
+// QueryCost returns the cost charged by queries so far.
+func (b *BiconnectivityOracle) QueryCost() asym.Cost { return b.qm.Snapshot() }
+
+// --- Implicit decomposition (§3) ---
+
+// Decomposition exposes the implicit k-decomposition directly.
+type Decomposition struct {
+	D  *decomp.Decomposition
+	qm *asym.Meter
+	s  *System
+}
+
+// NewDecomposition builds an implicit k-decomposition (Theorem 3.1);
+// parallel selects the Lemma 3.7 construction.
+func (s *System) NewDecomposition(parallelVariant bool) *Decomposition {
+	d := decomp.Build(s.ctx, s.view(), s.K(), s.cfg.Seed,
+		decomp.Options{Parallel: parallelVariant})
+	return &Decomposition{D: d, qm: asym.NewMeter(s.meter.Omega()), s: s}
+}
+
+// Center returns ρ(v), the center of v's cluster.
+func (d *Decomposition) Center(v int32) int32 { return d.D.Rho(d.qm, d.s.sym, v) }
+
+// Cluster returns C(s), the members of center s's cluster.
+func (d *Decomposition) Cluster(s int32) []int32 { return d.D.Cluster(d.qm, d.s.sym, s) }
+
+// NumCenters returns |S|.
+func (d *Decomposition) NumCenters() int { return d.D.NumCenters() }
+
+// QueryCost returns the cost charged by queries so far.
+func (d *Decomposition) QueryCost() asym.Cost { return d.qm.Snapshot() }

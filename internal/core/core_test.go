@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/unionfind"
+)
+
+func TestSystemDefaults(t *testing.T) {
+	g := graph.Cycle(10)
+	s := New(g, Config{})
+	if s.Omega() <= 1 {
+		t.Fatalf("default omega = %d", s.Omega())
+	}
+	if s.K()*s.K() < s.Omega() {
+		t.Fatalf("K = %d too small for omega %d", s.K(), s.Omega())
+	}
+	s2 := New(g, Config{Omega: 100, K: 5})
+	if s2.K() != 5 {
+		t.Fatal("K override ignored")
+	}
+}
+
+func TestEndToEndConnectivity(t *testing.T) {
+	g := graph.RandomRegular(300, 3, 7)
+	s := New(g, Config{Omega: 64, Seed: 9})
+	res := s.ConnectivityParallel(false)
+	if res.NumComponents != 1 {
+		t.Fatalf("components = %d", res.NumComponents)
+	}
+	oracle := s.NewConnectivityOracle()
+	if !oracle.Connected(0, 299) {
+		t.Fatal("oracle disagrees on connected graph")
+	}
+	if oracle.QueryCost().Writes != 0 {
+		t.Fatal("oracle query wrote")
+	}
+	if oracle.QueryCost().Reads == 0 {
+		t.Fatal("oracle query cost not recorded")
+	}
+	if s.Cost().Writes == 0 || s.Depth() == 0 {
+		t.Fatal("system cost not recorded")
+	}
+}
+
+func TestEndToEndBiconnectivity(t *testing.T) {
+	g := graph.Lollipop(8, 6)
+	s := New(g, Config{Omega: 16, Seed: 3, K: 4})
+	bc := s.NewBCLabeling()
+	or := s.NewBiconnectivityOracle()
+	// The clique-path attachment vertex is an articulation point; both
+	// structures must agree everywhere.
+	for v := int32(0); int(v) < g.N(); v++ {
+		if bc.IsArticulation(v) != or.IsArticulation(v) {
+			t.Fatalf("structures disagree on articulation(%d)", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		if bc.IsBridge(e[0], e[1]) != or.IsBridge(e[0], e[1]) {
+			t.Fatalf("structures disagree on bridge(%v)", e)
+		}
+	}
+	if bc.NumBCC() != or.NumBCC() {
+		t.Fatalf("NumBCC: %d vs %d", bc.NumBCC(), or.NumBCC())
+	}
+	if len(bc.BlockCutTree()) == 0 {
+		t.Fatal("empty block-cut tree on a lollipop")
+	}
+	if !bc.Same2EdgeCC(0, 1) || bc.Same2EdgeCC(0, int32(g.N()-1)) {
+		t.Fatal("2ecc answers wrong")
+	}
+	if !or.OneEdgeConnected(0, 1) {
+		t.Fatal("oracle 2ecc wrong")
+	}
+	if bc.EdgeLabel(0, 1) < 0 || or.EdgeBCCLabel(0, 1) < 0 {
+		t.Fatal("edge labels missing")
+	}
+	if bc.QueryCost().Reads == 0 || or.QueryCost().Reads == 0 {
+		t.Fatal("query costs not recorded")
+	}
+}
+
+func TestDecompositionFacade(t *testing.T) {
+	g := graph.Grid2D(10, 10)
+	s := New(g, Config{Omega: 36, Seed: 5})
+	d := s.NewDecomposition(false)
+	if d.NumCenters() == 0 {
+		t.Fatal("no centers")
+	}
+	seen := 0
+	for v := int32(0); int(v) < g.N(); v++ {
+		c := d.Center(v)
+		if c == v {
+			seen++
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no vertex is its own center")
+	}
+	members := d.Cluster(d.Center(0))
+	found := false
+	for _, v := range members {
+		if v == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Cluster does not contain the queried vertex")
+	}
+	if d.QueryCost().Writes != 0 {
+		t.Fatal("decomposition queries wrote")
+	}
+}
+
+func TestSequentialVsBaselinePartitions(t *testing.T) {
+	g := graph.GNM(120, 200, 11, false)
+	s1 := New(g, Config{Omega: 8, Seed: 1})
+	s2 := New(g, Config{Omega: 8, Seed: 1})
+	a := s1.ConnectivitySequential(false)
+	b := s2.ConnectivityBaseline()
+	uf := unionfind.NewRef(g.N())
+	for _, e := range g.Edges() {
+		uf.Union(e[0], e[1])
+	}
+	ref := uf.Components()
+	for v := 0; v < g.N(); v++ {
+		for u := 0; u < v; u++ {
+			same := ref[u] == ref[v]
+			if (a.Labels.Raw()[u] == a.Labels.Raw()[v]) != same {
+				t.Fatal("sequential wrong")
+			}
+			if (b.Labels.Raw()[u] == b.Labels.Raw()[v]) != same {
+				t.Fatal("baseline wrong")
+			}
+		}
+	}
+}
+
+func TestSymHighWaterTracked(t *testing.T) {
+	g := graph.RandomRegular(200, 3, 13)
+	s := New(g, Config{Omega: 64, Seed: 15})
+	s.NewConnectivityOracle()
+	if s.SymHighWater() == 0 {
+		t.Fatal("symmetric memory not tracked")
+	}
+}
+
+func TestBatchQueriesMatchSingles(t *testing.T) {
+	g := graph.RandomRegular(200, 3, 23)
+	s := New(g, Config{Omega: 64, Seed: 25})
+	co := s.NewConnectivityOracle()
+	vs := make([]int32, 64)
+	rng := graph.NewRNG(1)
+	for i := range vs {
+		vs[i] = int32(rng.Intn(g.N()))
+	}
+	batch := co.ComponentsBatch(vs)
+	for i, v := range vs {
+		if batch[i] != co.Component(v) {
+			t.Fatalf("batch[%d] = %d, single = %d", i, batch[i], co.Component(v))
+		}
+	}
+	bo := s.NewBiconnectivityOracle()
+	pairs := make([][2]int32, 32)
+	for i := range pairs {
+		pairs[i] = [2]int32{int32(rng.Intn(g.N())), int32(rng.Intn(g.N()))}
+	}
+	bb := bo.BiconnectedBatch(pairs)
+	for i, p := range pairs {
+		if bb[i] != bo.Biconnected(p[0], p[1]) {
+			t.Fatalf("batch pair %d mismatch", i)
+		}
+	}
+}
+
+func TestSpanningForestFacade(t *testing.T) {
+	g := graph.RandomRegular(150, 3, 27)
+	s := New(g, Config{Omega: 64, Seed: 29})
+	co := s.NewConnectivityOracle()
+	forest := co.SpanningForest()
+	if len(forest) != g.N()-1 {
+		t.Fatalf("forest edges = %d, want %d", len(forest), g.N()-1)
+	}
+	uf := unionfind.NewRef(g.N())
+	for _, e := range forest {
+		if !uf.Union(e[0], e[1]) {
+			t.Fatal("cycle in forest")
+		}
+	}
+}
+
+func TestBridgeBlockTreeFacade(t *testing.T) {
+	g := graph.Lollipop(6, 5) // 5 bridges on the path
+	s := New(g, Config{Omega: 16, Seed: 31})
+	bc := s.NewBCLabeling()
+	bbt := bc.BridgeBlockTree()
+	if len(bbt) != 5 {
+		t.Fatalf("bridge-block tree edges = %d, want 5", len(bbt))
+	}
+	for _, e := range bbt {
+		if e[0] == e[1] {
+			t.Fatal("bridge within a 2ecc component")
+		}
+	}
+	if bc.TwoEdgeLabel(0) != bc.TwoEdgeLabel(1) {
+		t.Fatal("clique vertices in different 2ecc components")
+	}
+	if bc.TwoEdgeLabel(0) == bc.TwoEdgeLabel(int32(g.N()-1)) {
+		t.Fatal("path tail shares 2ecc with clique")
+	}
+}

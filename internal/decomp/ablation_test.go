@@ -1,0 +1,45 @@
+package decomp
+
+import (
+	"testing"
+
+	"repro/internal/asym"
+	"repro/internal/graph"
+)
+
+// TestStableSearchIsDeterministic pins the property the paper's tie-break
+// rule provides: repeated ρ queries always agree.
+func TestStableSearchIsDeterministic(t *testing.T) {
+	g := graph.Grid2D(16, 16)
+	d, _, _ := build(g, 8, 5, Options{})
+	qm := asym.NewMeter(1)
+	for v := int32(0); int(v) < g.N(); v++ {
+		a := d.Rho(qm, nil, v)
+		b := d.Rho(qm, nil, v)
+		if a != b {
+			t.Fatalf("stable search disagreed on %d: %d vs %d", v, a, b)
+		}
+	}
+}
+
+// TestUnstableTieBreakBreaksConsistency demonstrates why the deterministic
+// order is load-bearing: with per-call random neighbor orders, ρ is no
+// longer a function — repeated queries can disagree, so clusters are not
+// well-defined (the failure mode Lemma 3.3 exists to prevent).
+func TestUnstableTieBreakBreaksConsistency(t *testing.T) {
+	g := graph.Grid2D(16, 16) // grids have many equal-length paths (ties)
+	d, _, _ := build(g, 8, 5, Options{UnstableTieBreak: true})
+	qm := asym.NewMeter(1)
+	disagreements := 0
+	for round := 0; round < 4; round++ {
+		for v := int32(0); int(v) < g.N(); v++ {
+			if d.Rho(qm, nil, v) != d.Rho(qm, nil, v) {
+				disagreements++
+			}
+		}
+		if disagreements > 0 {
+			return // ablation demonstrated
+		}
+	}
+	t.Skip("unstable search happened to agree on this instance; ablation inconclusive")
+}

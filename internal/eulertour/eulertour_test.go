@@ -1,0 +1,264 @@
+package eulertour
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asym"
+	"repro/internal/graph"
+)
+
+// pathTree returns parent pointers for a path 0-1-2-...-n rooted at 0.
+func pathTree(n int) []int32 {
+	p := make([]int32, n)
+	for v := 1; v < n; v++ {
+		p[v] = int32(v - 1)
+	}
+	return p
+}
+
+// bfsParents builds a BFS spanning tree of g from root.
+func bfsParents(g *graph.Graph, root int32) []int32 {
+	p := make([]int32, g.N())
+	for v := range p {
+		p[v] = -1
+	}
+	p[root] = root
+	q := []int32{root}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for _, u := range g.Adj(int(v)) {
+			if p[u] < 0 {
+				p[u] = v
+				q = append(q, u)
+			}
+		}
+	}
+	return p
+}
+
+func TestRanksPath(t *testing.T) {
+	m := asym.NewMeter(4)
+	tr := New(m, 0, pathTree(5))
+	for v := int32(0); v < 5; v++ {
+		if tr.First(m, v) != v {
+			t.Fatalf("first(%d) = %d", v, tr.First(m, v))
+		}
+		if tr.Last(m, v) != 4 {
+			t.Fatalf("last(%d) = %d", v, tr.Last(m, v))
+		}
+		if tr.Depth(m, v) != v {
+			t.Fatalf("depth(%d) = %d", v, tr.Depth(m, v))
+		}
+	}
+}
+
+func TestSubtreeContainment(t *testing.T) {
+	// Star rooted at 0: each leaf is its own subtree.
+	p := []int32{0, 0, 0, 0}
+	m := asym.NewMeter(4)
+	tr := New(m, 0, p)
+	for v := int32(1); v < 4; v++ {
+		if !tr.IsAncestor(m, 0, v) {
+			t.Fatalf("root not ancestor of %d", v)
+		}
+		if tr.IsAncestor(m, v, 0) {
+			t.Fatalf("%d ancestor of root", v)
+		}
+		if tr.First(m, v) != tr.Last(m, v) {
+			t.Fatalf("leaf %d has subtree range", v)
+		}
+	}
+}
+
+func TestLCAOnGrid(t *testing.T) {
+	g := graph.Grid2D(6, 6)
+	p := bfsParents(g, 0)
+	m := asym.NewMeter(4)
+	tr := New(m, 0, p)
+	// Reference LCA by walking parents.
+	ref := func(u, v int32) int32 {
+		au := map[int32]bool{}
+		for x := u; ; x = p[x] {
+			au[x] = true
+			if p[x] == x {
+				break
+			}
+		}
+		for x := v; ; x = p[x] {
+			if au[x] {
+				return x
+			}
+			if p[x] == x {
+				break
+			}
+		}
+		return 0
+	}
+	for u := int32(0); u < 36; u += 5 {
+		for v := int32(0); v < 36; v += 7 {
+			if got, want := tr.LCA(m, u, v), ref(u, v); got != want {
+				t.Fatalf("LCA(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestLCAProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := graph.RandomTree(80, seed)
+		p := bfsParents(g, 0)
+		m := asym.NewMeter(1)
+		tr := New(m, 0, p)
+		rng := graph.NewRNG(seed + 1)
+		for i := 0; i < 30; i++ {
+			u, v := int32(rng.Intn(80)), int32(rng.Intn(80))
+			l := tr.LCA(m, u, v)
+			if !tr.IsAncestor(m, l, u) || !tr.IsAncestor(m, l, v) {
+				return false
+			}
+			// No deeper common ancestor: l's children toward u and v differ
+			// unless l == u or l == v.
+			if l != u && l != v {
+				cu := tr.AncestorAtDepth(m, u, tr.Depth(m, l)+1)
+				cv := tr.AncestorAtDepth(m, v, tr.Depth(m, l)+1)
+				if cu == cv {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAncestorAtDepth(t *testing.T) {
+	m := asym.NewMeter(4)
+	tr := New(m, 0, pathTree(16))
+	for v := int32(0); v < 16; v++ {
+		for d := int32(0); d <= v; d++ {
+			if got := tr.AncestorAtDepth(m, v, d); got != d {
+				t.Fatalf("AncestorAtDepth(%d,%d) = %d", v, d, got)
+			}
+		}
+	}
+}
+
+func TestLeaffixSubtreeSizes(t *testing.T) {
+	g := graph.RandomTree(50, 7)
+	p := bfsParents(g, 0)
+	m := asym.NewMeter(4)
+	tr := New(m, 0, p)
+	sizes := tr.Leaffix(m, func(int32) int64 { return 1 },
+		func(a, b int64) int64 { return a + b }, nil)
+	if sizes[0] != 50 {
+		t.Fatalf("root subtree = %d", sizes[0])
+	}
+	// Each vertex's subtree size equals 1 + sum of children's.
+	ch, _ := childrenOf(p)
+	var rec func(v int32) int64
+	rec = func(v int32) int64 {
+		s := int64(1)
+		for _, c := range ch[v] {
+			s += rec(c)
+		}
+		return s
+	}
+	for v := int32(0); v < 50; v++ {
+		if sizes[v] != rec(v) {
+			t.Fatalf("size(%d) = %d, want %d", v, sizes[v], rec(v))
+		}
+	}
+}
+
+func childrenOf(p []int32) ([][]int32, []int32) {
+	n := len(p)
+	ch := make([][]int32, n)
+	var roots []int32
+	for v := 0; v < n; v++ {
+		if p[v] == int32(v) {
+			roots = append(roots, int32(v))
+		} else {
+			ch[p[v]] = append(ch[p[v]], int32(v))
+		}
+	}
+	return ch, roots
+}
+
+func TestRootfixDepths(t *testing.T) {
+	g := graph.RandomTree(40, 9)
+	p := bfsParents(g, 0)
+	m := asym.NewMeter(4)
+	tr := New(m, 0, p)
+	depths := tr.Rootfix(m, func(v int32) int64 {
+		if p[v] == v {
+			return 0
+		}
+		return 1
+	}, func(par, self int64) int64 { return par + self }, nil)
+	for v := int32(0); v < 40; v++ {
+		if depths[v] != int64(tr.Depth(m, v)) {
+			t.Fatalf("rootfix depth(%d) = %d, want %d", v, depths[v], tr.Depth(m, v))
+		}
+	}
+}
+
+func TestForest(t *testing.T) {
+	// Two trees: 0-1-2 and 3-4.
+	p := []int32{0, 0, 1, 3, 3}
+	m := asym.NewMeter(4)
+	tr := NewForest(m, []int32{0, 3}, p)
+	if !tr.InTree(4) || !tr.InTree(2) {
+		t.Fatal("forest vertex missing")
+	}
+	if tr.IsAncestor(m, 0, 3) || tr.IsAncestor(m, 3, 2) {
+		t.Fatal("cross-tree ancestry")
+	}
+	sizes := tr.Leaffix(m, func(int32) int64 { return 1 },
+		func(a, b int64) int64 { return a + b }, nil)
+	if sizes[0] != 3 || sizes[3] != 2 {
+		t.Fatalf("forest subtree sizes: %v", sizes)
+	}
+	depths := tr.Rootfix(m, func(v int32) int64 {
+		if p[v] == v {
+			return 0
+		}
+		return 1
+	}, func(par, self int64) int64 { return par + self }, nil)
+	if depths[3] != 0 || depths[4] != 1 {
+		t.Fatalf("forest rootfix: %v", depths)
+	}
+}
+
+func TestSpillArrays(t *testing.T) {
+	p := pathTree(8)
+	m := asym.NewMeter(4)
+	tr := New(m, 0, p)
+	spill := asym.NewArray64(m, 8)
+	before := m.Writes()
+	tr.Leaffix(m, func(int32) int64 { return 1 },
+		func(a, b int64) int64 { return a + b }, spill)
+	if m.Writes()-before < 8 {
+		t.Fatal("spill did not charge writes")
+	}
+	if spill.Raw()[0] != 8 {
+		t.Fatalf("spilled root = %d", spill.Raw()[0])
+	}
+}
+
+func TestChildrenLists(t *testing.T) {
+	p := []int32{0, 0, 0, 1, 1}
+	m := asym.NewMeter(4)
+	tr := New(m, 0, p)
+	ch := tr.ChildrenLists(m)
+	if len(ch[0]) != 2 || len(ch[1]) != 2 || len(ch[2]) != 0 {
+		t.Fatalf("children: %v", ch)
+	}
+	got := tr.Children(m, 1)
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("Children(1) = %v", got)
+	}
+}

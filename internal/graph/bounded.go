@@ -1,0 +1,138 @@
+package graph
+
+import "sort"
+
+// This file implements the §6 transform from an arbitrary graph G to a
+// bounded-degree graph G' on O(m) vertices that answers connectivity (and,
+// with care, biconnectivity) queries for G. Each vertex v whose degree
+// exceeds the bound is replaced by a chain of deg(v) gadget nodes, one per
+// incident edge slot, linked consecutively; the i-th incident edge of v
+// attaches to the i-th gadget node. Gadget nodes then have degree at most 3.
+//
+// The paper describes a binary-tree gadget; a chain is the depth-(d) special
+// case of the same construction and preserves exactly the properties §6
+// argues for: connectivity is untouched, a bridge of G maps to a bridge of
+// G', and vertices of G map to connected gadget subgraphs of G'.
+
+// Bounded is the result of BoundDegree: the transformed graph plus the
+// mappings between original and gadget vertices.
+type Bounded struct {
+	G *Graph
+	// Orig[w] is the original vertex that gadget/plain vertex w represents.
+	Orig []int32
+	// Base[v] is the first new-graph vertex representing original vertex v;
+	// vertices representing v are Base[v] .. Base[v]+GadgetSize(v)-1.
+	Base []int32
+	// expanded[v] reports whether v was replaced by a multi-node gadget.
+	expanded []bool
+	src      *Graph
+}
+
+// BoundDegree transforms g into a graph of maximum degree <= maxDeg+? — in
+// fact at most max(maxDeg, 3): vertices of degree <= maxDeg are kept as-is,
+// larger vertices become chains whose nodes have degree at most 3. maxDeg
+// must be at least 3.
+func BoundDegree(g *Graph, maxDeg int) *Bounded {
+	if maxDeg < 3 {
+		panic("graph: BoundDegree needs maxDeg >= 3")
+	}
+	n := g.N()
+	base := make([]int32, n)
+	expanded := make([]bool, n)
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		base[v] = next
+		d := g.Degree(v)
+		if d > maxDeg {
+			expanded[v] = true
+			next += int32(d)
+		} else {
+			next++
+		}
+	}
+	nn := int(next)
+	orig := make([]int32, nn)
+	for v := 0; v < n; v++ {
+		sz := 1
+		if expanded[v] {
+			sz = g.Degree(v)
+		}
+		for i := 0; i < sz; i++ {
+			orig[base[v]+int32(i)] = int32(v)
+		}
+	}
+
+	edges := make([][2]int32, 0, g.M()+nn-n)
+	// Chain edges inside each gadget.
+	for v := 0; v < n; v++ {
+		if expanded[v] {
+			d := g.Degree(v)
+			for i := 0; i+1 < d; i++ {
+				edges = append(edges, [2]int32{base[v] + int32(i), base[v] + int32(i+1)})
+			}
+		}
+	}
+	// Original edges, re-attached to gadget slots. Adjacency lists are
+	// sorted, so the occurrences of u in v's list are contiguous; the t-th
+	// occurrence of u in v's list pairs with the t-th occurrence of v in
+	// u's list, which resolves parallel edges consistently.
+	b := &Bounded{Orig: orig, Base: base, expanded: expanded, src: g}
+	for v := 0; v < n; v++ {
+		a := g.Adj(v)
+		for j := 0; j < len(a); j++ {
+			u := int(a[j])
+			if u < v {
+				continue
+			}
+			if u == v {
+				// Self-loop: occupies slots j and j+1 of v's own list.
+				edges = append(edges, [2]int32{b.slotNode(v, j), b.slotNode(v, j+1)})
+				j++ // consume the twin occurrence
+				continue
+			}
+			t := j - firstSlot(g, v, int32(u))
+			i := firstSlot(g, u, int32(v)) + t
+			edges = append(edges, [2]int32{b.slotNode(v, j), b.slotNode(u, i)})
+		}
+	}
+	b.G = FromEdges(nn, edges)
+	return b
+}
+
+// firstSlot returns the first index of u in v's sorted adjacency list.
+func firstSlot(g *Graph, v int, u int32) int {
+	a := g.Adj(v)
+	return sort.Search(len(a), func(i int) bool { return a[i] >= u })
+}
+
+// slotNode returns the new-graph vertex that carries original vertex v's
+// slot-th incident edge.
+func (b *Bounded) slotNode(v, slot int) int32 {
+	if b.expanded[v] {
+		return b.Base[v] + int32(slot)
+	}
+	return b.Base[v]
+}
+
+// Rep returns the canonical new-graph vertex representing original vertex v
+// (the first gadget node). Connectivity queries for v in the original graph
+// are answered at Rep(v) in the bounded graph.
+func (b *Bounded) Rep(v int) int32 { return b.Base[v] }
+
+// EdgeEndpoints maps the original edge that is the slot-th entry of v's
+// adjacency list to its endpoints in the bounded graph.
+func (b *Bounded) EdgeEndpoints(v, slot int) (int32, int32) {
+	u := int(b.src.Adj(v)[slot])
+	if u == v {
+		return b.slotNode(v, slot), b.slotNode(v, slot+1)
+	}
+	t := slot - firstSlot(b.src, v, int32(u))
+	i := firstSlot(b.src, u, int32(v)) + t
+	return b.slotNode(v, slot), b.slotNode(u, i)
+}
+
+// IsVirtualEdge reports whether new-graph edge {x,y} is a gadget chain edge
+// (both endpoints represent the same original vertex).
+func (b *Bounded) IsVirtualEdge(x, y int32) bool {
+	return b.Orig[x] == b.Orig[y]
+}

@@ -1,0 +1,299 @@
+package graph
+
+import "fmt"
+
+// This file provides the synthetic workloads used by the experiments:
+// bounded-degree families (regular graphs, grids, cycles, trees) for the
+// sparse-oracle results, ER-style G(n,m) for the dense results, lollipops
+// and ladders for biconnectivity structure, and a bond-percolation lattice
+// matching the Swendsen–Wang motivation of §1.
+
+// Cycle returns the n-cycle (n >= 3), a 2-regular connected graph.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: Cycle needs n >= 3")
+	}
+	edges := make([][2]int32, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]int32{int32(i), int32((i + 1) % n)}
+	}
+	return FromEdges(n, edges)
+}
+
+// Path returns the n-vertex path graph.
+func Path(n int) *Graph {
+	edges := make([][2]int32, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int32{int32(i), int32(i + 1)})
+	}
+	return FromEdges(n, edges)
+}
+
+// Grid2D returns the rows×cols grid graph, a bounded-degree (≤4) connected
+// planar graph. Vertex (r,c) has id r*cols+c.
+func Grid2D(rows, cols int) *Graph {
+	n := rows * cols
+	edges := make([][2]int32, 0, 2*n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := int32(r*cols + c)
+			if c+1 < cols {
+				edges = append(edges, [2]int32{v, v + 1})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int32{v, v + int32(cols)})
+			}
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// RandomRegular returns a connected random d-regular multigraph-free graph
+// on n vertices via repeated pairing with retries (configuration model with
+// rejection of self-loops/duplicates, then connectivity patching along a
+// Hamiltonian backbone if pairing fails). n*d must be even, d >= 2.
+//
+// For d=2 it simply returns the cycle. The result is guaranteed connected:
+// it starts from a cycle backbone (ensuring connectivity) and fills the
+// remaining d-2 slots per vertex by random matching, which keeps the graph
+// d-regular whenever the matching succeeds; leftover unmatched slots are
+// dropped, so a few vertices may have degree d-1. Degree stays ≤ d, which
+// is all the bounded-degree algorithms require.
+func RandomRegular(n, d int, seed uint64) *Graph {
+	if d < 2 {
+		panic("graph: RandomRegular needs d >= 2")
+	}
+	if n*d%2 != 0 {
+		panic("graph: RandomRegular needs n*d even")
+	}
+	if d == 2 {
+		return Cycle(n)
+	}
+	rng := NewRNG(seed)
+	edges := make([][2]int32, 0, n*d/2)
+	seen := make(map[[2]int32]bool, n*d/2)
+	addEdge := func(u, v int32) bool {
+		if u == v {
+			return false
+		}
+		key := [2]int32{min32(u, v), max32(u, v)}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		edges = append(edges, key)
+		return true
+	}
+	// Backbone cycle guarantees connectivity and gives every vertex degree 2.
+	for i := 0; i < n; i++ {
+		addEdge(int32(i), int32((i+1)%n))
+	}
+	// Remaining slots: d-2 per vertex, matched randomly with retries.
+	slots := make([]int32, 0, n*(d-2))
+	for i := 0; i < n; i++ {
+		for j := 0; j < d-2; j++ {
+			slots = append(slots, int32(i))
+		}
+	}
+	for attempt := 0; attempt < 20 && len(slots) > 1; attempt++ {
+		// Fisher-Yates shuffle then greedy pairing.
+		for i := len(slots) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			slots[i], slots[j] = slots[j], slots[i]
+		}
+		rest := slots[:0]
+		for i := 0; i+1 < len(slots); i += 2 {
+			if !addEdge(slots[i], slots[i+1]) {
+				rest = append(rest, slots[i], slots[i+1])
+			}
+		}
+		if len(slots)%2 == 1 {
+			rest = append(rest, slots[len(slots)-1])
+		}
+		slots = rest
+	}
+	return FromEdges(n, edges)
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GNM returns an Erdős–Rényi-style G(n,m) graph: m distinct edges sampled
+// uniformly (no self-loops, no duplicates). When connect is true a random
+// spanning backbone is added first so the graph is connected (m must then
+// be >= n-1).
+func GNM(n, m int, seed uint64, connect bool) *Graph {
+	rng := NewRNG(seed)
+	edges := make([][2]int32, 0, m)
+	seen := make(map[[2]int32]bool, m)
+	add := func(u, v int32) bool {
+		if u == v {
+			return false
+		}
+		key := [2]int32{min32(u, v), max32(u, v)}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		edges = append(edges, key)
+		return true
+	}
+	if connect {
+		if m < n-1 {
+			panic(fmt.Sprintf("graph: GNM connect needs m >= n-1 (n=%d m=%d)", n, m))
+		}
+		// Random recursive tree backbone.
+		for v := 1; v < n; v++ {
+			u := rng.Intn(v)
+			add(int32(u), int32(v))
+		}
+	}
+	for len(edges) < m {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		add(u, v)
+	}
+	return FromEdges(n, edges)
+}
+
+// RandomTree returns a uniform random recursive tree on n vertices.
+func RandomTree(n int, seed uint64) *Graph {
+	rng := NewRNG(seed)
+	edges := make([][2]int32, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int32{int32(rng.Intn(v)), int32(v)})
+	}
+	return FromEdges(n, edges)
+}
+
+// Star returns the star K_{1,n-1}: vertex 0 connected to all others. The
+// canonical unbounded-degree input for the §6 transform.
+func Star(n int) *Graph {
+	edges := make([][2]int32, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int32{0, int32(v)})
+	}
+	return FromEdges(n, edges)
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	edges := make([][2]int32, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int32{int32(u), int32(v)})
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// Lollipop returns a clique of size cliqueN attached by a single bridge to a
+// path of size pathN — a worst case with one articulation point and a long
+// bridge chain, used by the biconnectivity experiments.
+func Lollipop(cliqueN, pathN int) *Graph {
+	n := cliqueN + pathN
+	edges := make([][2]int32, 0, cliqueN*(cliqueN-1)/2+pathN)
+	for u := 0; u < cliqueN; u++ {
+		for v := u + 1; v < cliqueN; v++ {
+			edges = append(edges, [2]int32{int32(u), int32(v)})
+		}
+	}
+	for i := 0; i < pathN; i++ {
+		u := cliqueN + i - 1
+		if i == 0 {
+			u = cliqueN - 1
+		}
+		edges = append(edges, [2]int32{int32(u), int32(cliqueN + i)})
+	}
+	return FromEdges(n, edges)
+}
+
+// Ladder returns the 2×n ladder graph (a biconnected bounded-degree graph).
+func Ladder(n int) *Graph {
+	edges := make([][2]int32, 0, 3*n)
+	for i := 0; i < n; i++ {
+		a, b := int32(2*i), int32(2*i+1)
+		edges = append(edges, [2]int32{a, b})
+		if i+1 < n {
+			edges = append(edges, [2]int32{a, a + 2}, [2]int32{b, b + 2})
+		}
+	}
+	return FromEdges(2*n, edges)
+}
+
+// Percolation returns a bond-percolation sample of the rows×cols grid: each
+// grid edge is kept independently with probability p. This reproduces the
+// Swendsen–Wang workload of §1, where the same lattice is repeatedly
+// re-sampled and each sample's connected components are needed.
+func Percolation(rows, cols int, p float64, seed uint64) *Graph {
+	n := rows * cols
+	edges := make([][2]int32, 0, int(float64(2*n)*p)+16)
+	rng := NewRNG(seed)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := int32(r*cols + c)
+			if c+1 < cols && rng.Float64() < p {
+				edges = append(edges, [2]int32{v, v + 1})
+			}
+			if r+1 < rows && rng.Float64() < p {
+				edges = append(edges, [2]int32{v, v + int32(cols)})
+			}
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// PowerLaw returns a preferential-attachment graph: each new vertex attaches
+// outDeg edges to earlier vertices chosen proportionally to degree (plus
+// one). Produces the skewed degree distribution the §6 transform targets.
+func PowerLaw(n, outDeg int, seed uint64) *Graph {
+	rng := NewRNG(seed)
+	edges := make([][2]int32, 0, n*outDeg)
+	// targets holds one entry per edge endpoint, so sampling an index
+	// uniformly samples a vertex proportionally to its degree.
+	targets := make([]int32, 0, 2*n*outDeg)
+	targets = append(targets, 0)
+	for v := 1; v < n; v++ {
+		chosen := map[int32]bool{}
+		for t := 0; t < outDeg && t < v; t++ {
+			u := targets[rng.Intn(len(targets))]
+			if u == int32(v) || chosen[u] {
+				continue
+			}
+			chosen[u] = true
+			edges = append(edges, [2]int32{u, int32(v)})
+			targets = append(targets, u, int32(v))
+		}
+		if len(chosen) == 0 {
+			u := int32(rng.Intn(v))
+			edges = append(edges, [2]int32{u, int32(v)})
+			targets = append(targets, u, int32(v))
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// Disconnected returns a graph made of c disjoint copies of base. Used to
+// exercise the unconnected-graph extension of Algorithm 1 (§3).
+func Disconnected(base *Graph, c int) *Graph {
+	n := base.N()
+	edges := make([][2]int32, 0, c*base.M())
+	for i := 0; i < c; i++ {
+		off := int32(i * n)
+		for _, e := range base.Edges() {
+			edges = append(edges, [2]int32{e[0] + off, e[1] + off})
+		}
+	}
+	return FromEdges(c*n, edges)
+}

@@ -1,0 +1,159 @@
+// Package graph provides the undirected-graph substrate used by every
+// algorithm in this repository: a compact CSR (compressed sparse row)
+// representation, a cost-metered access view for the Asymmetric RAM model,
+// deterministic vertex priorities for the tie-breaking rule of §3, synthetic
+// generators for the workloads the paper motivates, and the §6 transform
+// from unbounded-degree to bounded-degree graphs.
+//
+// Graphs are simple to construct from edge lists and may contain self-loops
+// and parallel edges (the paper permits both); generators in this package
+// avoid them unless documented otherwise.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asym"
+)
+
+// Graph is an immutable undirected graph in CSR form. Vertex ids are
+// 0..N()-1. Each undirected edge {u,v} appears once in u's adjacency list
+// and once in v's (a self-loop appears twice in its endpoint's list).
+//
+// The total order on vertices required by the paper's tie-breaking rule
+// (§3: "we assume a global ordering of the vertices") is the id order:
+// lower id = higher priority.
+type Graph struct {
+	off []int32 // len n+1, prefix offsets into adj
+	adj []int32 // concatenated adjacency lists, len 2m
+	m   int     // number of undirected edges
+}
+
+// FromEdges builds a graph on n vertices from an undirected edge list.
+// Adjacency lists are sorted by neighbor id so iteration order — and hence
+// the deterministic BFS of package decomp — is reproducible.
+func FromEdges(n int, edges [][2]int32) *Graph {
+	deg := make([]int32, n)
+	for _, e := range edges {
+		if int(e[0]) >= n || int(e[1]) >= n || e[0] < 0 || e[1] < 0 {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", e[0], e[1], n))
+		}
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	off := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + deg[i]
+	}
+	adj := make([]int32, off[n])
+	pos := make([]int32, n)
+	copy(pos, off[:n])
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		adj[pos[u]] = v
+		pos[u]++
+		adj[pos[v]] = u
+		pos[v]++
+	}
+	g := &Graph{off: off, adj: adj, m: len(edges)}
+	g.sortAdj()
+	return g
+}
+
+func (g *Graph) sortAdj() {
+	n := g.N()
+	for v := 0; v < n; v++ {
+		lo, hi := g.off[v], g.off[v+1]
+		s := g.adj[lo:hi]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.off) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v (self-loops count twice). Unmetered.
+func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
+
+// Adj returns v's adjacency list as a shared slice. Unmetered; algorithms
+// under cost accounting must use View instead.
+func (g *Graph) Adj(v int) []int32 { return g.adj[g.off[v]:g.off[v+1]] }
+
+// MaxDegree returns the maximum vertex degree.
+func (g *Graph) MaxDegree() int {
+	md := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > md {
+			md = d
+		}
+	}
+	return md
+}
+
+// EdgeIndex locates neighbor slot: returns the position j (relative to v's
+// list) of the j-th incident edge such that Adj(v)[j] == u, starting the
+// search at fromSlot. Used by the §6 transform, which needs each edge's
+// position in both endpoint lists.
+func (g *Graph) EdgeIndex(v int, u int32, fromSlot int) int {
+	a := g.Adj(v)
+	for j := fromSlot; j < len(a); j++ {
+		if a[j] == u {
+			return j
+		}
+	}
+	return -1
+}
+
+// Edges materializes the undirected edge list with u <= v, sorted. Intended
+// for tests and I/O, not for metered algorithms.
+func (g *Graph) Edges() [][2]int32 {
+	out := make([][2]int32, 0, g.m)
+	for v := int32(0); int(v) < g.N(); v++ {
+		for _, u := range g.Adj(int(v)) {
+			if u >= v {
+				out = append(out, [2]int32{v, u})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// View is a cost-metered window onto a Graph: the graph lives in asymmetric
+// memory, so every adjacency access charges reads to the meter. Reading a
+// vertex's degree is one read (the offset word); reading each neighbor is
+// one read per adjacency word.
+type View struct {
+	G *Graph
+	M *asym.Meter
+}
+
+// Degree returns v's degree, charging one read.
+func (vw View) Degree(v int) int {
+	vw.M.Read(1)
+	return vw.G.Degree(v)
+}
+
+// Neighbor returns the i-th neighbor of v, charging one read.
+func (vw View) Neighbor(v, i int) int32 {
+	vw.M.Read(1)
+	return vw.G.adj[vw.G.off[v]+int32(i)]
+}
+
+// VisitNeighbors calls f for each neighbor of v in priority (id) order,
+// charging one read per neighbor plus one for the degree.
+func (vw View) VisitNeighbors(v int, f func(u int32)) {
+	d := vw.Degree(v)
+	for i := 0; i < d; i++ {
+		f(vw.Neighbor(v, i))
+	}
+}

@@ -1,0 +1,45 @@
+package graph
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (SplitMix64). The repository uses it instead of math/rand so that every
+// experiment is reproducible from a seed and so that the sampling step of
+// Algorithm 1 (pick each vertex with probability 1/k) can be re-derived
+// per-vertex from a hash without storing per-vertex state — the same trick
+// the paper's "edges selected based on Boolean hash functions" motivation
+// uses for implicit graphs.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64 pseudo-random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("graph: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Hash64 mixes x with a fixed seed into 64 pseudo-random bits. Stateless;
+// used for per-vertex coin flips (primary-center sampling) and per-edge
+// Boolean hash functions (examples/socialhash).
+func Hash64(seed, x uint64) uint64 {
+	z := x + seed*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

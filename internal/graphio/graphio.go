@@ -1,0 +1,97 @@
+// Package graphio reads and writes the plain edge-list format used by
+// cmd/graphgen and cmd/decompstat: an optional "# n m" header line followed
+// by one "u v" pair per line. Blank lines and further #-comments are
+// ignored. Without a header, n is inferred as max vertex id + 1.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Read parses an edge list into a Graph.
+func Read(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var edges [][2]int32
+	n := -1
+	headerSeen := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if !headerSeen {
+				// Try to parse "# n m"; silently skip other comments.
+				fields := strings.Fields(strings.TrimPrefix(text, "#"))
+				if len(fields) >= 1 {
+					if v, err := strconv.Atoi(fields[0]); err == nil {
+						n = v
+						headerSeen = true
+					}
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graphio: line %d: want 'u v', got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: %v", line, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graphio: line %d: negative vertex id", line)
+		}
+		edges = append(edges, [2]int32{int32(u), int32(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: %v", err)
+	}
+	if n < 0 {
+		for _, e := range edges {
+			if int(e[0]) >= n {
+				n = int(e[0]) + 1
+			}
+			if int(e[1]) >= n {
+				n = int(e[1]) + 1
+			}
+		}
+		if n < 0 {
+			n = 0
+		}
+	}
+	for _, e := range edges {
+		if int(e[0]) >= n || int(e[1]) >= n {
+			return nil, fmt.Errorf("graphio: edge (%d,%d) exceeds declared n=%d", e[0], e[1], n)
+		}
+	}
+	return graph.FromEdges(n, edges), nil
+}
+
+// Write emits g in the canonical format ("# n m" header, sorted edges).
+func Write(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

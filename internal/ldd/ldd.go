@@ -1,0 +1,169 @@
+// Package ldd implements the low-diameter (β, O(log n/β))-decomposition of
+// Miller, Peng and Xu [36] in its write-efficient form (paper §4.1,
+// Appendix C, Theorem 4.1): every vertex draws a start-time shift δv from an
+// exponential distribution with parameter β; the vertex with the largest
+// shift starts a breadth-first search first (MPX assign u to the center v
+// minimizing d(v,u) − δv), later shifts join in descending order, and all
+// live searches advance one level per synchronous round. Vertices are
+// assigned to the search that claims them first (arbitrary tie-breaking is
+// fine, per Shun et al. [43] footnote 6).
+//
+// Properties delivered (and asserted by the tests):
+//   - every vertex is assigned to exactly one cluster whose source reaches
+//     it within O(log n/β) levels whp, so intra-cluster paths are short;
+//   - the expected fraction of edges crossing clusters is at most β (the
+//     memoryless gap between the two largest shifted arrivals);
+//   - asymmetric writes are O(n): one shift write plus one claim write per
+//     vertex, with all per-edge traffic being reads.
+//
+// The decomposition runs over an abstract Neighborhood so that Theorem 4.4
+// can apply it to the *implicit* clusters graph of a k-decomposition, whose
+// edges are recomputed on demand and never written.
+package ldd
+
+import (
+	"math"
+
+	"repro/internal/asym"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Unassigned marks vertices not yet claimed by any cluster.
+const Unassigned = int32(-1)
+
+// Neighborhood abstracts the graph being decomposed. Implementations charge
+// their own access costs to the meter they were built with: the explicit
+// adapter charges one read per adjacency word, the implicit clusters-graph
+// adapter of package conn charges the O(k²) recomputation of Lemma 4.3.
+type Neighborhood interface {
+	// Size returns the number of vertices.
+	Size() int
+	// Visit calls f on each neighbor of v (order must be deterministic).
+	Visit(v int32, f func(u int32))
+}
+
+// Explicit adapts a metered graph view to the Neighborhood interface.
+type Explicit struct{ VW graph.View }
+
+// Size returns the number of vertices.
+func (e Explicit) Size() int { return e.VW.G.N() }
+
+// Visit enumerates v's neighbors, charging one read per adjacency word.
+func (e Explicit) Visit(v int32, f func(u int32)) { e.VW.VisitNeighbors(int(v), f) }
+
+// Result is a (β, d)-decomposition: Cluster[v] is the source vertex of v's
+// cluster; Sources lists cluster sources in start order; Iterations is the
+// number of synchronous rounds executed (an upper bound on cluster radius).
+type Result struct {
+	Cluster    *asym.Array
+	Sources    []int32
+	Iterations int
+}
+
+// Decompose partitions every vertex of nb (all components) with parameter
+// beta in (0, 1]. seed makes the exponential shifts reproducible. Costs are
+// charged to m: O(n) writes plus whatever nb.Visit charges for reads.
+func Decompose(c *parallel.Ctx, nb Neighborhood, m *asym.Meter, beta float64, seed uint64) Result {
+	if beta <= 0 {
+		panic("ldd: beta must be positive")
+	}
+	if beta > 1 {
+		beta = 1
+	}
+	n := nb.Size()
+
+	// Draw shifts δv ~ Exp(β) and bucket vertices by start time
+	// ⌊δmax⌋ − ⌊δv⌋, so the largest shift starts first. The shift values
+	// are stored in asymmetric memory in the original algorithm — one
+	// write per vertex — while the bucket lists stand in for the radix
+	// step and are charged as unit operations.
+	maxBucket := 0
+	shift := make([]int, n)
+	for v := 0; v < n; v++ {
+		u := float64(graph.Hash64(seed, uint64(v))>>11+1) / float64(1<<53)
+		d := int(math.Floor(-math.Log(u) / beta))
+		shift[v] = d
+		if d > maxBucket {
+			maxBucket = d
+		}
+	}
+	m.Write(n) // persist shifts
+	m.Op(n)
+	buckets := make([][]int32, maxBucket+1)
+	for v := 0; v < n; v++ {
+		start := maxBucket - shift[v]
+		buckets[start] = append(buckets[start], int32(v))
+	}
+
+	cluster := asym.NewArray(m, n)
+	cluster.Fill(Unassigned)
+	var sources []int32
+	frontier := make([]int32, 0, 64)
+	next := make([]int32, 0, 64)
+	iter := 0
+	visited := 0
+	for visited < n {
+		// Start new searches from this round's unclaimed shifted vertices.
+		if iter < len(buckets) {
+			for _, v := range buckets[iter] {
+				m.Read(1)
+				if cluster.Raw()[v] != Unassigned {
+					continue
+				}
+				cluster.Set(int(v), v)
+				sources = append(sources, v)
+				frontier = append(frontier, v)
+				visited++
+			}
+		}
+		// Advance all live searches one level.
+		next = next[:0]
+		for _, v := range frontier {
+			lab := cluster.Get(int(v))
+			nb.Visit(v, func(u int32) {
+				m.Read(1)
+				if cluster.Raw()[u] != Unassigned {
+					return
+				}
+				cluster.Set(int(u), lab)
+				next = append(next, u)
+				visited++
+			})
+		}
+		// Per-round depth: parallel neighbor scans plus the O(ω log n)
+		// frontier pack of the write-efficient BFS.
+		c.AddDepth(int64(m.Omega()) * logDepth(n))
+		frontier, next = next, frontier
+		iter++
+		if iter > n+len(buckets)+1 {
+			panic("ldd: failed to converge") // cannot happen on valid input
+		}
+	}
+	return Result{Cluster: cluster, Sources: sources, Iterations: iter}
+}
+
+// CrossEdges counts edges {u,v} with Cluster[u] != Cluster[v], reading each
+// adjacency once. Used by tests to check the β bound and by the contraction
+// step to size its output.
+func (r Result) CrossEdges(nb Neighborhood, m *asym.Meter) int {
+	cnt := 0
+	for v := 0; v < r.Cluster.Len(); v++ {
+		cv := r.Cluster.Get(v)
+		nb.Visit(int32(v), func(u int32) {
+			if int32(v) < u && r.Cluster.Get(int(u)) != cv {
+				cnt++
+			}
+		})
+	}
+	return cnt
+}
+
+func logDepth(n int) int64 {
+	d := int64(1)
+	for n > 1 {
+		n >>= 1
+		d++
+	}
+	return d
+}

@@ -1,0 +1,177 @@
+package ldd
+
+import (
+	"testing"
+
+	"repro/internal/asym"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/unionfind"
+)
+
+func run(g *graph.Graph, beta float64, seed uint64, omega int) (Result, *asym.Meter, *parallel.Ctx) {
+	m := asym.NewMeter(omega)
+	c := parallel.NewCtx(m, asym.NewSymTracker(0))
+	vw := graph.View{G: g, M: m}
+	return Decompose(c, Explicit{VW: vw}, m, beta, seed), m, c
+}
+
+func TestEveryVertexAssigned(t *testing.T) {
+	g := graph.GNM(300, 900, 1, false) // possibly disconnected
+	res, _, _ := run(g, 0.2, 7, 8)
+	for v := 0; v < g.N(); v++ {
+		if res.Cluster.Raw()[v] == Unassigned {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+	}
+	if len(res.Sources) == 0 {
+		t.Fatal("no sources")
+	}
+}
+
+func TestSourcesOwnThemselves(t *testing.T) {
+	g := graph.Grid2D(10, 10)
+	res, _, _ := run(g, 0.3, 3, 8)
+	seen := map[int32]bool{}
+	for _, s := range res.Sources {
+		if res.Cluster.Raw()[s] != s {
+			t.Fatalf("source %d labeled %d", s, res.Cluster.Raw()[s])
+		}
+		if seen[s] {
+			t.Fatalf("duplicate source %d", s)
+		}
+		seen[s] = true
+	}
+	// Every cluster label is a source.
+	for v := 0; v < g.N(); v++ {
+		if !seen[res.Cluster.Raw()[v]] {
+			t.Fatalf("label %d of vertex %d is not a source", res.Cluster.Raw()[v], v)
+		}
+	}
+}
+
+func TestClustersConnected(t *testing.T) {
+	// Each cluster must induce a connected subgraph (vertices were claimed
+	// along BFS edges from the source).
+	g := graph.GNM(200, 500, 9, true)
+	res, _, _ := run(g, 0.4, 11, 8)
+	// For each cluster, union its internal edges; then every member must
+	// share a set with its source.
+	uf := unionfind.NewRef(g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Adj(v) {
+			if res.Cluster.Raw()[v] == res.Cluster.Raw()[u] {
+				uf.Union(int32(v), u)
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if !uf.Same(int32(v), res.Cluster.Raw()[v]) {
+			t.Fatalf("vertex %d disconnected from its source %d within cluster", v, res.Cluster.Raw()[v])
+		}
+	}
+}
+
+func TestCrossEdgeFractionTracksBeta(t *testing.T) {
+	// Expected cross edges <= beta*m; allow generous slack (3x) since this
+	// is a randomized bound and n is modest.
+	g := graph.GNM(2000, 10000, 13, true)
+	for _, beta := range []float64{0.1, 0.3} {
+		res, _, _ := run(g, beta, 17, 8)
+		cm := asym.NewMeter(1)
+		cross := res.CrossEdges(Explicit{VW: graph.View{G: g, M: cm}}, cm)
+		limit := int(3 * beta * float64(g.M()))
+		if cross > limit {
+			t.Fatalf("beta=%v: cross=%d > %d (m=%d)", beta, cross, limit, g.M())
+		}
+	}
+}
+
+func TestSmallerBetaFewerClusters(t *testing.T) {
+	g := graph.Grid2D(40, 40)
+	small, _, _ := run(g, 0.05, 5, 8)
+	large, _, _ := run(g, 0.8, 5, 8)
+	if len(small.Sources) >= len(large.Sources) {
+		t.Fatalf("beta=0.05 gave %d clusters, beta=0.8 gave %d",
+			len(small.Sources), len(large.Sources))
+	}
+}
+
+func TestWritesLinearInN(t *testing.T) {
+	// Theorem 4.1: O(n) writes regardless of m.
+	g := graph.GNM(1000, 20000, 21, true)
+	_, m, _ := run(g, 0.1, 23, 16)
+	// shifts n + fill n + one claim per vertex (+ sources bookkeeping).
+	if m.Writes() > int64(4*g.N()) {
+		t.Fatalf("writes = %d for n=%d m=%d", m.Writes(), g.N(), g.M())
+	}
+}
+
+func TestIterationsLogOverBeta(t *testing.T) {
+	// Radius bound O(log n / beta) whp — allow constant 6.
+	g := graph.Grid2D(50, 50)
+	beta := 0.2
+	res, _, _ := run(g, beta, 29, 8)
+	n := float64(g.N())
+	limit := int(6*logf(n)/beta) + 2
+	if res.Iterations > limit {
+		t.Fatalf("iterations = %d > %d", res.Iterations, limit)
+	}
+}
+
+func logf(x float64) float64 {
+	// natural log via math is fine; avoid importing math twice in tests
+	l := 0.0
+	for x > 1 {
+		x /= 2.718281828
+		l++
+	}
+	return l + x - 1
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	g := graph.GNM(100, 250, 31, true)
+	a, _, _ := run(g, 0.3, 99, 8)
+	b, _, _ := run(g, 0.3, 99, 8)
+	for v := 0; v < g.N(); v++ {
+		if a.Cluster.Raw()[v] != b.Cluster.Raw()[v] {
+			t.Fatalf("vertex %d differs across runs", v)
+		}
+	}
+}
+
+func TestBetaClamped(t *testing.T) {
+	g := graph.Cycle(10)
+	res, _, _ := run(g, 5.0, 1, 8) // clamped to 1
+	for v := 0; v < g.N(); v++ {
+		if res.Cluster.Raw()[v] == Unassigned {
+			t.Fatal("unassigned vertex with beta=1")
+		}
+	}
+}
+
+func TestBetaNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	g := graph.Cycle(5)
+	run(g, 0, 1, 8)
+}
+
+func TestSingletonAndEmptyComponents(t *testing.T) {
+	// Graph with isolated vertices: each becomes its own cluster eventually.
+	g := graph.FromEdges(5, [][2]int32{{0, 1}})
+	res, _, _ := run(g, 0.5, 41, 8)
+	for v := 0; v < 5; v++ {
+		if res.Cluster.Raw()[v] == Unassigned {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+	}
+	for v := 2; v < 5; v++ {
+		if res.Cluster.Raw()[v] != int32(v) {
+			t.Fatalf("isolated vertex %d claimed by %d", v, res.Cluster.Raw()[v])
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package parallel
+
+// This file implements the write-efficient primitives of Ben-David et al.
+// [9] that the paper's algorithms invoke: reduce, exclusive prefix sums
+// (scan), and ordered filter/pack with writes proportional to the output.
+
+// Reduce combines leaf(i) for i in [0,n) with the associative function
+// combine, in O(n) work and O(log n) depth, performing no asymmetric writes
+// (the reduction tree lives in symmetric memory / task state).
+func Reduce(c *Ctx, n int, leaf func(i int) int64, combine func(a, b int64) int64) int64 {
+	if n == 0 {
+		return 0
+	}
+	var rec func(cc *Ctx, lo, hi int) int64
+	rec = func(cc *Ctx, lo, hi int) int64 {
+		if hi-lo <= cc.grain {
+			acc := leaf(lo)
+			cc.AddDepth(1)
+			for i := lo + 1; i < hi; i++ {
+				acc = combine(acc, leaf(i))
+				cc.AddDepth(1)
+			}
+			cc.Meter().Op(hi - lo)
+			return acc
+		}
+		mid := lo + (hi-lo)/2
+		var l, r int64
+		cc.Fork2(
+			func(c2 *Ctx) { l = rec(c2, lo, mid) },
+			func(c2 *Ctx) { r = rec(c2, mid, hi) },
+		)
+		cc.Meter().Op(1)
+		return combine(l, r)
+	}
+	return rec(c, 0, n)
+}
+
+// Scan computes the exclusive prefix sums of in, returning the output slice
+// and the grand total. The output lives in symmetric memory (caller decides
+// whether to spill it to an asym.Array); the work charged is O(n) ops and
+// the depth is O(log n) via the standard up-sweep/down-sweep.
+func Scan(c *Ctx, in []int64) (out []int64, total int64) {
+	n := len(in)
+	out = make([]int64, n)
+	if n == 0 {
+		return out, 0
+	}
+	// Up-sweep: partial sums per block, then scan of block sums, then
+	// down-sweep writes. Done recursively to keep depth logarithmic.
+	var up func(cc *Ctx, lo, hi int) int64
+	up = func(cc *Ctx, lo, hi int) int64 {
+		if hi-lo <= cc.grain {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += in[i]
+			}
+			cc.Meter().Op(hi - lo)
+			cc.AddDepth(int64(hi - lo))
+			return s
+		}
+		mid := lo + (hi-lo)/2
+		var l, r int64
+		cc.Fork2(
+			func(c2 *Ctx) { l = up(c2, lo, mid) },
+			func(c2 *Ctx) { r = up(c2, mid, hi) },
+		)
+		return l + r
+	}
+	var down func(cc *Ctx, lo, hi int, offset int64)
+	down = func(cc *Ctx, lo, hi int, offset int64) {
+		if hi-lo <= cc.grain {
+			s := offset
+			for i := lo; i < hi; i++ {
+				out[i] = s
+				s += in[i]
+			}
+			cc.Meter().Op(hi - lo)
+			cc.AddDepth(int64(hi - lo))
+			return
+		}
+		mid := lo + (hi-lo)/2
+		leftSum := up(cc, lo, mid)
+		cc.Fork2(
+			func(c2 *Ctx) { down(c2, lo, mid, offset) },
+			func(c2 *Ctx) { down(c2, mid, hi, offset+leftSum) },
+		)
+	}
+	total = up(c, 0, n)
+	down(c, 0, n, 0)
+	return out, total
+}
+
+// Filter packs the indices i in [0,n) satisfying pred into a new slice, in
+// increasing order. This is the ordered filter of [9]: per-block counts and
+// their prefix sums live in symmetric memory, so the only asymmetric writes
+// are the output elements themselves — writes proportional to the *output*
+// size, which is what makes Step 3 of the connectivity algorithm
+// (Theorem 4.2) write-efficient. One asymmetric write is charged per output
+// element; reads performed by pred are charged by pred itself.
+//
+// pred is called twice per index (count pass and emit pass) and must be
+// deterministic and safe for concurrent calls on distinct indices; the
+// paper's read-write tradeoffs are built from exactly this kind of
+// recomputation.
+func Filter(c *Ctx, n int, pred func(i int) bool) []int {
+	if n == 0 {
+		return nil
+	}
+	chunk := c.grain
+	if chunk < 64 {
+		chunk = 64
+	}
+	nchunks := (n + chunk - 1) / chunk
+	counts := make([]int64, nchunks)
+	if c.sym != nil {
+		c.sym.Acquire(2 * nchunks)
+		defer c.sym.Release(2 * nchunks)
+	}
+	c.ForEachChunk(n, chunk, func(cc *Ctx, lo, hi int) {
+		var cnt int64
+		for i := lo; i < hi; i++ {
+			if pred(i) {
+				cnt++
+			}
+		}
+		cc.Meter().Op(hi - lo)
+		cc.AddDepth(int64(hi - lo))
+		counts[lo/chunk] = cnt
+	})
+	offsets, total := Scan(c, counts)
+	out := make([]int, total)
+	c.ForEachChunk(n, chunk, func(cc *Ctx, lo, hi int) {
+		slot := int(offsets[lo/chunk])
+		for i := lo; i < hi; i++ {
+			if pred(i) {
+				out[slot] = i
+				cc.Meter().Write(1)
+				slot++
+			}
+		}
+		cc.Meter().Op(hi - lo)
+		cc.AddDepth(int64(hi - lo))
+	})
+	return out
+}

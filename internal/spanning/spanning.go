@@ -1,0 +1,60 @@
+// Package spanning computes spanning forests of explicit (small) graphs.
+// It stands in for the linear-work parallel spanning-forest algorithm of
+// Cole, Klein and Tarjan [20] that Theorem 4.2 invokes in step 4: by that
+// point the contracted graph has only O(n + βm) vertices and edges, so a
+// non-write-efficient algorithm is affordable. Costs are still charged to
+// the meter so the end-to-end accounting of the connectivity algorithms is
+// complete.
+package spanning
+
+import (
+	"repro/internal/asym"
+	"repro/internal/unionfind"
+)
+
+// Forest selects a spanning forest of the n-vertex multigraph given by
+// edges, returning the indices of the chosen edges. Self-loops are never
+// chosen; parallel edges contribute at most one tree edge.
+func Forest(m *asym.Meter, n int, edges [][2]int32) []int32 {
+	dsu := unionfind.New(m, n)
+	var out []int32
+	for i, e := range edges {
+		m.Read(2) // load the edge endpoints
+		if e[0] == e[1] {
+			continue
+		}
+		if dsu.Union(e[0], e[1]) {
+			out = append(out, int32(i))
+			m.Write(1) // record the chosen edge index
+		}
+	}
+	return out
+}
+
+// Components labels the n vertices of the multigraph given by edges with
+// canonical component ids (the minimum vertex id in each component),
+// writing them into label. It is the final labeling pass run on the
+// contracted clusters graph.
+func Components(m *asym.Meter, n int, edges [][2]int32, label *asym.Array) int {
+	dsu := unionfind.New(m, n)
+	for _, e := range edges {
+		m.Read(2)
+		if e[0] != e[1] {
+			dsu.Union(e[0], e[1])
+		}
+	}
+	// Canonicalize to min-id labels: first pass records the minimum vertex
+	// per root (symmetric scratch), second pass writes one label per vertex.
+	minOf := make(map[int32]int32, 16)
+	for v := 0; v < n; v++ {
+		root := dsu.Find(int32(v))
+		if cur, ok := minOf[root]; !ok || int32(v) < cur {
+			minOf[root] = int32(v)
+		}
+	}
+	m.Op(n)
+	for v := 0; v < n; v++ {
+		label.Set(v, minOf[dsu.Find(int32(v))])
+	}
+	return len(minOf)
+}

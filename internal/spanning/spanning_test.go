@@ -1,0 +1,113 @@
+package spanning
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asym"
+	"repro/internal/graph"
+	"repro/internal/unionfind"
+)
+
+func TestForestOnTreeKeepsAll(t *testing.T) {
+	g := graph.RandomTree(50, 3)
+	m := asym.NewMeter(4)
+	chosen := Forest(m, g.N(), g.Edges())
+	if len(chosen) != 49 {
+		t.Fatalf("chose %d edges on a tree, want 49", len(chosen))
+	}
+}
+
+func TestForestSizeAndAcyclicity(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := graph.GNM(60, 150, seed, true)
+		m := asym.NewMeter(4)
+		edges := g.Edges()
+		chosen := Forest(m, g.N(), edges)
+		if len(chosen) != g.N()-1 { // connected graph
+			return false
+		}
+		// Chosen edges must be acyclic: re-adding them to a fresh DSU
+		// always merges.
+		uf := unionfind.NewRef(g.N())
+		for _, i := range chosen {
+			if !uf.Union(edges[i][0], edges[i][1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestSkipsSelfLoopsAndParallel(t *testing.T) {
+	edges := [][2]int32{{0, 0}, {0, 1}, {0, 1}, {1, 2}}
+	m := asym.NewMeter(4)
+	chosen := Forest(m, 3, edges)
+	if len(chosen) != 2 {
+		t.Fatalf("chose %d, want 2", len(chosen))
+	}
+	for _, i := range chosen {
+		if edges[i][0] == edges[i][1] {
+			t.Fatal("self-loop chosen")
+		}
+	}
+}
+
+func TestForestDisconnected(t *testing.T) {
+	// Two components of sizes 3 and 2: forest has 3 edges.
+	edges := [][2]int32{{0, 1}, {1, 2}, {0, 2}, {3, 4}}
+	m := asym.NewMeter(4)
+	if got := len(Forest(m, 5, edges)); got != 3 {
+		t.Fatalf("forest edges = %d, want 3", got)
+	}
+}
+
+func TestComponentsLabels(t *testing.T) {
+	edges := [][2]int32{{0, 1}, {2, 3}, {3, 4}}
+	m := asym.NewMeter(4)
+	label := asym.NewArray(m, 6)
+	nc := Components(m, 6, edges, label)
+	if nc != 3 {
+		t.Fatalf("components = %d, want 3", nc)
+	}
+	want := []int32{0, 0, 2, 2, 2, 5}
+	for i, w := range want {
+		if label.Raw()[i] != w {
+			t.Fatalf("label = %v, want %v", label.Raw(), want)
+		}
+	}
+}
+
+func TestComponentsMatchesRef(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := graph.GNM(50, 70, seed, false)
+		m := asym.NewMeter(2)
+		label := asym.NewArray(m, g.N())
+		Components(m, g.N(), g.Edges(), label)
+		uf := unionfind.NewRef(g.N())
+		for _, e := range g.Edges() {
+			uf.Union(e[0], e[1])
+		}
+		ref := uf.Components()
+		for v := 0; v < g.N(); v++ {
+			if label.Raw()[v] != ref[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentsEmpty(t *testing.T) {
+	m := asym.NewMeter(2)
+	label := asym.NewArray(m, 3)
+	if nc := Components(m, 3, nil, label); nc != 3 {
+		t.Fatalf("components = %d", nc)
+	}
+}

@@ -1,0 +1,127 @@
+// Package unionfind provides disjoint-set forests. Two flavors exist:
+//
+//   - DSU: a metered union-find whose every parent/rank access is charged to
+//     an asym.Meter. It is the classic *write-heavy* connectivity baseline
+//     the paper's algorithms are compared against (path compression makes
+//     it fast on a symmetric RAM but performs Θ(m α(n)) asymmetric writes
+//     in the worst case).
+//   - Ref: an unmetered reference implementation used by tests as ground
+//     truth for component structure.
+package unionfind
+
+import "repro/internal/asym"
+
+// DSU is a metered disjoint-set forest with union by rank and path
+// compression. Parents and ranks live in asymmetric memory.
+type DSU struct {
+	parent *asym.Array
+	rank   *asym.Array
+}
+
+// New returns a DSU over n singleton elements, charging the initializing
+// writes to m.
+func New(m *asym.Meter, n int) *DSU {
+	d := &DSU{parent: asym.NewArray(m, n), rank: asym.NewArray(m, n)}
+	for i := 0; i < n; i++ {
+		d.parent.Set(i, int32(i))
+	}
+	return d
+}
+
+// Find returns the representative of x, compressing the path (each
+// compression step is an asymmetric write — the cost the paper's
+// write-efficient algorithms avoid).
+func (d *DSU) Find(x int32) int32 {
+	root := x
+	for {
+		p := d.parent.Get(int(root))
+		if p == root {
+			break
+		}
+		root = p
+	}
+	for x != root {
+		next := d.parent.Get(int(x))
+		if next != root { // skip the no-op write when already compressed
+			d.parent.Set(int(x), root)
+		}
+		x = next
+	}
+	return root
+}
+
+// Union merges the sets of a and b; returns true when they were distinct.
+func (d *DSU) Union(a, b int32) bool {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return false
+	}
+	qa, qb := d.rank.Get(int(ra)), d.rank.Get(int(rb))
+	switch {
+	case qa < qb:
+		d.parent.Set(int(ra), rb)
+	case qa > qb:
+		d.parent.Set(int(rb), ra)
+	default:
+		d.parent.Set(int(rb), ra)
+		d.rank.Set(int(ra), qa+1)
+	}
+	return true
+}
+
+// Same reports whether a and b are in one set.
+func (d *DSU) Same(a, b int32) bool { return d.Find(a) == d.Find(b) }
+
+// Ref is the unmetered reference union-find for test oracles.
+type Ref struct {
+	parent []int32
+}
+
+// NewRef returns a reference DSU over n singletons.
+func NewRef(n int) *Ref {
+	r := &Ref{parent: make([]int32, n)}
+	for i := range r.parent {
+		r.parent[i] = int32(i)
+	}
+	return r
+}
+
+// Find returns the representative of x.
+func (r *Ref) Find(x int32) int32 {
+	for r.parent[x] != x {
+		r.parent[x] = r.parent[r.parent[x]]
+		x = r.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b; returns true when they were distinct.
+func (r *Ref) Union(a, b int32) bool {
+	ra, rb := r.Find(a), r.Find(b)
+	if ra == rb {
+		return false
+	}
+	r.parent[rb] = ra
+	return true
+}
+
+// Same reports whether a and b are in one set.
+func (r *Ref) Same(a, b int32) bool { return r.Find(a) == r.Find(b) }
+
+// Components returns a canonical component label per element: the minimum
+// element id in each set.
+func (r *Ref) Components() []int32 {
+	n := len(r.parent)
+	minOf := make(map[int32]int32, 16)
+	for i := 0; i < n; i++ {
+		root := r.Find(int32(i))
+		if cur, ok := minOf[root]; !ok || int32(i) < cur {
+			minOf[root] = int32(i)
+		}
+	}
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = minOf[r.Find(int32(i))]
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asym"
+)
+
+func TestDSUBasic(t *testing.T) {
+	m := asym.NewMeter(4)
+	d := New(m, 5)
+	if !d.Union(0, 1) {
+		t.Fatal("first union false")
+	}
+	if d.Union(1, 0) {
+		t.Fatal("repeat union true")
+	}
+	if !d.Same(0, 1) || d.Same(0, 2) {
+		t.Fatal("Same wrong")
+	}
+	d.Union(2, 3)
+	d.Union(0, 3)
+	if !d.Same(1, 2) {
+		t.Fatal("transitive union broken")
+	}
+	if d.Same(4, 0) {
+		t.Fatal("singleton merged")
+	}
+}
+
+func TestDSUChargesWrites(t *testing.T) {
+	m := asym.NewMeter(4)
+	d := New(m, 100)
+	if m.Writes() != 100 {
+		t.Fatalf("init writes = %d", m.Writes())
+	}
+	before := m.Writes()
+	for i := 0; i < 99; i++ {
+		d.Union(int32(i), int32(i+1))
+	}
+	if m.Writes() == before {
+		t.Fatal("unions performed no writes")
+	}
+}
+
+func TestDSUMatchesRef(t *testing.T) {
+	f := func(ops [][2]uint8) bool {
+		const n = 40
+		m := asym.NewMeter(1)
+		d := New(m, n)
+		r := NewRef(n)
+		for _, op := range ops {
+			a, b := int32(op[0]%n), int32(op[1]%n)
+			if d.Union(a, b) != r.Union(a, b) {
+				return false
+			}
+		}
+		for i := int32(0); i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if d.Same(i, j) != r.Same(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefComponents(t *testing.T) {
+	r := NewRef(6)
+	r.Union(0, 1)
+	r.Union(2, 3)
+	r.Union(3, 4)
+	comps := r.Components()
+	want := []int32{0, 0, 2, 2, 2, 5}
+	for i := range want {
+		if comps[i] != want[i] {
+			t.Fatalf("comps = %v, want %v", comps, want)
+		}
+	}
+}
+
+func TestFindSelf(t *testing.T) {
+	m := asym.NewMeter(1)
+	d := New(m, 3)
+	for i := int32(0); i < 3; i++ {
+		if d.Find(i) != i {
+			t.Fatalf("Find(%d) = %d", i, d.Find(i))
+		}
+	}
+}
