@@ -1,0 +1,43 @@
+# Local entry points mirroring .github/workflows/ci.yml step for step, so
+# local and CI invocations stay identical. `make ci` runs the whole gate.
+
+GO ?= go
+
+# Concurrency-critical packages for the -race pass (the serving layer plus
+# its concurrently-used dependencies); the full suite under -race is too
+# slow for a gate.
+RACE_PKGS := ./internal/serve/ ./internal/asym/ ./internal/parallel/ \
+             ./internal/eulertour/ ./internal/graphio/ ./internal/unionfind/
+
+.PHONY: build test race bench lint serve smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Every paper-table benchmark executes once (smoke); use
+# `go test -bench . -benchtime 3s .` for real measurements.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+	  echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+# Run the query daemon on a generated graph (override with ARGS, e.g.
+# make serve ARGS="-graph edges.txt -omega 256 -addr :9090").
+serve:
+	$(GO) run ./cmd/oracled $(ARGS)
+
+# End-to-end smoke of the serving path: the wecbench load generator starts
+# an in-process oracled and exits nonzero unless every query is answered.
+smoke:
+	$(GO) run ./cmd/wecbench -exp serve -servequeries 2000 -serveconc 2 -scale 1
+
+ci: lint build test race bench smoke

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	wecbench -exp t1conn|t1sparse|t1bicc|t1query|crossover|decomp|bclabel|localgraph|beta|alg1depth|sec6|scaling|all
+//
+// Beyond the paper tables, -exp serve is a load generator for the oracled
+// query daemon (cmd/oracled): it drives the HTTP /batch endpoint with a
+// configurable connectivity/biconnectivity query mix and reports QPS,
+// latency percentiles, and the daemon's per-kind cost-model telemetry. See
+// the serve* flags in serve.go. It is not part of "all" (it measures the
+// serving layer, not a paper claim).
 package main
 
 import (
@@ -35,6 +42,7 @@ func main() {
 		"alg1depth":  alg1depth,
 		"sec6":       sec6,
 		"scaling":    scaling,
+		"serve":      serveBench,
 	}
 	if *exp == "all" {
 		for _, id := range []string{"t1conn", "t1sparse", "t1bicc", "t1query",

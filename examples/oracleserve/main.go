@@ -1,0 +1,77 @@
+// Oracle serving: run the batched query engine (internal/serve) in-process
+// — the same engine cmd/oracled mounts over HTTP — and watch the paper's
+// cost metrics accumulate as live serving telemetry.
+//
+// The engine builds both oracles in parallel, shards query batches across
+// GOMAXPROCS workers with per-worker cost meters, and aggregates per-kind
+// stats; queries stay write-free (one output write per answer is the only
+// asymmetric write in the serving path).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+func main() {
+	// A bounded-degree graph: two communities joined by a single edge, so
+	// bridge and articulation queries have interesting answers.
+	a := graph.RandomRegular(5_000, 3, 1)
+	edges := a.Edges()
+	n := a.N()
+	for _, e := range graph.RandomRegular(5_000, 3, 2).Edges() {
+		edges = append(edges, [2]int32{e[0] + int32(n), e[1] + int32(n)})
+	}
+	edges = append(edges, [2]int32{0, int32(n)}) // the bridge
+	g := graph.FromEdges(2*n, edges)
+
+	eng := serve.New(g, serve.Config{Omega: 256, Seed: 7})
+	st := eng.Stats()
+	fmt.Printf("engine up: n=%d m=%d ω=%d k=%d, %d components, %d BCCs\n",
+		st.GraphN, st.GraphM, st.Omega, st.K, st.NumComponents, st.NumBCC)
+	fmt.Printf("  conn build: %v\n", st.BuildConn)
+	fmt.Printf("  bicc build: %v\n", st.BuildBicc)
+
+	// Single queries: the joining edge is a bridge, its endpoints are cut
+	// vertices, and the two sides are connected but not biconnected.
+	for _, q := range []serve.Query{
+		{Kind: serve.KindConnected, U: 17, V: int32(n) + 17},
+		{Kind: serve.KindBridge, U: 0, V: int32(n)},
+		{Kind: serve.KindArticulation, U: 0},
+		{Kind: serve.KindBiconnected, U: 17, V: int32(n) + 17},
+		{Kind: serve.KindComponent, U: 42},
+	} {
+		res := eng.Query(q)
+		switch {
+		case res.Bool != nil:
+			fmt.Printf("%-13s(%5d,%5d) = %v\n", q.Kind, q.U, q.V, *res.Bool)
+		case res.Label != nil:
+			fmt.Printf("%-13s(%5d)       = %d\n", q.Kind, q.U, *res.Label)
+		}
+	}
+
+	// A batch: 10k mixed queries sharded across workers, answered with
+	// per-worker meters and merged into the aggregate stats below.
+	rng := graph.NewRNG(99)
+	batch := make([]serve.Query, 10_000)
+	for i := range batch {
+		batch[i] = serve.Query{
+			Kind: serve.Kinds[i%len(serve.Kinds)],
+			U:    int32(rng.Intn(g.N())),
+			V:    int32(rng.Intn(g.N())),
+		}
+	}
+	eng.Do(batch)
+
+	st = eng.Stats()
+	fmt.Printf("\nserved %d queries; per-kind telemetry:\n", st.TotalQueries)
+	for _, k := range serve.Kinds {
+		ks := st.Queries[string(k)]
+		fmt.Printf("  %-13s count=%-6d reads/q=%-8.1f work/q=%.1f\n",
+			k, ks.Count,
+			float64(ks.Cost.Reads)/float64(ks.Count),
+			float64(ks.Cost.Work())/float64(ks.Count))
+	}
+}

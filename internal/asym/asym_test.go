@@ -64,6 +64,47 @@ func TestMeterConcurrent(t *testing.T) {
 	}
 }
 
+func TestMeterMerge(t *testing.T) {
+	// The per-worker pattern of package serve: workers meter privately,
+	// then merge into a shared aggregate.
+	agg := NewMeter(8)
+	agg.Read(1) // pre-existing traffic survives merges
+	w1, w2 := NewMeter(8), NewMeter(8)
+	w1.Read(10)
+	w1.Write(2)
+	w1.Op(5)
+	w2.Read(100)
+	w2.Write(1)
+	agg.Merge(w1.Snapshot())
+	agg.Merge(w2.Snapshot())
+	if agg.Reads() != 111 || agg.Writes() != 3 || agg.Ops() != 5 {
+		t.Fatalf("merge: %v", agg.Snapshot())
+	}
+	if want := int64(111 + 5 + 8*3); agg.Work() != want {
+		t.Fatalf("work after merge = %d, want %d", agg.Work(), want)
+	}
+}
+
+func TestMeterMergeConcurrent(t *testing.T) {
+	agg := NewMeter(4)
+	var wg sync.WaitGroup
+	const gor = 8
+	for g := 0; g < gor; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := NewMeter(4)
+			w.Read(7)
+			w.Write(3)
+			agg.Merge(w.Snapshot())
+		}()
+	}
+	wg.Wait()
+	if agg.Reads() != 7*gor || agg.Writes() != 3*gor {
+		t.Fatalf("concurrent merge lost updates: %v", agg.Snapshot())
+	}
+}
+
 func TestCostSubAdd(t *testing.T) {
 	m := NewMeter(8)
 	m.Read(10)

@@ -75,6 +75,18 @@ func (m *Meter) Work() int64 {
 	return m.reads.Load() + m.ops.Load() + m.omega*m.writes.Load()
 }
 
+// Merge folds a cost snapshot into the meter: reads, writes, and ops are
+// added to the running counters. It is the aggregation half of the
+// per-worker metering pattern used by the serving layer (package serve):
+// each worker charges queries to a private Meter so no mutable cost-model
+// state is shared mid-flight, then merges its totals into a long-lived
+// aggregate meter once the batch completes. Safe for concurrent use.
+func (m *Meter) Merge(c Cost) {
+	m.reads.Add(c.Reads)
+	m.writes.Add(c.Writes)
+	m.ops.Add(c.Ops)
+}
+
 // Reset zeroes all counters, keeping ω.
 func (m *Meter) Reset() {
 	m.reads.Store(0)

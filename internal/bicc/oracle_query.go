@@ -9,6 +9,16 @@ import (
 // construction (Definition 4) and the bridge / articulation-point /
 // biconnected / 1-edge-connected / edge-label queries, each touching at
 // most three local graphs plus O(1) stored words.
+//
+// Concurrency contract: every stored field of Oracle is written by
+// BuildOracle and read-only afterwards. Local graphs and small-component
+// materializations are rebuilt per call in symmetric memory and never
+// cached on the Oracle (deliberately — a shared cache would both race and
+// hide the O(k²) read cost the paper charges per query), and the one lazy
+// structure reachable from a query, the Euler-tour LCA lifting table, is
+// forced at construction and guarded by a sync.Once in package eulertour.
+// Queries may therefore run from any number of goroutines concurrently;
+// each call charges only the Meter/SymTracker it is handed.
 
 // clusterOf returns the center index of v's cluster, or -1 for vertices of
 // small primary-free components (implicit centers).

@@ -15,6 +15,14 @@ import (
 // implicit k-decomposition plus one component label per center. For
 // bounded-degree graphs with k = √ω, construction performs O(n/√ω) writes
 // and O(√ω·n) work; a query costs O(√ω) expected reads and no writes.
+//
+// Concurrency contract: after BuildOracle returns, the oracle is immutable.
+// Query, Connected, and VisitSpanningForest touch no oracle state outside
+// the Meter and SymTracker passed to them (their scratch lives in per-call
+// symmetric memory), so any number of goroutines may query one Oracle
+// concurrently as long as each uses its own meter — or shares one, since
+// Meter and SymTracker are themselves safe for concurrent use. Package
+// serve relies on this to shard query batches across workers.
 type Oracle struct {
 	D *decomp.Decomposition
 	// labels[i] is the canonical component label of the i-th center: the

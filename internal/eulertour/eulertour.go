@@ -11,6 +11,8 @@
 package eulertour
 
 import (
+	"sync"
+
 	"repro/internal/asym"
 )
 
@@ -28,6 +30,7 @@ type Tree struct {
 	depth       []int32
 	order       []int32   // vertices in preorder
 	up          [][]int32 // binary lifting: up[j][v] = 2^j-th ancestor
+	liftOnce    sync.Once // guards the lazy construction of up
 }
 
 // New builds the structure for a single rooted tree; see NewForest for
@@ -109,24 +112,30 @@ func NewForest(m *asym.Meter, roots []int32, parent []int32) *Tree {
 // substitutes binary lifting, whose table is n·⌈log n⌉ words; the extra
 // words are an artifact of the substitution, not of the modeled algorithm,
 // so they are not charged (recorded in DESIGN.md).
+//
+// Concurrency: the table is built under a sync.Once so that the first LCA
+// may safely come from one of many concurrent query goroutines (the serving
+// layer issues parallel queries against a shared oracle). Oracle
+// constructors still force the build eagerly so its writes are charged to
+// construction rather than to whichever query happens to arrive first.
 func (t *Tree) ensureLift(m *asym.Meter) {
-	if t.up != nil {
-		return
-	}
-	n := t.N()
-	levels := 1
-	for (1 << levels) < n {
-		levels++
-	}
-	t.up = make([][]int32, levels)
-	t.up[0] = t.parent
-	for j := 1; j < levels; j++ {
-		t.up[j] = make([]int32, n)
-		for v := 0; v < n; v++ {
-			t.up[j][v] = t.up[j-1][t.up[j-1][v]]
+	t.liftOnce.Do(func() {
+		n := t.N()
+		levels := 1
+		for (1 << levels) < n {
+			levels++
 		}
-	}
-	m.Write(n)
+		up := make([][]int32, levels)
+		up[0] = t.parent
+		for j := 1; j < levels; j++ {
+			up[j] = make([]int32, n)
+			for v := 0; v < n; v++ {
+				up[j][v] = up[j-1][up[j-1][v]]
+			}
+		}
+		t.up = up
+		m.Write(n)
+	})
 }
 
 // Root returns the root vertex.

@@ -1,0 +1,348 @@
+// Package serve turns the paper's query oracles into a long-lived,
+// concurrent serving layer: the write-efficient connectivity oracle
+// (Theorem 4.4) and the biconnectivity oracle (Theorem 5.3) are built once
+// over a graph and then answer batches of queries sharded across
+// GOMAXPROCS workers.
+//
+// The design follows the oracles' own cost discipline:
+//
+//   - Construction is charged to per-oracle meters (both oracles build in
+//     parallel under one parallel.Ctx fork), so /stats can report the
+//     paper's construction write bounds as live telemetry.
+//   - Each worker queries with a private asym.Meter and asym.SymTracker —
+//     concurrent queries never share mutable cost-model state — and merges
+//     its totals into long-lived per-query-kind aggregate meters when its
+//     shard completes (asym.Meter.Merge).
+//   - Queries themselves perform no asymmetric writes (that is the paper's
+//     headline); the engine charges exactly one write per query for storing
+//     the answer into the batch's result slice, which is the usual way an
+//     output-sized cost enters the Asymmetric RAM model. Everything else in
+//     a query's cost is reads and unit ops.
+//
+// Package serve is transport-agnostic; the HTTP/JSON surface lives in
+// http.go and is mounted by cmd/oracled.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/asym"
+	"repro/internal/bicc"
+	"repro/internal/conn"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Kind names a query type served by the engine.
+type Kind string
+
+// The five query kinds. Connected, Component and the spanning structure
+// behind them come from conn.Oracle (Thm 4.2/4.4); Bridge, Articulation and
+// Biconnected from bicc.Oracle (Thm 5.1/5.3/6.1).
+const (
+	KindConnected    Kind = "connected"    // u, v — same component?
+	KindComponent    Kind = "component"    // u — canonical component label
+	KindBridge       Kind = "bridge"       // u, v — is edge {u,v} a bridge?
+	KindArticulation Kind = "articulation" // u — is u a cut vertex?
+	KindBiconnected  Kind = "biconnected"  // u, v — biconnected pair?
+)
+
+// Kinds lists every query kind in a stable order (used for stats output and
+// load-mix parsing).
+var Kinds = []Kind{KindConnected, KindComponent, KindBridge, KindArticulation, KindBiconnected}
+
+// kindIndex maps a Kind to its slot in the per-kind stat arrays; -1 if
+// unknown.
+func kindIndex(k Kind) int {
+	for i, kk := range Kinds {
+		if kk == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// Query is one oracle query. V is ignored by the single-vertex kinds
+// (component, articulation).
+type Query struct {
+	Kind Kind  `json:"kind"`
+	U    int32 `json:"u"`
+	V    int32 `json:"v,omitempty"`
+}
+
+// Result is the answer to one Query. Exactly one of Bool/Label is set on
+// success; Err is set (and the value fields nil) on a malformed query.
+// Bool carries connected/bridge/articulation/biconnected answers, Label the
+// component label.
+type Result struct {
+	Bool  *bool  `json:"bool,omitempty"`
+	Label *int32 `json:"label,omitempty"`
+	Err   string `json:"error,omitempty"`
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Omega is the asymmetric write cost ω; 0 selects asym.DefaultOmega.
+	Omega int
+	// K is the decomposition parameter; 0 selects the paper's k = ⌈√ω⌉.
+	K int
+	// Seed drives the decomposition's primary sampling.
+	Seed uint64
+	// Workers bounds the batch shard count; 0 selects GOMAXPROCS.
+	Workers int
+	// SymLimit, if nonzero, caps per-worker symmetric memory in words
+	// (the paper's O(k log n) budget); 0 means report-only.
+	SymLimit int
+}
+
+// KindStats is the cumulative serving telemetry for one query kind.
+type KindStats struct {
+	Count  int64     `json:"count"`
+	Errors int64     `json:"errors"`
+	Cost   asym.Cost `json:"cost"`
+}
+
+// Stats is the engine-wide snapshot served at /stats.
+type Stats struct {
+	GraphN        int                  `json:"graph_n"`
+	GraphM        int                  `json:"graph_m"`
+	Omega         int                  `json:"omega"`
+	K             int                  `json:"k"`
+	Workers       int                  `json:"workers"`
+	NumComponents int                  `json:"num_components"`
+	NumBCC        int                  `json:"num_bcc"`
+	BuildConn     asym.Cost            `json:"build_conn"`
+	BuildBicc     asym.Cost            `json:"build_bicc"`
+	Queries       map[string]KindStats `json:"queries"`
+	TotalQueries  int64                `json:"total_queries"`
+}
+
+// Engine is a thread-safe batched query service over one graph. Both
+// oracles are immutable after New; all per-query mutable state (meters,
+// symmetric trackers, search scratch) is worker-local, so any number of
+// goroutines may call Do / Query concurrently.
+type Engine struct {
+	g       *graph.Graph
+	conn    *conn.Oracle
+	bicc    *bicc.Oracle
+	omega   int
+	k       int
+	workers int
+	sym     int
+
+	buildConn asym.Cost
+	buildBicc asym.Cost
+
+	// Per-kind aggregates. The meters are shared long-lived accumulators
+	// (atomic internally); workers merge into them only at shard
+	// completion, so the per-query hot path touches worker-local state
+	// only.
+	kinds []kindAgg
+	total atomic.Int64
+	disp  *asym.Meter // dispatch overhead (batch sharding), not per-kind
+}
+
+type kindAgg struct {
+	count  atomic.Int64
+	errors atomic.Int64
+	meter  *asym.Meter
+}
+
+// New builds both oracles over g and returns a ready engine. The two
+// constructions run as the two branches of a parallel.Ctx fork, each
+// charging its own meter, so the build parallelizes and the per-oracle
+// construction costs stay separable in /stats.
+func New(g *graph.Graph, cfg Config) *Engine {
+	omega := cfg.Omega
+	if omega <= 0 {
+		omega = asym.DefaultOmega
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = conn.DefaultK(omega)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		g:       g,
+		omega:   omega,
+		k:       k,
+		workers: workers,
+		sym:     cfg.SymLimit,
+		disp:    asym.NewMeter(omega),
+		kinds:   make([]kindAgg, len(Kinds)),
+	}
+	for i := range e.kinds {
+		e.kinds[i].meter = asym.NewMeter(omega)
+	}
+
+	mc := asym.NewMeter(omega)
+	mb := asym.NewMeter(omega)
+	root := parallel.NewCtx(e.disp, nil)
+	root.Fork2(
+		func(*parallel.Ctx) {
+			c := parallel.NewCtx(mc, asym.NewSymTracker(cfg.SymLimit))
+			e.conn = conn.BuildOracle(c, graph.View{G: g, M: mc}, k, cfg.Seed)
+		},
+		func(*parallel.Ctx) {
+			c := parallel.NewCtx(mb, asym.NewSymTracker(cfg.SymLimit))
+			e.bicc = bicc.BuildOracle(c, graph.View{G: g, M: mb}, nil, k, cfg.Seed)
+		},
+	)
+	e.buildConn = mc.Snapshot()
+	e.buildBicc = mb.Snapshot()
+	return e
+}
+
+// Graph returns the served graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Omega returns the engine's write cost ω.
+func (e *Engine) Omega() int { return e.omega }
+
+// K returns the decomposition parameter.
+func (e *Engine) K() int { return e.k }
+
+// Conn exposes the underlying connectivity oracle (read-only use).
+func (e *Engine) Conn() *conn.Oracle { return e.conn }
+
+// Bicc exposes the underlying biconnectivity oracle (read-only use).
+func (e *Engine) Bicc() *bicc.Oracle { return e.bicc }
+
+// worker holds one shard's private cost-model state: a meter per query kind
+// plus a symmetric-memory tracker. Nothing here is shared until mergeInto.
+type worker struct {
+	meters []*asym.Meter
+	counts []int64
+	errs   []int64
+	sym    *asym.SymTracker
+}
+
+func (e *Engine) newWorker() *worker {
+	w := &worker{
+		meters: make([]*asym.Meter, len(Kinds)),
+		counts: make([]int64, len(Kinds)),
+		errs:   make([]int64, len(Kinds)),
+		sym:    asym.NewSymTracker(e.sym),
+	}
+	for i := range w.meters {
+		w.meters[i] = asym.NewMeter(e.omega)
+	}
+	return w
+}
+
+// mergeInto folds the worker's per-kind totals into the engine aggregates.
+func (w *worker) mergeInto(e *Engine) {
+	for i := range Kinds {
+		if w.counts[i] == 0 && w.errs[i] == 0 {
+			continue
+		}
+		e.kinds[i].meter.Merge(w.meters[i].Snapshot())
+		e.kinds[i].count.Add(w.counts[i])
+		e.kinds[i].errors.Add(w.errs[i])
+		e.total.Add(w.counts[i])
+	}
+}
+
+// answer runs one query against the oracles using the worker's private
+// meters. The single m.Write(1) charges the store of the answer into the
+// batch's result slice (the output-sized write cost of the model); the
+// oracles themselves write nothing during queries.
+func (e *Engine) answer(w *worker, q Query) Result {
+	ki := kindIndex(q.Kind)
+	if ki < 0 {
+		// Unknown kinds are not attributable to a per-kind meter; count
+		// them under no kind and report the error.
+		return Result{Err: fmt.Sprintf("unknown query kind %q", q.Kind)}
+	}
+	n := int32(e.g.N())
+	pairwise := q.Kind == KindConnected || q.Kind == KindBridge || q.Kind == KindBiconnected
+	if q.U < 0 || q.U >= n || (pairwise && (q.V < 0 || q.V >= n)) {
+		w.errs[ki]++
+		return Result{Err: fmt.Sprintf("vertex out of range [0,%d)", n)}
+	}
+	m := w.meters[ki]
+	var res Result
+	switch q.Kind {
+	case KindConnected:
+		v := e.conn.Connected(m, w.sym, q.U, q.V)
+		res.Bool = &v
+	case KindComponent:
+		v := e.conn.Query(m, w.sym, q.U)
+		res.Label = &v
+	case KindBridge:
+		v := e.bicc.IsBridge(m, w.sym, q.U, q.V)
+		res.Bool = &v
+	case KindArticulation:
+		v := e.bicc.IsArticulation(m, w.sym, q.U)
+		res.Bool = &v
+	case KindBiconnected:
+		v := e.bicc.Biconnected(m, w.sym, q.U, q.V)
+		res.Bool = &v
+	}
+	m.Write(1) // store the answer (output-sized cost)
+	w.counts[ki]++
+	return res
+}
+
+// Do answers a batch of queries. The slice is sharded into up to Workers
+// contiguous chunks dispatched through parallel.Ctx.For (ForEachChunk), so
+// fork overhead is amortized across the whole request slice rather than
+// paid per query; each chunk runs on its own worker state. Do is safe to
+// call from many goroutines at once — each call builds a fresh dispatch
+// context and fresh workers.
+func (e *Engine) Do(queries []Query) []Result {
+	out := make([]Result, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	chunk := (len(queries) + e.workers - 1) / e.workers
+	ctx := parallel.NewCtx(e.disp, nil)
+	ctx.ForEachChunk(len(queries), chunk, func(cc *parallel.Ctx, lo, hi int) {
+		w := e.newWorker()
+		for i := lo; i < hi; i++ {
+			out[i] = e.answer(w, queries[i])
+		}
+		cc.AddDepth(int64(hi - lo))
+		w.mergeInto(e)
+	})
+	return out
+}
+
+// Query answers a single query (a one-element batch without the fork
+// spine).
+func (e *Engine) Query(q Query) Result {
+	w := e.newWorker()
+	res := e.answer(w, q)
+	w.mergeInto(e)
+	return res
+}
+
+// Stats snapshots the engine's cumulative serving telemetry.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		GraphN:        e.g.N(),
+		GraphM:        e.g.M(),
+		Omega:         e.omega,
+		K:             e.k,
+		Workers:       e.workers,
+		NumComponents: e.conn.NumComponents,
+		NumBCC:        e.bicc.NumBCC,
+		BuildConn:     e.buildConn,
+		BuildBicc:     e.buildBicc,
+		Queries:       make(map[string]KindStats, len(Kinds)),
+		TotalQueries:  e.total.Load(),
+	}
+	for i, k := range Kinds {
+		s.Queries[string(k)] = KindStats{
+			Count:  e.kinds[i].count.Load(),
+			Errors: e.kinds[i].errors.Load(),
+			Cost:   e.kinds[i].meter.Snapshot(),
+		}
+	}
+	return s
+}

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/asym"
+)
+
+// This file is the HTTP/JSON surface over Engine, mounted by cmd/oracled
+// and by the httptest round-trips in http_test.go:
+//
+//	POST /query   {"kind":"connected","u":0,"v":5}      -> Result
+//	POST /batch   {"queries":[Query,...]}                -> {"results":[Result,...],"count":N}
+//	GET  /stats                                          -> Stats
+//	GET  /info                                           -> static build/graph info
+//	GET  /healthz                                        -> {"ok":true}
+//
+// Batch requests are capped at MaxBatch queries so a single request cannot
+// hold a worker set for an unbounded time; load generators split larger
+// workloads into multiple requests (cmd/wecbench -exp serve does). The cap
+// is enforced before decoding via a MaxBytesReader on the request body —
+// rejecting an oversized batch must not itself cost an oversized decode.
+
+// MaxBatch bounds the number of queries accepted by one /batch request.
+const MaxBatch = 1 << 20
+
+// maxBatchBytes bounds the /batch request body. 64 bytes comfortably covers
+// one encoded query ({"kind":"articulation","u":2147483647,"v":...} plus
+// separators), so the limit is never the binding constraint for a legal
+// MaxBatch-sized batch.
+const maxBatchBytes = MaxBatch * 64
+
+// maxQueryBytes bounds the /query request body.
+const maxQueryBytes = 1 << 12
+
+// BatchRequest is the /batch request body.
+type BatchRequest struct {
+	Queries []Query `json:"queries"`
+}
+
+// BatchResponse is the /batch response body.
+type BatchResponse struct {
+	Results []Result `json:"results"`
+	Count   int      `json:"count"`
+}
+
+// Info is the /info response body: everything about the engine that never
+// changes after construction.
+type Info struct {
+	GraphN        int      `json:"graph_n"`
+	GraphM        int      `json:"graph_m"`
+	Omega         int      `json:"omega"`
+	K             int      `json:"k"`
+	Workers       int      `json:"workers"`
+	NumComponents int      `json:"num_components"`
+	NumBCC        int      `json:"num_bcc"`
+	Kinds         []Kind   `json:"kinds"`
+	BuildConn     CostJSON `json:"build_conn"`
+	BuildBicc     CostJSON `json:"build_bicc"`
+}
+
+// CostJSON is an asym.Cost with the derived work made explicit for JSON
+// consumers (asym.Cost computes Work() as a method, which encoding/json
+// cannot see).
+type CostJSON struct {
+	Omega  int   `json:"omega"`
+	Reads  int64 `json:"reads"`
+	Writes int64 `json:"writes"`
+	Ops    int64 `json:"ops"`
+	Work   int64 `json:"work"`
+}
+
+// StatsJSON mirrors Stats with CostJSON leaves.
+type StatsJSON struct {
+	GraphN        int                      `json:"graph_n"`
+	GraphM        int                      `json:"graph_m"`
+	Omega         int                      `json:"omega"`
+	K             int                      `json:"k"`
+	Workers       int                      `json:"workers"`
+	NumComponents int                      `json:"num_components"`
+	NumBCC        int                      `json:"num_bcc"`
+	BuildConn     CostJSON                 `json:"build_conn"`
+	BuildBicc     CostJSON                 `json:"build_bicc"`
+	Queries       map[string]KindStatsJSON `json:"queries"`
+	TotalQueries  int64                    `json:"total_queries"`
+}
+
+// KindStatsJSON mirrors KindStats with a CostJSON leaf.
+type KindStatsJSON struct {
+	Count  int64    `json:"count"`
+	Errors int64    `json:"errors"`
+	Cost   CostJSON `json:"cost"`
+}
+
+func costJSON(c asym.Cost) CostJSON {
+	return CostJSON{Omega: c.Omega, Reads: c.Reads, Writes: c.Writes, Ops: c.Ops, Work: c.Work()}
+}
+
+// NewServer returns the HTTP handler serving e.
+func NewServer(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, infoOf(e))
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, statsJSON(e.Stats()))
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var q Query
+		if err := decodeBody(w, r, maxQueryBytes, &q); err != nil {
+			return
+		}
+		res := e.Query(q)
+		status := http.StatusOK
+		if res.Err != "" {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, res)
+	})
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req BatchRequest
+		if err := decodeBody(w, r, maxBatchBytes, &req); err != nil {
+			return
+		}
+		if len(req.Queries) > MaxBatch {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"batch of %d exceeds limit %d", len(req.Queries), MaxBatch)
+			return
+		}
+		results := e.Do(req.Queries)
+		writeJSON(w, http.StatusOK, BatchResponse{Results: results, Count: len(results)})
+	})
+	return mux
+}
+
+func infoOf(e *Engine) Info {
+	return Info{
+		GraphN:        e.g.N(),
+		GraphM:        e.g.M(),
+		Omega:         e.omega,
+		K:             e.k,
+		Workers:       e.workers,
+		NumComponents: e.conn.NumComponents,
+		NumBCC:        e.bicc.NumBCC,
+		Kinds:         Kinds,
+		BuildConn:     costJSON(e.buildConn),
+		BuildBicc:     costJSON(e.buildBicc),
+	}
+}
+
+func statsJSON(s Stats) StatsJSON {
+	out := StatsJSON{
+		GraphN:        s.GraphN,
+		GraphM:        s.GraphM,
+		Omega:         s.Omega,
+		K:             s.K,
+		Workers:       s.Workers,
+		NumComponents: s.NumComponents,
+		NumBCC:        s.NumBCC,
+		BuildConn:     costJSON(s.BuildConn),
+		BuildBicc:     costJSON(s.BuildBicc),
+		Queries:       make(map[string]KindStatsJSON, len(s.Queries)),
+		TotalQueries:  s.TotalQueries,
+	}
+	for k, ks := range s.Queries {
+		out.Queries[k] = KindStatsJSON{
+			Count:  ks.Count,
+			Errors: ks.Errors,
+			Cost:   costJSON(ks.Cost),
+		}
+	}
+	return out
+}
+
+// decodeBody decodes a JSON request body into out, enforcing the byte limit
+// before any allocation proportional to the body happens. On failure it has
+// already written the error response: 413 when the limit tripped, 400
+// otherwise.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, out any) error {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	err := json.NewDecoder(body).Decode(out)
+	if err == nil {
+		return nil
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", limit)
+	} else {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
