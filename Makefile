@@ -9,7 +9,7 @@ GO ?= go
 RACE_PKGS := ./internal/serve/ ./internal/asym/ ./internal/parallel/ \
              ./internal/eulertour/ ./internal/graphio/ ./internal/unionfind/
 
-.PHONY: build test race bench lint serve smoke ci
+.PHONY: build test race bench lint serve smoke smoke-churn ci
 
 build:
 	$(GO) build ./...
@@ -40,4 +40,11 @@ serve:
 smoke:
 	$(GO) run ./cmd/wecbench -exp serve -servequeries 2000 -serveconc 2 -scale 1
 
-ci: lint build test race bench smoke
+# End-to-end smoke of the dynamic-update path: interleaved /update batches
+# under query load, every post-swap answer verified against a from-scratch
+# oracle, epoch/pending/rebuild-cost telemetry asserted (incremental
+# rebuilds must write strictly less than a full build).
+smoke-churn:
+	$(GO) run ./cmd/wecbench -exp serve -servechurn 6 -servechurnedges 24 -serveconc 2 -scale 1
+
+ci: lint build test race bench smoke smoke-churn

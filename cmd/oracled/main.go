@@ -6,6 +6,13 @@
 // cost-model metrics (asymmetric reads, writes, work per query kind)
 // exposed live at GET /stats.
 //
+// The served graph is dynamic: POST /update stages an edge-churn batch
+// (adds and removes over the fixed vertex set), a background rebuild folds
+// it into the next snapshot while the current one keeps answering, and an
+// atomic swap publishes it — insertion-only batches take the
+// write-efficient incremental path. Every rebuild is logged with its
+// strategy and per-phase asymmetric costs.
+//
 // Usage:
 //
 //	oracled -graph edges.txt -addr :8080 -omega 64
@@ -15,16 +22,22 @@
 //	curl -s -d '{"kind":"connected","u":0,"v":42}' localhost:8080/query
 //	curl -s -d '{"queries":[{"kind":"component","u":7},{"kind":"bridge","u":1,"v":2}]}' \
 //	     localhost:8080/batch
+//	curl -s -d '{"add":[[0,42],[7,9]],"remove":[[1,2]],"wait":true}' localhost:8080/update
 //	curl -s localhost:8080/stats
 //
-// With -graph "-" the edge list is read from stdin.
+// With -graph "-" the edge list is read from stdin. On SIGINT/SIGTERM the
+// daemon stops accepting requests, drains in-flight ones, and exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/graph"
@@ -47,6 +60,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(*graphArg, *gen, *n, *deg, *omega, *k, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "oracled: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	g, err := loadGraph(*graphArg, *gen, *n, *deg, *gseed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oracled: %v\n", err)
@@ -54,23 +73,93 @@ func main() {
 	}
 	fmt.Printf("oracled: graph n=%d m=%d, building oracles (ω=%d)...\n", g.N(), g.M(), *omega)
 	start := time.Now()
-	eng := serve.New(g, serve.Config{Omega: *omega, K: *k, Seed: *seed, Workers: *workers})
+	eng := serve.New(g, serve.Config{
+		Omega: *omega, K: *k, Seed: *seed, Workers: *workers,
+		OnRebuild: logRebuild,
+	})
 	st := eng.Stats()
 	fmt.Printf("oracled: built in %v: k=%d components=%d bccs=%d\n",
 		time.Since(start).Round(time.Millisecond), st.K, st.NumComponents, st.NumBCC)
 	fmt.Printf("oracled: build cost conn: %v\n", st.BuildConn)
 	fmt.Printf("oracled: build cost bicc: %v\n", st.BuildBicc)
-	fmt.Printf("oracled: serving on %s (endpoints: /query /batch /stats /info /healthz)\n", *addr)
+	fmt.Printf("oracled: serving on %s (endpoints: /query /batch /update /stats /info /healthz)\n", *addr)
 
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           serve.NewServer(eng),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+	// Graceful shutdown: stop the listener, drain in-flight requests, then
+	// stop the engine's rebuild goroutine.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-stop
+		fmt.Printf("oracled: %v — shutting down (epoch %d)\n", sig, eng.Epoch())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		eng.Close()
+	}()
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "oracled: %v\n", err)
 		os.Exit(1)
 	}
+	<-done
+}
+
+// logRebuild reports every snapshot swap: strategy, coalesced batch shape,
+// and the separable asymmetric costs of the rebuild phases.
+func logRebuild(r serve.RebuildRecord) {
+	if r.Err != "" {
+		fmt.Fprintf(os.Stderr, "oracled: rebuild failed (%d batches dropped): %s\n", r.Batches, r.Err)
+		return
+	}
+	fmt.Printf("oracled: epoch %d published: %s rebuild of %d batches (+%d/-%d edges) in %v — writes graph=%d conn=%d bicc=%d\n",
+		r.Epoch, r.Strategy, r.Batches, r.AddedEdges, r.RemovedEdges,
+		r.Duration.Round(time.Millisecond),
+		r.GraphCost.Writes, r.ConnCost.Writes, r.BiccCost.Writes)
+}
+
+// validateFlags rejects parameter combinations that would otherwise
+// surface as panics deep inside decomp.Build / ldd.Decompose (e.g. -k -1
+// or -omega -5) or as nonsense generator inputs. Returns the usage error;
+// main exits 2.
+func validateFlags(graphArg, gen string, n, deg, omega, k, workers int) error {
+	if omega < 1 {
+		return fmt.Errorf("-omega must be >= 1, got %d", omega)
+	}
+	if k < 0 {
+		return fmt.Errorf("-k must be >= 0 (0 selects ⌈√ω⌉), got %d", k)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 selects GOMAXPROCS), got %d", workers)
+	}
+	if graphArg == "" {
+		if gen != "random-regular" && gen != "gnm" {
+			return fmt.Errorf("unknown generator %q (want random-regular or gnm)", gen)
+		}
+		if n < 1 {
+			return fmt.Errorf("-n must be >= 1, got %d", n)
+		}
+		if deg < 0 {
+			return fmt.Errorf("-deg must be >= 0, got %d", deg)
+		}
+		if gen == "random-regular" {
+			if deg < 2 {
+				return fmt.Errorf("-deg must be >= 2 for random-regular, got %d", deg)
+			}
+			if deg >= n {
+				return fmt.Errorf("-deg %d must be below -n %d for random-regular", deg, n)
+			}
+			if n*deg%2 != 0 {
+				return fmt.Errorf("-n·-deg must be even for random-regular, got %d·%d", n, deg)
+			}
+		}
+	}
+	return nil
 }
 
 func loadGraph(path, gen string, n, deg int, seed uint64) (*graph.Graph, error) {

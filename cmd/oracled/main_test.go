@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+// TestValidateFlags: bad parameters must become usage errors, not panic
+// stack traces out of decomp.Build / ldd.Decompose.
+func TestValidateFlags(t *testing.T) {
+	type args struct {
+		graph, gen                string
+		n, deg, omega, k, workers int
+	}
+	ok := args{graph: "", gen: "random-regular", n: 1 << 10, deg: 3, omega: 64, k: 0, workers: 0}
+	if err := validateFlags(ok.graph, ok.gen, ok.n, ok.deg, ok.omega, ok.k, ok.workers); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+
+	for name, a := range map[string]args{
+		"negative k":        {gen: "random-regular", n: 1024, deg: 3, omega: 64, k: -1},
+		"negative omega":    {gen: "random-regular", n: 1024, deg: 3, omega: -5},
+		"zero omega":        {gen: "random-regular", n: 1024, deg: 3, omega: 0},
+		"negative workers":  {gen: "random-regular", n: 1024, deg: 3, omega: 64, workers: -2},
+		"zero n":            {gen: "random-regular", n: 0, deg: 3, omega: 64},
+		"negative deg":      {gen: "gnm", n: 1024, deg: -1, omega: 64},
+		"regular deg 1":     {gen: "random-regular", n: 1024, deg: 1, omega: 64},
+		"regular deg >= n":  {gen: "random-regular", n: 4, deg: 4, omega: 64},
+		"regular odd nd":    {gen: "random-regular", n: 1023, deg: 3, omega: 64},
+		"unknown generator": {gen: "mystery", n: 1024, deg: 3, omega: 64},
+	} {
+		if err := validateFlags(a.graph, a.gen, a.n, a.deg, a.omega, a.k, a.workers); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Generator flags are irrelevant when a graph file is given.
+	file := args{graph: "edges.txt", gen: "mystery", n: 0, deg: -1, omega: 64}
+	if err := validateFlags(file.graph, file.gen, file.n, file.deg, file.omega, 0, 0); err != nil {
+		t.Errorf("file mode rejected generator-only defaults: %v", err)
+	}
+}

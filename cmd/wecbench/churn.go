@@ -1,0 +1,311 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// Churn workload (-exp serve -servechurn N): the end-to-end gate on the
+// dynamic-update path. An in-process oracled serves a generated graph while
+// -serveconc clients keep /batch query load running; the main goroutine
+// interleaves N /update batches — odd batches insertion-only (incremental
+// rebuild path), even batches mixed add/remove (full rebuild path) — each
+// with wait=true so the returned epoch is the batch's snapshot. After every
+// swap the server's answers are verified against a from-scratch engine
+// rebuilt over the evolving edge list. The process exits nonzero unless
+// every query was answered, every post-swap answer matched, the epoch
+// advanced once per batch, and every incremental rebuild reported strictly
+// fewer connectivity-oracle writes than the from-scratch build.
+var (
+	serveChurn      = flag.Int("servechurn", 0, "serve mode: interleaved /update batches (0 = static serving; in-process only)")
+	serveChurnEdges = flag.Int("servechurnedges", 32, "serve mode: edges added/removed per update batch")
+)
+
+func churnBench(scale int) {
+	if *serveAddr != "" {
+		fmt.Fprintf(os.Stderr, "churn: -servechurn needs the in-process server (verification rebuilds the oracle from the evolving edge list); drop -serveaddr\n")
+		os.Exit(2)
+	}
+	header("Serve-churn", "dynamic updates under query load: snapshot swaps, answer verification, incremental write savings")
+
+	// A disconnected base (8 random-regular islands) so insertion batches
+	// actually merge components and the incremental label-merge path does
+	// real work rather than trivially writing nothing.
+	g := graph.Disconnected(graph.RandomRegular((1<<8)*scale, 3, 71), 8)
+	n := g.N()
+	fmt.Printf("in-process oracled: n=%d m=%d ω=%d; churn: %d batches × %d edges under %d query clients\n",
+		g.N(), g.M(), *serveOmega, *serveChurn, *serveChurnEdges, *serveConc)
+	eng := serve.New(g, serve.Config{Omega: *serveOmega, Seed: 7})
+	defer eng.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "churn: listen: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: serve.NewServer(eng)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Continuous query load for the whole churn window.
+	var stop, failed atomic.Bool
+	var answered atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < *serveConc; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			rng := graph.NewRNG(uint64(9000 + client))
+			for !stop.Load() {
+				if err := postBatch(base, randomBatch(rng, n, *serveBatchSz)); err != nil {
+					fmt.Fprintf(os.Stderr, "churn: query batch failed: %v\n", err)
+					failed.Store(true)
+					stop.Store(true)
+					return
+				}
+				answered.Add(int64(*serveBatchSz))
+			}
+		}(c)
+	}
+
+	edges := g.Edges()
+	rng := graph.NewRNG(4242)
+	var fresh *serve.Engine
+	start := time.Now()
+	for i := 1; i <= *serveChurn && !failed.Load(); i++ {
+		req := serve.UpdateRequest{Wait: true}
+		next := edges
+		if i%2 == 1 {
+			// Insertion-only: the incremental rebuild path.
+			for j := 0; j < *serveChurnEdges; j++ {
+				req.Add = append(req.Add, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
+			}
+		} else {
+			// Mixed: remove half (distinct positions in the multiset), add half.
+			half := *serveChurnEdges / 2
+			idx := map[int]bool{}
+			for len(idx) < half && len(idx) < len(edges) {
+				idx[rng.Intn(len(edges))] = true
+			}
+			next = nil
+			for j, e := range edges {
+				if idx[j] {
+					req.Remove = append(req.Remove, e)
+				} else {
+					next = append(next, e)
+				}
+			}
+			for j := 0; j < half; j++ {
+				req.Add = append(req.Add, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
+			}
+		}
+		var ur serve.UpdateResponse
+		if err := postUpdate(base, req, &ur); err != nil {
+			fmt.Fprintf(os.Stderr, "churn: FAILED — update %d: %v\n", i, err)
+			failed.Store(true)
+			break
+		}
+		if !ur.Applied || ur.Epoch != int64(i) {
+			fmt.Fprintf(os.Stderr, "churn: FAILED — update %d not applied at epoch %d: %+v\n", i, i, ur)
+			failed.Store(true)
+			break
+		}
+		next = append(next, req.Add...)
+		edges = next
+
+		// Every post-swap answer must match a from-scratch rebuilt oracle.
+		if fresh != nil {
+			fresh.Close()
+		}
+		fresh = serve.New(graph.FromEdges(n, edges), serve.Config{Omega: *serveOmega, Seed: 7})
+		if err := verifyChurn(base, fresh, edges, graph.NewRNG(uint64(31*i))); err != nil {
+			fmt.Fprintf(os.Stderr, "churn: FAILED — epoch %d verification: %v\n", i, err)
+			failed.Store(true)
+			break
+		}
+		fmt.Printf("  epoch %2d: +%d/-%d edges applied and verified (m=%d)\n",
+			ur.Epoch, len(req.Add), len(req.Remove), len(edges))
+	}
+	stop.Store(true)
+	wg.Wait()
+	wall := time.Since(start)
+	if fresh == nil {
+		fmt.Fprintf(os.Stderr, "churn: FAILED — no batch applied\n")
+		os.Exit(1)
+	}
+	defer fresh.Close()
+
+	st, err := fetchStats(base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "churn: FAILED — /stats: %v\n", err)
+		os.Exit(1)
+	}
+	for kind, ks := range st.Queries {
+		if ks.Errors != 0 {
+			fmt.Fprintf(os.Stderr, "churn: FAILED — %d %s queries errored\n", ks.Errors, kind)
+			failed.Store(true)
+		}
+	}
+	wantInc := int64((*serveChurn + 1) / 2)
+	if st.Epoch != int64(*serveChurn) || st.PendingUpdates != 0 ||
+		st.TotalRebuilds != int64(*serveChurn) || st.IncrementalRebuilds != wantInc {
+		fmt.Fprintf(os.Stderr, "churn: FAILED — stats epoch=%d pending=%d rebuilds=%d incremental=%d (want %d/0/%d/%d)\n",
+			st.Epoch, st.PendingUpdates, st.TotalRebuilds, st.IncrementalRebuilds,
+			*serveChurn, *serveChurn, wantInc)
+		failed.Store(true)
+	}
+
+	// Per-rebuild cost telemetry, and the write-savings gate: every
+	// incremental rebuild must report strictly fewer connectivity-oracle
+	// writes than building that oracle from scratch. /stats keeps a bounded
+	// history, so assert we got exactly the records we expect and say so
+	// when the oldest epochs rotated out rather than reading as covered.
+	wantRecords := *serveChurn
+	if wantRecords > serve.MaxRebuildHistory {
+		wantRecords = serve.MaxRebuildHistory
+		fmt.Printf("(rebuild history capped at %d records; epochs 1..%d rotated out of the write-savings gate)\n",
+			serve.MaxRebuildHistory, *serveChurn-serve.MaxRebuildHistory)
+	}
+	if len(st.Rebuilds) != wantRecords {
+		fmt.Fprintf(os.Stderr, "churn: FAILED — /stats returned %d rebuild records, want %d\n",
+			len(st.Rebuilds), wantRecords)
+		failed.Store(true)
+	}
+	fullConnWrites := fresh.Stats().BuildConn.Writes
+	fmt.Printf("\n%6s %-12s %8s %8s | %12s %12s %12s | %9s\n",
+		"epoch", "strategy", "+edges", "-edges", "graph wr", "conn wr", "bicc wr", "ms")
+	for _, r := range st.Rebuilds {
+		fmt.Printf("%6d %-12s %8d %8d | %12d %12d %12d | %9.1f\n",
+			r.Epoch, r.Strategy, r.AddedEdges, r.RemovedEdges,
+			r.GraphCost.Writes, r.ConnCost.Writes, r.BiccCost.Writes, r.DurationMs)
+		if r.Strategy == serve.StrategyIncremental && r.ConnCost.Writes >= fullConnWrites {
+			fmt.Fprintf(os.Stderr, "churn: FAILED — incremental epoch %d conn writes %d not below full build %d\n",
+				r.Epoch, r.ConnCost.Writes, fullConnWrites)
+			failed.Store(true)
+		}
+	}
+	fmt.Printf("from-scratch conn-oracle build writes: %d (incremental rebuilds stay strictly below)\n", fullConnWrites)
+	fmt.Printf("\n%d epochs, %d queries answered during churn, %v wall, 0 failed\n",
+		st.Epoch, answered.Load(), wall.Round(time.Millisecond))
+
+	if failed.Load() {
+		os.Exit(1)
+	}
+}
+
+// verifyChurn compares the served answers (via /batch) with a from-scratch
+// engine over the same edge list: boolean kinds must agree exactly,
+// component labels as a partition.
+func verifyChurn(base string, fresh *serve.Engine, edges [][2]int32, rng *graph.RNG) error {
+	n := fresh.Graph().N()
+	boolKinds := []serve.Kind{serve.KindConnected, serve.KindBridge, serve.KindArticulation, serve.KindBiconnected}
+	qs := make([]serve.Query, 0, 256)
+	for j := 0; j < 200; j++ {
+		kind := boolKinds[rng.Intn(len(boolKinds))]
+		var u, v int32
+		if (kind == serve.KindBridge || kind == serve.KindBiconnected) && j%2 == 0 && len(edges) > 0 {
+			e := edges[rng.Intn(len(edges))]
+			u, v = e[0], e[1]
+		} else {
+			u, v = int32(rng.Intn(n)), int32(rng.Intn(n))
+		}
+		qs = append(qs, serve.Query{Kind: kind, U: u, V: v})
+	}
+	compBase := len(qs)
+	for j := 0; j < 64; j++ {
+		qs = append(qs, serve.Query{Kind: serve.KindComponent, U: int32(rng.Intn(n))})
+	}
+	got, err := postBatchResults(base, qs)
+	if err != nil {
+		return err
+	}
+	want := fresh.Do(qs)
+	for i := 0; i < compBase; i++ {
+		g, w := got[i], want[i]
+		if g.Err != "" || w.Err != "" || g.Bool == nil || w.Bool == nil || *g.Bool != *w.Bool {
+			return fmt.Errorf("%s(%d,%d): served %s, from-scratch %s",
+				qs[i].Kind, qs[i].U, qs[i].V, resultString(g), resultString(w))
+		}
+	}
+	// Component labels need only induce the same partition (a full rebuild
+	// may renumber canonical labels).
+	fwd := map[int32]int32{}
+	bwd := map[int32]int32{}
+	for i := compBase; i < len(qs); i++ {
+		g, w := got[i], want[i]
+		if g.Label == nil || w.Label == nil {
+			return fmt.Errorf("component(%d): served %s, from-scratch %s", qs[i].U, resultString(g), resultString(w))
+		}
+		if x, ok := fwd[*g.Label]; ok && x != *w.Label {
+			return fmt.Errorf("component partition diverges at vertex %d", qs[i].U)
+		}
+		if x, ok := bwd[*w.Label]; ok && x != *g.Label {
+			return fmt.Errorf("component partition diverges at vertex %d", qs[i].U)
+		}
+		fwd[*g.Label] = *w.Label
+		bwd[*w.Label] = *g.Label
+	}
+	return nil
+}
+
+func resultString(r serve.Result) string {
+	switch {
+	case r.Err != "":
+		return fmt.Sprintf("error(%s)", r.Err)
+	case r.Bool != nil:
+		return fmt.Sprintf("%v", *r.Bool)
+	case r.Label != nil:
+		return fmt.Sprintf("label(%d)", *r.Label)
+	}
+	return "empty"
+}
+
+func postUpdate(base string, req serve.UpdateRequest, out *serve.UpdateResponse) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /update: %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func postBatchResults(base string, qs []serve.Query) ([]serve.Result, error) {
+	body, err := json.Marshal(serve.BatchRequest{Queries: qs})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST /batch: %s", resp.Status)
+	}
+	var br serve.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, err
+	}
+	if len(br.Results) != len(qs) {
+		return nil, fmt.Errorf("POST /batch: sent %d got %d results", len(qs), len(br.Results))
+	}
+	return br.Results, nil
+}

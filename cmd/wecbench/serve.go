@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -40,8 +41,14 @@ var (
 var connKinds = []serve.Kind{serve.KindConnected, serve.KindComponent}
 var biccKinds = []serve.Kind{serve.KindBridge, serve.KindArticulation, serve.KindBiconnected}
 
-// serveBench is the wecbench runner for -exp serve.
+// serveBench is the wecbench runner for -exp serve. With -servechurn > 0
+// it runs the dynamic-update churn workload (churn.go) instead of the
+// static load test.
 func serveBench(scale int) {
+	if *serveChurn > 0 {
+		churnBench(scale)
+		return
+	}
 	header("Serve", "oracled under load: QPS, latency percentiles, per-kind cost telemetry")
 
 	base := *serveAddr
@@ -172,11 +179,15 @@ func randomBatch(rng *graph.RNG, n, batch int) []serve.Query {
 	return qs
 }
 
+// pct returns the p-th percentile of a sorted sample by the nearest-rank
+// definition: the ⌈p·n⌉-th smallest value. The previous ⌊p·n⌋-1 index
+// under-reported whenever p·n was fractional (p50 of 101 samples returned
+// the 50th value instead of the median).
 func pct(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(p*float64(len(sorted))) - 1
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
 	if i < 0 {
 		i = 0
 	}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPctNearestRank is the regression test for the percentile index bug:
+// int(p*n)-1 under-reported whenever p·n was fractional (p50 of 101
+// samples returned the 50th value, not the median).
+func TestPctNearestRank(t *testing.T) {
+	ladder := func(n int) []time.Duration {
+		s := make([]time.Duration, n)
+		for i := range s {
+			s[i] = time.Duration(i+1) * time.Millisecond
+		}
+		return s
+	}
+	for _, tc := range []struct {
+		n    int
+		p    float64
+		want time.Duration
+	}{
+		{101, 0.50, 51 * time.Millisecond}, // median of odd-length input
+		{101, 0.90, 91 * time.Millisecond}, // ceil(90.9) = 91st value
+		{101, 0.99, 100 * time.Millisecond},
+		{101, 1.00, 101 * time.Millisecond},
+		{100, 0.50, 50 * time.Millisecond}, // exact rank unchanged
+		{3, 0.50, 2 * time.Millisecond},
+		{1, 0.50, 1 * time.Millisecond},
+		{2, 0.99, 2 * time.Millisecond},
+	} {
+		if got := pct(ladder(tc.n), tc.p); got != tc.want {
+			t.Errorf("pct(n=%d, p=%.2f) = %v, want %v", tc.n, tc.p, got, tc.want)
+		}
+	}
+	if got := pct(nil, 0.5); got != 0 {
+		t.Errorf("pct(empty) = %v, want 0", got)
+	}
+}

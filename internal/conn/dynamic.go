@@ -1,0 +1,131 @@
+package conn
+
+import (
+	"fmt"
+
+	"repro/internal/asym"
+)
+
+// This file is the incremental half of the dynamic-update path: edge
+// *insertions* only ever merge components, so a connectivity oracle over
+// graph G remains a correct connectivity oracle over G + E⁺ once the labels
+// of the merged components are unified. ApplyInsertions performs exactly
+// that unification — a union-find over the O(#components) touched labels in
+// symmetric memory, persisted as a small remap table — instead of the full
+// O(n/k)-write rebuild. This is where the write savings of the asymmetric
+// model show up for evolving graphs: an insertion batch of b edges costs
+// O(b·k) reads (one label query per endpoint) and O(#merged components)
+// asymmetric writes, versus the Θ(n/k + ...) writes of reconstruction.
+// Deletions can split components and have no such monotone shortcut; the
+// serving layer falls back to a full rebuild for any batch containing one.
+
+// ApplyInsertions returns a new Oracle that answers connectivity over the
+// base oracle's graph plus the inserted edges. The base oracle is not
+// modified and keeps answering queries over the old edge set (copy-on-write
+// snapshot discipline). Inserted edges must reference vertices of the base
+// graph. Costs are charged to m: label queries for both endpoints of every
+// edge (reads only) plus one write per word of the persisted remap table.
+//
+// The canonical label of a merged component is the smallest stored-center
+// label among its parts, falling back to the smallest label when no part
+// has a stored center — so components NumComponents counts keep
+// stored-center labels, labels of untouched components are stable across
+// incremental batches, and repeated application composes: the returned
+// oracle may itself be extended by further ApplyInsertions calls.
+//
+// The returned oracle is for Query/Connected only: VisitSpanningForest
+// still enumerates the *base* graph's spanning forest and must not be used
+// on an oracle carrying insertions.
+func (o *Oracle) ApplyInsertions(m *asym.Meter, sym *asym.SymTracker, edges [][2]int32) (*Oracle, error) {
+	n := int32(o.D.Graph().N())
+	for _, e := range edges {
+		if e[0] < 0 || e[1] < 0 || e[0] >= n || e[1] >= n {
+			return nil, fmt.Errorf("conn: inserted edge (%d,%d) out of range n=%d", e[0], e[1], n)
+		}
+	}
+
+	// Union-find over component labels, held entirely in symmetric memory.
+	// Labels are sparse vertex ids (stored-center ids or implicit small-
+	// component minima), so the forest is a map rather than an array.
+	parent := map[int32]int32{}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	// storedRoot[r] records whether the merged component rooted at r
+	// contains a component that NumComponents counts (one with a stored
+	// center). Labels absent from the map default to their own storedness.
+	stored := func(lab int32) bool { return o.D.CenterIndex(m, lab) >= 0 }
+	storedRoot := map[int32]bool{}
+	rootStored := func(r int32) bool {
+		if s, ok := storedRoot[r]; ok {
+			return s
+		}
+		return stored(r)
+	}
+
+	merges := 0 // merges of two counted components
+	for _, e := range edges {
+		lu := find(o.Query(m, sym, e[0]))
+		lv := find(o.Query(m, sym, e[1]))
+		m.Op(2)
+		if lu == lv {
+			continue
+		}
+		// The canonical label of the merged component: the smallest label,
+		// except that a stored-center label always beats an implicit one —
+		// so a component NumComponents counts keeps a stored-center label,
+		// and untouched labels stay stable across batches.
+		su, sv := rootStored(lu), rootStored(lv)
+		switch {
+		case su && sv:
+			merges++
+			if lu > lv {
+				lu, lv = lv, lu
+			}
+		case sv: // only lv stored: it wins
+			lu, lv = lv, lu
+		case !su && lu > lv: // neither stored: min wins
+			lu, lv = lv, lu
+		}
+		parent[lv] = lu
+		storedRoot[lu] = su || sv
+		delete(storedRoot, lv)
+		if sym != nil {
+			sym.Acquire(2)
+		}
+	}
+	if sym != nil {
+		defer sym.Release(2 * len(parent))
+	}
+
+	// Flatten the union-find plus the base remap into the new oracle's
+	// remap table. Old keys re-resolve through the new unions so chains
+	// never deepen; every entry is one persisted (key, value) word pair.
+	remap := make(map[int32]int32, len(parent)+len(o.remap))
+	for k, v := range o.remap {
+		remap[k] = find(v)
+	}
+	for k := range parent {
+		if r := find(k); r != k {
+			remap[k] = r
+		}
+	}
+	if len(remap) == 0 {
+		remap = nil
+	}
+	m.Write(2 * len(remap))
+
+	return &Oracle{
+		D:             o.D,
+		labels:        o.labels,
+		NumComponents: o.NumComponents - merges,
+		remap:         remap,
+	}, nil
+}

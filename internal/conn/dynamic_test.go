@@ -1,0 +1,169 @@
+package conn
+
+import (
+	"testing"
+
+	"repro/internal/asym"
+	"repro/internal/graph"
+	"repro/internal/unionfind"
+)
+
+// oracleLabels queries every vertex of the oracle's (logical) graph.
+func oracleLabels(o *Oracle, n int, omega int) []int32 {
+	m := asym.NewMeter(omega)
+	sym := asym.NewSymTracker(0)
+	out := make([]int32, n)
+	for v := 0; v < n; v++ {
+		out[v] = o.Query(m, sym, int32(v))
+	}
+	return out
+}
+
+// TestApplyInsertionsMatchesRef chains insertion batches onto oracles built
+// over graphs with many components and checks, after every batch, that the
+// incremental labeling induces exactly the partition of a reference
+// union-find over the updated edge multiset.
+func TestApplyInsertionsMatchesRef(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"disconnected-cycles", graph.Disconnected(graph.Cycle(9), 8)},
+		{"sparse-gnm", graph.GNM(120, 90, 5, false)},
+		{"singletons", graph.FromEdges(40, [][2]int32{{0, 1}, {2, 3}})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.g
+			n := g.N()
+			m, c := env(16)
+			o := BuildOracle(c, graph.View{G: g, M: m}, 4, 9)
+
+			ref := unionfind.NewRef(n)
+			for _, e := range g.Edges() {
+				ref.Union(e[0], e[1])
+			}
+			rng := graph.NewRNG(777)
+			cur := o
+			for batch := 0; batch < 4; batch++ {
+				edges := make([][2]int32, 0, 10)
+				for i := 0; i < 10; i++ {
+					edges = append(edges, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
+				}
+				qm := asym.NewMeter(16)
+				next, err := cur.ApplyInsertions(qm, asym.NewSymTracker(0), edges)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, e := range edges {
+					ref.Union(e[0], e[1])
+				}
+				got := oracleLabels(next, n, 16)
+				if !samePartition(got, ref.Components()) {
+					t.Fatalf("batch %d: incremental labels diverge from reference", batch)
+				}
+				// Untouched components keep their labels (canonical = min of
+				// the merged labels): every label must already have been a
+				// label of the previous oracle.
+				prev := map[int32]bool{}
+				for _, l := range oracleLabels(cur, n, 16) {
+					prev[l] = true
+				}
+				for _, l := range got {
+					if !prev[l] {
+						t.Fatalf("batch %d: new label %d not drawn from previous labels", batch, l)
+					}
+				}
+				// NumComponents stays consistent with its own definition:
+				// the number of distinct labels that are stored centers.
+				distinct := map[int32]bool{}
+				cm := asym.NewMeter(16)
+				for _, l := range got {
+					if next.D.CenterIndex(cm, l) >= 0 {
+						distinct[l] = true
+					}
+				}
+				if next.NumComponents != len(distinct) {
+					t.Fatalf("batch %d: NumComponents=%d, distinct stored labels=%d",
+						batch, next.NumComponents, len(distinct))
+				}
+				cur = next
+			}
+		})
+	}
+}
+
+// TestApplyInsertionsWritesBelowRebuild is the write-savings claim: folding
+// an insertion batch into an existing oracle must cost strictly fewer
+// asymmetric writes than rebuilding the oracle from scratch over the
+// updated graph.
+func TestApplyInsertionsWritesBelowRebuild(t *testing.T) {
+	g := graph.Disconnected(graph.Cycle(16), 12) // 12 components to merge
+	n := g.N()
+	m, c := env(64)
+	o := BuildOracle(c, graph.View{G: g, M: m}, 4, 3)
+
+	var edges [][2]int32
+	rng := graph.NewRNG(5)
+	for i := 0; i < 20; i++ {
+		edges = append(edges, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
+	}
+	im := asym.NewMeter(64)
+	inc, err := o.ApplyInsertions(im, asym.NewSymTracker(0), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.NumComponents >= o.NumComponents {
+		t.Fatalf("no merge happened: %d -> %d components", o.NumComponents, inc.NumComponents)
+	}
+
+	// From-scratch rebuild over the same final edge set.
+	ov := graph.NewOverlay(g)
+	if err := ov.AddEdges(edges); err != nil {
+		t.Fatal(err)
+	}
+	gm := asym.NewMeter(64)
+	g2 := ov.Build(gm)
+	fm, fc := env(64)
+	BuildOracle(fc, graph.View{G: g2, M: fm}, 4, 3)
+
+	if im.Writes() >= fm.Writes() {
+		t.Fatalf("incremental writes %d not below full-rebuild writes %d",
+			im.Writes(), fm.Writes())
+	}
+	if im.Writes() == 0 {
+		t.Fatal("merging batch should persist a nonempty remap")
+	}
+}
+
+// TestApplyInsertionsNoMerge: edges inside existing components change
+// nothing and persist nothing.
+func TestApplyInsertionsNoMerge(t *testing.T) {
+	g := graph.Cycle(12)
+	m, c := env(16)
+	o := BuildOracle(c, graph.View{G: g, M: m}, 3, 1)
+	im := asym.NewMeter(16)
+	inc, err := o.ApplyInsertions(im, asym.NewSymTracker(0), [][2]int32{{0, 6}, {2, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.remap != nil {
+		t.Fatalf("no-merge batch persisted remap %v", inc.remap)
+	}
+	if im.Writes() != 0 {
+		t.Fatalf("no-merge batch charged %d writes", im.Writes())
+	}
+	if inc.NumComponents != o.NumComponents {
+		t.Fatalf("components changed %d -> %d", o.NumComponents, inc.NumComponents)
+	}
+}
+
+func TestApplyInsertionsRejectsOutOfRange(t *testing.T) {
+	g := graph.Path(5)
+	m, c := env(8)
+	o := BuildOracle(c, graph.View{G: g, M: m}, 2, 1)
+	for _, e := range [][2]int32{{0, 5}, {-1, 2}, {9, 9}} {
+		if _, err := o.ApplyInsertions(asym.NewMeter(8), asym.NewSymTracker(0), [][2]int32{e}); err == nil {
+			t.Fatalf("edge %v accepted", e)
+		}
+	}
+}

@@ -32,6 +32,12 @@ type Oracle struct {
 	// center; small primary-free components are answered implicitly and
 	// not counted here.
 	NumComponents int
+	// remap, when non-nil, redirects component labels merged by dynamic
+	// edge insertions (ApplyInsertions in dynamic.go): after the base
+	// lookup, a label that is a remap key resolves to the canonical label
+	// of its merged component. Nil for freshly built oracles. The map is
+	// immutable after construction, so concurrent queries stay safe.
+	remap map[int32]int32
 }
 
 // clustersGraph is the implicit clusters graph: vertex i is the i-th center
@@ -131,17 +137,25 @@ func BuildOracle(c *parallel.Ctx, vw graph.View, k int, seed uint64) *Oracle {
 // center-index lookup; no writes.
 func (o *Oracle) Query(m *asym.Meter, sym *asym.SymTracker, v int32) int32 {
 	s := o.D.Rho(m, sym, v)
-	i := o.D.CenterIndex(m, s)
-	if i < 0 {
+	var lab int32
+	if i := o.D.CenterIndex(m, s); i < 0 {
 		// Implicit center of a small primary-free component: the center id
 		// itself is the canonical label (it is the component's smallest
 		// vertex and can collide with no stored component's label, which
 		// is always a stored center in a different component).
-		return s
+		lab = s
+	} else {
+		m.Read(1)
+		labIdx := o.labels.Raw()[i]
+		lab = o.D.Center(m, int(labIdx))
 	}
-	m.Read(1)
-	labIdx := o.labels.Raw()[i]
-	return o.D.Center(m, int(labIdx))
+	if o.remap != nil {
+		m.Read(1)
+		if to, ok := o.remap[lab]; ok {
+			lab = to
+		}
+	}
+	return lab
 }
 
 // Connected reports whether u and v are in the same component.

@@ -108,12 +108,42 @@ func (g *Graph) EdgeIndex(v int, u int32, fromSlot int) int {
 	return -1
 }
 
-// Edges materializes the undirected edge list with u <= v, sorted. Intended
+// EdgeMultiplicity returns how many copies of the undirected edge {u,v} the
+// graph contains (0 when absent). Self-loops count each loop once even
+// though it occupies two adjacency slots. Unmetered; used by the dynamic
+// update path to validate removals. O(log deg(u)) via binary search on the
+// sorted adjacency list.
+func (g *Graph) EdgeMultiplicity(u, v int32) int {
+	if u < 0 || v < 0 || int(u) >= g.N() || int(v) >= g.N() {
+		return 0
+	}
+	a := g.Adj(int(u))
+	lo := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	hi := sort.Search(len(a), func(i int) bool { return a[i] > v })
+	c := hi - lo
+	if u == v {
+		c /= 2
+	}
+	return c
+}
+
+// Edges materializes the undirected edge list with u <= v, sorted. The
+// result has exactly M() entries: parallel edges appear once per copy and a
+// self-loop appears once (its two adjacency slots are one edge). Intended
 // for tests and I/O, not for metered algorithms.
 func (g *Graph) Edges() [][2]int32 {
 	out := make([][2]int32, 0, g.m)
 	for v := int32(0); int(v) < g.N(); v++ {
+		loopSlot := false
 		for _, u := range g.Adj(int(v)) {
+			if u == v {
+				// A self-loop occupies two slots in v's list; emit on
+				// every second one.
+				loopSlot = !loopSlot
+				if loopSlot {
+					continue
+				}
+			}
 			if u >= v {
 				out = append(out, [2]int32{v, u})
 			}

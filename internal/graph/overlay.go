@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/asym"
+)
+
+// Overlay is a mutable edge-multiset delta staged on top of an immutable
+// base Graph. It is the batch-update half of the dynamic serving path:
+// callers stage AddEdges / RemoveEdges batches and then Build a fresh
+// immutable *Graph, leaving the base untouched so readers holding it keep
+// working (copy-on-write). The vertex set is fixed to the base's — edge
+// churn only, which is what the serving layer's update endpoint accepts.
+//
+// Semantics are multiset semantics, matching the package's tolerance of
+// parallel edges: AddEdges appends copies, RemoveEdges removes one copy per
+// requested pair and fails if no copy is present (counting copies staged by
+// earlier AddEdges calls on the same overlay). Within one overlay the
+// operations compose in call order.
+//
+// Overlay is not safe for concurrent use; the serving layer serializes
+// staging under its own lock.
+type Overlay struct {
+	base *Graph
+	// delta[e] is the staged multiplicity change of the normalized edge e
+	// (u <= v): positive for net additions, negative for net removals.
+	delta          map[[2]int32]int
+	added, removed int
+}
+
+// NewOverlay returns an empty overlay over base.
+func NewOverlay(base *Graph) *Overlay {
+	return &Overlay{base: base, delta: map[[2]int32]int{}}
+}
+
+// Base returns the graph the overlay builds on.
+func (o *Overlay) Base() *Graph { return o.base }
+
+// Added returns the number of edge copies staged for addition.
+func (o *Overlay) Added() int { return o.added }
+
+// Removed returns the number of edge copies staged for removal.
+func (o *Overlay) Removed() int { return o.removed }
+
+// NormEdge returns the undirected edge in its canonical u <= v order — the
+// multiset key used by Overlay and by the serving layer's staged-update
+// validation.
+func NormEdge(e [2]int32) [2]int32 {
+	if e[0] > e[1] {
+		return [2]int32{e[1], e[0]}
+	}
+	return e
+}
+
+// AddEdges stages one copy of every listed edge. Self-loops and parallel
+// edges are allowed; vertices must lie in [0, base.N()).
+func (o *Overlay) AddEdges(edges [][2]int32) error {
+	n := int32(o.base.N())
+	for _, e := range edges {
+		if e[0] < 0 || e[1] < 0 || e[0] >= n || e[1] >= n {
+			return fmt.Errorf("graph: add edge (%d,%d) out of range n=%d", e[0], e[1], n)
+		}
+	}
+	for _, e := range edges {
+		o.delta[NormEdge(e)]++
+		o.added++
+	}
+	return nil
+}
+
+// RemoveEdges stages the removal of one copy of every listed edge. A
+// removal fails when the edge has no remaining copy in base plus the
+// already-staged delta; on failure the overlay is left unchanged.
+func (o *Overlay) RemoveEdges(edges [][2]int32) error {
+	// Validate the whole batch against a scratch delta first so a failure
+	// mid-batch cannot leave a partial removal staged.
+	scratch := map[[2]int32]int{}
+	for _, e := range edges {
+		key := NormEdge(e)
+		if o.base.EdgeMultiplicity(key[0], key[1])+o.delta[key]+scratch[key] <= 0 {
+			return fmt.Errorf("graph: remove edge (%d,%d): not present", e[0], e[1])
+		}
+		scratch[key]--
+	}
+	for key, d := range scratch {
+		o.delta[key] += d
+		o.removed -= d
+	}
+	return nil
+}
+
+// Build materializes the overlay as a new immutable Graph, charging the
+// construction to m: one read per base adjacency slot scanned and one write
+// per word of the new CSR (offsets plus adjacency), the cost of writing the
+// next snapshot into asymmetric memory. The base is not modified.
+func (o *Overlay) Build(m *asym.Meter) *Graph {
+	edges := make([][2]int32, 0, o.base.M()+o.added-o.removed)
+	pending := make(map[[2]int32]int, len(o.delta))
+	for k, d := range o.delta {
+		if d != 0 {
+			pending[k] = d
+		}
+	}
+	m.Read(2 * o.base.M()) // scan the base adjacency structure
+	for _, e := range o.base.Edges() {
+		if d := pending[e]; d < 0 {
+			pending[e]++ // drop one copy
+			continue
+		}
+		edges = append(edges, e)
+	}
+	for k, d := range pending {
+		for ; d > 0; d-- {
+			edges = append(edges, k)
+		}
+	}
+	g := FromEdges(o.base.N(), edges)
+	m.Write(g.N() + 1 + 2*g.M()) // the new CSR (offsets + adjacency)
+	return g
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asym"
+)
+
+func TestEdgesSelfLoopCountsOnce(t *testing.T) {
+	g := FromEdges(3, [][2]int32{{0, 0}, {0, 1}, {0, 1}, {2, 2}, {2, 2}})
+	es := g.Edges()
+	if len(es) != g.M() {
+		t.Fatalf("Edges() has %d entries, M()=%d", len(es), g.M())
+	}
+	want := [][2]int32{{0, 0}, {0, 1}, {0, 1}, {2, 2}, {2, 2}}
+	if !reflect.DeepEqual(es, want) {
+		t.Fatalf("Edges()=%v want %v", es, want)
+	}
+}
+
+func TestEdgeMultiplicity(t *testing.T) {
+	g := FromEdges(4, [][2]int32{{0, 1}, {0, 1}, {1, 2}, {3, 3}})
+	for _, tc := range []struct {
+		u, v int32
+		want int
+	}{
+		{0, 1, 2}, {1, 0, 2}, {1, 2, 1}, {2, 1, 1}, {3, 3, 1},
+		{0, 2, 0}, {0, 3, 0}, {0, 0, 0}, {-1, 0, 0}, {0, 9, 0},
+	} {
+		if got := g.EdgeMultiplicity(tc.u, tc.v); got != tc.want {
+			t.Errorf("EdgeMultiplicity(%d,%d)=%d want %d", tc.u, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestOverlayBuildMatchesFromEdges(t *testing.T) {
+	base := GNM(40, 80, 11, true)
+	ov := NewOverlay(base)
+	add := [][2]int32{{0, 39}, {5, 5}, {0, 39}}
+	if err := ov.AddEdges(add); err != nil {
+		t.Fatal(err)
+	}
+	rm := base.Edges()[:3]
+	if err := ov.RemoveEdges(rm); err != nil {
+		t.Fatal(err)
+	}
+	if ov.Added() != 3 || ov.Removed() != 3 {
+		t.Fatalf("added=%d removed=%d", ov.Added(), ov.Removed())
+	}
+	m := asym.NewMeter(64)
+	got := ov.Build(m)
+
+	// Expected: base edges minus the removed prefix, plus the additions.
+	want := append(append([][2]int32{}, base.Edges()[3:]...), add...)
+	exp := FromEdges(base.N(), want)
+	if !reflect.DeepEqual(got.Edges(), exp.Edges()) {
+		t.Fatalf("overlay build differs from FromEdges rebuild")
+	}
+	if got.N() != base.N() || got.M() != base.M() {
+		t.Fatalf("shape n=%d m=%d want n=%d m=%d", got.N(), got.M(), base.N(), base.M())
+	}
+	if m.Writes() < int64(got.N()+2*got.M()) {
+		t.Fatalf("build writes %d not charged for the new CSR", m.Writes())
+	}
+	// Base untouched.
+	if base.M() != len(base.Edges()) {
+		t.Fatal("base mutated")
+	}
+}
+
+func TestOverlayRemoveStagedAdd(t *testing.T) {
+	base := Path(4) // 0-1-2-3
+	ov := NewOverlay(base)
+	if err := ov.AddEdges([][2]int32{{0, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	// Removing the just-staged edge is legal (multiset includes the delta).
+	if err := ov.RemoveEdges([][2]int32{{3, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	g := ov.Build(asym.NewMeter(1))
+	if !reflect.DeepEqual(g.Edges(), base.Edges()) {
+		t.Fatalf("add+remove not a no-op: %v", g.Edges())
+	}
+}
+
+func TestOverlayErrors(t *testing.T) {
+	base := Path(4)
+	ov := NewOverlay(base)
+	if err := ov.AddEdges([][2]int32{{0, 4}}); err == nil {
+		t.Fatal("out-of-range add accepted")
+	}
+	if err := ov.AddEdges([][2]int32{{-1, 0}}); err == nil {
+		t.Fatal("negative add accepted")
+	}
+	if err := ov.RemoveEdges([][2]int32{{0, 2}}); err == nil {
+		t.Fatal("absent removal accepted")
+	}
+	// Removing one copy twice when only one exists must fail atomically:
+	// the single {0,1} copy cannot satisfy both removals...
+	if err := ov.RemoveEdges([][2]int32{{0, 1}, {1, 0}}); err == nil {
+		t.Fatal("double removal of a single copy accepted")
+	}
+	// ...and the failed batch must not have staged anything.
+	if ov.Removed() != 0 {
+		t.Fatalf("failed batch staged %d removals", ov.Removed())
+	}
+	if err := ov.RemoveEdges([][2]int32{{0, 1}}); err != nil {
+		t.Fatalf("single removal after failed batch: %v", err)
+	}
+}

@@ -1,7 +1,12 @@
 // Package graphio reads and writes the plain edge-list format used by
 // cmd/graphgen and cmd/decompstat: an optional "# n m" header line followed
-// by one "u v" pair per line. Blank lines and further #-comments are
-// ignored. Without a header, n is inferred as max vertex id + 1.
+// by one "u v" pair per line. Blank lines and #-comments are ignored. The
+// header is recognized strictly: only a comment whose content is exactly
+// two non-negative integers, appearing before any edge line, declares
+// n and m — any other comment (including ones that merely start with a
+// number, like "# 12 monkeys") is skipped. A declared m is cross-checked
+// against the parsed edge count. Without a header, n is inferred as max
+// vertex id + 1.
 package graphio
 
 import (
@@ -20,6 +25,7 @@ func Read(r io.Reader) (*graph.Graph, error) {
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var edges [][2]int32
 	n := -1
+	declaredM := -1
 	headerSeen := false
 	line := 0
 	for sc.Scan() {
@@ -29,12 +35,16 @@ func Read(r io.Reader) (*graph.Graph, error) {
 			continue
 		}
 		if strings.HasPrefix(text, "#") {
-			if !headerSeen {
-				// Try to parse "# n m"; silently skip other comments.
+			// A header is exactly "# <n> <m>" with both fields non-negative
+			// integers, before any edge line; everything else is a comment.
+			if !headerSeen && len(edges) == 0 {
 				fields := strings.Fields(strings.TrimPrefix(text, "#"))
-				if len(fields) >= 1 {
-					if v, err := strconv.Atoi(fields[0]); err == nil {
-						n = v
+				if len(fields) == 2 {
+					hn, errN := strconv.Atoi(fields[0])
+					hm, errM := strconv.Atoi(fields[1])
+					if errN == nil && errM == nil && hn >= 0 && hm >= 0 {
+						n = hn
+						declaredM = hm
 						headerSeen = true
 					}
 				}
@@ -60,6 +70,9 @@ func Read(r io.Reader) (*graph.Graph, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("graphio: %v", err)
+	}
+	if declaredM >= 0 && declaredM != len(edges) {
+		return nil, fmt.Errorf("graphio: header declares m=%d but %d edges parsed", declaredM, len(edges))
 	}
 	if n < 0 {
 		for _, e := range edges {

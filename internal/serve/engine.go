@@ -19,6 +19,16 @@
 //     output-sized cost enters the Asymmetric RAM model. Everything else in
 //     a query's cost is reads and unit ops.
 //
+// The engine serves an *evolving* graph through epoch-numbered copy-on-write
+// snapshots: all immutable per-graph state (graph, both oracles, build
+// costs) lives in one snapshot behind an atomic pointer, edge-churn batches
+// staged through Update are folded into the next snapshot by a background
+// rebuild (update.go), and an atomic pointer swap publishes it — queries
+// never block on updates and always see a consistent graph. Insertion-only
+// batches take the write-efficient incremental path
+// (conn.Oracle.ApplyInsertions); batches with deletions trigger a full
+// rebuild.
+//
 // Package serve is transport-agnostic; the HTTP/JSON surface lives in
 // http.go and is mounted by cmd/oracled.
 package serve
@@ -26,6 +36,7 @@ package serve
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/asym"
@@ -75,7 +86,8 @@ type Query struct {
 // Result is the answer to one Query. Exactly one of Bool/Label is set on
 // success; Err is set (and the value fields nil) on a malformed query.
 // Bool carries connected/bridge/articulation/biconnected answers, Label the
-// component label.
+// component label. Component labels are canonical within one snapshot
+// epoch; a full rebuild may renumber them.
 type Result struct {
 	Bool  *bool  `json:"bool,omitempty"`
 	Label *int32 `json:"label,omitempty"`
@@ -88,13 +100,17 @@ type Config struct {
 	Omega int
 	// K is the decomposition parameter; 0 selects the paper's k = ⌈√ω⌉.
 	K int
-	// Seed drives the decomposition's primary sampling.
+	// Seed drives the decomposition's primary sampling (also for rebuilds).
 	Seed uint64
 	// Workers bounds the batch shard count; 0 selects GOMAXPROCS.
 	Workers int
 	// SymLimit, if nonzero, caps per-worker symmetric memory in words
 	// (the paper's O(k log n) budget); 0 means report-only.
 	SymLimit int
+	// OnRebuild, if non-nil, is called after every rebuild attempt
+	// (successful or not) with its record. Called outside the engine's
+	// lock, from the rebuild goroutine; keep it fast and non-blocking.
+	OnRebuild func(RebuildRecord)
 }
 
 // KindStats is the cumulative serving telemetry for one query kind.
@@ -104,7 +120,9 @@ type KindStats struct {
 	Cost   asym.Cost `json:"cost"`
 }
 
-// Stats is the engine-wide snapshot served at /stats.
+// Stats is the engine-wide snapshot served at /stats. Graph shape, build
+// costs and component counts describe the current snapshot; query and
+// rebuild telemetry is cumulative across the engine's lifetime.
 type Stats struct {
 	GraphN        int                  `json:"graph_n"`
 	GraphM        int                  `json:"graph_m"`
@@ -117,23 +135,43 @@ type Stats struct {
 	BuildBicc     asym.Cost            `json:"build_bicc"`
 	Queries       map[string]KindStats `json:"queries"`
 	TotalQueries  int64                `json:"total_queries"`
+
+	// Dynamic-update telemetry (update.go).
+	Epoch               int64           `json:"epoch"`
+	PendingUpdates      int             `json:"pending_updates"`
+	TotalRebuilds       int64           `json:"total_rebuilds"`
+	IncrementalRebuilds int64           `json:"incremental_rebuilds"`
+	EdgesAdded          int64           `json:"edges_added"`
+	EdgesRemoved        int64           `json:"edges_removed"`
+	Rebuilds            []RebuildRecord `json:"rebuilds,omitempty"`
 }
 
-// Engine is a thread-safe batched query service over one graph. Both
-// oracles are immutable after New; all per-query mutable state (meters,
-// symmetric trackers, search scratch) is worker-local, so any number of
-// goroutines may call Do / Query concurrently.
-type Engine struct {
-	g       *graph.Graph
-	conn    *conn.Oracle
-	bicc    *bicc.Oracle
-	omega   int
-	k       int
-	workers int
-	sym     int
-
+// snapshot is the immutable per-epoch serving state. A snapshot is built
+// completely before its pointer is published; after that nothing in it
+// mutates, so readers never lock.
+type snapshot struct {
+	epoch     int64
+	g         *graph.Graph
+	conn      *conn.Oracle
+	bicc      *bicc.Oracle
 	buildConn asym.Cost
 	buildBicc asym.Cost
+}
+
+// Engine is a thread-safe batched query service over one evolving graph.
+// The current snapshot (graph + both oracles) is immutable and reached
+// through an atomic pointer; all per-query mutable state (meters, symmetric
+// trackers, search scratch) is worker-local, so any number of goroutines
+// may call Do / Query / Update concurrently.
+type Engine struct {
+	omega     int
+	k         int
+	workers   int
+	sym       int
+	seed      uint64
+	onRebuild func(RebuildRecord)
+
+	snap atomic.Pointer[snapshot]
 
 	// Per-kind aggregates. The meters are shared long-lived accumulators
 	// (atomic internally); workers merge into them only at shard
@@ -142,6 +180,23 @@ type Engine struct {
 	kinds []kindAgg
 	total atomic.Int64
 	disp  *asym.Meter // dispatch overhead (batch sharding), not per-kind
+
+	// Dynamic-update state (update.go). mu guards everything below plus
+	// the snap.Store in the rebuild loop; snap.Load never locks.
+	mu        sync.Mutex
+	cond      *sync.Cond
+	loopOnce  sync.Once
+	closed    bool
+	pending   []*updateBatch
+	delta     map[[2]int32]int // staged-but-unpublished edge multiplicity delta
+	seq       int64            // update batches staged, ever
+	unapplied int              // staged batches not yet folded into a snapshot
+	history   []RebuildRecord  // most recent rebuilds, newest last
+
+	nRebuilds    int64
+	nIncremental int64
+	edgesAdded   int64
+	edgesRemoved int64
 }
 
 type kindAgg struct {
@@ -168,38 +223,53 @@ func New(g *graph.Graph, cfg Config) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		g:       g,
-		omega:   omega,
-		k:       k,
-		workers: workers,
-		sym:     cfg.SymLimit,
-		disp:    asym.NewMeter(omega),
-		kinds:   make([]kindAgg, len(Kinds)),
+		omega:     omega,
+		k:         k,
+		workers:   workers,
+		sym:       cfg.SymLimit,
+		seed:      cfg.Seed,
+		onRebuild: cfg.OnRebuild,
+		disp:      asym.NewMeter(omega),
+		kinds:     make([]kindAgg, len(Kinds)),
+		delta:     map[[2]int32]int{},
 	}
+	e.cond = sync.NewCond(&e.mu)
 	for i := range e.kinds {
 		e.kinds[i].meter = asym.NewMeter(omega)
 	}
-
-	mc := asym.NewMeter(omega)
-	mb := asym.NewMeter(omega)
-	root := parallel.NewCtx(e.disp, nil)
-	root.Fork2(
-		func(*parallel.Ctx) {
-			c := parallel.NewCtx(mc, asym.NewSymTracker(cfg.SymLimit))
-			e.conn = conn.BuildOracle(c, graph.View{G: g, M: mc}, k, cfg.Seed)
-		},
-		func(*parallel.Ctx) {
-			c := parallel.NewCtx(mb, asym.NewSymTracker(cfg.SymLimit))
-			e.bicc = bicc.BuildOracle(c, graph.View{G: g, M: mb}, nil, k, cfg.Seed)
-		},
-	)
-	e.buildConn = mc.Snapshot()
-	e.buildBicc = mb.Snapshot()
+	co, bo, cc, bc := e.buildOracles(g)
+	e.snap.Store(&snapshot{epoch: 0, g: g, conn: co, bicc: bo, buildConn: cc, buildBicc: bc})
 	return e
 }
 
-// Graph returns the served graph.
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// buildOracles constructs both oracles over g in parallel, returning them
+// with their separable construction costs. Used for the initial snapshot
+// and for full rebuilds.
+func (e *Engine) buildOracles(g *graph.Graph) (*conn.Oracle, *bicc.Oracle, asym.Cost, asym.Cost) {
+	mc := asym.NewMeter(e.omega)
+	mb := asym.NewMeter(e.omega)
+	var co *conn.Oracle
+	var bo *bicc.Oracle
+	root := parallel.NewCtx(e.disp, nil)
+	root.Fork2(
+		func(*parallel.Ctx) {
+			c := parallel.NewCtx(mc, asym.NewSymTracker(e.sym))
+			co = conn.BuildOracle(c, graph.View{G: g, M: mc}, e.k, e.seed)
+		},
+		func(*parallel.Ctx) {
+			c := parallel.NewCtx(mb, asym.NewSymTracker(e.sym))
+			bo = bicc.BuildOracle(c, graph.View{G: g, M: mb}, nil, e.k, e.seed)
+		},
+	)
+	return co, bo, mc.Snapshot(), mb.Snapshot()
+}
+
+// Graph returns the currently served graph (the latest snapshot's).
+func (e *Engine) Graph() *graph.Graph { return e.snap.Load().g }
+
+// Epoch returns the current snapshot epoch (0 for the initial build; +1
+// per published rebuild).
+func (e *Engine) Epoch() int64 { return e.snap.Load().epoch }
 
 // Omega returns the engine's write cost ω.
 func (e *Engine) Omega() int { return e.omega }
@@ -207,11 +277,11 @@ func (e *Engine) Omega() int { return e.omega }
 // K returns the decomposition parameter.
 func (e *Engine) K() int { return e.k }
 
-// Conn exposes the underlying connectivity oracle (read-only use).
-func (e *Engine) Conn() *conn.Oracle { return e.conn }
+// Conn exposes the current snapshot's connectivity oracle (read-only use).
+func (e *Engine) Conn() *conn.Oracle { return e.snap.Load().conn }
 
-// Bicc exposes the underlying biconnectivity oracle (read-only use).
-func (e *Engine) Bicc() *bicc.Oracle { return e.bicc }
+// Bicc exposes the current snapshot's biconnectivity oracle (read-only use).
+func (e *Engine) Bicc() *bicc.Oracle { return e.snap.Load().bicc }
 
 // worker holds one shard's private cost-model state: a meter per query kind
 // plus a symmetric-memory tracker. Nothing here is shared until mergeInto.
@@ -248,18 +318,18 @@ func (w *worker) mergeInto(e *Engine) {
 	}
 }
 
-// answer runs one query against the oracles using the worker's private
-// meters. The single m.Write(1) charges the store of the answer into the
-// batch's result slice (the output-sized write cost of the model); the
-// oracles themselves write nothing during queries.
-func (e *Engine) answer(w *worker, q Query) Result {
+// answer runs one query against the snapshot's oracles using the worker's
+// private meters. The single m.Write(1) charges the store of the answer
+// into the batch's result slice (the output-sized write cost of the model);
+// the oracles themselves write nothing during queries.
+func (e *Engine) answer(s *snapshot, w *worker, q Query) Result {
 	ki := kindIndex(q.Kind)
 	if ki < 0 {
 		// Unknown kinds are not attributable to a per-kind meter; count
 		// them under no kind and report the error.
 		return Result{Err: fmt.Sprintf("unknown query kind %q", q.Kind)}
 	}
-	n := int32(e.g.N())
+	n := int32(s.g.N())
 	pairwise := q.Kind == KindConnected || q.Kind == KindBridge || q.Kind == KindBiconnected
 	if q.U < 0 || q.U >= n || (pairwise && (q.V < 0 || q.V >= n)) {
 		w.errs[ki]++
@@ -269,19 +339,19 @@ func (e *Engine) answer(w *worker, q Query) Result {
 	var res Result
 	switch q.Kind {
 	case KindConnected:
-		v := e.conn.Connected(m, w.sym, q.U, q.V)
+		v := s.conn.Connected(m, w.sym, q.U, q.V)
 		res.Bool = &v
 	case KindComponent:
-		v := e.conn.Query(m, w.sym, q.U)
+		v := s.conn.Query(m, w.sym, q.U)
 		res.Label = &v
 	case KindBridge:
-		v := e.bicc.IsBridge(m, w.sym, q.U, q.V)
+		v := s.bicc.IsBridge(m, w.sym, q.U, q.V)
 		res.Bool = &v
 	case KindArticulation:
-		v := e.bicc.IsArticulation(m, w.sym, q.U)
+		v := s.bicc.IsArticulation(m, w.sym, q.U)
 		res.Bool = &v
 	case KindBiconnected:
-		v := e.bicc.Biconnected(m, w.sym, q.U, q.V)
+		v := s.bicc.Biconnected(m, w.sym, q.U, q.V)
 		res.Bool = &v
 	}
 	m.Write(1) // store the answer (output-sized cost)
@@ -289,7 +359,9 @@ func (e *Engine) answer(w *worker, q Query) Result {
 	return res
 }
 
-// Do answers a batch of queries. The slice is sharded into up to Workers
+// Do answers a batch of queries. The snapshot pointer is loaded once, so
+// every query in the batch is answered against the same epoch even if an
+// update publishes mid-batch. The slice is sharded into up to Workers
 // contiguous chunks dispatched through parallel.Ctx.For (ForEachChunk), so
 // fork overhead is amortized across the whole request slice rather than
 // paid per query; each chunk runs on its own worker state. Do is safe to
@@ -300,12 +372,13 @@ func (e *Engine) Do(queries []Query) []Result {
 	if len(queries) == 0 {
 		return out
 	}
+	s := e.snap.Load()
 	chunk := (len(queries) + e.workers - 1) / e.workers
 	ctx := parallel.NewCtx(e.disp, nil)
 	ctx.ForEachChunk(len(queries), chunk, func(cc *parallel.Ctx, lo, hi int) {
 		w := e.newWorker()
 		for i := lo; i < hi; i++ {
-			out[i] = e.answer(w, queries[i])
+			out[i] = e.answer(s, w, queries[i])
 		}
 		cc.AddDepth(int64(hi - lo))
 		w.mergeInto(e)
@@ -317,26 +390,39 @@ func (e *Engine) Do(queries []Query) []Result {
 // spine).
 func (e *Engine) Query(q Query) Result {
 	w := e.newWorker()
-	res := e.answer(w, q)
+	res := e.answer(e.snap.Load(), w, q)
 	w.mergeInto(e)
 	return res
 }
 
-// Stats snapshots the engine's cumulative serving telemetry.
+// Stats snapshots the engine's cumulative serving telemetry. The snapshot
+// pointer is read under the update lock (publishes also happen under it),
+// so the reported epoch is consistent with the rebuild counters and
+// history.
 func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	sn := e.snap.Load()
 	s := Stats{
-		GraphN:        e.g.N(),
-		GraphM:        e.g.M(),
+		GraphN:        sn.g.N(),
+		GraphM:        sn.g.M(),
 		Omega:         e.omega,
 		K:             e.k,
 		Workers:       e.workers,
-		NumComponents: e.conn.NumComponents,
-		NumBCC:        e.bicc.NumBCC,
-		BuildConn:     e.buildConn,
-		BuildBicc:     e.buildBicc,
+		NumComponents: sn.conn.NumComponents,
+		NumBCC:        sn.bicc.NumBCC,
+		BuildConn:     sn.buildConn,
+		BuildBicc:     sn.buildBicc,
 		Queries:       make(map[string]KindStats, len(Kinds)),
 		TotalQueries:  e.total.Load(),
+		Epoch:         sn.epoch,
 	}
+	s.PendingUpdates = e.unapplied
+	s.TotalRebuilds = e.nRebuilds
+	s.IncrementalRebuilds = e.nIncremental
+	s.EdgesAdded = e.edgesAdded
+	s.EdgesRemoved = e.edgesRemoved
+	s.Rebuilds = append([]RebuildRecord(nil), e.history...)
+	e.mu.Unlock()
 	for i, k := range Kinds {
 		s.Queries[string(k)] = KindStats{
 			Count:  e.kinds[i].count.Load(),

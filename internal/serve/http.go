@@ -14,8 +14,9 @@ import (
 //
 //	POST /query   {"kind":"connected","u":0,"v":5}      -> Result
 //	POST /batch   {"queries":[Query,...]}                -> {"results":[Result,...],"count":N}
-//	GET  /stats                                          -> Stats
-//	GET  /info                                           -> static build/graph info
+//	POST /update  {"add":[[0,5],...],"remove":[[1,2],...],"wait":true} -> UpdateResponse
+//	GET  /stats                                          -> Stats (incl. epoch + rebuild telemetry)
+//	GET  /info                                           -> per-snapshot build/graph info
 //	GET  /healthz                                        -> {"ok":true}
 //
 // Batch requests are capped at MaxBatch queries so a single request cannot
@@ -23,9 +24,19 @@ import (
 // workloads into multiple requests (cmd/wecbench -exp serve does). The cap
 // is enforced before decoding via a MaxBytesReader on the request body —
 // rejecting an oversized batch must not itself cost an oversized decode.
+// Update requests are capped the same way at MaxUpdateEdges edges.
 
 // MaxBatch bounds the number of queries accepted by one /batch request.
 const MaxBatch = 1 << 20
+
+// MaxUpdateEdges bounds the total edges (add + remove) in one /update
+// request; larger churn is split into multiple batches, which the engine
+// coalesces into one rebuild anyway.
+const MaxUpdateEdges = 1 << 18
+
+// maxUpdateBytes bounds the /update request body. 32 bytes per edge covers
+// the encoded pair ("[2147483647,2147483647],") with room for the wrapper.
+const maxUpdateBytes = MaxUpdateEdges * 32
 
 // maxBatchBytes bounds the /batch request body. 64 bytes comfortably covers
 // one encoded query ({"kind":"articulation","u":2147483647,"v":...} plus
@@ -47,8 +58,26 @@ type BatchResponse struct {
 	Count   int      `json:"count"`
 }
 
-// Info is the /info response body: everything about the engine that never
-// changes after construction.
+// UpdateRequest is the /update request body: edge pairs to add and remove
+// (adds apply before removes) and whether to block until the batch is part
+// of the published snapshot.
+type UpdateRequest struct {
+	Add    [][2]int32 `json:"add,omitempty"`
+	Remove [][2]int32 `json:"remove,omitempty"`
+	Wait   bool       `json:"wait,omitempty"`
+}
+
+// UpdateResponse is the /update response body (a JSON view of
+// UpdateStatus).
+type UpdateResponse struct {
+	Seq     int64 `json:"seq"`
+	Epoch   int64 `json:"epoch"`
+	Pending int   `json:"pending"`
+	Applied bool  `json:"applied"`
+}
+
+// Info is the /info response body: the engine's configuration plus the
+// current snapshot's shape and build costs (stable within an epoch).
 type Info struct {
 	GraphN        int      `json:"graph_n"`
 	GraphM        int      `json:"graph_m"`
@@ -57,6 +86,7 @@ type Info struct {
 	Workers       int      `json:"workers"`
 	NumComponents int      `json:"num_components"`
 	NumBCC        int      `json:"num_bcc"`
+	Epoch         int64    `json:"epoch"`
 	Kinds         []Kind   `json:"kinds"`
 	BuildConn     CostJSON `json:"build_conn"`
 	BuildBicc     CostJSON `json:"build_bicc"`
@@ -86,6 +116,29 @@ type StatsJSON struct {
 	BuildBicc     CostJSON                 `json:"build_bicc"`
 	Queries       map[string]KindStatsJSON `json:"queries"`
 	TotalQueries  int64                    `json:"total_queries"`
+
+	Epoch               int64               `json:"epoch"`
+	PendingUpdates      int                 `json:"pending_updates"`
+	TotalRebuilds       int64               `json:"total_rebuilds"`
+	IncrementalRebuilds int64               `json:"incremental_rebuilds"`
+	EdgesAdded          int64               `json:"edges_added"`
+	EdgesRemoved        int64               `json:"edges_removed"`
+	Rebuilds            []RebuildRecordJSON `json:"rebuilds,omitempty"`
+}
+
+// RebuildRecordJSON mirrors RebuildRecord with CostJSON leaves and the
+// duration in milliseconds.
+type RebuildRecordJSON struct {
+	Epoch        int64    `json:"epoch"`
+	Strategy     string   `json:"strategy"`
+	Batches      int      `json:"batches"`
+	AddedEdges   int      `json:"added_edges"`
+	RemovedEdges int      `json:"removed_edges"`
+	GraphCost    CostJSON `json:"graph_cost"`
+	ConnCost     CostJSON `json:"conn_cost"`
+	BiccCost     CostJSON `json:"bicc_cost"`
+	DurationMs   float64  `json:"duration_ms"`
+	Err          string   `json:"error,omitempty"`
 }
 
 // KindStatsJSON mirrors KindStats with a CostJSON leaf.
@@ -152,21 +205,50 @@ func NewServer(e *Engine) http.Handler {
 		results := e.Do(req.Queries)
 		writeJSON(w, http.StatusOK, BatchResponse{Results: results, Count: len(results)})
 	})
+	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req UpdateRequest
+		if err := decodeBody(w, r, maxUpdateBytes, &req); err != nil {
+			return
+		}
+		if len(req.Add)+len(req.Remove) > MaxUpdateEdges {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"update of %d edges exceeds limit %d", len(req.Add)+len(req.Remove), MaxUpdateEdges)
+			return
+		}
+		st, err := e.Update(Update{Add: req.Add, Remove: req.Remove}, req.Wait)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			httpError(w, status, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, UpdateResponse{
+			Seq: st.Seq, Epoch: st.Epoch, Pending: st.Pending, Applied: st.Applied,
+		})
+	})
 	return mux
 }
 
 func infoOf(e *Engine) Info {
+	sn := e.snap.Load()
 	return Info{
-		GraphN:        e.g.N(),
-		GraphM:        e.g.M(),
+		GraphN:        sn.g.N(),
+		GraphM:        sn.g.M(),
 		Omega:         e.omega,
 		K:             e.k,
 		Workers:       e.workers,
-		NumComponents: e.conn.NumComponents,
-		NumBCC:        e.bicc.NumBCC,
+		NumComponents: sn.conn.NumComponents,
+		NumBCC:        sn.bicc.NumBCC,
+		Epoch:         sn.epoch,
 		Kinds:         Kinds,
-		BuildConn:     costJSON(e.buildConn),
-		BuildBicc:     costJSON(e.buildBicc),
+		BuildConn:     costJSON(sn.buildConn),
+		BuildBicc:     costJSON(sn.buildBicc),
 	}
 }
 
@@ -190,6 +272,26 @@ func statsJSON(s Stats) StatsJSON {
 			Errors: ks.Errors,
 			Cost:   costJSON(ks.Cost),
 		}
+	}
+	out.Epoch = s.Epoch
+	out.PendingUpdates = s.PendingUpdates
+	out.TotalRebuilds = s.TotalRebuilds
+	out.IncrementalRebuilds = s.IncrementalRebuilds
+	out.EdgesAdded = s.EdgesAdded
+	out.EdgesRemoved = s.EdgesRemoved
+	for _, r := range s.Rebuilds {
+		out.Rebuilds = append(out.Rebuilds, RebuildRecordJSON{
+			Epoch:        r.Epoch,
+			Strategy:     r.Strategy,
+			Batches:      r.Batches,
+			AddedEdges:   r.AddedEdges,
+			RemovedEdges: r.RemovedEdges,
+			GraphCost:    costJSON(r.GraphCost),
+			ConnCost:     costJSON(r.ConnCost),
+			BiccCost:     costJSON(r.BiccCost),
+			DurationMs:   float64(r.Duration.Microseconds()) / 1000,
+			Err:          r.Err,
+		})
 	}
 	return out
 }

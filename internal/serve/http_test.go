@@ -18,6 +18,7 @@ func newTestServer(t *testing.T, g *graph.Graph) (*Engine, *httptest.Server) {
 	e := New(g, Config{Omega: 16, Seed: 5})
 	ts := httptest.NewServer(NewServer(e))
 	t.Cleanup(ts.Close)
+	t.Cleanup(e.Close)
 	return e, ts
 }
 

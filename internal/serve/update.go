@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/asym"
+	"repro/internal/bicc"
+	"repro/internal/conn"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// This file is the dynamic-update half of the engine: edge-churn batches
+// are validated and staged under the engine lock, a single background
+// goroutine folds all staged batches into the next snapshot (coalescing
+// them into one rebuild), and an atomic pointer swap publishes it. The
+// current snapshot keeps answering queries for the whole rebuild — updates
+// never block reads.
+//
+// Strategy selection per rebuild:
+//
+//   - insertion-only batches: the incremental path — the new graph CSR is
+//     written (the biconnectivity oracle needs it), the connectivity oracle
+//     is patched in O(#merged-components) writes via
+//     conn.Oracle.ApplyInsertions, and the biconnectivity oracle is rebuilt
+//     (biconnectivity is not insertion-monotone).
+//   - any batch containing a removal: full rebuild of graph and both
+//     oracles.
+//
+// Per-rebuild asymmetric costs (graph / conn / bicc, separately metered)
+// are recorded in RebuildRecord and served through /stats, which is how the
+// write savings of the incremental path are measured end to end.
+
+// Rebuild strategies recorded in RebuildRecord.Strategy.
+const (
+	StrategyIncremental = "incremental"
+	StrategyFull        = "full"
+)
+
+// ErrClosed is returned by Update after Close.
+var ErrClosed = errors.New("serve: engine closed")
+
+// MaxRebuildHistory bounds the rebuild records kept for /stats: older
+// records rotate out, so consumers asserting on per-rebuild telemetry must
+// account for the cap (the churn harness does).
+const MaxRebuildHistory = 32
+
+// Update is one edge-churn batch: Add edges are applied before Remove
+// edges. Vertex ids must lie in the served graph's fixed vertex set;
+// multiset semantics match graph.Overlay (parallel edges and self-loops
+// allowed, removals take one copy each).
+type Update struct {
+	Add    [][2]int32
+	Remove [][2]int32
+}
+
+// UpdateStatus reports the outcome of staging an update.
+type UpdateStatus struct {
+	// Seq is the batch's staging sequence number (1-based).
+	Seq int64
+	// Epoch is the snapshot epoch observed at return: the epoch that
+	// includes the batch when Applied, the pre-staging epoch otherwise.
+	Epoch int64
+	// Pending counts staged batches not yet folded into a snapshot.
+	Pending int
+	// Applied reports whether the batch is already part of the published
+	// snapshot (always true when Update was called with wait=true).
+	Applied bool
+}
+
+// RebuildRecord is the telemetry of one background rebuild attempt.
+type RebuildRecord struct {
+	Epoch        int64         `json:"epoch"`
+	Strategy     string        `json:"strategy"` // "incremental" | "full"
+	Batches      int           `json:"batches"`  // update batches coalesced in
+	AddedEdges   int           `json:"added_edges"`
+	RemovedEdges int           `json:"removed_edges"`
+	GraphCost    asym.Cost     `json:"graph_cost"` // writing the new CSR
+	ConnCost     asym.Cost     `json:"conn_cost"`  // connectivity oracle (incremental or full)
+	BiccCost     asym.Cost     `json:"bicc_cost"`  // biconnectivity oracle (always full)
+	Duration     time.Duration `json:"duration_ns"`
+	Err          string        `json:"error,omitempty"`
+}
+
+// updateBatch is one staged Update plus its bookkeeping: the multiset delta
+// it contributed to Engine.delta (for exact un-staging at publish time) and
+// the completion state its waiters block on.
+type updateBatch struct {
+	seq    int64
+	add    [][2]int32
+	remove [][2]int32
+	delta  map[[2]int32]int
+
+	done  bool
+	err   error
+	epoch int64 // epoch that folded the batch in (when done && err == nil)
+}
+
+// Update validates and stages an edge-churn batch, waking the background
+// rebuilder. With wait=false it returns as soon as the batch is staged;
+// with wait=true it blocks until the batch is part of the published
+// snapshot (or the engine closes).
+//
+// Validation is synchronous and atomic: vertex ids are bounds-checked and
+// every removal is checked against the effective edge multiset (published
+// snapshot plus all staged batches, this one included, adds before
+// removes). A rejected batch stages nothing. The multiplicity rule here
+// must stay the cross-batch extension of graph.Overlay's (same NormEdge
+// keys, adds before removes): buildNext replays accepted batches into an
+// Overlay and relies on them agreeing.
+func (e *Engine) Update(u Update, wait bool) (UpdateStatus, error) {
+	if len(u.Add)+len(u.Remove) == 0 {
+		return UpdateStatus{}, errors.New("serve: empty update")
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return UpdateStatus{}, ErrClosed
+	}
+	sn := e.snap.Load()
+	n := int32(sn.g.N())
+	batchDelta := map[[2]int32]int{}
+	for _, edge := range u.Add {
+		if edge[0] < 0 || edge[1] < 0 || edge[0] >= n || edge[1] >= n {
+			e.mu.Unlock()
+			return UpdateStatus{}, fmt.Errorf("serve: add edge (%d,%d) out of range [0,%d)", edge[0], edge[1], n)
+		}
+		batchDelta[graph.NormEdge(edge)]++
+	}
+	for _, edge := range u.Remove {
+		if edge[0] < 0 || edge[1] < 0 || edge[0] >= n || edge[1] >= n {
+			e.mu.Unlock()
+			return UpdateStatus{}, fmt.Errorf("serve: remove edge (%d,%d) out of range [0,%d)", edge[0], edge[1], n)
+		}
+		key := graph.NormEdge(edge)
+		if sn.g.EdgeMultiplicity(key[0], key[1])+e.delta[key]+batchDelta[key] <= 0 {
+			e.mu.Unlock()
+			return UpdateStatus{}, fmt.Errorf("serve: remove edge (%d,%d): not present", edge[0], edge[1])
+		}
+		batchDelta[key]--
+	}
+
+	for k, d := range batchDelta {
+		e.delta[k] += d
+	}
+	e.seq++
+	b := &updateBatch{
+		seq:    e.seq,
+		add:    append([][2]int32(nil), u.Add...),
+		remove: append([][2]int32(nil), u.Remove...),
+		delta:  batchDelta,
+	}
+	e.pending = append(e.pending, b)
+	e.unapplied++
+	e.loopOnce.Do(func() { go e.rebuildLoop() })
+	e.cond.Broadcast()
+
+	if !wait {
+		st := UpdateStatus{Seq: b.seq, Epoch: sn.epoch, Pending: e.unapplied}
+		e.mu.Unlock()
+		return st, nil
+	}
+	for !b.done {
+		e.cond.Wait()
+	}
+	st := UpdateStatus{Seq: b.seq, Epoch: b.epoch, Pending: e.unapplied, Applied: b.err == nil}
+	err := b.err
+	e.mu.Unlock()
+	return st, err
+}
+
+// Close stops accepting updates and shuts the rebuild goroutine down after
+// it drains the already-staged batches. Queries keep working against the
+// last published snapshot. Idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// rebuildLoop is the single background rebuilder: it drains all staged
+// batches at once, builds the next snapshot while the current one serves,
+// publishes it with an atomic store, and wakes the batches' waiters.
+func (e *Engine) rebuildLoop() {
+	for {
+		e.mu.Lock()
+		for len(e.pending) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.pending) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		batches := e.pending
+		e.pending = nil
+		cur := e.snap.Load()
+		e.mu.Unlock()
+
+		start := time.Now()
+		next, rec, err := e.buildNext(cur, batches)
+		rec.Duration = time.Since(start)
+
+		e.mu.Lock()
+		if err == nil {
+			e.snap.Store(next)
+			e.nRebuilds++
+			if rec.Strategy == StrategyIncremental {
+				e.nIncremental++
+			}
+			e.edgesAdded += int64(rec.AddedEdges)
+			e.edgesRemoved += int64(rec.RemovedEdges)
+		} else {
+			rec.Err = err.Error()
+		}
+		e.history = append(e.history, rec)
+		if len(e.history) > MaxRebuildHistory {
+			e.history = e.history[len(e.history)-MaxRebuildHistory:]
+		}
+		for _, b := range batches {
+			// Whether published or dropped, the batch is no longer staged:
+			// un-stage its multiset delta so removal validation tracks the
+			// (new) published graph again.
+			for k, d := range b.delta {
+				if e.delta[k] += -d; e.delta[k] == 0 {
+					delete(e.delta, k)
+				}
+			}
+			b.done = true
+			b.err = err
+			b.epoch = rec.Epoch
+			e.unapplied--
+		}
+		e.cond.Broadcast()
+		cb := e.onRebuild
+		e.mu.Unlock()
+		if cb != nil {
+			cb(rec)
+		}
+	}
+}
+
+// buildNext folds the staged batches into a new snapshot. The incremental
+// path is taken iff no batch removes an edge; the new graph CSR is written
+// either way (both the biconnectivity rebuild and future overlays need it).
+func (e *Engine) buildNext(cur *snapshot, batches []*updateBatch) (*snapshot, RebuildRecord, error) {
+	rec := RebuildRecord{Epoch: cur.epoch + 1, Batches: len(batches), Strategy: StrategyFull}
+
+	ov := graph.NewOverlay(cur.g)
+	var adds [][2]int32
+	for _, b := range batches {
+		if err := ov.AddEdges(b.add); err != nil {
+			rec.Epoch = cur.epoch
+			return nil, rec, err
+		}
+		if err := ov.RemoveEdges(b.remove); err != nil {
+			rec.Epoch = cur.epoch
+			return nil, rec, err
+		}
+		adds = append(adds, b.add...)
+	}
+	rec.AddedEdges = ov.Added()
+	rec.RemovedEdges = ov.Removed()
+
+	gm := asym.NewMeter(e.omega)
+	newG := ov.Build(gm)
+	rec.GraphCost = gm.Snapshot()
+
+	mc := asym.NewMeter(e.omega)
+	mb := asym.NewMeter(e.omega)
+	var co *conn.Oracle
+	var bo *bicc.Oracle
+	var connErr error
+	incremental := ov.Removed() == 0
+	root := parallel.NewCtx(e.disp, nil)
+	root.Fork2(
+		func(*parallel.Ctx) {
+			if incremental {
+				co, connErr = cur.conn.ApplyInsertions(mc, asym.NewSymTracker(e.sym), adds)
+			} else {
+				c := parallel.NewCtx(mc, asym.NewSymTracker(e.sym))
+				co = conn.BuildOracle(c, graph.View{G: newG, M: mc}, e.k, e.seed)
+			}
+		},
+		func(*parallel.Ctx) {
+			c := parallel.NewCtx(mb, asym.NewSymTracker(e.sym))
+			bo = bicc.BuildOracle(c, graph.View{G: newG, M: mb}, nil, e.k, e.seed)
+		},
+	)
+	if connErr != nil { // staging validation makes this unreachable
+		rec.Epoch = cur.epoch
+		return nil, rec, connErr
+	}
+	if incremental {
+		rec.Strategy = StrategyIncremental
+	}
+	rec.ConnCost = mc.Snapshot()
+	rec.BiccCost = mb.Snapshot()
+	return &snapshot{
+		epoch:     cur.epoch + 1,
+		g:         newG,
+		conn:      co,
+		bicc:      bo,
+		buildConn: rec.ConnCost,
+		buildBicc: rec.BiccCost,
+	}, rec, nil
+}
