@@ -3,13 +3,14 @@
 
 GO ?= go
 
-# Concurrency-critical packages for the -race pass (the serving layer plus
-# its concurrently-used dependencies); the full suite under -race is too
-# slow for a gate.
-RACE_PKGS := ./internal/serve/ ./internal/asym/ ./internal/parallel/ \
-             ./internal/eulertour/ ./internal/graphio/ ./internal/unionfind/
+# Concurrency-critical packages for the -race pass (the serving layer, the
+# oracle registry, plus their concurrently-used dependencies); the full
+# suite under -race is too slow for a gate.
+RACE_PKGS := ./internal/serve/... ./internal/oracle/... ./internal/asym/ \
+             ./internal/parallel/ ./internal/eulertour/ ./internal/graphio/ \
+             ./internal/unionfind/
 
-.PHONY: build test race bench lint serve smoke smoke-churn ci
+.PHONY: build test race bench lint serve smoke smoke-churn smoke-multitenant ci
 
 build:
 	$(GO) build ./...
@@ -47,4 +48,12 @@ smoke:
 smoke-churn:
 	$(GO) run ./cmd/wecbench -exp serve -servechurn 6 -servechurnedges 24 -serveconc 2 -scale 1
 
-ci: lint build test race bench smoke smoke-churn
+# End-to-end smoke of the multi-graph registry, under the race detector:
+# two graphs created through the lifecycle API and served concurrently,
+# one churned, answers verified against per-graph reference oracles,
+# admission control demonstrated (queue-full → 429, rejection counted in
+# /stats), one graph deleted.
+smoke-multitenant:
+	$(GO) run -race ./cmd/wecbench -exp multitenant -mtgraphs 2 -mtqueries 1500 -mtchurn 3 -mtconc 2 -scale 1
+
+ci: lint build test race bench smoke smoke-churn smoke-multitenant

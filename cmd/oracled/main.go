@@ -1,28 +1,45 @@
 // Command oracled serves the paper's connectivity and biconnectivity query
-// oracles over HTTP/JSON. It loads a graph (edge-list file via graphio, or
-// a synthetic generator), builds both oracles in parallel, and answers
-// connected / component / bridge / articulation / biconnected queries —
-// singly via POST /query, batched via POST /batch — with the paper's
-// cost-model metrics (asymmetric reads, writes, work per query kind)
-// exposed live at GET /stats.
+// oracles over HTTP/JSON — for one graph or many. It starts a graph
+// registry, registers a default graph (edge-list file via graphio, or a
+// synthetic generator) whose oracles build in the background while the
+// listener is already up (/healthz reports 503 until the first snapshot
+// publishes), and answers connected / component / bridge / articulation /
+// biconnected queries — singly via POST /query, batched via POST /batch —
+// with the paper's cost-model metrics (asymmetric reads, writes, work per
+// query kind) exposed live at GET /stats.
 //
-// The served graph is dynamic: POST /update stages an edge-churn batch
+// Further graphs are created and destroyed at runtime through the
+// lifecycle API: POST /graphs registers a named graph (generator params or
+// an inline graphio edge list) built in the background, GET /graphs lists
+// every graph's state (building | ready | failed), and each graph serves
+// its own /graphs/{name}/query|batch|update|stats|info endpoints.
+// DELETE /graphs/{name} drains and closes it. All graphs draw query
+// workers from one shared pool sized to -poolsize, and -maxinflight caps
+// concurrently admitted requests per graph (beyond it: 429 + Retry-After,
+// counted in that graph's /stats).
+//
+// Every served graph is dynamic: POST /update stages an edge-churn batch
 // (adds and removes over the fixed vertex set), a background rebuild folds
 // it into the next snapshot while the current one keeps answering, and an
 // atomic swap publishes it — insertion-only batches take the
 // write-efficient incremental path. Every rebuild is logged with its
-// strategy and per-phase asymmetric costs.
+// graph, strategy and per-phase asymmetric costs.
 //
 // Usage:
 //
 //	oracled -graph edges.txt -addr :8080 -omega 64
-//	oracled -gen random-regular -n 100000 -deg 3 -addr :8080
+//	oracled -gen random-regular -n 100000 -deg 3 -addr :8080 -maxinflight 64
 //
+//	curl -s localhost:8080/healthz       # 503 until the default graph is ready
 //	curl -s localhost:8080/info
 //	curl -s -d '{"kind":"connected","u":0,"v":42}' localhost:8080/query
 //	curl -s -d '{"queries":[{"kind":"component","u":7},{"kind":"bridge","u":1,"v":2}]}' \
 //	     localhost:8080/batch
 //	curl -s -d '{"add":[[0,42],[7,9]],"remove":[[1,2]],"wait":true}' localhost:8080/update
+//	curl -s -d '{"name":"social","gen":"gnm","n":50000,"deg":8}' localhost:8080/graphs
+//	curl -s localhost:8080/graphs
+//	curl -s -d '{"kind":"component","u":7}' localhost:8080/graphs/social/query
+//	curl -s -X DELETE localhost:8080/graphs/social
 //	curl -s localhost:8080/stats
 //
 // With -graph "-" the edge list is read from stdin. On SIGINT/SIGTERM the
@@ -47,21 +64,30 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		graphArg = flag.String("graph", "", `edge-list file ("-" for stdin); empty uses -gen`)
-		gen      = flag.String("gen", "random-regular", "generator when -graph is empty: random-regular|gnm")
-		n        = flag.Int("n", 1<<14, "generated graph: vertices")
-		deg      = flag.Int("deg", 3, "generated graph: degree (random-regular) or avg degree (gnm)")
-		gseed    = flag.Uint64("graphseed", 42, "generated graph: seed")
-		omega    = flag.Int("omega", 64, "asymmetric write cost ω")
-		k        = flag.Int("k", 0, "decomposition parameter k (0 = ⌈√ω⌉)")
-		seed     = flag.Uint64("seed", 7, "decomposition sampling seed")
-		workers  = flag.Int("workers", 0, "batch shard count (0 = GOMAXPROCS)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		graphArg    = flag.String("graph", "", `edge-list file ("-" for stdin); empty uses -gen`)
+		gen         = flag.String("gen", "random-regular", "generator when -graph is empty: random-regular|gnm")
+		n           = flag.Int("n", 1<<14, "generated graph: vertices")
+		deg         = flag.Int("deg", 3, "generated graph: degree (random-regular) or avg degree (gnm)")
+		gseed       = flag.Uint64("graphseed", 42, "generated graph: seed")
+		omega       = flag.Int("omega", 64, "asymmetric write cost ω (default for every graph)")
+		k           = flag.Int("k", 0, "decomposition parameter k (0 = ⌈√ω⌉)")
+		seed        = flag.Uint64("seed", 7, "decomposition sampling seed")
+		workers     = flag.Int("workers", 0, "batch shard count per request (0 = GOMAXPROCS)")
+		graphName   = flag.String("graphname", "default", "name of the default graph")
+		poolSize    = flag.Int("poolsize", 0, "shared query-worker pool size across all graphs (0 = GOMAXPROCS)")
+		maxInflight = flag.Int("maxinflight", 0, "per-graph cap on concurrently admitted requests; beyond it 429 (0 = unlimited)")
+		maxGraphs   = flag.Int("maxgraphs", 0, "cap on registered graphs (0 = default 64, negative = unlimited)")
 	)
 	flag.Parse()
 
 	if err := validateFlags(*graphArg, *gen, *n, *deg, *omega, *k, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "oracled: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *poolSize < 0 || *maxInflight < 0 {
+		fmt.Fprintf(os.Stderr, "oracled: -poolsize and -maxinflight must be >= 0\n")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -71,37 +97,59 @@ func main() {
 		fmt.Fprintf(os.Stderr, "oracled: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("oracled: graph n=%d m=%d, building oracles (ω=%d)...\n", g.N(), g.M(), *omega)
-	start := time.Now()
-	eng := serve.New(g, serve.Config{
-		Omega: *omega, K: *k, Seed: *seed, Workers: *workers,
-		OnRebuild: logRebuild,
+
+	var reg *serve.Registry
+	reg = serve.NewRegistry(serve.RegistryConfig{
+		Engine:      serve.Config{Omega: *omega, K: *k, Seed: *seed, Workers: *workers},
+		Pool:        serve.NewPool(*poolSize),
+		MaxInflight: *maxInflight,
+		MaxGraphs:   *maxGraphs,
+		OnRebuild:   logRebuild,
+		// Lifecycle logging: the build finishing (or failing) is the
+		// daemon's readiness moment, so say so with the build's shape.
+		OnState: func(name string, state serve.GraphState, errMsg string) {
+			if state == serve.StateFailed {
+				fmt.Fprintf(os.Stderr, "oracled: [%s] build FAILED: %s\n", name, errMsg)
+				return
+			}
+			st, _ := reg.Status(name)
+			if eng, err := reg.Get(name); err == nil {
+				es := eng.Stats()
+				fmt.Printf("oracled: [%s] ready in %.0fms: n=%d m=%d k=%d components=%d bccs=%d\n",
+					name, st.BuildMs, es.GraphN, es.GraphM, es.K, es.NumComponents, es.NumBCC)
+				fmt.Printf("oracled: [%s] build cost conn: %v\n", name, es.BuildConn)
+				fmt.Printf("oracled: [%s] build cost bicc: %v\n", name, es.BuildBicc)
+			}
+		},
 	})
-	st := eng.Stats()
-	fmt.Printf("oracled: built in %v: k=%d components=%d bccs=%d\n",
-		time.Since(start).Round(time.Millisecond), st.K, st.NumComponents, st.NumBCC)
-	fmt.Printf("oracled: build cost conn: %v\n", st.BuildConn)
-	fmt.Printf("oracled: build cost bicc: %v\n", st.BuildBicc)
-	fmt.Printf("oracled: serving on %s (endpoints: /query /batch /update /stats /info /healthz)\n", *addr)
+
+	fmt.Printf("oracled: graph %q n=%d m=%d, building oracles in the background (ω=%d, pool=%d, maxinflight=%d)\n",
+		*graphName, g.N(), g.M(), *omega, reg.Pool().Size(), *maxInflight)
+	if _, err := reg.CreateFromGraph(*graphName, g, serve.GraphSpec{}); err != nil {
+		fmt.Fprintf(os.Stderr, "oracled: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("oracled: serving on %s (endpoints: /query /batch /update /stats /info /healthz /graphs[/{name}/...]); /healthz is 503 until %q is ready\n",
+		*addr, *graphName)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.NewServer(eng),
+		Handler:           serve.NewRegistryServer(reg),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	// Graceful shutdown: stop the listener, drain in-flight requests, then
-	// stop the engine's rebuild goroutine.
+	// stop every engine's rebuild goroutine.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		sig := <-stop
-		fmt.Printf("oracled: %v — shutting down (epoch %d)\n", sig, eng.Epoch())
+		fmt.Printf("oracled: %v — shutting down (%d graphs)\n", sig, len(reg.List()))
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(ctx)
-		eng.Close()
+		reg.Close()
 	}()
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "oracled: %v\n", err)
@@ -110,15 +158,16 @@ func main() {
 	<-done
 }
 
-// logRebuild reports every snapshot swap: strategy, coalesced batch shape,
-// and the separable asymmetric costs of the rebuild phases.
-func logRebuild(r serve.RebuildRecord) {
+// logRebuild reports every snapshot swap of every graph: strategy,
+// coalesced batch shape, and the separable asymmetric costs of the rebuild
+// phases.
+func logRebuild(name string, r serve.RebuildRecord) {
 	if r.Err != "" {
-		fmt.Fprintf(os.Stderr, "oracled: rebuild failed (%d batches dropped): %s\n", r.Batches, r.Err)
+		fmt.Fprintf(os.Stderr, "oracled: [%s] rebuild failed (%d batches dropped): %s\n", name, r.Batches, r.Err)
 		return
 	}
-	fmt.Printf("oracled: epoch %d published: %s rebuild of %d batches (+%d/-%d edges) in %v — writes graph=%d conn=%d bicc=%d\n",
-		r.Epoch, r.Strategy, r.Batches, r.AddedEdges, r.RemovedEdges,
+	fmt.Printf("oracled: [%s] epoch %d published: %s rebuild of %d batches (+%d/-%d edges) in %v — writes graph=%d conn=%d bicc=%d\n",
+		name, r.Epoch, r.Strategy, r.Batches, r.AddedEdges, r.RemovedEdges,
 		r.Duration.Round(time.Millisecond),
 		r.GraphCost.Writes, r.ConnCost.Writes, r.BiccCost.Writes)
 }

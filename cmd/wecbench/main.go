@@ -10,9 +10,11 @@
 // Beyond the paper tables, -exp serve is a load generator for the oracled
 // query daemon (cmd/oracled): it drives the HTTP /batch endpoint with a
 // configurable connectivity/biconnectivity query mix and reports QPS,
-// latency percentiles, and the daemon's per-kind cost-model telemetry. See
-// the serve* flags in serve.go. It is not part of "all" (it measures the
-// serving layer, not a paper claim).
+// latency percentiles, and the daemon's per-kind cost-model telemetry (see
+// the serve* flags in serve.go), and -exp multitenant is the end-to-end
+// gate on the multi-graph registry: N graphs behind one daemon, verified
+// isolation, shared-pool admission control (see multitenant.go). Neither
+// is part of "all" (they measure the serving layer, not a paper claim).
 package main
 
 import (
@@ -30,19 +32,20 @@ func main() {
 	scale := flag.Int("scale", 1, "multiply instance sizes by this factor")
 	flag.Parse()
 	runners := map[string]func(int){
-		"t1conn":     t1conn,
-		"t1sparse":   t1sparse,
-		"t1bicc":     t1bicc,
-		"t1query":    t1query,
-		"crossover":  crossover,
-		"decomp":     decompStats,
-		"bclabel":    bclabel,
-		"localgraph": localgraph,
-		"beta":       betaSweep,
-		"alg1depth":  alg1depth,
-		"sec6":       sec6,
-		"scaling":    scaling,
-		"serve":      serveBench,
+		"t1conn":      t1conn,
+		"t1sparse":    t1sparse,
+		"t1bicc":      t1bicc,
+		"t1query":     t1query,
+		"crossover":   crossover,
+		"decomp":      decompStats,
+		"bclabel":     bclabel,
+		"localgraph":  localgraph,
+		"beta":        betaSweep,
+		"alg1depth":   alg1depth,
+		"sec6":        sec6,
+		"scaling":     scaling,
+		"serve":       serveBench,
+		"multitenant": multitenantBench,
 	}
 	if *exp == "all" {
 		for _, id := range []string{"t1conn", "t1sparse", "t1bicc", "t1query",

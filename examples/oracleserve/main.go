@@ -2,10 +2,17 @@
 // — the same engine cmd/oracled mounts over HTTP — and watch the paper's
 // cost metrics accumulate as live serving telemetry.
 //
-// The engine builds both oracles in parallel, shards query batches across
-// GOMAXPROCS workers with per-worker cost meters, and aggregates per-kind
+// The engine builds one oracle per factory registered in internal/oracle
+// (the two paper oracles are the built-ins), shards query batches across a
+// bounded worker pool with per-worker cost meters, and aggregates per-kind
 // stats; queries stay write-free (one output write per answer is the only
 // asymmetric write in the serving path).
+//
+// The second half shows the multi-tenant layer: a serve.Registry carrying
+// several named graphs — per-graph lifecycle (building → ready), one
+// shared admission-controlled worker pool, per-graph admission caps with
+// rejection telemetry. cmd/oracled mounts exactly this registry over HTTP
+// (/graphs lifecycle API).
 package main
 
 import (
@@ -74,4 +81,52 @@ func main() {
 			float64(ks.Cost.Reads)/float64(ks.Count),
 			float64(ks.Cost.Work())/float64(ks.Count))
 	}
+
+	// --- Multi-tenant: many graphs, one registry, one worker pool. ------
+	//
+	// Each graph keeps its own engine, epoch and stats; the pool bounds
+	// query workers across all of them, and per-graph admission caps turn
+	// overload into explicit rejections instead of unbounded queues.
+	fmt.Println("\nmulti-tenant registry:")
+	reg := serve.NewRegistry(serve.RegistryConfig{
+		Engine:      serve.Config{Omega: 64, Seed: 7},
+		MaxInflight: 2, // per-graph cap; beyond it Admit returns ErrBusy (HTTP: 429)
+	})
+	defer reg.Close()
+	// Wait=true builds synchronously; cmd/oracled creates asynchronously
+	// and reports state "building" until the first snapshot publishes.
+	for _, spec := range []serve.GraphSpec{
+		{Name: "mesh", Gen: "random-regular", N: 2000, Deg: 3, GraphSeed: 1, Wait: true},
+		{Name: "social", Gen: "gnm", N: 3000, Deg: 6, GraphSeed: 2, Wait: true},
+	} {
+		if _, err := reg.Create(spec); err != nil {
+			panic(err)
+		}
+	}
+	for _, gs := range reg.List() {
+		e, _ := reg.Get(gs.Name)
+		es := e.Stats()
+		fmt.Printf("  %-7s state=%s n=%-5d m=%-5d components=%-3d built in %.0fms\n",
+			gs.Name, gs.State, gs.GraphN, gs.GraphM, es.NumComponents, gs.BuildMs)
+	}
+
+	// Both graphs answer batches whose chunks run on the shared pool.
+	mesh, _ := reg.Get("mesh")
+	social, _ := reg.Get("social")
+	for name, e := range map[string]*serve.Engine{"mesh": mesh, "social": social} {
+		release, err := e.Admit() // the transport layer's admission step
+		if err != nil {
+			panic(err)
+		}
+		qs := make([]serve.Query, 1000)
+		for i := range qs {
+			qs[i] = serve.Query{Kind: serve.KindConnected, U: int32(i), V: int32(i + 99)}
+		}
+		res := e.Do(qs)
+		release()
+		fmt.Printf("  %-7s batch of %d served; connected(0,99)=%v queue-wait=%v\n",
+			name, len(res), *res[0].Bool, e.Stats().Admission.QueueWait)
+	}
+	ps := reg.Pool().Stats()
+	fmt.Printf("  shared pool: size=%d peak=%d tasks=%d\n", ps.Size, ps.PeakInUse, ps.Tasks)
 }

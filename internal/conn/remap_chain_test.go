@@ -1,0 +1,99 @@
+package conn
+
+import (
+	"testing"
+
+	"repro/internal/asym"
+	"repro/internal/graph"
+	"repro/internal/unionfind"
+)
+
+// TestRemapChainGrowth guards the ROADMAP re-basing item: a long chain of
+// insertion-only ApplyInsertions batches (50+, far beyond what the other
+// dynamic tests exercise) must stay exactly equivalent to a from-scratch
+// oracle over the accumulated edge list — labels as a partition,
+// NumComponents exactly — and the persisted remap table must stay flat
+// (every key resolves in one hop; chains never deepen) and bounded by the
+// number of components that ever existed.
+func TestRemapChainGrowth(t *testing.T) {
+	// Many small islands so the chain keeps finding components to merge
+	// deep into the sequence.
+	base := graph.Disconnected(graph.Cycle(6), 60) // 60 components, n=360
+	n := base.N()
+	m, c := env(16)
+	o := BuildOracle(c, graph.View{G: base, M: m}, 4, 9)
+
+	ref := unionfind.NewRef(n)
+	for _, e := range base.Edges() {
+		ref.Union(e[0], e[1])
+	}
+	edges := base.Edges()
+
+	const batches = 55
+	rng := graph.NewRNG(2024)
+	cur := o
+	qm := asym.NewMeter(16)
+	sym := asym.NewSymTracker(0)
+	for b := 0; b < batches; b++ {
+		// Two random edges per batch: early batches merge often, late ones
+		// mostly land inside one component — both paths stay on the chain.
+		batch := [][2]int32{
+			{int32(rng.Intn(n)), int32(rng.Intn(n))},
+			{int32(rng.Intn(n)), int32(rng.Intn(n))},
+		}
+		next, err := cur.ApplyInsertions(qm, sym, batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		for _, e := range batch {
+			ref.Union(e[0], e[1])
+		}
+		edges = append(edges, batch...)
+		cur = next
+	}
+
+	// Equivalence against a from-scratch oracle over the final edge list.
+	fg := graph.FromEdges(n, edges)
+	fm, fc := env(16)
+	fresh := BuildOracle(fc, graph.View{G: fg, M: fm}, 4, 9)
+
+	got := oracleLabels(cur, n, 16)
+	want := oracleLabels(fresh, n, 16)
+	if !samePartition(got, want) {
+		t.Fatal("chained labels diverge from from-scratch oracle after 55 batches")
+	}
+	if !samePartition(got, ref.Components()) {
+		t.Fatal("chained labels diverge from reference union-find")
+	}
+	if cur.NumComponents != fresh.NumComponents {
+		t.Fatalf("NumComponents: chained %d, from-scratch %d", cur.NumComponents, fresh.NumComponents)
+	}
+
+	// Remap-table invariants. Flatness: values are never themselves keys,
+	// so a query resolves in one extra read no matter how long the chain
+	// got. Boundedness: at most one entry per component the base oracle
+	// ever stored (the re-basing cost ceiling the ROADMAP item tracks).
+	for k, v := range cur.remap {
+		if _, ok := cur.remap[v]; ok {
+			t.Fatalf("remap chain not flat: %d -> %d -> %d", k, v, cur.remap[v])
+		}
+	}
+	if len(cur.remap) >= o.NumComponents {
+		t.Fatalf("remap has %d entries, want < initial component count %d",
+			len(cur.remap), o.NumComponents)
+	}
+	if len(cur.remap) == 0 {
+		t.Fatal("55 merging batches persisted no remap entries (test lost its teeth)")
+	}
+
+	// The chain still composes: one more merging batch on top of the long
+	// chain behaves.
+	last, err := cur.ApplyInsertions(qm, sym, [][2]int32{{0, int32(n - 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := asym.NewMeter(16)
+	if !last.Connected(lm, sym, 0, int32(n-1)) {
+		t.Fatal("post-chain insertion not reflected")
+	}
+}

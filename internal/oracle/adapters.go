@@ -1,0 +1,99 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/asym"
+	"repro/internal/bicc"
+	"repro/internal/conn"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// This file adapts the two paper oracles to the QueryOracle interface and
+// registers them as the built-in factories. The adapters are thin by
+// design: they translate Query/Answer and forward the caller's meter and
+// tracker untouched, so the cost charged per query is exactly what a direct
+// oracle call would charge.
+
+// ConnAdapter serves the connectivity kinds over a conn.Oracle
+// (Theorem 4.4). It also carries the oracle's incremental-insertion path
+// (InsertionApplier) and component count (ComponentCounter).
+type ConnAdapter struct{ O *conn.Oracle }
+
+// Answer dispatches connected/component queries.
+func (a ConnAdapter) Answer(m *asym.Meter, sym *asym.SymTracker, q Query) (Answer, error) {
+	switch q.Kind {
+	case KindConnected:
+		v := a.O.Connected(m, sym, q.U, q.V)
+		return Answer{Bool: &v}, nil
+	case KindComponent:
+		v := a.O.Query(m, sym, q.U)
+		return Answer{Label: &v}, nil
+	}
+	return Answer{}, fmt.Errorf("oracle: conn does not serve kind %q", q.Kind)
+}
+
+// ApplyInsertions folds an insertion-only batch into a new adapter via the
+// write-efficient label merge of conn.Oracle.ApplyInsertions.
+func (a ConnAdapter) ApplyInsertions(m *asym.Meter, sym *asym.SymTracker, edges [][2]int32) (QueryOracle, error) {
+	next, err := a.O.ApplyInsertions(m, sym, edges)
+	if err != nil {
+		return nil, err
+	}
+	return ConnAdapter{O: next}, nil
+}
+
+// NumComponents reports the snapshot's component count.
+func (a ConnAdapter) NumComponents() int { return a.O.NumComponents }
+
+// BiccAdapter serves the biconnectivity kinds over a bicc.Oracle
+// (Theorem 5.3). Biconnectivity is not insertion-monotone, so there is no
+// incremental path: the engine rebuilds it on every snapshot.
+type BiccAdapter struct{ O *bicc.Oracle }
+
+// Answer dispatches bridge/articulation/biconnected queries.
+func (a BiccAdapter) Answer(m *asym.Meter, sym *asym.SymTracker, q Query) (Answer, error) {
+	switch q.Kind {
+	case KindBridge:
+		v := a.O.IsBridge(m, sym, q.U, q.V)
+		return Answer{Bool: &v}, nil
+	case KindArticulation:
+		v := a.O.IsArticulation(m, sym, q.U)
+		return Answer{Bool: &v}, nil
+	case KindBiconnected:
+		v := a.O.Biconnected(m, sym, q.U, q.V)
+		return Answer{Bool: &v}, nil
+	}
+	return Answer{}, fmt.Errorf("oracle: bicc does not serve kind %q", q.Kind)
+}
+
+// NumBCC reports the snapshot's biconnected-component count.
+func (a BiccAdapter) NumBCC() int { return a.O.NumBCC }
+
+// The built-ins register here (one init so the kind order is fixed:
+// connectivity family first, biconnectivity family second — the stable
+// order /stats and load-mix parsing rely on).
+func init() {
+	MustRegister(Factory{
+		Name: "conn",
+		Specs: []Spec{
+			{Kind: KindConnected, Pairwise: true},
+			{Kind: KindComponent, Pairwise: false},
+		},
+		Build: func(c *parallel.Ctx, vw graph.View, k int, seed uint64) QueryOracle {
+			return ConnAdapter{O: conn.BuildOracle(c, vw, k, seed)}
+		},
+	})
+	MustRegister(Factory{
+		Name: "bicc",
+		Specs: []Spec{
+			{Kind: KindBridge, Pairwise: true},
+			{Kind: KindArticulation, Pairwise: false},
+			{Kind: KindBiconnected, Pairwise: true},
+		},
+		Build: func(c *parallel.Ctx, vw graph.View, k int, seed uint64) QueryOracle {
+			return BiccAdapter{O: bicc.BuildOracle(c, vw, nil, k, seed)}
+		},
+	})
+}

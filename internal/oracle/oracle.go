@@ -1,0 +1,192 @@
+// Package oracle defines the pluggable query-oracle surface of the serving
+// layer: a QueryOracle interface that any of the paper's (or future) query
+// structures can implement, plus a process-wide kind registry that maps
+// query kinds ("connected", "bridge", ...) to the factory that builds an
+// oracle answering them.
+//
+// The serving engine (internal/serve) no longer hardcodes the two paper
+// oracles; it asks this registry which factories exist, builds one oracle
+// per factory over each graph snapshot, and dispatches queries by kind.
+// A new oracle — a spanning-forest enumerator, a 2-edge-connectivity
+// oracle — plugs in by calling Register from an init function and never
+// touches the engine.
+//
+// Contract mirrored from the underlying oracles: a QueryOracle is immutable
+// after construction, queries charge only the Meter/SymTracker they are
+// handed (so any number of goroutines may query concurrently with private
+// meters), and queries perform no asymmetric writes.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/asym"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Kind names a query type answerable by some registered oracle.
+type Kind string
+
+// The built-in kinds. Connected and Component are served by the Theorem 4.4
+// connectivity oracle; Bridge, Articulation and Biconnected by the
+// Theorem 5.3 biconnectivity oracle.
+const (
+	KindConnected    Kind = "connected"    // u, v — same component?
+	KindComponent    Kind = "component"    // u — canonical component label
+	KindBridge       Kind = "bridge"       // u, v — is edge {u,v} a bridge?
+	KindArticulation Kind = "articulation" // u — is u a cut vertex?
+	KindBiconnected  Kind = "biconnected"  // u, v — biconnected pair?
+)
+
+// Spec describes one query kind: its wire name and whether it takes a
+// vertex pair (U and V both validated) or a single vertex (V ignored).
+type Spec struct {
+	Kind     Kind `json:"kind"`
+	Pairwise bool `json:"pairwise"`
+}
+
+// Query is one oracle query in registry terms. V is meaningless for
+// non-pairwise kinds.
+type Query struct {
+	Kind Kind
+	U, V int32
+}
+
+// Answer is a successful query answer: exactly one of Bool/Label is set.
+type Answer struct {
+	Bool  *bool
+	Label *int32
+}
+
+// QueryOracle answers queries of the kinds its factory declares, over one
+// immutable graph snapshot. Answer must only be called with in-range
+// vertices of a declared kind; costs are charged to m, symmetric scratch to
+// sym. Implementations must be safe for concurrent use with per-caller
+// meters (the conn/bicc concurrency contract).
+type QueryOracle interface {
+	Answer(m *asym.Meter, sym *asym.SymTracker, q Query) (Answer, error)
+}
+
+// InsertionApplier is implemented by oracles that can fold an
+// insertion-only edge batch into a new oracle with o(rebuild) writes
+// instead of a full reconstruction (conn.Oracle.ApplyInsertions). The
+// receiver is not modified; the returned oracle serves the extended edge
+// multiset.
+type InsertionApplier interface {
+	ApplyInsertions(m *asym.Meter, sym *asym.SymTracker, edges [][2]int32) (QueryOracle, error)
+}
+
+// ComponentCounter exposes the connected-component count of the oracle's
+// snapshot (components with at least one stored center).
+type ComponentCounter interface{ NumComponents() int }
+
+// BCCCounter exposes the biconnected-component count of the snapshot.
+type BCCCounter interface{ NumBCC() int }
+
+// Factory builds the oracle serving one family of kinds. Build runs under a
+// parallel.Ctx (construction work and depth are metered) and must return an
+// immutable oracle; k <= 0 selects the factory's default (the paper's
+// k = ⌈√ω⌉ for both built-ins).
+type Factory struct {
+	// Name identifies the factory ("conn", "bicc") in build-cost telemetry.
+	Name string
+	// Specs lists the kinds this factory's oracles answer.
+	Specs []Spec
+	// Build constructs the oracle over the graph behind vw, charging vw.M.
+	Build func(c *parallel.Ctx, vw graph.View, k int, seed uint64) QueryOracle
+}
+
+var (
+	regMu     sync.RWMutex
+	factories []Factory
+	kindOwner = map[Kind]string{} // kind -> factory name
+)
+
+// Register adds a factory to the process-wide registry. It fails if the
+// factory name or any of its kinds is already taken, or if the factory is
+// malformed; registration order is preserved and defines the stable kind
+// order reported by Kinds.
+func Register(f Factory) error {
+	if f.Name == "" || f.Build == nil || len(f.Specs) == 0 {
+		return fmt.Errorf("oracle: factory needs a name, specs, and a build func")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, existing := range factories {
+		if existing.Name == f.Name {
+			return fmt.Errorf("oracle: factory %q already registered", f.Name)
+		}
+	}
+	seen := map[Kind]bool{}
+	for _, s := range f.Specs {
+		if owner, ok := kindOwner[s.Kind]; ok {
+			return fmt.Errorf("oracle: kind %q already registered by factory %q", s.Kind, owner)
+		}
+		if seen[s.Kind] {
+			return fmt.Errorf("oracle: factory %q lists kind %q twice", f.Name, s.Kind)
+		}
+		seen[s.Kind] = true
+	}
+	for _, s := range f.Specs {
+		kindOwner[s.Kind] = f.Name
+	}
+	factories = append(factories, f)
+	return nil
+}
+
+// MustRegister is Register that panics on error; for init-time use.
+func MustRegister(f Factory) {
+	if err := Register(f); err != nil {
+		panic(err)
+	}
+}
+
+// Factories returns the registered factories in registration order.
+func Factories() []Factory {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]Factory(nil), factories...)
+}
+
+// Kinds returns every registered kind in registration order.
+func Kinds() []Kind {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var ks []Kind
+	for _, f := range factories {
+		for _, s := range f.Specs {
+			ks = append(ks, s.Kind)
+		}
+	}
+	return ks
+}
+
+// SpecOf returns the spec of a registered kind.
+func SpecOf(k Kind) (Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, f := range factories {
+		for _, s := range f.Specs {
+			if s.Kind == k {
+				return s, true
+			}
+		}
+	}
+	return Spec{}, false
+}
+
+// Names returns the registered factory names, sorted (registration-order
+// independent, so output built from it is stable).
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(factories))
+	for _, f := range factories {
+		out = append(out, f.Name)
+	}
+	sort.Strings(out)
+	return out
+}

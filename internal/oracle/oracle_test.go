@@ -1,0 +1,258 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/asym"
+	"repro/internal/bicc"
+	"repro/internal/conn"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+func buildAll(t *testing.T, g *graph.Graph, omega int) map[string]QueryOracle {
+	t.Helper()
+	out := map[string]QueryOracle{}
+	for _, f := range Factories() {
+		m := asym.NewMeter(omega)
+		c := parallel.NewCtx(m, asym.NewSymTracker(0))
+		out[f.Name] = f.Build(c, graph.View{G: g, M: m}, 0, 7)
+	}
+	return out
+}
+
+// TestBuiltinsRegistered pins the built-in registry contents: both paper
+// oracles present, the five kinds in the stable serving order, correct
+// pairwise arity.
+func TestBuiltinsRegistered(t *testing.T) {
+	names := Names()
+	hasConn, hasBicc := false, false
+	for _, n := range names {
+		hasConn = hasConn || n == "conn"
+		hasBicc = hasBicc || n == "bicc"
+	}
+	if !hasConn || !hasBicc {
+		t.Fatalf("builtins missing from registry: %v", names)
+	}
+
+	wantOrder := []Kind{KindConnected, KindComponent, KindBridge, KindArticulation, KindBiconnected}
+	ks := Kinds()
+	if len(ks) < len(wantOrder) {
+		t.Fatalf("registry has %d kinds, want at least %d", len(ks), len(wantOrder))
+	}
+	for i, k := range wantOrder {
+		if ks[i] != k {
+			t.Fatalf("kind order[%d] = %q, want %q (full: %v)", i, ks[i], k, ks)
+		}
+	}
+
+	pairwise := map[Kind]bool{
+		KindConnected: true, KindComponent: false,
+		KindBridge: true, KindArticulation: false, KindBiconnected: true,
+	}
+	for k, want := range pairwise {
+		s, ok := SpecOf(k)
+		if !ok || s.Pairwise != want {
+			t.Errorf("SpecOf(%s) = %+v ok=%v, want pairwise=%v", k, s, ok, want)
+		}
+	}
+	if _, ok := SpecOf("nope"); ok {
+		t.Error("SpecOf accepted an unregistered kind")
+	}
+}
+
+// TestAdaptersMatchDirect checks the thin-adapter property: every kind
+// answered through the registry interface must equal the direct oracle call
+// and charge the same cost.
+func TestAdaptersMatchDirect(t *testing.T) {
+	g := graph.Disconnected(graph.Cycle(15), 4)
+	omega := 16
+	built := buildAll(t, g, omega)
+
+	dm := asym.NewMeter(omega)
+	dc := parallel.NewCtx(dm, asym.NewSymTracker(0))
+	co := conn.BuildOracle(dc, graph.View{G: g, M: dm}, 0, 7)
+	bo := bicc.BuildOracle(dc, graph.View{G: g, M: dm}, nil, 0, 7)
+
+	rng := graph.NewRNG(3)
+	n := g.N()
+	for i := 0; i < 500; i++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		am, dm2 := asym.NewMeter(omega), asym.NewMeter(omega)
+		sym := asym.NewSymTracker(0)
+
+		for _, tc := range []struct {
+			oracle QueryOracle
+			q      Query
+			want   Answer
+		}{
+			{built["conn"], Query{KindConnected, u, v}, boolAns(co.Connected(dm2, sym, u, v))},
+			{built["conn"], Query{KindComponent, u, 0}, labelAns(co.Query(dm2, sym, u))},
+			{built["bicc"], Query{KindBridge, u, v}, boolAns(bo.IsBridge(dm2, sym, u, v))},
+			{built["bicc"], Query{KindArticulation, u, 0}, boolAns(bo.IsArticulation(dm2, sym, u))},
+			{built["bicc"], Query{KindBiconnected, u, v}, boolAns(bo.Biconnected(dm2, sym, u, v))},
+		} {
+			got, err := tc.oracle.Answer(am, sym, tc.q)
+			if err != nil {
+				t.Fatalf("%s(%d,%d): %v", tc.q.Kind, u, v, err)
+			}
+			if !sameAnswer(got, tc.want) {
+				t.Fatalf("%s(%d,%d): adapter %v, direct %v", tc.q.Kind, u, v, render(got), render(tc.want))
+			}
+		}
+		// Thin means free: identical costs on both meters.
+		if am.Snapshot() != dm2.Snapshot() {
+			t.Fatalf("adapter cost %v != direct cost %v", am.Snapshot(), dm2.Snapshot())
+		}
+	}
+
+	// Kinds outside a factory's family are rejected, not misanswered.
+	if _, err := built["conn"].Answer(asym.NewMeter(omega), nil, Query{Kind: KindBridge, U: 0, V: 1}); err == nil {
+		t.Error("conn adapter answered a bicc kind")
+	}
+	if _, err := built["bicc"].Answer(asym.NewMeter(omega), nil, Query{Kind: KindComponent, U: 0}); err == nil {
+		t.Error("bicc adapter answered a conn kind")
+	}
+}
+
+// TestCounters checks the optional counting interfaces resolve through the
+// interface values the factories return.
+func TestCounters(t *testing.T) {
+	g := graph.Disconnected(graph.Cycle(8), 5)
+	built := buildAll(t, g, 16)
+	cc, ok := built["conn"].(ComponentCounter)
+	if !ok || cc.NumComponents() != 5 {
+		t.Fatalf("conn ComponentCounter: ok=%v components=%v", ok, cc)
+	}
+	bc, ok := built["bicc"].(BCCCounter)
+	if !ok || bc.NumBCC() != 5 {
+		t.Fatalf("bicc BCCCounter: ok=%v bccs=%v", ok, bc)
+	}
+	if _, ok := built["bicc"].(InsertionApplier); ok {
+		t.Fatal("bicc must not advertise an incremental insertion path")
+	}
+}
+
+// TestInsertionApplier checks the incremental path composes through the
+// interface: applying a merging batch yields an oracle answering over the
+// extended edge set.
+func TestInsertionApplier(t *testing.T) {
+	g := graph.Disconnected(graph.Cycle(10), 3) // vertices 0..9, 10..19, 20..29
+	built := buildAll(t, g, 16)
+	ia, ok := built["conn"].(InsertionApplier)
+	if !ok {
+		t.Fatal("conn adapter must implement InsertionApplier")
+	}
+	m := asym.NewMeter(16)
+	sym := asym.NewSymTracker(0)
+	next, err := ia.ApplyInsertions(m, sym, [][2]int32{{0, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := next.Answer(m, sym, Query{Kind: KindConnected, U: 0, V: 15})
+	if err != nil || ans.Bool == nil || !*ans.Bool {
+		t.Fatalf("merged components not connected: %v err=%v", render(ans), err)
+	}
+	if next.(ComponentCounter).NumComponents() != 2 {
+		t.Fatalf("components = %d, want 2", next.(ComponentCounter).NumComponents())
+	}
+	// The base oracle is untouched (copy-on-write snapshot discipline).
+	old, _ := built["conn"].Answer(m, sym, Query{Kind: KindConnected, U: 0, V: 15})
+	if *old.Bool {
+		t.Fatal("base oracle mutated by ApplyInsertions")
+	}
+}
+
+// TestRegisterCustomKind is the extensibility contract: a third-party
+// factory plugs a new kind into the registry and answers through the same
+// generic dispatch, with no engine involvement.
+func TestRegisterCustomKind(t *testing.T) {
+	err := Register(Factory{
+		Name:  "parity-test",
+		Specs: []Spec{{Kind: "same-parity", Pairwise: true}},
+		Build: func(c *parallel.Ctx, vw graph.View, k int, seed uint64) QueryOracle {
+			return parityOracle{}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := SpecOf("same-parity"); !ok || !s.Pairwise {
+		t.Fatalf("custom kind not resolvable: %+v ok=%v", s, ok)
+	}
+	g := graph.Path(4)
+	var custom QueryOracle
+	for _, f := range Factories() {
+		if f.Name == "parity-test" {
+			m := asym.NewMeter(8)
+			custom = f.Build(parallel.NewCtx(m, nil), graph.View{G: g, M: m}, 0, 1)
+		}
+	}
+	if custom == nil {
+		t.Fatal("custom factory not listed")
+	}
+	ans, err := custom.Answer(asym.NewMeter(8), nil, Query{Kind: "same-parity", U: 2, V: 4})
+	if err != nil || ans.Bool == nil || !*ans.Bool {
+		t.Fatalf("custom oracle: %v err=%v", render(ans), err)
+	}
+
+	// Duplicate kinds and names are rejected.
+	if err := Register(Factory{
+		Name:  "parity-test-2",
+		Specs: []Spec{{Kind: "same-parity"}},
+		Build: func(*parallel.Ctx, graph.View, int, uint64) QueryOracle { return parityOracle{} },
+	}); err == nil {
+		t.Error("duplicate kind accepted")
+	}
+	if err := Register(Factory{
+		Name:  "conn",
+		Specs: []Spec{{Kind: "conn-dup"}},
+		Build: func(*parallel.Ctx, graph.View, int, uint64) QueryOracle { return parityOracle{} },
+	}); err == nil {
+		t.Error("duplicate factory name accepted")
+	}
+	if err := Register(Factory{Name: "broken"}); err == nil {
+		t.Error("malformed factory accepted")
+	}
+	if err := Register(Factory{
+		Name:  "self-dup",
+		Specs: []Spec{{Kind: "twice", Pairwise: true}, {Kind: "twice"}},
+		Build: func(*parallel.Ctx, graph.View, int, uint64) QueryOracle { return parityOracle{} },
+	}); err == nil {
+		t.Error("factory listing one kind twice accepted")
+	}
+}
+
+type parityOracle struct{}
+
+func (parityOracle) Answer(m *asym.Meter, _ *asym.SymTracker, q Query) (Answer, error) {
+	m.Read(2)
+	v := q.U%2 == q.V%2
+	return Answer{Bool: &v}, nil
+}
+
+func boolAns(v bool) Answer   { return Answer{Bool: &v} }
+func labelAns(v int32) Answer { return Answer{Label: &v} }
+
+func sameAnswer(a, b Answer) bool {
+	if (a.Bool == nil) != (b.Bool == nil) || (a.Label == nil) != (b.Label == nil) {
+		return false
+	}
+	if a.Bool != nil && *a.Bool != *b.Bool {
+		return false
+	}
+	if a.Label != nil && *a.Label != *b.Label {
+		return false
+	}
+	return true
+}
+
+func render(a Answer) any {
+	switch {
+	case a.Bool != nil:
+		return *a.Bool
+	case a.Label != nil:
+		return *a.Label
+	}
+	return nil
+}

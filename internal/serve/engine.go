@@ -1,14 +1,20 @@
 // Package serve turns the paper's query oracles into a long-lived,
-// concurrent serving layer: the write-efficient connectivity oracle
-// (Theorem 4.4) and the biconnectivity oracle (Theorem 5.3) are built once
-// over a graph and then answer batches of queries sharded across
-// GOMAXPROCS workers.
+// concurrent, multi-tenant serving layer. An Engine serves one evolving
+// graph; a Registry (registry.go) manages many named engines behind one
+// HTTP surface, all drawing query workers from one shared
+// admission-controlled Pool (pool.go).
+//
+// The engine no longer hardcodes the two paper oracles: it builds one
+// oracle per factory registered in internal/oracle (the connectivity oracle
+// of Theorem 4.4 and the biconnectivity oracle of Theorem 5.3 are the
+// built-ins) and dispatches queries by registered kind, so future oracles
+// (spanning forest, 2-edge-connectivity) plug in without engine changes.
 //
 // The design follows the oracles' own cost discipline:
 //
-//   - Construction is charged to per-oracle meters (both oracles build in
-//     parallel under one parallel.Ctx fork), so /stats can report the
-//     paper's construction write bounds as live telemetry.
+//   - Construction is charged to per-oracle meters (all factories build in
+//     parallel under one parallel.Ctx), so /stats can report the paper's
+//     construction write bounds as live telemetry.
 //   - Each worker queries with a private asym.Meter and asym.SymTracker —
 //     concurrent queries never share mutable cost-model state — and merges
 //     its totals into long-lived per-query-kind aggregate meters when its
@@ -20,60 +26,61 @@
 //     a query's cost is reads and unit ops.
 //
 // The engine serves an *evolving* graph through epoch-numbered copy-on-write
-// snapshots: all immutable per-graph state (graph, both oracles, build
-// costs) lives in one snapshot behind an atomic pointer, edge-churn batches
-// staged through Update are folded into the next snapshot by a background
-// rebuild (update.go), and an atomic pointer swap publishes it — queries
-// never block on updates and always see a consistent graph. Insertion-only
-// batches take the write-efficient incremental path
-// (conn.Oracle.ApplyInsertions); batches with deletions trigger a full
-// rebuild.
+// snapshots: all immutable per-graph state (graph, oracles, build costs)
+// lives in one snapshot behind an atomic pointer, edge-churn batches staged
+// through Update are folded into the next snapshot by a background rebuild
+// (update.go), and an atomic pointer swap publishes it — queries never
+// block on updates and always see a consistent graph. Insertion-only
+// batches take the write-efficient incremental path for every oracle that
+// implements oracle.InsertionApplier; the rest are rebuilt.
+//
+// Batch dispatch is bounded: chunks run as tasks on the engine's Pool
+// (shared across graphs when the engine belongs to a Registry), and the
+// transport layer admits requests through Engine.Admit, which enforces the
+// per-graph in-flight cap and counts rejections — the 429 surface.
 //
 // Package serve is transport-agnostic; the HTTP/JSON surface lives in
 // http.go and is mounted by cmd/oracled.
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/asym"
 	"repro/internal/bicc"
 	"repro/internal/conn"
 	"repro/internal/graph"
+	"repro/internal/oracle"
 	"repro/internal/parallel"
 )
 
-// Kind names a query type served by the engine.
-type Kind string
+// Kind names a query type served by the engine (an alias of the registry's
+// kind type; the constants below re-export the built-ins).
+type Kind = oracle.Kind
 
-// The five query kinds. Connected, Component and the spanning structure
-// behind them come from conn.Oracle (Thm 4.2/4.4); Bridge, Articulation and
-// Biconnected from bicc.Oracle (Thm 5.1/5.3/6.1).
+// The five built-in query kinds. Connected, Component and the spanning
+// structure behind them come from conn.Oracle (Thm 4.2/4.4); Bridge,
+// Articulation and Biconnected from bicc.Oracle (Thm 5.1/5.3/6.1).
 const (
-	KindConnected    Kind = "connected"    // u, v — same component?
-	KindComponent    Kind = "component"    // u — canonical component label
-	KindBridge       Kind = "bridge"       // u, v — is edge {u,v} a bridge?
-	KindArticulation Kind = "articulation" // u — is u a cut vertex?
-	KindBiconnected  Kind = "biconnected"  // u, v — biconnected pair?
+	KindConnected    = oracle.KindConnected
+	KindComponent    = oracle.KindComponent
+	KindBridge       = oracle.KindBridge
+	KindArticulation = oracle.KindArticulation
+	KindBiconnected  = oracle.KindBiconnected
 )
 
-// Kinds lists every query kind in a stable order (used for stats output and
-// load-mix parsing).
-var Kinds = []Kind{KindConnected, KindComponent, KindBridge, KindArticulation, KindBiconnected}
-
-// kindIndex maps a Kind to its slot in the per-kind stat arrays; -1 if
-// unknown.
-func kindIndex(k Kind) int {
-	for i, kk := range Kinds {
-		if kk == k {
-			return i
-		}
-	}
-	return -1
-}
+// Kinds lists every query kind registered when package serve initialized,
+// in the registry's stable order (used for stats output and load-mix
+// parsing). Factories registered later — e.g. from a plugin package whose
+// init runs after serve's — are served by engines and reported by
+// Engine.Kinds / /info, but do not appear here; call oracle.Kinds() for
+// the live set.
+var Kinds = oracle.Kinds()
 
 // Query is one oracle query. V is ignored by the single-vertex kinds
 // (component, articulation).
@@ -94,6 +101,10 @@ type Result struct {
 	Err   string `json:"error,omitempty"`
 }
 
+// ErrBusy is returned by Admit when the engine's in-flight request cap is
+// reached; the HTTP layer maps it to 429 with a Retry-After header.
+var ErrBusy = errors.New("serve: graph at admission capacity")
+
 // Config configures an Engine.
 type Config struct {
 	// Omega is the asymmetric write cost ω; 0 selects asym.DefaultOmega.
@@ -107,6 +118,14 @@ type Config struct {
 	// SymLimit, if nonzero, caps per-worker symmetric memory in words
 	// (the paper's O(k log n) budget); 0 means report-only.
 	SymLimit int
+	// Pool is the worker pool batch chunks run on. Nil creates a private
+	// pool sized to GOMAXPROCS; a Registry passes its shared pool so all
+	// graphs draw from one bounded worker fleet.
+	Pool *Pool
+	// MaxInflight caps concurrently admitted requests (Admit); 0 means
+	// unlimited. Requests beyond the cap are rejected with ErrBusy and
+	// counted in Stats.Admission.Rejected.
+	MaxInflight int
 	// OnRebuild, if non-nil, is called after every rebuild attempt
 	// (successful or not) with its record. Called outside the engine's
 	// lock, from the rebuild goroutine; keep it fast and non-blocking.
@@ -120,21 +139,44 @@ type KindStats struct {
 	Cost   asym.Cost `json:"cost"`
 }
 
+// AdmissionStats is the per-graph admission-control telemetry.
+type AdmissionStats struct {
+	// MaxInflight is the configured cap (0 = unlimited).
+	MaxInflight int `json:"max_inflight"`
+	// Inflight counts currently admitted requests.
+	Inflight int64 `json:"inflight"`
+	// Rejected counts requests refused with ErrBusy over the engine's
+	// lifetime.
+	Rejected int64 `json:"rejected"`
+	// QueueWait is the cumulative time this graph's batches spent waiting
+	// for pool worker slots.
+	QueueWait time.Duration `json:"queue_wait_ns"`
+}
+
 // Stats is the engine-wide snapshot served at /stats. Graph shape, build
-// costs and component counts describe the current snapshot; query and
-// rebuild telemetry is cumulative across the engine's lifetime.
+// costs and component counts describe the current snapshot; query, rebuild,
+// admission and pool telemetry is cumulative.
 type Stats struct {
-	GraphN        int                  `json:"graph_n"`
-	GraphM        int                  `json:"graph_m"`
-	Omega         int                  `json:"omega"`
-	K             int                  `json:"k"`
-	Workers       int                  `json:"workers"`
-	NumComponents int                  `json:"num_components"`
-	NumBCC        int                  `json:"num_bcc"`
-	BuildConn     asym.Cost            `json:"build_conn"`
-	BuildBicc     asym.Cost            `json:"build_bicc"`
-	Queries       map[string]KindStats `json:"queries"`
-	TotalQueries  int64                `json:"total_queries"`
+	GraphN        int `json:"graph_n"`
+	GraphM        int `json:"graph_m"`
+	Omega         int `json:"omega"`
+	K             int `json:"k"`
+	Workers       int `json:"workers"`
+	NumComponents int `json:"num_components"`
+	NumBCC        int `json:"num_bcc"`
+	// BuildConn/BuildBicc are the built-in factories' construction costs
+	// (kept for single-graph clients); BuildCosts has every registered
+	// factory's, keyed by factory name.
+	BuildConn    asym.Cost            `json:"build_conn"`
+	BuildBicc    asym.Cost            `json:"build_bicc"`
+	BuildCosts   map[string]asym.Cost `json:"build_costs"`
+	Queries      map[string]KindStats `json:"queries"`
+	TotalQueries int64                `json:"total_queries"`
+
+	// Admission control (this graph) and the worker pool (shared across
+	// graphs when the engine belongs to a Registry).
+	Admission AdmissionStats `json:"admission"`
+	Pool      PoolStats      `json:"pool"`
 
 	// Dynamic-update telemetry (update.go).
 	Epoch               int64           `json:"epoch"`
@@ -148,19 +190,38 @@ type Stats struct {
 
 // snapshot is the immutable per-epoch serving state. A snapshot is built
 // completely before its pointer is published; after that nothing in it
-// mutates, so readers never lock.
+// mutates, so readers never lock. oracles and costs are parallel to the
+// engine's factory list.
 type snapshot struct {
-	epoch     int64
-	g         *graph.Graph
-	conn      *conn.Oracle
-	bicc      *bicc.Oracle
-	buildConn asym.Cost
-	buildBicc asym.Cost
+	epoch   int64
+	g       *graph.Graph
+	oracles []oracle.QueryOracle
+	costs   []asym.Cost
+}
+
+// counts extracts the structure counters from whichever snapshot oracles
+// advertise them (shared by /stats and /info).
+func (s *snapshot) counts() (components, bccs int) {
+	for _, o := range s.oracles {
+		if cc, ok := o.(oracle.ComponentCounter); ok {
+			components = cc.NumComponents()
+		}
+		if bc, ok := o.(oracle.BCCCounter); ok {
+			bccs = bc.NumBCC()
+		}
+	}
+	return components, bccs
+}
+
+// kindRef locates one kind's aggregate slot and owning oracle.
+type kindRef struct {
+	agg int // index into Engine.specs / Engine.kinds
+	fac int // index into Engine.factories / snapshot.oracles
 }
 
 // Engine is a thread-safe batched query service over one evolving graph.
-// The current snapshot (graph + both oracles) is immutable and reached
-// through an atomic pointer; all per-query mutable state (meters, symmetric
+// The current snapshot (graph + oracles) is immutable and reached through
+// an atomic pointer; all per-query mutable state (meters, symmetric
 // trackers, search scratch) is worker-local, so any number of goroutines
 // may call Do / Query / Update concurrently.
 type Engine struct {
@@ -171,6 +232,19 @@ type Engine struct {
 	seed      uint64
 	onRebuild func(RebuildRecord)
 
+	// Oracle dispatch, fixed at New from the process-wide registry.
+	factories []oracle.Factory
+	specs     []oracle.Spec
+	byKind    map[oracle.Kind]kindRef
+	facByName map[string]int
+
+	// Worker pool + admission control.
+	pool        *Pool
+	maxInflight int64
+	inflight    atomic.Int64
+	rejected    atomic.Int64
+	queueWaitNs atomic.Int64
+
 	snap atomic.Pointer[snapshot]
 
 	// Per-kind aggregates. The meters are shared long-lived accumulators
@@ -179,7 +253,7 @@ type Engine struct {
 	// only.
 	kinds []kindAgg
 	total atomic.Int64
-	disp  *asym.Meter // dispatch overhead (batch sharding), not per-kind
+	disp  *asym.Meter // build/rebuild root-context overhead, not per-kind
 
 	// Dynamic-update state (update.go). mu guards everything below plus
 	// the snap.Store in the rebuild loop; snap.Load never locks.
@@ -205,8 +279,8 @@ type kindAgg struct {
 	meter  *asym.Meter
 }
 
-// New builds both oracles over g and returns a ready engine. The two
-// constructions run as the two branches of a parallel.Ctx fork, each
+// New builds one oracle per registered factory over g and returns a ready
+// engine. The constructions run in parallel under one parallel.Ctx, each
 // charging its own meter, so the build parallelizes and the per-oracle
 // construction costs stay separable in /stats.
 func New(g *graph.Graph, cfg Config) *Engine {
@@ -222,46 +296,99 @@ func New(g *graph.Graph, cfg Config) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = NewPool(0)
+	}
 	e := &Engine{
-		omega:     omega,
-		k:         k,
-		workers:   workers,
-		sym:       cfg.SymLimit,
-		seed:      cfg.Seed,
-		onRebuild: cfg.OnRebuild,
-		disp:      asym.NewMeter(omega),
-		kinds:     make([]kindAgg, len(Kinds)),
-		delta:     map[[2]int32]int{},
+		omega:       omega,
+		k:           k,
+		workers:     workers,
+		sym:         cfg.SymLimit,
+		seed:        cfg.Seed,
+		onRebuild:   cfg.OnRebuild,
+		pool:        pool,
+		maxInflight: int64(cfg.MaxInflight),
+		disp:        asym.NewMeter(omega),
+		byKind:      map[oracle.Kind]kindRef{},
+		facByName:   map[string]int{},
+		delta:       map[[2]int32]int{},
 	}
 	e.cond = sync.NewCond(&e.mu)
+	e.factories = oracle.Factories()
+	for fi, f := range e.factories {
+		e.facByName[f.Name] = fi
+		for _, s := range f.Specs {
+			e.byKind[s.Kind] = kindRef{agg: len(e.specs), fac: fi}
+			e.specs = append(e.specs, s)
+		}
+	}
+	e.kinds = make([]kindAgg, len(e.specs))
 	for i := range e.kinds {
 		e.kinds[i].meter = asym.NewMeter(omega)
 	}
-	co, bo, cc, bc := e.buildOracles(g)
-	e.snap.Store(&snapshot{epoch: 0, g: g, conn: co, bicc: bo, buildConn: cc, buildBicc: bc})
+	os, costs := e.buildOracles(g)
+	e.snap.Store(&snapshot{epoch: 0, g: g, oracles: os, costs: costs})
 	return e
 }
 
-// buildOracles constructs both oracles over g in parallel, returning them
-// with their separable construction costs. Used for the initial snapshot
-// and for full rebuilds.
-func (e *Engine) buildOracles(g *graph.Graph) (*conn.Oracle, *bicc.Oracle, asym.Cost, asym.Cost) {
-	mc := asym.NewMeter(e.omega)
-	mb := asym.NewMeter(e.omega)
-	var co *conn.Oracle
-	var bo *bicc.Oracle
+// buildOracles constructs every factory's oracle over g in parallel,
+// returning them with their separable construction costs. Used for the
+// initial snapshot and for full rebuilds.
+//
+// A panicking Build is re-raised on the *calling* goroutine: the parallel
+// fork runs branches on spawned goroutines with no recover of their own,
+// so without the capture here a single oracle panic would kill the whole
+// process instead of reaching the caller's recover (the Registry parks the
+// graph at StateFailed).
+func (e *Engine) buildOracles(g *graph.Graph) ([]oracle.QueryOracle, []asym.Cost) {
+	os := make([]oracle.QueryOracle, len(e.factories))
+	ms := make([]*asym.Meter, len(e.factories))
+	for i := range ms {
+		ms[i] = asym.NewMeter(e.omega)
+	}
+	panics := make([]error, len(e.factories))
 	root := parallel.NewCtx(e.disp, nil)
-	root.Fork2(
-		func(*parallel.Ctx) {
-			c := parallel.NewCtx(mc, asym.NewSymTracker(e.sym))
-			co = conn.BuildOracle(c, graph.View{G: g, M: mc}, e.k, e.seed)
-		},
-		func(*parallel.Ctx) {
-			c := parallel.NewCtx(mb, asym.NewSymTracker(e.sym))
-			bo = bicc.BuildOracle(c, graph.View{G: g, M: mb}, nil, e.k, e.seed)
-		},
-	)
-	return co, bo, mc.Snapshot(), mb.Snapshot()
+	root.SetGrain(1)
+	root.For(0, len(e.factories), func(_ *parallel.Ctx, i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[i] = fmt.Errorf("oracle %q build panicked: %v", e.factories[i].Name, r)
+			}
+		}()
+		c := parallel.NewCtx(ms[i], asym.NewSymTracker(e.sym))
+		os[i] = e.factories[i].Build(c, graph.View{G: g, M: ms[i]}, e.k, e.seed)
+	})
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	costs := make([]asym.Cost, len(ms))
+	for i, m := range ms {
+		costs[i] = m.Snapshot()
+	}
+	return os, costs
+}
+
+// costByName returns the snapshot build cost of the named factory (zero if
+// that factory is not registered).
+func (e *Engine) costByName(s *snapshot, name string) asym.Cost {
+	if fi, ok := e.facByName[name]; ok {
+		return s.costs[fi]
+	}
+	return asym.Cost{Omega: e.omega}
+}
+
+// buildCosts returns every factory's snapshot build cost keyed by factory
+// name — the generalization of BuildConn/BuildBicc that covers plugged-in
+// oracles too.
+func (e *Engine) buildCosts(s *snapshot) map[string]asym.Cost {
+	out := make(map[string]asym.Cost, len(e.factories))
+	for fi, f := range e.factories {
+		out[f.Name] = s.costs[fi]
+	}
+	return out
 }
 
 // Graph returns the currently served graph (the latest snapshot's).
@@ -277,11 +404,61 @@ func (e *Engine) Omega() int { return e.omega }
 // K returns the decomposition parameter.
 func (e *Engine) K() int { return e.k }
 
-// Conn exposes the current snapshot's connectivity oracle (read-only use).
-func (e *Engine) Conn() *conn.Oracle { return e.snap.Load().conn }
+// Pool returns the worker pool this engine draws query workers from.
+func (e *Engine) Pool() *Pool { return e.pool }
 
-// Bicc exposes the current snapshot's biconnectivity oracle (read-only use).
-func (e *Engine) Bicc() *bicc.Oracle { return e.snap.Load().bicc }
+// Kinds returns the query kinds this engine serves (the kinds registered
+// at its construction), in dispatch order.
+func (e *Engine) Kinds() []Kind {
+	ks := make([]Kind, len(e.specs))
+	for i, s := range e.specs {
+		ks[i] = s.Kind
+	}
+	return ks
+}
+
+// Inflight returns the number of currently admitted requests.
+func (e *Engine) Inflight() int64 { return e.inflight.Load() }
+
+// Conn exposes the current snapshot's connectivity oracle (read-only use);
+// nil if no conn factory is registered.
+func (e *Engine) Conn() *conn.Oracle {
+	for _, o := range e.snap.Load().oracles {
+		if a, ok := o.(oracle.ConnAdapter); ok {
+			return a.O
+		}
+	}
+	return nil
+}
+
+// Bicc exposes the current snapshot's biconnectivity oracle (read-only
+// use); nil if no bicc factory is registered.
+func (e *Engine) Bicc() *bicc.Oracle {
+	for _, o := range e.snap.Load().oracles {
+		if a, ok := o.(oracle.BiccAdapter); ok {
+			return a.O
+		}
+	}
+	return nil
+}
+
+// Admit reserves one in-flight request slot, returning the release func.
+// When the engine's MaxInflight cap is reached it rejects with ErrBusy and
+// counts the rejection — the transport layer's 429. With MaxInflight 0
+// admission always succeeds (the slot is still counted, so /stats reports
+// live in-flight depth).
+func (e *Engine) Admit() (release func(), err error) {
+	for {
+		cur := e.inflight.Load()
+		if e.maxInflight > 0 && cur >= e.maxInflight {
+			e.rejected.Add(1)
+			return nil, ErrBusy
+		}
+		if e.inflight.CompareAndSwap(cur, cur+1) {
+			return func() { e.inflight.Add(-1) }, nil
+		}
+	}
+}
 
 // worker holds one shard's private cost-model state: a meter per query kind
 // plus a symmetric-memory tracker. Nothing here is shared until mergeInto.
@@ -294,9 +471,9 @@ type worker struct {
 
 func (e *Engine) newWorker() *worker {
 	w := &worker{
-		meters: make([]*asym.Meter, len(Kinds)),
-		counts: make([]int64, len(Kinds)),
-		errs:   make([]int64, len(Kinds)),
+		meters: make([]*asym.Meter, len(e.specs)),
+		counts: make([]int64, len(e.specs)),
+		errs:   make([]int64, len(e.specs)),
 		sym:    asym.NewSymTracker(e.sym),
 	}
 	for i := range w.meters {
@@ -307,7 +484,7 @@ func (e *Engine) newWorker() *worker {
 
 // mergeInto folds the worker's per-kind totals into the engine aggregates.
 func (w *worker) mergeInto(e *Engine) {
-	for i := range Kinds {
+	for i := range e.kinds {
 		if w.counts[i] == 0 && w.errs[i] == 0 {
 			continue
 		}
@@ -319,54 +496,41 @@ func (w *worker) mergeInto(e *Engine) {
 }
 
 // answer runs one query against the snapshot's oracles using the worker's
-// private meters. The single m.Write(1) charges the store of the answer
-// into the batch's result slice (the output-sized write cost of the model);
-// the oracles themselves write nothing during queries.
+// private meters. Dispatch is by registered kind: the spec supplies the
+// arity for validation, the kindRef the owning oracle. The single m.Write(1)
+// charges the store of the answer into the batch's result slice (the
+// output-sized write cost of the model); the oracles themselves write
+// nothing during queries.
 func (e *Engine) answer(s *snapshot, w *worker, q Query) Result {
-	ki := kindIndex(q.Kind)
-	if ki < 0 {
+	ref, ok := e.byKind[q.Kind]
+	if !ok {
 		// Unknown kinds are not attributable to a per-kind meter; count
 		// them under no kind and report the error.
 		return Result{Err: fmt.Sprintf("unknown query kind %q", q.Kind)}
 	}
 	n := int32(s.g.N())
-	pairwise := q.Kind == KindConnected || q.Kind == KindBridge || q.Kind == KindBiconnected
-	if q.U < 0 || q.U >= n || (pairwise && (q.V < 0 || q.V >= n)) {
-		w.errs[ki]++
+	if q.U < 0 || q.U >= n || (e.specs[ref.agg].Pairwise && (q.V < 0 || q.V >= n)) {
+		w.errs[ref.agg]++
 		return Result{Err: fmt.Sprintf("vertex out of range [0,%d)", n)}
 	}
-	m := w.meters[ki]
-	var res Result
-	switch q.Kind {
-	case KindConnected:
-		v := s.conn.Connected(m, w.sym, q.U, q.V)
-		res.Bool = &v
-	case KindComponent:
-		v := s.conn.Query(m, w.sym, q.U)
-		res.Label = &v
-	case KindBridge:
-		v := s.bicc.IsBridge(m, w.sym, q.U, q.V)
-		res.Bool = &v
-	case KindArticulation:
-		v := s.bicc.IsArticulation(m, w.sym, q.U)
-		res.Bool = &v
-	case KindBiconnected:
-		v := s.bicc.Biconnected(m, w.sym, q.U, q.V)
-		res.Bool = &v
+	m := w.meters[ref.agg]
+	ans, err := s.oracles[ref.fac].Answer(m, w.sym, oracle.Query{Kind: q.Kind, U: q.U, V: q.V})
+	if err != nil {
+		w.errs[ref.agg]++
+		return Result{Err: err.Error()}
 	}
 	m.Write(1) // store the answer (output-sized cost)
-	w.counts[ki]++
-	return res
+	w.counts[ref.agg]++
+	return Result{Bool: ans.Bool, Label: ans.Label}
 }
 
 // Do answers a batch of queries. The snapshot pointer is loaded once, so
 // every query in the batch is answered against the same epoch even if an
-// update publishes mid-batch. The slice is sharded into up to Workers
-// contiguous chunks dispatched through parallel.Ctx.For (ForEachChunk), so
-// fork overhead is amortized across the whole request slice rather than
-// paid per query; each chunk runs on its own worker state. Do is safe to
-// call from many goroutines at once — each call builds a fresh dispatch
-// context and fresh workers.
+// update publishes mid-batch. The slice is split into up to Workers
+// contiguous chunks which run as tasks on the engine's worker pool — the
+// bound shared across all graphs of a Registry — each on its own worker
+// state. Do is safe to call from many goroutines at once; time spent
+// waiting for pool slots is recorded in the admission telemetry.
 func (e *Engine) Do(queries []Query) []Result {
 	out := make([]Result, len(queries))
 	if len(queries) == 0 {
@@ -374,20 +538,25 @@ func (e *Engine) Do(queries []Query) []Result {
 	}
 	s := e.snap.Load()
 	chunk := (len(queries) + e.workers - 1) / e.workers
-	ctx := parallel.NewCtx(e.disp, nil)
-	ctx.ForEachChunk(len(queries), chunk, func(cc *parallel.Ctx, lo, hi int) {
+	nchunks := (len(queries) + chunk - 1) / chunk
+	wait := e.pool.Run(nchunks, func(ci int) {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
 		w := e.newWorker()
 		for i := lo; i < hi; i++ {
 			out[i] = e.answer(s, w, queries[i])
 		}
-		cc.AddDepth(int64(hi - lo))
 		w.mergeInto(e)
 	})
+	e.queueWaitNs.Add(int64(wait))
 	return out
 }
 
-// Query answers a single query (a one-element batch without the fork
-// spine).
+// Query answers a single query (a one-element batch without the pool
+// round-trip).
 func (e *Engine) Query(q Query) Result {
 	w := e.newWorker()
 	res := e.answer(e.snap.Load(), w, q)
@@ -403,18 +572,17 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	sn := e.snap.Load()
 	s := Stats{
-		GraphN:        sn.g.N(),
-		GraphM:        sn.g.M(),
-		Omega:         e.omega,
-		K:             e.k,
-		Workers:       e.workers,
-		NumComponents: sn.conn.NumComponents,
-		NumBCC:        sn.bicc.NumBCC,
-		BuildConn:     sn.buildConn,
-		BuildBicc:     sn.buildBicc,
-		Queries:       make(map[string]KindStats, len(Kinds)),
-		TotalQueries:  e.total.Load(),
-		Epoch:         sn.epoch,
+		GraphN:       sn.g.N(),
+		GraphM:       sn.g.M(),
+		Omega:        e.omega,
+		K:            e.k,
+		Workers:      e.workers,
+		BuildConn:    e.costByName(sn, "conn"),
+		BuildBicc:    e.costByName(sn, "bicc"),
+		BuildCosts:   e.buildCosts(sn),
+		Queries:      make(map[string]KindStats, len(e.specs)),
+		TotalQueries: e.total.Load(),
+		Epoch:        sn.epoch,
 	}
 	s.PendingUpdates = e.unapplied
 	s.TotalRebuilds = e.nRebuilds
@@ -423,12 +591,20 @@ func (e *Engine) Stats() Stats {
 	s.EdgesRemoved = e.edgesRemoved
 	s.Rebuilds = append([]RebuildRecord(nil), e.history...)
 	e.mu.Unlock()
-	for i, k := range Kinds {
-		s.Queries[string(k)] = KindStats{
+	s.NumComponents, s.NumBCC = sn.counts()
+	for i, spec := range e.specs {
+		s.Queries[string(spec.Kind)] = KindStats{
 			Count:  e.kinds[i].count.Load(),
 			Errors: e.kinds[i].errors.Load(),
 			Cost:   e.kinds[i].meter.Snapshot(),
 		}
 	}
+	s.Admission = AdmissionStats{
+		MaxInflight: int(e.maxInflight),
+		Inflight:    e.inflight.Load(),
+		Rejected:    e.rejected.Load(),
+		QueueWait:   time.Duration(e.queueWaitNs.Load()),
+	}
+	s.Pool = e.pool.Stats()
 	return s
 }

@@ -9,22 +9,45 @@ import (
 	"repro/internal/asym"
 )
 
-// This file is the HTTP/JSON surface over Engine, mounted by cmd/oracled
-// and by the httptest round-trips in http_test.go:
+// This file is the HTTP/JSON surface over the Registry, mounted by
+// cmd/oracled and by the httptest round-trips in the test files.
+//
+// Single-graph endpoints (route to the registry's *default* graph, so every
+// pre-multi-tenant client works unchanged):
 //
 //	POST /query   {"kind":"connected","u":0,"v":5}      -> Result
 //	POST /batch   {"queries":[Query,...]}                -> {"results":[Result,...],"count":N}
 //	POST /update  {"add":[[0,5],...],"remove":[[1,2],...],"wait":true} -> UpdateResponse
-//	GET  /stats                                          -> Stats (incl. epoch + rebuild telemetry)
+//	GET  /stats                                          -> Stats (incl. epoch, rebuild, admission, pool telemetry)
 //	GET  /info                                           -> per-snapshot build/graph info
-//	GET  /healthz                                        -> {"ok":true}
+//	GET  /healthz                                        -> 200 {"ok":true} once the default graph's first
+//	                                                        snapshot is published; 503 {"ok":false,...} before
+//	                                                        (readiness, not liveness)
+//
+// Graph lifecycle (multi-tenant):
+//
+//	POST   /graphs                -> create a named graph from generator params or an inline
+//	                                 graphio body; built in the background (202 + state
+//	                                 "building", or the final state with "wait":true)
+//	GET    /graphs                -> every graph's lifecycle status
+//	GET    /graphs/{name}         -> one graph's lifecycle status
+//	DELETE /graphs/{name}         -> unregister; drains in-flight requests, then closes
+//	POST   /graphs/{name}/query|batch|update, GET /graphs/{name}/stats|info
+//	                              -> the single-graph endpoints, per graph
+//
+// Requests against a graph that is still building get 503 + Retry-After;
+// admission-control rejections (per-graph in-flight cap) get 429 +
+// Retry-After with the rejection counted in that graph's /stats. Wrong
+// methods get 405 with an Allow header (the method-aware mux patterns
+// below), never a zero-value decode of the wrong request shape.
 //
 // Batch requests are capped at MaxBatch queries so a single request cannot
 // hold a worker set for an unbounded time; load generators split larger
 // workloads into multiple requests (cmd/wecbench -exp serve does). The cap
 // is enforced before decoding via a MaxBytesReader on the request body —
 // rejecting an oversized batch must not itself cost an oversized decode.
-// Update requests are capped the same way at MaxUpdateEdges edges.
+// Update requests are capped the same way at MaxUpdateEdges edges, graph
+// creations at maxGraphSpecBytes.
 
 // MaxBatch bounds the number of queries accepted by one /batch request.
 const MaxBatch = 1 << 20
@@ -46,6 +69,14 @@ const maxBatchBytes = MaxBatch * 64
 
 // maxQueryBytes bounds the /query request body.
 const maxQueryBytes = 1 << 12
+
+// maxGraphSpecBytes bounds the POST /graphs request body (the graphio
+// field carries whole edge lists).
+const maxGraphSpecBytes = 64 << 20
+
+// retryAfter is the Retry-After value (seconds) sent with 429 and
+// not-ready 503 responses.
+const retryAfter = "1"
 
 // BatchRequest is the /batch request body.
 type BatchRequest struct {
@@ -76,20 +107,27 @@ type UpdateResponse struct {
 	Applied bool  `json:"applied"`
 }
 
+// GraphListResponse is the GET /graphs response body.
+type GraphListResponse struct {
+	Graphs  []GraphStatus `json:"graphs"`
+	Default string        `json:"default,omitempty"`
+}
+
 // Info is the /info response body: the engine's configuration plus the
 // current snapshot's shape and build costs (stable within an epoch).
 type Info struct {
-	GraphN        int      `json:"graph_n"`
-	GraphM        int      `json:"graph_m"`
-	Omega         int      `json:"omega"`
-	K             int      `json:"k"`
-	Workers       int      `json:"workers"`
-	NumComponents int      `json:"num_components"`
-	NumBCC        int      `json:"num_bcc"`
-	Epoch         int64    `json:"epoch"`
-	Kinds         []Kind   `json:"kinds"`
-	BuildConn     CostJSON `json:"build_conn"`
-	BuildBicc     CostJSON `json:"build_bicc"`
+	GraphN        int                 `json:"graph_n"`
+	GraphM        int                 `json:"graph_m"`
+	Omega         int                 `json:"omega"`
+	K             int                 `json:"k"`
+	Workers       int                 `json:"workers"`
+	NumComponents int                 `json:"num_components"`
+	NumBCC        int                 `json:"num_bcc"`
+	Epoch         int64               `json:"epoch"`
+	Kinds         []Kind              `json:"kinds"`
+	BuildConn     CostJSON            `json:"build_conn"`
+	BuildBicc     CostJSON            `json:"build_bicc"`
+	BuildCosts    map[string]CostJSON `json:"build_costs"`
 }
 
 // CostJSON is an asym.Cost with the derived work made explicit for JSON
@@ -103,6 +141,24 @@ type CostJSON struct {
 	Work   int64 `json:"work"`
 }
 
+// AdmissionJSON mirrors AdmissionStats with the queue wait in
+// milliseconds.
+type AdmissionJSON struct {
+	MaxInflight int     `json:"max_inflight"`
+	Inflight    int64   `json:"inflight"`
+	Rejected    int64   `json:"rejected"`
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+}
+
+// PoolJSON mirrors PoolStats with the queue wait in milliseconds.
+type PoolJSON struct {
+	Size        int     `json:"size"`
+	InUse       int64   `json:"in_use"`
+	PeakInUse   int64   `json:"peak_in_use"`
+	Tasks       int64   `json:"tasks"`
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+}
+
 // StatsJSON mirrors Stats with CostJSON leaves.
 type StatsJSON struct {
 	GraphN        int                      `json:"graph_n"`
@@ -114,8 +170,12 @@ type StatsJSON struct {
 	NumBCC        int                      `json:"num_bcc"`
 	BuildConn     CostJSON                 `json:"build_conn"`
 	BuildBicc     CostJSON                 `json:"build_bicc"`
+	BuildCosts    map[string]CostJSON      `json:"build_costs"`
 	Queries       map[string]KindStatsJSON `json:"queries"`
 	TotalQueries  int64                    `json:"total_queries"`
+
+	Admission AdmissionJSON `json:"admission"`
+	Pool      PoolJSON      `json:"pool"`
 
 	Epoch               int64               `json:"epoch"`
 	PendingUpdates      int                 `json:"pending_updates"`
@@ -129,16 +189,17 @@ type StatsJSON struct {
 // RebuildRecordJSON mirrors RebuildRecord with CostJSON leaves and the
 // duration in milliseconds.
 type RebuildRecordJSON struct {
-	Epoch        int64    `json:"epoch"`
-	Strategy     string   `json:"strategy"`
-	Batches      int      `json:"batches"`
-	AddedEdges   int      `json:"added_edges"`
-	RemovedEdges int      `json:"removed_edges"`
-	GraphCost    CostJSON `json:"graph_cost"`
-	ConnCost     CostJSON `json:"conn_cost"`
-	BiccCost     CostJSON `json:"bicc_cost"`
-	DurationMs   float64  `json:"duration_ms"`
-	Err          string   `json:"error,omitempty"`
+	Epoch        int64               `json:"epoch"`
+	Strategy     string              `json:"strategy"`
+	Batches      int                 `json:"batches"`
+	AddedEdges   int                 `json:"added_edges"`
+	RemovedEdges int                 `json:"removed_edges"`
+	GraphCost    CostJSON            `json:"graph_cost"`
+	ConnCost     CostJSON            `json:"conn_cost"`
+	BiccCost     CostJSON            `json:"bicc_cost"`
+	OracleCosts  map[string]CostJSON `json:"oracle_costs,omitempty"`
+	DurationMs   float64             `json:"duration_ms"`
+	Err          string              `json:"error,omitempty"`
 }
 
 // KindStatsJSON mirrors KindStats with a CostJSON leaf.
@@ -152,31 +213,206 @@ func costJSON(c asym.Cost) CostJSON {
 	return CostJSON{Omega: c.Omega, Reads: c.Reads, Writes: c.Writes, Ops: c.Ops, Work: c.Work()}
 }
 
-// NewServer returns the HTTP handler serving e.
+func costsJSON(m map[string]asym.Cost) map[string]CostJSON {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]CostJSON, len(m))
+	for name, c := range m {
+		out[name] = costJSON(c)
+	}
+	return out
+}
+
+// NewServer returns the HTTP handler serving a single engine: the engine
+// is attached as the default graph of a fresh registry, so the un-prefixed
+// endpoints behave exactly as before the multi-graph refactor and the
+// /graphs endpoints report it. Graph *creation* stays disabled (quota 1 =
+// the wrapped engine): a single-engine surface must not silently grow an
+// open build API — embedders who want multi-tenancy mount
+// NewRegistryServer(NewRegistry(...)) instead. The caller keeps ownership
+// of e's lifecycle.
 func NewServer(e *Engine) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	reg := NewRegistry(RegistryConfig{
+		Engine:      Config{Omega: e.omega, K: e.k, Seed: e.seed, Workers: e.workers, SymLimit: e.sym},
+		Pool:        e.Pool(),
+		MaxInflight: int(e.maxInflight),
+		MaxGraphs:   1,
 	})
-	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			httpError(w, http.StatusMethodNotAllowed, "GET only")
+	if err := reg.Attach("default", e); err != nil {
+		panic(err) // fresh registry: unreachable
+	}
+	return NewRegistryServer(reg)
+}
+
+// resolver locates the engine a request addresses.
+type resolver func(r *http.Request) (*Engine, error)
+
+// NewRegistryServer returns the HTTP handler serving every graph in reg.
+// Method-qualified mux patterns give wrong-method requests a 405 with an
+// Allow header for free.
+func NewRegistryServer(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	def := func(*http.Request) (*Engine, error) { return reg.Default() }
+	named := func(r *http.Request) (*Engine, error) { return reg.Get(r.PathValue("name")) }
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := reg.Status(reg.DefaultName())
+		if ok && st.State == StateReady {
+			writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+			return
+		}
+		state := "no graphs"
+		if ok {
+			state = string(st.State)
+		}
+		// Retry-After only for transient states; a failed build is
+		// terminal until the graph is deleted, so no retry hint (same
+		// rule as resolveEngine).
+		if !ok || st.State == StateBuilding {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "state": state})
+	})
+
+	// Single-graph endpoints, twice: un-prefixed against the default graph
+	// and under /graphs/{name}/ against any graph.
+	for prefix, resolve := range map[string]resolver{"": def, "/graphs/{name}": named} {
+		mux.HandleFunc("GET "+prefix+"/info", handleInfo(resolve))
+		mux.HandleFunc("GET "+prefix+"/stats", handleStats(resolve))
+		mux.HandleFunc("POST "+prefix+"/query", handleQuery(resolve))
+		mux.HandleFunc("POST "+prefix+"/batch", handleBatch(resolve))
+		mux.HandleFunc("POST "+prefix+"/update", handleUpdate(resolve))
+	}
+
+	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, GraphListResponse{Graphs: reg.List(), Default: reg.DefaultName()})
+	})
+	mux.HandleFunc("POST /graphs", func(w http.ResponseWriter, r *http.Request) {
+		// Quota check before the (potentially 64 MB) body decode: a full
+		// registry rejects every create, so shed it without paying for
+		// the parse.
+		if reg.AtQuota() {
+			w.Header().Set("Retry-After", retryAfter)
+			httpError(w, http.StatusTooManyRequests, "%v", ErrTooManyGraphs)
+			return
+		}
+		var spec GraphSpec
+		if err := decodeBody(w, r, maxGraphSpecBytes, &spec); err != nil {
+			return
+		}
+		st, err := reg.Create(spec)
+		if err != nil {
+			status := http.StatusBadRequest
+			switch {
+			case errors.Is(err, ErrGraphExists):
+				status = http.StatusConflict
+			case errors.Is(err, ErrTooManyGraphs):
+				status = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			httpError(w, status, "%v", err)
+			return
+		}
+		code := http.StatusAccepted // building in the background
+		switch st.State {
+		case StateReady:
+			code = http.StatusCreated
+		case StateFailed:
+			code = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, code, st)
+	})
+	mux.HandleFunc("GET /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := reg.Status(r.PathValue("name"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "graph %q not found", r.PathValue("name"))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("DELETE /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		switch err := reg.Delete(name); {
+		case err == nil:
+			writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+		case errors.Is(err, ErrDefaultGraph):
+			httpError(w, http.StatusConflict, "%v", err)
+		case errors.Is(err, ErrGraphNotFound):
+			httpError(w, http.StatusNotFound, "%v", err)
+		default:
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+	})
+	return mux
+}
+
+// resolveEngine runs the resolver and writes the lifecycle error response
+// when the engine is unavailable: 404 for an unknown graph, 503 +
+// Retry-After while building (transient), and a plain 503 for a failed
+// build — terminal until the graph is deleted, so no retry hint.
+func resolveEngine(w http.ResponseWriter, r *http.Request, resolve resolver) (*Engine, bool) {
+	e, err := resolve(r)
+	if err == nil {
+		return e, true
+	}
+	if errors.Is(err, ErrGraphNotFound) {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return nil, false
+	}
+	if errors.Is(err, ErrGraphNotReady) {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	httpError(w, http.StatusServiceUnavailable, "%v", err)
+	return nil, false
+}
+
+// admit reserves an in-flight slot on e, writing the 429 + Retry-After
+// response on rejection. The returned release must be called when the
+// request finishes.
+func admit(w http.ResponseWriter, e *Engine) (func(), bool) {
+	release, err := e.Admit()
+	if err != nil {
+		w.Header().Set("Retry-After", retryAfter)
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return nil, false
+	}
+	return release, true
+}
+
+func handleInfo(resolve resolver) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		e, ok := resolveEngine(w, r, resolve)
+		if !ok {
 			return
 		}
 		writeJSON(w, http.StatusOK, infoOf(e))
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			httpError(w, http.StatusMethodNotAllowed, "GET only")
+	}
+}
+
+func handleStats(resolve resolver) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		e, ok := resolveEngine(w, r, resolve)
+		if !ok {
 			return
 		}
 		writeJSON(w, http.StatusOK, statsJSON(e.Stats()))
-	})
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "POST only")
+	}
+}
+
+func handleQuery(resolve resolver) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		e, ok := resolveEngine(w, r, resolve)
+		if !ok {
 			return
 		}
+		// Admission comes before the body decode: a shed request must cost
+		// O(1), not a full decode (the same rationale as the byte limits).
+		release, ok := admit(w, e)
+		if !ok {
+			return
+		}
+		defer release()
 		var q Query
 		if err := decodeBody(w, r, maxQueryBytes, &q); err != nil {
 			return
@@ -187,12 +423,20 @@ func NewServer(e *Engine) http.Handler {
 			status = http.StatusBadRequest
 		}
 		writeJSON(w, status, res)
-	})
-	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "POST only")
+	}
+}
+
+func handleBatch(resolve resolver) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		e, ok := resolveEngine(w, r, resolve)
+		if !ok {
 			return
 		}
+		release, ok := admit(w, e)
+		if !ok {
+			return
+		}
+		defer release()
 		var req BatchRequest
 		if err := decodeBody(w, r, maxBatchBytes, &req); err != nil {
 			return
@@ -204,12 +448,24 @@ func NewServer(e *Engine) http.Handler {
 		}
 		results := e.Do(req.Queries)
 		writeJSON(w, http.StatusOK, BatchResponse{Results: results, Count: len(results)})
-	})
-	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "POST only")
+	}
+}
+
+func handleUpdate(resolve resolver) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		e, ok := resolveEngine(w, r, resolve)
+		if !ok {
 			return
 		}
+		// Updates go through the same per-graph admission as queries: the
+		// in-flight count is what Registry.Delete's drain waits on, and a
+		// capped graph must shed update bursts too (a wait=true update can
+		// hold its slot until the rebuild publishes — that is the point).
+		release, ok := admit(w, e)
+		if !ok {
+			return
+		}
+		defer release()
 		var req UpdateRequest
 		if err := decodeBody(w, r, maxUpdateBytes, &req); err != nil {
 			return
@@ -231,25 +487,27 @@ func NewServer(e *Engine) http.Handler {
 		writeJSON(w, http.StatusOK, UpdateResponse{
 			Seq: st.Seq, Epoch: st.Epoch, Pending: st.Pending, Applied: st.Applied,
 		})
-	})
-	return mux
+	}
 }
 
+// infoOf reads everything from the immutable snapshot — no engine lock, no
+// history copies — so /info polls never contend with update staging.
 func infoOf(e *Engine) Info {
 	sn := e.snap.Load()
-	return Info{
-		GraphN:        sn.g.N(),
-		GraphM:        sn.g.M(),
-		Omega:         e.omega,
-		K:             e.k,
-		Workers:       e.workers,
-		NumComponents: sn.conn.NumComponents,
-		NumBCC:        sn.bicc.NumBCC,
-		Epoch:         sn.epoch,
-		Kinds:         Kinds,
-		BuildConn:     costJSON(sn.buildConn),
-		BuildBicc:     costJSON(sn.buildBicc),
+	info := Info{
+		GraphN:     sn.g.N(),
+		GraphM:     sn.g.M(),
+		Omega:      e.omega,
+		K:          e.k,
+		Workers:    e.workers,
+		Epoch:      sn.epoch,
+		Kinds:      e.Kinds(),
+		BuildConn:  costJSON(e.costByName(sn, "conn")),
+		BuildBicc:  costJSON(e.costByName(sn, "bicc")),
+		BuildCosts: costsJSON(e.buildCosts(sn)),
 	}
+	info.NumComponents, info.NumBCC = sn.counts()
+	return info
 }
 
 func statsJSON(s Stats) StatsJSON {
@@ -263,6 +521,7 @@ func statsJSON(s Stats) StatsJSON {
 		NumBCC:        s.NumBCC,
 		BuildConn:     costJSON(s.BuildConn),
 		BuildBicc:     costJSON(s.BuildBicc),
+		BuildCosts:    costsJSON(s.BuildCosts),
 		Queries:       make(map[string]KindStatsJSON, len(s.Queries)),
 		TotalQueries:  s.TotalQueries,
 	}
@@ -272,6 +531,19 @@ func statsJSON(s Stats) StatsJSON {
 			Errors: ks.Errors,
 			Cost:   costJSON(ks.Cost),
 		}
+	}
+	out.Admission = AdmissionJSON{
+		MaxInflight: s.Admission.MaxInflight,
+		Inflight:    s.Admission.Inflight,
+		Rejected:    s.Admission.Rejected,
+		QueueWaitMs: float64(s.Admission.QueueWait.Microseconds()) / 1000,
+	}
+	out.Pool = PoolJSON{
+		Size:        s.Pool.Size,
+		InUse:       s.Pool.InUse,
+		PeakInUse:   s.Pool.PeakInUse,
+		Tasks:       s.Pool.Tasks,
+		QueueWaitMs: float64(s.Pool.QueueWait.Microseconds()) / 1000,
 	}
 	out.Epoch = s.Epoch
 	out.PendingUpdates = s.PendingUpdates
@@ -289,6 +561,7 @@ func statsJSON(s Stats) StatsJSON {
 			GraphCost:    costJSON(r.GraphCost),
 			ConnCost:     costJSON(r.ConnCost),
 			BiccCost:     costJSON(r.BiccCost),
+			OracleCosts:  costsJSON(r.OracleCosts),
 			DurationMs:   float64(r.Duration.Microseconds()) / 1000,
 			Err:          r.Err,
 		})

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is the shared, bounded worker pool of the serving layer: a weighted
+// semaphore sized to GOMAXPROCS (or an explicit size) that every engine's
+// batch dispatch draws worker slots from. One pool is shared across all
+// graphs of a Registry, replacing the old per-request goroutine fan-out —
+// however many graphs and concurrent requests the daemon carries, at most
+// Size query workers run at once.
+//
+// Admission (how many requests may *wait* for slots) is per-graph and lives
+// on the Engine (Config.MaxInflight / Engine.Admit); the pool only bounds
+// execution. A request acquires slots one at a time and starts each chunk
+// as its slot arrives, so requests never hold-and-wait for a full worker
+// set and the pool cannot deadlock.
+type Pool struct {
+	size int
+	sem  chan struct{}
+
+	inUse  atomic.Int64
+	peak   atomic.Int64
+	tasks  atomic.Int64
+	waitNs atomic.Int64
+}
+
+// NewPool returns a pool with the given number of worker slots; size <= 0
+// selects GOMAXPROCS.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{size: size, sem: make(chan struct{}, size)}
+}
+
+// Size returns the pool's worker-slot count.
+func (p *Pool) Size() int { return p.size }
+
+// Run executes run(0..tasks-1), each task on its own worker slot, and
+// blocks until all complete. It returns the total time this call spent
+// waiting for slots (the queue-wait telemetry /stats reports). Safe for
+// any number of concurrent callers; total running tasks across all callers
+// never exceeds Size.
+func (p *Pool) Run(tasks int, run func(task int)) time.Duration {
+	if tasks <= 0 {
+		return 0
+	}
+	var wg sync.WaitGroup
+	var wait time.Duration
+	for t := 0; t < tasks; t++ {
+		t0 := time.Now()
+		p.sem <- struct{}{}
+		wait += time.Since(t0)
+		in := p.inUse.Add(1)
+		for {
+			peak := p.peak.Load()
+			if in <= peak || p.peak.CompareAndSwap(peak, in) {
+				break
+			}
+		}
+		wg.Add(1)
+		go func(t int) {
+			defer func() {
+				p.inUse.Add(-1)
+				<-p.sem
+				wg.Done()
+			}()
+			run(t)
+		}(t)
+	}
+	wg.Wait()
+	p.tasks.Add(int64(tasks))
+	p.waitNs.Add(int64(wait))
+	return wait
+}
+
+// PoolStats is the pool's cumulative telemetry, served under /stats.
+type PoolStats struct {
+	Size      int           `json:"size"`
+	InUse     int64         `json:"in_use"`
+	PeakInUse int64         `json:"peak_in_use"`
+	Tasks     int64         `json:"tasks"`
+	QueueWait time.Duration `json:"queue_wait_ns"`
+}
+
+// Stats snapshots the pool telemetry.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Size:      p.size,
+		InUse:     p.inUse.Load(),
+		PeakInUse: p.peak.Load(),
+		Tasks:     p.tasks.Load(),
+		QueueWait: time.Duration(p.waitNs.Load()),
+	}
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolBoundsConcurrency hammers one pool from many goroutines and
+// checks the invariant the whole admission design rests on: running tasks
+// never exceed the slot count, every task runs exactly once, and the
+// telemetry adds up.
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(3)
+	var running, peak, ran atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Run(20, func(int) {
+				in := running.Add(1)
+				for {
+					pk := peak.Load()
+					if in <= pk || peak.CompareAndSwap(pk, in) {
+						break
+					}
+				}
+				for i := 0; i < 1000; i++ {
+					_ = i * i // hold the slot briefly
+				}
+				ran.Add(1)
+				running.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if pk := peak.Load(); pk > 3 {
+		t.Fatalf("observed %d concurrent tasks, pool size 3", pk)
+	}
+	if ran.Load() != 8*20 {
+		t.Fatalf("ran %d tasks, want %d", ran.Load(), 8*20)
+	}
+	st := p.Stats()
+	if st.Tasks != 8*20 || st.InUse != 0 || st.Size != 3 {
+		t.Fatalf("pool stats %+v", st)
+	}
+	if st.PeakInUse < 1 || st.PeakInUse > 3 {
+		t.Fatalf("peak %d out of [1,3]", st.PeakInUse)
+	}
+}
+
+// TestPoolDefaults: size <= 0 selects GOMAXPROCS; zero tasks are a no-op.
+func TestPoolDefaults(t *testing.T) {
+	p := NewPool(0)
+	if p.Size() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default size %d, want GOMAXPROCS %d", p.Size(), runtime.GOMAXPROCS(0))
+	}
+	if wait := p.Run(0, func(int) { t.Fatal("task ran") }); wait != 0 {
+		t.Fatalf("zero-task run waited %v", wait)
+	}
+	if st := p.Stats(); st.Tasks != 0 {
+		t.Fatalf("stats after no-op run: %+v", st)
+	}
+}

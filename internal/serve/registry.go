@@ -1,0 +1,588 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+// This file is the multi-tenant half of the serving layer: a Registry owns
+// the lifecycle of many named graphs, each served by its own Engine, all
+// drawing query workers from one shared admission-controlled Pool. The
+// oracles here are cheap to query but expensive to (re)build, so the
+// registry builds engines in a background goroutine and reports build state
+// (building → ready | failed) while the rest of the fleet keeps serving.
+//
+// The first graph registered becomes the *default* graph: the un-prefixed
+// HTTP endpoints (/query, /batch, /update, /stats, /info) route to it, so
+// every single-graph client keeps working unchanged, and /healthz reports
+// readiness (503) until its first snapshot is published.
+
+// Graph lifecycle states reported by GraphStatus.State.
+type GraphState string
+
+const (
+	// StateBuilding: the graph is registered; its oracles are being built
+	// in the background. Queries return 503 until the first snapshot
+	// publishes.
+	StateBuilding GraphState = "building"
+	// StateReady: the engine is serving.
+	StateReady GraphState = "ready"
+	// StateFailed: the build failed; Error carries the cause. The name
+	// stays reserved (and inspectable) until the graph is deleted.
+	StateFailed GraphState = "failed"
+)
+
+// Registry errors, mapped to HTTP statuses by http.go.
+var (
+	ErrGraphNotFound = errors.New("serve: graph not found")
+	ErrGraphNotReady = errors.New("serve: graph not ready")
+	ErrGraphFailed   = errors.New("serve: graph build failed")
+	ErrGraphExists   = errors.New("serve: graph already exists")
+	ErrDefaultGraph  = errors.New("serve: cannot delete the default graph")
+	ErrTooManyGraphs = errors.New("serve: graph quota reached")
+)
+
+// DefaultMaxGraphs is the registry's default graph quota
+// (RegistryConfig.MaxGraphs = 0). Per-graph n/m caps bound each graph; the
+// quota bounds how many of them — and how many concurrent background
+// builds — an open /graphs surface can accumulate.
+const DefaultMaxGraphs = 64
+
+// MaxGraphN and MaxGraphM cap the vertex and edge counts a GraphSpec may
+// request — daemon guards: /graphs is an open surface and a runaway n (or
+// a huge deg driving n·deg/2 edges) would be a memory DoS, not a graph.
+const (
+	MaxGraphN = 1 << 22
+	MaxGraphM = 1 << 24
+)
+
+// graphNameRE validates graph names (path segments of the per-graph
+// endpoints).
+var graphNameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// GraphSpec describes a graph to create: either a synthetic generator
+// (Gen/N/Deg/GraphSeed) or an inline edge list in graphio format
+// (Graphio). Omega/K/Seed/MaxInflight override the registry's engine
+// defaults when nonzero (MaxInflight < 0 means explicitly unlimited).
+type GraphSpec struct {
+	Name      string `json:"name"`
+	Gen       string `json:"gen,omitempty"` // "random-regular" (default) | "gnm"
+	N         int    `json:"n,omitempty"`
+	Deg       int    `json:"deg,omitempty"`
+	GraphSeed uint64 `json:"graph_seed,omitempty"`
+	Graphio   string `json:"graphio,omitempty"` // inline edge-list body; wins over Gen
+
+	Omega       int    `json:"omega,omitempty"`
+	K           int    `json:"k,omitempty"`
+	Seed        uint64 `json:"seed,omitempty"`
+	MaxInflight int    `json:"max_inflight,omitempty"`
+
+	// Wait makes Create block until the build finishes (scripts and tests;
+	// the HTTP surface passes it through).
+	Wait bool `json:"wait,omitempty"`
+}
+
+// GraphStatus is the lifecycle view of one graph (GET /graphs).
+type GraphStatus struct {
+	Name    string     `json:"name"`
+	State   GraphState `json:"state"`
+	Error   string     `json:"error,omitempty"`
+	Default bool       `json:"default"`
+	GraphN  int        `json:"graph_n,omitempty"`
+	GraphM  int        `json:"graph_m,omitempty"`
+	Epoch   int64      `json:"epoch,omitempty"`
+	BuildMs float64    `json:"build_ms,omitempty"`
+}
+
+// RegistryConfig configures a Registry.
+type RegistryConfig struct {
+	// Engine is the default engine configuration for created graphs
+	// (Omega/K/Seed/Workers/SymLimit); per-graph spec fields override it.
+	Engine Config
+	// Pool is the shared worker pool; nil creates one sized to GOMAXPROCS.
+	Pool *Pool
+	// MaxInflight is the default per-graph admission cap (0 = unlimited);
+	// GraphSpec.MaxInflight overrides it per graph.
+	MaxInflight int
+	// MaxGraphs caps how many graphs (any state) the registry holds at
+	// once; 0 selects DefaultMaxGraphs, negative means unlimited. Creation
+	// beyond the quota fails with ErrTooManyGraphs (HTTP 429).
+	MaxGraphs int
+	// OnRebuild, if non-nil, is called with the graph name after every
+	// rebuild of any registered graph.
+	OnRebuild func(graph string, r RebuildRecord)
+	// OnState, if non-nil, is called on lifecycle transitions
+	// (building→ready, building→failed) outside the registry lock.
+	OnState func(graph string, state GraphState, errMsg string)
+}
+
+// Registry manages named graphs with full lifecycle: background builds,
+// per-graph serving, drain-then-close deletion. All methods are safe for
+// concurrent use.
+type Registry struct {
+	cfg  RegistryConfig
+	pool *Pool
+
+	mu          sync.Mutex
+	graphs      map[string]*graphEntry
+	order       []string // registration order; order[0] is the default
+	defaultName string
+
+	// beforeBuild, when non-nil, runs in the build goroutine before the
+	// engine build starts — a test hook to hold a graph in StateBuilding.
+	beforeBuild func(name string)
+}
+
+type graphEntry struct {
+	name  string
+	state GraphState
+	err   string
+	eng   *Engine
+	built time.Duration
+}
+
+// NewRegistry returns an empty registry. The first graph subsequently
+// created or attached becomes the default graph.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	pool := cfg.Pool
+	if pool == nil {
+		pool = NewPool(0)
+	}
+	return &Registry{cfg: cfg, pool: pool, graphs: map[string]*graphEntry{}}
+}
+
+// Pool returns the shared worker pool.
+func (reg *Registry) Pool() *Pool { return reg.pool }
+
+// DefaultName returns the default graph's name ("" while the registry is
+// empty).
+func (reg *Registry) DefaultName() string {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return reg.defaultName
+}
+
+// Attach registers an already-built engine under name (immediately ready).
+// The engine keeps its own pool and admission configuration; the caller
+// retains ownership of its lifecycle. Used by NewServer for single-engine
+// back-compat.
+func (reg *Registry) Attach(name string, e *Engine) error {
+	if !graphNameRE.MatchString(name) {
+		return fmt.Errorf("serve: invalid graph name %q", name)
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if err := reg.checkCapacityLocked(name); err != nil {
+		return err
+	}
+	reg.insertLocked(&graphEntry{name: name, state: StateReady, eng: e})
+	return nil
+}
+
+// insertLocked adds an entry and makes it the default if it is the first.
+func (reg *Registry) insertLocked(ent *graphEntry) {
+	reg.graphs[ent.name] = ent
+	reg.order = append(reg.order, ent.name)
+	if reg.defaultName == "" {
+		reg.defaultName = ent.name
+	}
+}
+
+// Create registers a graph from spec and builds its engine in the
+// background (synchronously when spec.Wait). The returned status reflects
+// the state at return: building for async creates, ready/failed after a
+// waited build. Validation — name, uniqueness, generator parameters,
+// graphio parsing — is synchronous and happens *before* any
+// generation-sized work, so a non-nil error means nothing was registered
+// and nothing expensive ran; graph materialization itself happens in the
+// build (a duplicate-name request never pays for a generation).
+func (reg *Registry) Create(spec GraphSpec) (GraphStatus, error) {
+	// Cheap rejections first: a taken name, a bad name, or a full quota
+	// must not pay for a 64 MB graphio parse. create() re-checks
+	// authoritatively when it reserves the name.
+	if !graphNameRE.MatchString(spec.Name) {
+		return GraphStatus{}, fmt.Errorf("serve: invalid graph name %q (want %s)", spec.Name, graphNameRE)
+	}
+	if err := reg.checkCapacity(spec.Name); err != nil {
+		return GraphStatus{}, err
+	}
+	var pre *graph.Graph
+	if spec.Graphio != "" {
+		// The body is already in memory (the HTTP layer bounds it); parse
+		// now so malformed uploads are synchronous 400s.
+		g, err := graphio.Read(strings.NewReader(spec.Graphio))
+		if err != nil {
+			return GraphStatus{}, fmt.Errorf("serve: graphio body: %w", err)
+		}
+		if g.N() > MaxGraphN || g.M() > MaxGraphM {
+			return GraphStatus{}, fmt.Errorf("serve: graph n=%d m=%d exceeds limits (%d, %d)",
+				g.N(), g.M(), MaxGraphN, MaxGraphM)
+		}
+		pre = g
+	} else if err := validateGenSpec(spec); err != nil {
+		return GraphStatus{}, err
+	}
+	return reg.create(spec.Name, spec, func() (*graph.Graph, error) {
+		if pre != nil {
+			return pre, nil
+		}
+		return generateGraph(spec), nil
+	})
+}
+
+// CreateFromGraph registers a pre-loaded graph under name (the generator
+// fields of spec are ignored) and builds its engine in the background,
+// honouring spec.Wait and the engine-override fields.
+func (reg *Registry) CreateFromGraph(name string, g *graph.Graph, spec GraphSpec) (GraphStatus, error) {
+	if g == nil {
+		return GraphStatus{}, errors.New("serve: nil graph")
+	}
+	return reg.create(name, spec, func() (*graph.Graph, error) { return g, nil })
+}
+
+// checkCapacity reports whether a graph named name could be registered
+// right now (name free, quota not reached). Advisory when called outside
+// create's critical section.
+func (reg *Registry) checkCapacity(name string) error {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return reg.checkCapacityLocked(name)
+}
+
+func (reg *Registry) checkCapacityLocked(name string) error {
+	if _, ok := reg.graphs[name]; ok {
+		return ErrGraphExists
+	}
+	if quota := reg.quotaLocked(); quota > 0 && len(reg.graphs) >= quota {
+		return fmt.Errorf("%w: %d graphs (delete one first)", ErrTooManyGraphs, quota)
+	}
+	return nil
+}
+
+// quotaLocked resolves the effective graph quota (0 in MaxGraphs selects
+// the default; negative disables the quota, reported as 0 here).
+func (reg *Registry) quotaLocked() int {
+	quota := reg.cfg.MaxGraphs
+	switch {
+	case quota == 0:
+		return DefaultMaxGraphs
+	case quota < 0:
+		return 0
+	}
+	return quota
+}
+
+// AtQuota reports whether the registry cannot accept any new graph. The
+// HTTP layer checks this before reading a creation body, so a full
+// registry sheds POST /graphs in O(1) instead of decoding up to 64 MB per
+// doomed request.
+func (reg *Registry) AtQuota() bool {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	quota := reg.quotaLocked()
+	return quota > 0 && len(reg.graphs) >= quota
+}
+
+// create reserves the name, then runs the build (load + engine
+// construction) synchronously or in the background per spec.Wait.
+func (reg *Registry) create(name string, spec GraphSpec, load func() (*graph.Graph, error)) (GraphStatus, error) {
+	if !graphNameRE.MatchString(name) {
+		return GraphStatus{}, fmt.Errorf("serve: invalid graph name %q (want %s)", name, graphNameRE)
+	}
+	ent := &graphEntry{name: name, state: StateBuilding}
+	reg.mu.Lock()
+	if err := reg.checkCapacityLocked(name); err != nil {
+		reg.mu.Unlock()
+		return GraphStatus{}, err
+	}
+	reg.insertLocked(ent)
+	reg.mu.Unlock()
+
+	if spec.Wait {
+		reg.build(ent, load, spec)
+	} else {
+		go reg.build(ent, load, spec)
+	}
+	st, ok := reg.Status(name)
+	if !ok {
+		// Deleted out from under the build (possible for waited builds):
+		// do not hand the caller a success-looking zero status.
+		return GraphStatus{}, fmt.Errorf("%w: %q (deleted during build)", ErrGraphNotFound, name)
+	}
+	return st, nil
+}
+
+// build materializes the graph, constructs the entry's engine, and
+// publishes the lifecycle transition. Runs in a dedicated goroutine for
+// async creates; a panic anywhere in the build marks the graph failed
+// rather than killing the daemon.
+func (reg *Registry) build(ent *graphEntry, load func() (*graph.Graph, error), spec GraphSpec) {
+	start := time.Now()
+	var eng *Engine
+	var buildErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				buildErr = fmt.Errorf("build panicked: %v", r)
+			}
+		}()
+		if reg.beforeBuild != nil {
+			reg.beforeBuild(ent.name)
+		}
+		var g *graph.Graph
+		if g, buildErr = load(); buildErr != nil {
+			return
+		}
+		eng = New(g, reg.engineConfig(ent.name, spec))
+	}()
+
+	reg.mu.Lock()
+	if reg.graphs[ent.name] != ent {
+		// Deleted while building: the engine (if any) has no owner left.
+		reg.mu.Unlock()
+		if eng != nil {
+			eng.Close()
+		}
+		return
+	}
+	state := StateReady
+	if buildErr != nil {
+		state = StateFailed
+		ent.err = buildErr.Error()
+	}
+	ent.eng = eng
+	ent.state = state
+	ent.built = time.Since(start)
+	cb := reg.cfg.OnState
+	reg.mu.Unlock()
+	if cb != nil {
+		cb(ent.name, state, ent.err)
+	}
+}
+
+// engineConfig merges the registry defaults with per-spec overrides and
+// wires the shared pool plus the name-tagged rebuild callback.
+func (reg *Registry) engineConfig(name string, spec GraphSpec) Config {
+	cfg := reg.cfg.Engine
+	if spec.Omega > 0 {
+		cfg.Omega = spec.Omega
+	}
+	if spec.K > 0 {
+		cfg.K = spec.K
+	}
+	if spec.Seed != 0 {
+		cfg.Seed = spec.Seed
+	}
+	cfg.Pool = reg.pool
+	cfg.MaxInflight = reg.cfg.MaxInflight
+	switch {
+	case spec.MaxInflight > 0:
+		cfg.MaxInflight = spec.MaxInflight
+	case spec.MaxInflight < 0:
+		cfg.MaxInflight = 0
+	}
+	if cb := reg.cfg.OnRebuild; cb != nil {
+		cfg.OnRebuild = func(r RebuildRecord) { cb(name, r) }
+	}
+	return cfg
+}
+
+// Get returns the named graph's engine, or ErrGraphNotFound /
+// ErrGraphNotReady / ErrGraphFailed (the latter two wrapped with detail).
+func (reg *Registry) Get(name string) (*Engine, error) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	ent, ok := reg.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	switch ent.state {
+	case StateReady:
+		return ent.eng, nil
+	case StateFailed:
+		return nil, fmt.Errorf("%w: %q: %s", ErrGraphFailed, name, ent.err)
+	default:
+		return nil, fmt.Errorf("%w: %q is %s", ErrGraphNotReady, name, ent.state)
+	}
+}
+
+// Default returns the default graph's engine (Get semantics).
+func (reg *Registry) Default() (*Engine, error) {
+	reg.mu.Lock()
+	name := reg.defaultName
+	reg.mu.Unlock()
+	if name == "" {
+		return nil, fmt.Errorf("%w: no default graph", ErrGraphNotFound)
+	}
+	return reg.Get(name)
+}
+
+// Status returns the lifecycle view of one graph.
+func (reg *Registry) Status(name string) (GraphStatus, bool) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	ent, ok := reg.graphs[name]
+	if !ok {
+		return GraphStatus{}, false
+	}
+	return reg.statusLocked(ent), true
+}
+
+// List returns every graph's status in registration order.
+func (reg *Registry) List() []GraphStatus {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	out := make([]GraphStatus, 0, len(reg.order))
+	for _, name := range reg.order {
+		if ent, ok := reg.graphs[name]; ok {
+			out = append(out, reg.statusLocked(ent))
+		}
+	}
+	return out
+}
+
+func (reg *Registry) statusLocked(ent *graphEntry) GraphStatus {
+	st := GraphStatus{
+		Name:    ent.name,
+		State:   ent.state,
+		Error:   ent.err,
+		Default: ent.name == reg.defaultName,
+		BuildMs: float64(ent.built.Microseconds()) / 1000,
+	}
+	if ent.state == StateReady && ent.eng != nil {
+		st.GraphN = ent.eng.Graph().N()
+		st.GraphM = ent.eng.Graph().M()
+		st.Epoch = ent.eng.Epoch()
+	}
+	return st
+}
+
+// Delete unregisters a graph. New requests 404 immediately; the engine is
+// closed in the background once its in-flight requests drain. The default
+// graph cannot be deleted while it serves (the un-prefixed compatibility
+// endpoints route to it) — except in the failed state, where deletion is
+// the only way to free the name and recover without a restart. The
+// default slot is then left empty (un-prefixed requests 404) until the
+// next created graph claims it — never silently re-pointed at an existing
+// tenant's graph.
+func (reg *Registry) Delete(name string) error {
+	reg.mu.Lock()
+	ent, ok := reg.graphs[name]
+	if !ok {
+		reg.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	if name == reg.defaultName && ent.state != StateFailed {
+		reg.mu.Unlock()
+		return ErrDefaultGraph
+	}
+	delete(reg.graphs, name)
+	for i, n := range reg.order {
+		if n == name {
+			reg.order = append(reg.order[:i], reg.order[i+1:]...)
+			break
+		}
+	}
+	if name == reg.defaultName {
+		reg.defaultName = ""
+	}
+	reg.mu.Unlock()
+
+	// Drain, then close. A still-building entry is handled by build():
+	// it notices the entry was removed and closes the fresh engine itself.
+	if ent.eng != nil {
+		eng := ent.eng
+		go func() {
+			for i := 0; i < 1000 && eng.Inflight() > 0; i++ {
+				time.Sleep(5 * time.Millisecond)
+			}
+			eng.Close()
+		}()
+	}
+	return nil
+}
+
+// Close shuts every registered engine down (attached engines included:
+// Engine.Close is idempotent, so owners double-closing is fine).
+func (reg *Registry) Close() {
+	reg.mu.Lock()
+	engines := make([]*Engine, 0, len(reg.graphs))
+	for _, ent := range reg.graphs {
+		if ent.eng != nil {
+			engines = append(engines, ent.eng)
+		}
+	}
+	reg.mu.Unlock()
+	for _, e := range engines {
+		e.Close()
+	}
+}
+
+// genParams resolves the generator defaults (n=4096 3-regular).
+func genParams(spec GraphSpec) (n, deg int) {
+	n, deg = spec.N, spec.Deg
+	if n == 0 {
+		n = 1 << 12
+	}
+	if deg == 0 {
+		deg = 3
+	}
+	return n, deg
+}
+
+// validateGenSpec checks a generator spec without materializing anything;
+// errors surface as HTTP 400s. After it passes, generateGraph cannot fail.
+func validateGenSpec(spec GraphSpec) error {
+	n, deg := genParams(spec)
+	if n < 1 || n > MaxGraphN {
+		return fmt.Errorf("serve: n must be in [1,%d], got %d", MaxGraphN, n)
+	}
+	if deg < 0 {
+		return fmt.Errorf("serve: deg must be >= 0, got %d", deg)
+	}
+	if int64(n)*int64(deg)/2 > MaxGraphM {
+		return fmt.Errorf("serve: n·deg/2 = %d edges exceeds limit %d", int64(n)*int64(deg)/2, MaxGraphM)
+	}
+	switch spec.Gen {
+	case "", "random-regular":
+		if deg < 2 {
+			return fmt.Errorf("serve: deg must be >= 2 for random-regular, got %d", deg)
+		}
+		if deg >= n {
+			return fmt.Errorf("serve: deg %d must be below n %d for random-regular", deg, n)
+		}
+		if n*deg%2 != 0 {
+			return fmt.Errorf("serve: n·deg must be even for random-regular, got %d·%d", n, deg)
+		}
+	case "gnm":
+		// GNM(n, m, connect=true) needs a spanning tree's worth of edges
+		// and cannot place more than the simple-graph maximum — outside
+		// those bounds it panics or loops forever, so reject up front.
+		m := int64(n) * int64(deg) / 2
+		if m < int64(n)-1 {
+			return fmt.Errorf("serve: gnm needs n·deg/2 >= n-1 edges to stay connected, got %d", m)
+		}
+		if simpleMax := int64(n) * int64(n-1) / 2; m > simpleMax {
+			return fmt.Errorf("serve: gnm n·deg/2 = %d exceeds the simple-graph maximum %d", m, simpleMax)
+		}
+	default:
+		return fmt.Errorf("serve: unknown generator %q (want random-regular or gnm)", spec.Gen)
+	}
+	return nil
+}
+
+// generateGraph materializes a validated generator spec.
+func generateGraph(spec GraphSpec) *graph.Graph {
+	n, deg := genParams(spec)
+	if spec.Gen == "gnm" {
+		return graph.GNM(n, n*deg/2, spec.GraphSeed, true)
+	}
+	return graph.RandomRegular(n, deg, spec.GraphSeed)
+}

@@ -6,9 +6,8 @@ import (
 	"time"
 
 	"repro/internal/asym"
-	"repro/internal/bicc"
-	"repro/internal/conn"
 	"repro/internal/graph"
+	"repro/internal/oracle"
 	"repro/internal/parallel"
 )
 
@@ -22,11 +21,12 @@ import (
 // Strategy selection per rebuild:
 //
 //   - insertion-only batches: the incremental path — the new graph CSR is
-//     written (the biconnectivity oracle needs it), the connectivity oracle
-//     is patched in O(#merged-components) writes via
-//     conn.Oracle.ApplyInsertions, and the biconnectivity oracle is rebuilt
-//     (biconnectivity is not insertion-monotone).
-//   - any batch containing a removal: full rebuild of graph and both
+//     written (full rebuilds need it), and every oracle that implements
+//     oracle.InsertionApplier is patched instead of rebuilt (the
+//     connectivity oracle's O(#merged-components)-write label merge);
+//     oracles without an incremental path (biconnectivity is not
+//     insertion-monotone) are rebuilt over the new graph.
+//   - any batch containing a removal: full rebuild of graph and all
 //     oracles.
 //
 // Per-rebuild asymmetric costs (graph / conn / bicc, separately metered)
@@ -71,17 +71,21 @@ type UpdateStatus struct {
 }
 
 // RebuildRecord is the telemetry of one background rebuild attempt.
+// ConnCost/BiccCost are the built-in factories' costs (kept for
+// single-graph clients); OracleCosts has every registered factory's,
+// keyed by factory name.
 type RebuildRecord struct {
-	Epoch        int64         `json:"epoch"`
-	Strategy     string        `json:"strategy"` // "incremental" | "full"
-	Batches      int           `json:"batches"`  // update batches coalesced in
-	AddedEdges   int           `json:"added_edges"`
-	RemovedEdges int           `json:"removed_edges"`
-	GraphCost    asym.Cost     `json:"graph_cost"` // writing the new CSR
-	ConnCost     asym.Cost     `json:"conn_cost"`  // connectivity oracle (incremental or full)
-	BiccCost     asym.Cost     `json:"bicc_cost"`  // biconnectivity oracle (always full)
-	Duration     time.Duration `json:"duration_ns"`
-	Err          string        `json:"error,omitempty"`
+	Epoch        int64                `json:"epoch"`
+	Strategy     string               `json:"strategy"` // "incremental" | "full"
+	Batches      int                  `json:"batches"`  // update batches coalesced in
+	AddedEdges   int                  `json:"added_edges"`
+	RemovedEdges int                  `json:"removed_edges"`
+	GraphCost    asym.Cost            `json:"graph_cost"` // writing the new CSR
+	ConnCost     asym.Cost            `json:"conn_cost"`  // connectivity oracle (incremental or full)
+	BiccCost     asym.Cost            `json:"bicc_cost"`  // biconnectivity oracle (always full)
+	OracleCosts  map[string]asym.Cost `json:"oracle_costs,omitempty"`
+	Duration     time.Duration        `json:"duration_ns"`
+	Err          string               `json:"error,omitempty"`
 }
 
 // updateBatch is one staged Update plus its bookkeeping: the multiset delta
@@ -243,8 +247,10 @@ func (e *Engine) rebuildLoop() {
 }
 
 // buildNext folds the staged batches into a new snapshot. The incremental
-// path is taken iff no batch removes an edge; the new graph CSR is written
-// either way (both the biconnectivity rebuild and future overlays need it).
+// path is taken iff no batch removes an edge: oracles implementing
+// oracle.InsertionApplier are patched from the current snapshot, the rest
+// are rebuilt over the new graph. The new graph CSR is written either way
+// (the full rebuilds and future overlays need it).
 func (e *Engine) buildNext(cur *snapshot, batches []*updateBatch) (*snapshot, RebuildRecord, error) {
 	rec := RebuildRecord{Epoch: cur.epoch + 1, Batches: len(batches), Strategy: StrategyFull}
 
@@ -268,42 +274,57 @@ func (e *Engine) buildNext(cur *snapshot, batches []*updateBatch) (*snapshot, Re
 	newG := ov.Build(gm)
 	rec.GraphCost = gm.Snapshot()
 
-	mc := asym.NewMeter(e.omega)
-	mb := asym.NewMeter(e.omega)
-	var co *conn.Oracle
-	var bo *bicc.Oracle
-	var connErr error
 	incremental := ov.Removed() == 0
-	root := parallel.NewCtx(e.disp, nil)
-	root.Fork2(
-		func(*parallel.Ctx) {
-			if incremental {
-				co, connErr = cur.conn.ApplyInsertions(mc, asym.NewSymTracker(e.sym), adds)
-			} else {
-				c := parallel.NewCtx(mc, asym.NewSymTracker(e.sym))
-				co = conn.BuildOracle(c, graph.View{G: newG, M: mc}, e.k, e.seed)
+	nf := len(e.factories)
+	ms := make([]*asym.Meter, nf)
+	os := make([]oracle.QueryOracle, nf)
+	errs := make([]error, nf)
+	patched := false
+	for i := range ms {
+		ms[i] = asym.NewMeter(e.omega)
+		if incremental {
+			if _, ok := cur.oracles[i].(oracle.InsertionApplier); ok {
+				patched = true
 			}
-		},
-		func(*parallel.Ctx) {
-			c := parallel.NewCtx(mb, asym.NewSymTracker(e.sym))
-			bo = bicc.BuildOracle(c, graph.View{G: newG, M: mb}, nil, e.k, e.seed)
-		},
-	)
-	if connErr != nil { // staging validation makes this unreachable
-		rec.Epoch = cur.epoch
-		return nil, rec, connErr
+		}
 	}
-	if incremental {
+	root := parallel.NewCtx(e.disp, nil)
+	root.SetGrain(1)
+	root.For(0, nf, func(_ *parallel.Ctx, i int) {
+		// A panicking rebuild branch runs on a fork-spawned goroutine with
+		// no recover above it; capture it as this rebuild's error (the
+		// batches drop, the old snapshot keeps serving) instead of letting
+		// it kill the process.
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("oracle %q rebuild panicked: %v", e.factories[i].Name, r)
+			}
+		}()
+		if incremental {
+			if ia, ok := cur.oracles[i].(oracle.InsertionApplier); ok {
+				os[i], errs[i] = ia.ApplyInsertions(ms[i], asym.NewSymTracker(e.sym), adds)
+				return
+			}
+		}
+		c := parallel.NewCtx(ms[i], asym.NewSymTracker(e.sym))
+		os[i] = e.factories[i].Build(c, graph.View{G: newG, M: ms[i]}, e.k, e.seed)
+	})
+	for _, err := range errs {
+		if err != nil { // staging validation makes this unreachable
+			rec.Epoch = cur.epoch
+			return nil, rec, err
+		}
+	}
+	if incremental && patched {
 		rec.Strategy = StrategyIncremental
 	}
-	rec.ConnCost = mc.Snapshot()
-	rec.BiccCost = mb.Snapshot()
-	return &snapshot{
-		epoch:     cur.epoch + 1,
-		g:         newG,
-		conn:      co,
-		bicc:      bo,
-		buildConn: rec.ConnCost,
-		buildBicc: rec.BiccCost,
-	}, rec, nil
+	costs := make([]asym.Cost, nf)
+	for i, m := range ms {
+		costs[i] = m.Snapshot()
+	}
+	next := &snapshot{epoch: cur.epoch + 1, g: newG, oracles: os, costs: costs}
+	rec.ConnCost = e.costByName(next, "conn")
+	rec.BiccCost = e.costByName(next, "bicc")
+	rec.OracleCosts = e.buildCosts(next)
+	return next, rec, nil
 }
