@@ -6,11 +6,12 @@ GO ?= go
 # Concurrency-critical packages for the -race pass (the serving layer, the
 # oracle registry, plus their concurrently-used dependencies); the full
 # suite under -race is too slow for a gate.
-RACE_PKGS := ./internal/serve/... ./internal/oracle/... ./internal/asym/ \
+RACE_PKGS := ./internal/serve/... ./internal/oracle/... ./internal/store/... \
+             ./internal/asym/ \
              ./internal/parallel/ ./internal/eulertour/ ./internal/graphio/ \
              ./internal/unionfind/
 
-.PHONY: build test race bench lint serve smoke smoke-churn smoke-multitenant ci
+.PHONY: build test race bench lint serve smoke smoke-churn smoke-multitenant smoke-restart ci
 
 build:
 	$(GO) build ./...
@@ -56,4 +57,17 @@ smoke-churn:
 smoke-multitenant:
 	$(GO) run -race ./cmd/wecbench -exp multitenant -mtgraphs 2 -mtqueries 1500 -mtchurn 3 -mtconc 2 -scale 1
 
-ci: lint build test race bench smoke smoke-churn smoke-multitenant
+# End-to-end smoke of the durable store, under the race detector on both
+# sides of the process boundary: a race-built oracled is started with
+# -datadir, two graphs are created and churned under load, the daemon is
+# SIGKILL'd mid-churn, restarted, and every graph must recover to its last
+# acknowledged epoch with query answers matching a from-scratch reference
+# oracle; a deleted graph must stay deleted, and a graceful-shutdown
+# snapshot-fold round runs after that.
+smoke-restart:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -race -o $$tmp/oracled ./cmd/oracled && \
+	$(GO) run -race ./cmd/wecbench -exp restart -restartchurn 4 -oracledbin $$tmp/oracled; \
+	rc=$$?; rm -rf $$tmp; exit $$rc
+
+ci: lint build test race bench smoke smoke-churn smoke-multitenant smoke-restart

@@ -42,15 +42,29 @@
 //	curl -s -X DELETE localhost:8080/graphs/social
 //	curl -s localhost:8080/stats
 //
+// With -datadir the fleet is durable: every accepted /update batch is
+// appended to a per-graph write-ahead log before it is staged, snapshots
+// fold the WAL periodically (and on size growth) into CRC-guarded files
+// installed by atomic rename, and graph create/delete events are recorded
+// in a manifest. A restarted daemon replays the data directory — newest
+// valid snapshot plus WAL tail per graph — and rebuilds every oracle in
+// the background while the listener is already up, resuming each graph at
+// (at least) its last acknowledged epoch with continuing update sequence
+// numbers. -fsync picks the WAL sync policy (always | commit | none);
+// kill -9 recovery needs none of them, power-loss durability of
+// acknowledged updates needs "always".
+//
 // With -graph "-" the edge list is read from stdin. On SIGINT/SIGTERM the
 // daemon stops accepting requests, drains in-flight ones, and exits.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -60,7 +74,18 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
+
+// storePersist adapts the durable store to the registry's persistence
+// interface (serve must not import store; this is the whole glue).
+type storePersist struct{ st *store.Store }
+
+func (p storePersist) CreateGraph(name string, specJSON []byte) (serve.GraphPersister, error) {
+	return p.st.CreateGraph(name, specJSON)
+}
+
+func (p storePersist) DeleteGraph(name string) error { return p.st.DeleteGraph(name) }
 
 func main() {
 	var (
@@ -78,6 +103,11 @@ func main() {
 		poolSize    = flag.Int("poolsize", 0, "shared query-worker pool size across all graphs (0 = GOMAXPROCS)")
 		maxInflight = flag.Int("maxinflight", 0, "per-graph cap on concurrently admitted requests; beyond it 429 (0 = unlimited)")
 		maxGraphs   = flag.Int("maxgraphs", 0, "cap on registered graphs (0 = default 64, negative = unlimited)")
+
+		dataDir  = flag.String("datadir", "", "durable store directory; empty = in-memory fleet (lost on exit)")
+		fsync    = flag.String("fsync", store.FsyncCommit, "WAL sync policy with -datadir: always|commit|none")
+		compactB = flag.Int64("compactbytes", store.DefaultCompactBytes, "WAL bytes since last snapshot that trigger compaction (negative disables)")
+		compactT = flag.Duration("compactevery", store.DefaultCompactInterval, "max snapshot age before a publish triggers compaction (negative disables)")
 	)
 	flag.Parse()
 
@@ -91,11 +121,34 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if !store.ValidFsync(*fsync) {
+		fmt.Fprintf(os.Stderr, "oracled: -fsync must be always|commit|none, got %q\n", *fsync)
+		flag.Usage()
+		os.Exit(2)
+	}
 
-	g, err := loadGraph(*graphArg, *gen, *n, *deg, *gseed)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "oracled: %v\n", err)
-		os.Exit(1)
+	// With a data directory, open the store first: recovery decides whether
+	// the flag-described default graph even needs to be built.
+	var st *store.Store
+	var recovered *store.Recovery
+	var persist serve.RegistryPersister
+	if *dataDir != "" {
+		var err error
+		st, recovered, err = store.Open(*dataDir, store.Options{
+			Fsync:           *fsync,
+			CompactBytes:    *compactB,
+			CompactInterval: *compactT,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oracled: open datadir: %v\n", err)
+			os.Exit(1)
+		}
+		persist = storePersist{st}
+		fmt.Printf("oracled: datadir %s open (fsync=%s): %d graphs to recover\n",
+			*dataDir, *fsync, len(recovered.Graphs))
 	}
 
 	var reg *serve.Registry
@@ -104,6 +157,7 @@ func main() {
 		Pool:        serve.NewPool(*poolSize),
 		MaxInflight: *maxInflight,
 		MaxGraphs:   *maxGraphs,
+		Persist:     persist,
 		OnRebuild:   logRebuild,
 		// Lifecycle logging: the build finishing (or failing) is the
 		// daemon's readiness moment, so say so with the build's shape.
@@ -123,22 +177,74 @@ func main() {
 		},
 	})
 
-	fmt.Printf("oracled: graph %q n=%d m=%d, building oracles in the background (ω=%d, pool=%d, maxinflight=%d)\n",
-		*graphName, g.N(), g.M(), *omega, reg.Pool().Size(), *maxInflight)
-	if _, err := reg.CreateFromGraph(*graphName, g, serve.GraphSpec{}); err != nil {
+	// Recovered graphs first, in their original creation order (so the
+	// pre-crash default graph is the default again). All builds run in the
+	// background: the listener below is up before any oracle exists.
+	recoveredDefault := false
+	if recovered != nil {
+		for _, rg := range recovered.Graphs {
+			var spec serve.GraphSpec
+			if err := json.Unmarshal(rg.SpecJSON, &spec); err != nil {
+				fmt.Fprintf(os.Stderr, "oracled: [%s] stored spec unreadable (%v), using flag defaults\n", rg.Name, err)
+				spec = serve.GraphSpec{}
+			}
+			spec.Wait = false
+			if _, err := reg.CreateRecovered(rg.Name, rg.Graph, spec, rg.Log, rg.Epoch, rg.LastSeq); err != nil {
+				fmt.Fprintf(os.Stderr, "oracled: recover %q: %v\n", rg.Name, err)
+				os.Exit(1)
+			}
+			if rg.Warn != "" {
+				fmt.Printf("oracled: [%s] recovery notes: %s\n", rg.Name, rg.Warn)
+			}
+			fmt.Printf("oracled: [%s] recovered n=%d m=%d epoch=%d seq=%d, rebuilding oracles in the background\n",
+				rg.Name, rg.Graph.N(), rg.Graph.M(), rg.Epoch, rg.LastSeq)
+			recoveredDefault = recoveredDefault || rg.Name == *graphName
+		}
+		// Recovered graphs never auto-claim the default slot (that could
+		// silently point the un-prefixed endpoints at another tenant's
+		// graph); the daemon's default is by name.
+		if recoveredDefault {
+			if err := reg.SetDefault(*graphName); err != nil {
+				fmt.Fprintf(os.Stderr, "oracled: restore default %q: %v\n", *graphName, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	// The flag-described default graph is only built when recovery did not
+	// already bring it back (generation/IO is skipped entirely otherwise).
+	if !recoveredDefault {
+		g, err := loadGraph(*graphArg, *gen, *n, *deg, *gseed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oracled: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("oracled: graph %q n=%d m=%d, building oracles in the background (ω=%d, pool=%d, maxinflight=%d)\n",
+			*graphName, g.N(), g.M(), *omega, reg.Pool().Size(), *maxInflight)
+		if _, err := reg.CreateFromGraph(*graphName, g, serve.GraphSpec{Name: *graphName}); err != nil {
+			fmt.Fprintf(os.Stderr, "oracled: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "oracled: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("oracled: serving on %s (endpoints: /query /batch /update /stats /info /healthz /graphs[/{name}/...]); /healthz is 503 until %q is ready\n",
-		*addr, *graphName)
+	// The resolved address (exact port even for ":0") on its own line:
+	// harnesses like wecbench -exp restart parse it.
+	fmt.Printf("oracled: listening on %s\n", ln.Addr())
+	fmt.Printf("oracled: serving (endpoints: /query /batch /update /stats /info /healthz /graphs[/{name}/...]); /healthz is 503 until %q is ready\n",
+		*graphName)
 
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           serve.NewRegistryServer(reg),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	// Graceful shutdown: stop the listener, drain in-flight requests, then
-	// stop every engine's rebuild goroutine.
+	// stop every engine's rebuild goroutine, then fold each graph's WAL
+	// into a final snapshot so the next boot skips replay.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
@@ -150,12 +256,34 @@ func main() {
 		defer cancel()
 		_ = srv.Shutdown(ctx)
 		reg.Close()
+		if st != nil {
+			foldFleet(reg)
+			st.Close()
+		}
 	}()
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "oracled: %v\n", err)
 		os.Exit(1)
 	}
 	<-done
+}
+
+// foldFleet writes a final snapshot for every ready graph on graceful
+// shutdown, so the next boot loads one file per graph instead of replaying
+// WAL tails. Best-effort: a failure leaves the WAL, which recovery
+// replays anyway.
+func foldFleet(reg *serve.Registry) {
+	for _, gs := range reg.List() {
+		eng, err := reg.Get(gs.Name)
+		if err != nil {
+			continue
+		}
+		if err := eng.PersistNow(); err != nil {
+			fmt.Fprintf(os.Stderr, "oracled: [%s] final snapshot: %v\n", gs.Name, err)
+		} else {
+			fmt.Printf("oracled: [%s] final snapshot at epoch %d\n", gs.Name, eng.Epoch())
+		}
+	}
 }
 
 // logRebuild reports every snapshot swap of every graph: strategy,

@@ -209,7 +209,7 @@ func churnBench(scale int) {
 // component labels as a partition.
 func verifyChurn(base string, fresh *serve.Engine, edges [][2]int32, rng *graph.RNG) error {
 	n := fresh.Graph().N()
-	boolKinds := []serve.Kind{serve.KindConnected, serve.KindBridge, serve.KindArticulation, serve.KindBiconnected}
+	boolKinds := []serve.Kind{serve.KindConnected, serve.KindBridge, serve.KindArticulation, serve.KindBiconnected, serve.KindTwoEdgeConnected}
 	qs := make([]serve.Query, 0, 256)
 	for j := 0; j < 200; j++ {
 		kind := boolKinds[rng.Intn(len(boolKinds))]

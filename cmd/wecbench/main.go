@@ -11,10 +11,13 @@
 // query daemon (cmd/oracled): it drives the HTTP /batch endpoint with a
 // configurable connectivity/biconnectivity query mix and reports QPS,
 // latency percentiles, and the daemon's per-kind cost-model telemetry (see
-// the serve* flags in serve.go), and -exp multitenant is the end-to-end
-// gate on the multi-graph registry: N graphs behind one daemon, verified
-// isolation, shared-pool admission control (see multitenant.go). Neither
-// is part of "all" (they measure the serving layer, not a paper claim).
+// the serve* flags in serve.go), -exp multitenant is the end-to-end gate
+// on the multi-graph registry: N graphs behind one daemon, verified
+// isolation, shared-pool admission control (see multitenant.go), and
+// -exp restart is the end-to-end gate on the durable store: a real
+// oracled process SIGKILL'd under churn and recovered from its -datadir
+// with reference-verified answers (see restart.go). None of these are
+// part of "all" (they measure the serving layer, not a paper claim).
 package main
 
 import (
@@ -46,6 +49,7 @@ func main() {
 		"scaling":     scaling,
 		"serve":       serveBench,
 		"multitenant": multitenantBench,
+		"restart":     restartBench,
 	}
 	if *exp == "all" {
 		for _, id := range []string{"t1conn", "t1sparse", "t1bicc", "t1query",

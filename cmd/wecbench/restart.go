@@ -1,0 +1,367 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// Restart workload (-exp restart): the end-to-end gate on the durable
+// store. It drives a REAL oracled process (not in-process: crash recovery
+// is only honest across a process boundary):
+//
+//  1. start oracled with -datadir on a fresh directory, two graphs (the
+//     flag default plus one via POST /graphs), aggressive compaction so
+//     snapshot rotation and WAL reclaim happen during the run;
+//  2. churn both graphs with acknowledged batches (insertion-only and
+//     removal batches) under concurrent query load, create-and-delete a
+//     third graph (delete durability);
+//  3. SIGKILL the daemon mid-churn — the last batches are acknowledged
+//     wait=false, their rebuild racing the kill;
+//  4. restart on the same -datadir and verify: the fleet is exactly the
+//     two live graphs, each at (at least) its last acknowledged epoch,
+//     with n/m equal to the expected edge multiset and every sampled
+//     query answer equal to a from-scratch reference oracle's;
+//  5. churn the recovered fleet again (sequence continuity), re-verify,
+//     then shut down gracefully (final snapshot fold) and do one more
+//     boot-and-verify round.
+//
+// The process exits nonzero unless every check passes. CI runs it with a
+// race-enabled oracled binary (make smoke-restart).
+var (
+	oracledBin   = flag.String("oracledbin", "", "restart: path to an oracled binary (empty = go build one)")
+	restartChurn = flag.Int("restartchurn", 6, "restart: acknowledged churn batches per graph per phase")
+)
+
+// rdaemon is one managed oracled process.
+type rdaemon struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+func startOracled(bin, datadir string, extra ...string) (*rdaemon, error) {
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-datadir", datadir,
+		"-fsync", "always",
+		"-compactbytes", "512",
+		"-n", "512", "-deg", "3", "-graphseed", "42",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Printf("  | %s\n", line)
+			if a, ok := strings.CutPrefix(line, "oracled: listening on "); ok {
+				select {
+				case addrCh <- strings.TrimSpace(a):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &rdaemon{cmd: cmd, base: "http://" + addr}, nil
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		return nil, fmt.Errorf("oracled did not announce its listen address")
+	}
+}
+
+func (d *rdaemon) kill() error {
+	d.cmd.Process.Kill() // SIGKILL: no cleanup, no final snapshot
+	return d.cmd.Wait()
+}
+
+func (d *rdaemon) shutdown() error {
+	if err := d.cmd.Process.Signal(os.Interrupt); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		d.cmd.Process.Kill()
+		return fmt.Errorf("graceful shutdown timed out")
+	}
+}
+
+// waitGraphReady polls one graph's lifecycle state until ready.
+func waitGraphReady(base, name string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var st serve.GraphStatus
+		if err := getDecode(base+"/graphs/"+name, &st); err == nil {
+			switch st.State {
+			case serve.StateReady:
+				return nil
+			case serve.StateFailed:
+				return fmt.Errorf("graph %s failed: %s", name, st.Error)
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("graph %s not ready after %v", name, timeout)
+}
+
+// rtenant tracks one graph's expected state across kills.
+type rtenant struct {
+	name       string
+	n          int
+	edges      [][2]int32
+	ackedEpoch int64
+}
+
+// restartVerify compares the daemon's served state for tn against a
+// from-scratch reference engine (oracled's default ω=64, seed=7 — labels
+// compare exactly).
+func restartVerify(base string, tn *rtenant, rng *graph.RNG) error {
+	gbase := base + "/graphs/" + tn.name
+	info, err := fetchInfo(gbase)
+	if err != nil {
+		return fmt.Errorf("%s /info: %v", tn.name, err)
+	}
+	if info.GraphN != tn.n || info.GraphM != len(tn.edges) {
+		return fmt.Errorf("%s shape n=%d m=%d, want n=%d m=%d", tn.name, info.GraphN, info.GraphM, tn.n, len(tn.edges))
+	}
+	if info.Epoch < tn.ackedEpoch {
+		return fmt.Errorf("%s epoch %d below last acknowledged %d", tn.name, info.Epoch, tn.ackedEpoch)
+	}
+	ref := serve.New(graph.FromEdges(tn.n, tn.edges), serve.Config{Omega: 64, Seed: 7})
+	defer ref.Close()
+	qs := randomBatch(rng, tn.n, 400)
+	got, err := postBatchResults(gbase, qs)
+	if err != nil {
+		return fmt.Errorf("%s batch: %v", tn.name, err)
+	}
+	want := ref.Do(qs)
+	for i := range qs {
+		if !sameServedResult(got[i], want[i]) {
+			return fmt.Errorf("%s answer drift: %s(%d,%d) served %s, reference %s",
+				tn.name, qs[i].Kind, qs[i].U, qs[i].V, resultString(got[i]), resultString(want[i]))
+		}
+	}
+	return nil
+}
+
+// churnTenant sends acknowledged wait=true update batches, maintaining the
+// expected edge multiset and acked epoch. Odd batches are insertion-only
+// (incremental path), even ones mix in removals (full rebuilds).
+func churnTenant(base string, tn *rtenant, batches int, rng *graph.RNG) error {
+	for b := 0; b < batches; b++ {
+		req := serve.UpdateRequest{Wait: true}
+		for j := 0; j < 8; j++ {
+			req.Add = append(req.Add, [2]int32{int32(rng.Intn(tn.n)), int32(rng.Intn(tn.n))})
+		}
+		if b%2 == 1 && len(tn.edges) > 4 {
+			for j := 0; j < 3; j++ {
+				idx := rng.Intn(len(tn.edges))
+				req.Remove = append(req.Remove, tn.edges[idx])
+				tn.edges = append(tn.edges[:idx], tn.edges[idx+1:]...)
+			}
+		}
+		var ur serve.UpdateResponse
+		if err := postUpdate(base+"/graphs/"+tn.name, req, &ur); err != nil {
+			return fmt.Errorf("%s churn %d: %v", tn.name, b, err)
+		}
+		if !ur.Applied {
+			return fmt.Errorf("%s churn %d: wait=true not applied: %+v", tn.name, b, ur)
+		}
+		tn.edges = append(tn.edges, req.Add...)
+		tn.ackedEpoch = ur.Epoch
+	}
+	return nil
+}
+
+func restartBench(scale int) {
+	header("Restart", "durable store: kill -9 under churn, recover the fleet, verify against reference oracles")
+	http.DefaultClient.Timeout = 2 * time.Minute
+	defer func() { http.DefaultClient.Timeout = 0 }()
+	_ = scale
+
+	bin := *oracledBin
+	if bin == "" {
+		tmp, err := os.MkdirTemp("", "wecrestart-bin-")
+		if err != nil {
+			fatalf("tempdir: %v", err)
+		}
+		defer os.RemoveAll(tmp)
+		bin = filepath.Join(tmp, "oracled")
+		fmt.Printf("building oracled into %s\n", bin)
+		build := exec.Command("go", "build", "-o", bin, "./cmd/oracled")
+		build.Stdout, build.Stderr = os.Stdout, os.Stderr
+		if err := build.Run(); err != nil {
+			fatalf("go build oracled: %v", err)
+		}
+	}
+
+	datadir, err := os.MkdirTemp("", "wecrestart-data-")
+	if err != nil {
+		fatalf("tempdir: %v", err)
+	}
+	defer os.RemoveAll(datadir)
+
+	// ---- Phase 1: fresh boot, fleet setup, churn, create/delete, SIGKILL.
+	d, err := startOracled(bin, datadir)
+	if err != nil {
+		fatalf("start: %v", err)
+	}
+	if err := waitGraphReady(d.base, "default", time.Minute); err != nil {
+		fatalf("%v", err)
+	}
+
+	tenants := []*rtenant{
+		{name: "default", n: 512, edges: graph.RandomRegular(512, 3, 42).Edges()},
+		{name: "beta", n: 384, edges: graph.RandomRegular(384, 3, 11).Edges()},
+	}
+	body, _ := json.Marshal(serve.GraphSpec{Name: "beta", N: 384, Deg: 3, GraphSeed: 11, Wait: true})
+	if code, resp := rawReq(http.MethodPost, d.base+"/graphs", body); code != http.StatusCreated {
+		fatalf("create beta: code=%d body=%s", code, resp)
+	}
+
+	// Delete durability: a third graph created and deleted pre-kill must
+	// stay gone after recovery.
+	body, _ = json.Marshal(serve.GraphSpec{Name: "ghost", N: 256, Deg: 3, GraphSeed: 5, Wait: true})
+	if code, resp := rawReq(http.MethodPost, d.base+"/graphs", body); code != http.StatusCreated {
+		fatalf("create ghost: code=%d body=%s", code, resp)
+	}
+	if code, resp := rawReq(http.MethodDelete, d.base+"/graphs/ghost", nil); code != http.StatusOK {
+		fatalf("delete ghost: code=%d body=%s", code, resp)
+	}
+
+	// Churn both tenants under concurrent query load.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i, tn := range tenants {
+		wg.Add(1)
+		go func(i int, name string, n int) {
+			defer wg.Done()
+			qrng := graph.NewRNG(uint64(900 + i))
+			for !stop.Load() {
+				if _, err := postBatchResults(d.base+"/graphs/"+name, randomBatch(qrng, n, 64)); err != nil {
+					return // the kill below severs connections; that's fine
+				}
+			}
+		}(i, tn.name, tn.n)
+	}
+	rng := graph.NewRNG(2024)
+	for _, tn := range tenants {
+		if err := churnTenant(d.base, tn, *restartChurn, rng); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	fmt.Printf("churned: default epoch=%d m=%d, beta epoch=%d m=%d\n",
+		tenants[0].ackedEpoch, len(tenants[0].edges), tenants[1].ackedEpoch, len(tenants[1].edges))
+
+	// Final acknowledged-but-racing-the-kill batches: wait=false staging is
+	// acknowledged after the WAL append, so these must survive even though
+	// their rebuild is (at best) mid-flight when SIGKILL lands.
+	for _, tn := range tenants {
+		req := serve.UpdateRequest{Add: [][2]int32{
+			{int32(rng.Intn(tn.n)), int32(rng.Intn(tn.n))},
+			{int32(rng.Intn(tn.n)), int32(rng.Intn(tn.n))},
+		}}
+		var ur serve.UpdateResponse
+		if err := postUpdate(d.base+"/graphs/"+tn.name, req, &ur); err != nil {
+			fatalf("%s final async update: %v", tn.name, err)
+		}
+		tn.edges = append(tn.edges, req.Add...)
+	}
+	stop.Store(true)
+	if err := d.kill(); err == nil {
+		fatalf("SIGKILL'd daemon exited cleanly?")
+	}
+	wg.Wait()
+	fmt.Println("daemon SIGKILL'd mid-churn")
+
+	// ---- Phase 2: restart, recover, verify, churn again.
+	d, err = startOracled(bin, datadir)
+	if err != nil {
+		fatalf("restart: %v", err)
+	}
+	for _, tn := range tenants {
+		if err := waitGraphReady(d.base, tn.name, 2*time.Minute); err != nil {
+			fatalf("recovery: %v", err)
+		}
+	}
+	var list serve.GraphListResponse
+	if err := getDecode(d.base+"/graphs", &list); err != nil {
+		fatalf("/graphs: %v", err)
+	}
+	if len(list.Graphs) != 2 || list.Default != "default" {
+		fatalf("recovered fleet %+v (default %q), want exactly default+beta", list.Graphs, list.Default)
+	}
+	if code, _ := rawReq(http.MethodGet, d.base+"/graphs/ghost", nil); code != http.StatusNotFound {
+		fatalf("deleted graph resurrected: GET /graphs/ghost = %d, want 404", code)
+	}
+	vrng := graph.NewRNG(31337)
+	for _, tn := range tenants {
+		if err := restartVerify(d.base, tn, vrng); err != nil {
+			fatalf("post-kill verification: %v", err)
+		}
+		fmt.Printf("  %s recovered and verified: m=%d, epoch >= %d ✓\n", tn.name, len(tn.edges), tn.ackedEpoch)
+	}
+
+	// The recovered fleet is live: more acknowledged churn, sequence
+	// numbers continuing where the WAL left off.
+	for _, tn := range tenants {
+		if err := churnTenant(d.base, tn, 2, rng); err != nil {
+			fatalf("post-recovery churn: %v", err)
+		}
+		if err := restartVerify(d.base, tn, vrng); err != nil {
+			fatalf("post-recovery verification: %v", err)
+		}
+	}
+	fmt.Println("post-recovery churn applied and verified")
+
+	// ---- Phase 3: graceful shutdown (final snapshot fold), boot, verify.
+	if err := d.shutdown(); err != nil {
+		fatalf("graceful shutdown: %v", err)
+	}
+	d, err = startOracled(bin, datadir)
+	if err != nil {
+		fatalf("third boot: %v", err)
+	}
+	for _, tn := range tenants {
+		if err := waitGraphReady(d.base, tn.name, 2*time.Minute); err != nil {
+			fatalf("post-graceful recovery: %v", err)
+		}
+		if err := restartVerify(d.base, tn, vrng); err != nil {
+			fatalf("post-graceful verification: %v", err)
+		}
+	}
+	if err := d.shutdown(); err != nil {
+		fatalf("final shutdown: %v", err)
+	}
+	fmt.Println("restart: PASS")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "restart: FAILED — "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -39,7 +39,7 @@ var (
 )
 
 var connKinds = []serve.Kind{serve.KindConnected, serve.KindComponent}
-var biccKinds = []serve.Kind{serve.KindBridge, serve.KindArticulation, serve.KindBiconnected}
+var biccKinds = []serve.Kind{serve.KindBridge, serve.KindArticulation, serve.KindBiconnected, serve.KindTwoEdgeConnected}
 
 // serveBench is the wecbench runner for -exp serve. With -servechurn > 0
 // it runs the dynamic-update churn workload (churn.go) instead of the

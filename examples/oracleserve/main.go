@@ -17,9 +17,11 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/graph"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -129,4 +131,88 @@ func main() {
 	}
 	ps := reg.Pool().Stats()
 	fmt.Printf("  shared pool: size=%d peak=%d tasks=%d\n", ps.Size, ps.PeakInUse, ps.Tasks)
+
+	// --- Restart survival: the durable store (internal/store). ----------
+	//
+	// Everything above lives in memory: kill the process and every
+	// expensively-built oracle is gone. A registry wired to a store
+	// persists the fleet — creates/deletes to a manifest, every accepted
+	// update batch to a per-graph WAL *before* it is staged, snapshots on
+	// a compaction schedule — so a restarted daemon replays the data
+	// directory and rebuilds. cmd/oracled does exactly this under
+	// -datadir; the walkthrough below is the same wiring in-process, with
+	// a simulated crash (the first store is dropped without any graceful
+	// fold).
+	fmt.Println("\nrestart survival:")
+	dir, err := os.MkdirTemp("", "oracleserve-data-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	dst, _, err := store.Open(dir, store.Options{Fsync: store.FsyncNone})
+	if err != nil {
+		panic(err)
+	}
+	dreg := serve.NewRegistry(serve.RegistryConfig{
+		Engine:  serve.Config{Omega: 64, Seed: 7},
+		Persist: storePersist{dst},
+	})
+	if _, err := dreg.Create(serve.GraphSpec{Name: "durable", N: 2000, Deg: 3, GraphSeed: 9, Wait: true}); err != nil {
+		panic(err)
+	}
+	de, _ := dreg.Get("durable")
+	// Two acknowledged churn batches: by the time Update returns, both are
+	// in the WAL (logged before staging) and published (wait=true).
+	if _, err := de.Update(serve.Update{Add: [][2]int32{{0, 1000}, {5, 1500}}}, true); err != nil {
+		panic(err)
+	}
+	if _, err := de.Update(serve.Update{Remove: [][2]int32{{0, 1000}}}, true); err != nil {
+		panic(err)
+	}
+	fmt.Printf("  pre-crash:  epoch=%d m=%d connected(5,1500)=%v\n",
+		de.Epoch(), de.Graph().M(), *de.Query(serve.Query{Kind: serve.KindConnected, U: 5, V: 1500}).Bool)
+
+	// CRASH: drop registry and store with no shutdown. (kill -9 in
+	// process form — the OS file buffers survive, nothing else does.)
+	dst.Close()
+	dreg.Close()
+
+	// Recover: reopen the store, hand each recovered graph to a fresh
+	// registry. Epoch and update sequence numbers resume where clients
+	// last saw them acknowledged.
+	dst2, rec, err := store.Open(dir, store.Options{Fsync: store.FsyncNone})
+	if err != nil {
+		panic(err)
+	}
+	defer dst2.Close()
+	reg2 := serve.NewRegistry(serve.RegistryConfig{
+		Engine:  serve.Config{Omega: 64, Seed: 7},
+		Persist: storePersist{dst2},
+	})
+	defer reg2.Close()
+	for _, rg := range rec.Graphs {
+		if _, err := reg2.CreateRecovered(rg.Name, rg.Graph, serve.GraphSpec{Wait: true}, rg.Log, rg.Epoch, rg.LastSeq); err != nil {
+			panic(err)
+		}
+	}
+	re, err := reg2.Get("durable")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  post-crash: epoch=%d m=%d connected(5,1500)=%v (fleet of %d recovered)\n",
+		re.Epoch(), re.Graph().M(), *re.Query(serve.Query{Kind: serve.KindConnected, U: 5, V: 1500}).Bool, len(rec.Graphs))
+	if re.Graph().M() != de.Graph().M() || re.Epoch() < de.Epoch() {
+		panic("recovery lost state")
+	}
 }
+
+// storePersist adapts the durable store to the registry's persistence
+// interface — the same glue cmd/oracled uses.
+type storePersist struct{ st *store.Store }
+
+func (p storePersist) CreateGraph(name string, specJSON []byte) (serve.GraphPersister, error) {
+	return p.st.CreateGraph(name, specJSON)
+}
+
+func (p storePersist) DeleteGraph(name string) error { return p.st.DeleteGraph(name) }

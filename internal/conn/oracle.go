@@ -163,6 +163,22 @@ func (o *Oracle) Connected(m *asym.Meter, sym *asym.SymTracker, u, v int32) bool
 	return o.Query(m, sym, u) == o.Query(m, sym, v)
 }
 
+// Remap returns a copy of the dynamic-insertion label remap table (nil for
+// a freshly built oracle). It is the durable trace of the incremental
+// path: the serving layer's store persists it with each snapshot so the
+// label state a fleet acknowledged survives restarts. Unmetered — this is
+// an I/O-path accessor, not a query.
+func (o *Oracle) Remap() map[int32]int32 {
+	if o.remap == nil {
+		return nil
+	}
+	out := make(map[int32]int32, len(o.remap))
+	for k, v := range o.remap {
+		out[k] = v
+	}
+	return out
+}
+
 // VisitSpanningForest enumerates the edges of a spanning forest of the
 // whole graph, realizing the spanning-forest remark at the end of §4.3:
 // the per-cluster shortest-path trees of Lemma 3.3 are *recomputed* (never

@@ -119,3 +119,10 @@ func (o *Overlay) Build(m *asym.Meter) *Graph {
 	m.Write(g.N() + 1 + 2*g.M()) // the new CSR (offsets + adjacency)
 	return g
 }
+
+// BuildPlain materializes the overlay without cost accounting — for I/O and
+// recovery paths that live outside the asymmetric cost model (the durable
+// store's snapshot materialization).
+func (o *Overlay) BuildPlain() *Graph {
+	return o.Build(asym.NewMeter(1))
+}

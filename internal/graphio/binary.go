@@ -1,0 +1,263 @@
+package graphio
+
+// Shared binary primitives for the durable-store formats (internal/store):
+// varint edge-list codecs and a CRC-framed record envelope. They live here
+// rather than in store because they are graph I/O in the same sense as the
+// text format above — store composes them into snapshot files and WAL
+// segments, and future tools (a binary graphgen output, a snapshot
+// inspector) reuse them without importing the store.
+//
+// All integers are protobuf-style varints (encoding/binary); signed values
+// use zigzag. Edge lists come in two codecs:
+//
+//   - AppendEdgesDelta / DecodeEdgesDelta: a normalized (u <= v),
+//     lexicographically sorted list — the shape graph.Edges() returns —
+//     delta-encoded so runs of edges around the same vertex cost a byte or
+//     two each. Used for snapshot graph sections.
+//   - AppendEdgesRaw / DecodeEdgesRaw: an arbitrary pair list, order and
+//     duplicates preserved exactly. Used for WAL update batches, which
+//     must replay byte-for-byte as they were accepted.
+//
+// The frame envelope (WriteFrame / ReadFrame) is what makes append-only
+// logs crash-tolerant: every record is tag + length + payload + CRC32-C of
+// all three, so a torn tail (partial final write at the crash point) or a
+// corrupted record is detected and reported as ErrCorrupt rather than
+// misparsed as data.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ErrCorrupt reports a frame or section whose checksum, length, or
+// structure does not match its declared encoding. Callers replaying a log
+// use errors.Is to distinguish a damaged tail from an I/O failure.
+var ErrCorrupt = errors.New("graphio: corrupt binary data")
+
+// crcTable is the Castagnoli polynomial table shared by every checksum in
+// the binary formats (hardware-accelerated on common platforms).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32-C of b — the one checksum function every
+// binary format in this module uses.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+
+// MaxFramePayload bounds a single frame's payload. It comfortably holds the
+// largest legal WAL record (a MaxUpdateEdges-sized batch is ~5 MB of raw
+// varint pairs) while keeping a corrupted length field from driving an
+// allocation of gigabytes during replay.
+const MaxFramePayload = 64 << 20
+
+// AppendEdgesDelta appends a delta-encoded edge list to buf. The list must
+// be normalized (u <= v per edge) and sorted lexicographically — the
+// canonical shape graph.Edges() produces; duplicates (parallel edges) are
+// fine. Layout: count, then per edge uvarint(u - prevU) and, within a run
+// of equal u, uvarint(v - prevV), else uvarint(v - u).
+func AppendEdgesDelta(buf []byte, edges [][2]int32) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(edges)))
+	pu, pv := int32(0), int32(0)
+	for i, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < u {
+			return nil, fmt.Errorf("graphio: edge (%d,%d) not normalized", u, v)
+		}
+		if u < pu || (u == pu && i > 0 && v < pv) {
+			return nil, fmt.Errorf("graphio: edge list not sorted at (%d,%d)", u, v)
+		}
+		buf = binary.AppendUvarint(buf, uint64(u-pu))
+		if u == pu && i > 0 {
+			buf = binary.AppendUvarint(buf, uint64(v-pv))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(v-u))
+		}
+		pu, pv = u, v
+	}
+	return buf, nil
+}
+
+// DecodeEdgesDelta reads a list written by AppendEdgesDelta from b,
+// returning the edges and the remaining bytes.
+func DecodeEdgesDelta(b []byte) ([][2]int32, []byte, error) {
+	count, b, err := readUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Every encoded edge costs at least two bytes, so a count beyond that
+	// bound is a corrupted length, not a huge list — reject before the
+	// allocation it would size.
+	if count > uint64(len(b))/2 {
+		return nil, nil, fmt.Errorf("%w: edge count %d exceeds %d remaining bytes", ErrCorrupt, count, len(b))
+	}
+	edges := make([][2]int32, 0, count)
+	pu, pv := int64(0), int64(0)
+	for i := uint64(0); i < count; i++ {
+		du, rest, err := readUvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		dv, rest, err := readUvarint(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		u := pu + int64(du)
+		var v int64
+		if du == 0 && i > 0 {
+			v = pv + int64(dv)
+		} else {
+			v = u + int64(dv)
+		}
+		if u > int64(1)<<31-1 || v > int64(1)<<31-1 {
+			return nil, nil, fmt.Errorf("%w: edge (%d,%d) overflows int32", ErrCorrupt, u, v)
+		}
+		edges = append(edges, [2]int32{int32(u), int32(v)})
+		pu, pv = u, v
+		b = rest
+	}
+	return edges, b, nil
+}
+
+// AppendEdgesRaw appends an order-preserving pair list to buf: count, then
+// one zigzag varint per coordinate. Any int32 pairs are legal (the WAL
+// records updates exactly as accepted, unnormalized).
+func AppendEdgesRaw(buf []byte, edges [][2]int32) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(edges)))
+	for _, e := range edges {
+		buf = binary.AppendVarint(buf, int64(e[0]))
+		buf = binary.AppendVarint(buf, int64(e[1]))
+	}
+	return buf
+}
+
+// DecodeEdgesRaw reads a list written by AppendEdgesRaw from b, returning
+// the edges and the remaining bytes.
+func DecodeEdgesRaw(b []byte) ([][2]int32, []byte, error) {
+	count, b, err := readUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if count > uint64(len(b))/2 {
+		return nil, nil, fmt.Errorf("%w: pair count %d exceeds %d remaining bytes", ErrCorrupt, count, len(b))
+	}
+	edges := make([][2]int32, 0, count)
+	for i := uint64(0); i < count; i++ {
+		u, rest, err := readVarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		v, rest, err := readVarint(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		if u < -1<<31 || u > 1<<31-1 || v < -1<<31 || v > 1<<31-1 {
+			return nil, nil, fmt.Errorf("%w: pair (%d,%d) overflows int32", ErrCorrupt, u, v)
+		}
+		edges = append(edges, [2]int32{int32(u), int32(v)})
+		b = rest
+	}
+	return edges, b, nil
+}
+
+// readUvarint decodes one uvarint from b, returning the value and the rest.
+func readUvarint(b []byte) (uint64, []byte, error) {
+	x, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: truncated uvarint", ErrCorrupt)
+	}
+	return x, b[n:], nil
+}
+
+// readVarint decodes one zigzag varint from b, returning the value and the
+// rest.
+func readVarint(b []byte) (int64, []byte, error) {
+	x, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: truncated varint", ErrCorrupt)
+	}
+	return x, b[n:], nil
+}
+
+// WriteFrame writes one record to w: tag byte, payload length (uvarint),
+// payload, and a trailing CRC32-C over tag+length+payload (4 bytes LE).
+// The write is a single w.Write call, so on most filesystems a crash leaves
+// either the whole frame or a detectable partial tail, never an undetected
+// splice.
+func WriteFrame(w io.Writer, tag byte, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("graphio: frame payload %d exceeds %d", len(payload), MaxFramePayload)
+	}
+	buf := make([]byte, 0, len(payload)+16)
+	buf = append(buf, tag)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, Checksum(buf))
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one record written by WriteFrame. At a clean end of input
+// it returns io.EOF; a partial or checksum-failing record returns an error
+// wrapping ErrCorrupt (the torn-tail signal log replay stops on).
+func ReadFrame(r io.ByteReader) (tag byte, payload []byte, err error) {
+	header := make([]byte, 0, 16)
+	first, err := r.ReadByte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, err
+	}
+	header = append(header, first)
+	// Decode the length varint byte by byte so we know exactly which bytes
+	// the checksum covers.
+	var length uint64
+	for shift := uint(0); ; shift += 7 {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, nil, fmt.Errorf("%w: truncated frame header", ErrCorrupt)
+		}
+		header = append(header, b)
+		length |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+		if shift > 63 {
+			return 0, nil, fmt.Errorf("%w: frame length varint overflow", ErrCorrupt)
+		}
+	}
+	if length > MaxFramePayload {
+		return 0, nil, fmt.Errorf("%w: frame payload %d exceeds %d", ErrCorrupt, length, MaxFramePayload)
+	}
+	payload = make([]byte, length)
+	if err := readFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated frame payload", ErrCorrupt)
+	}
+	sum := make([]byte, 4)
+	if err := readFull(r, sum); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated frame checksum", ErrCorrupt)
+	}
+	crc := Checksum(header)
+	crc = crc32.Update(crc, crcTable, payload)
+	if crc != binary.LittleEndian.Uint32(sum) {
+		return 0, nil, fmt.Errorf("%w: frame checksum mismatch", ErrCorrupt)
+	}
+	return first, payload, nil
+}
+
+// readFull fills buf from a ByteReader (which io.ReadFull cannot consume).
+func readFull(r io.ByteReader, buf []byte) error {
+	if rr, ok := r.(io.Reader); ok {
+		_, err := io.ReadFull(rr, buf)
+		return err
+	}
+	for i := range buf {
+		b, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		buf[i] = b
+	}
+	return nil
+}

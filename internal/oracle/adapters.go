@@ -47,12 +47,16 @@ func (a ConnAdapter) ApplyInsertions(m *asym.Meter, sym *asym.SymTracker, edges 
 // NumComponents reports the snapshot's component count.
 func (a ConnAdapter) NumComponents() int { return a.O.NumComponents }
 
+// Remap exposes the oracle's dynamic-insertion label remap table (copied);
+// the serving layer's durable store persists it with each snapshot.
+func (a ConnAdapter) Remap() map[int32]int32 { return a.O.Remap() }
+
 // BiccAdapter serves the biconnectivity kinds over a bicc.Oracle
 // (Theorem 5.3). Biconnectivity is not insertion-monotone, so there is no
 // incremental path: the engine rebuilds it on every snapshot.
 type BiccAdapter struct{ O *bicc.Oracle }
 
-// Answer dispatches bridge/articulation/biconnected queries.
+// Answer dispatches bridge/articulation/biconnected/2ecc queries.
 func (a BiccAdapter) Answer(m *asym.Meter, sym *asym.SymTracker, q Query) (Answer, error) {
 	switch q.Kind {
 	case KindBridge:
@@ -63,6 +67,9 @@ func (a BiccAdapter) Answer(m *asym.Meter, sym *asym.SymTracker, q Query) (Answe
 		return Answer{Bool: &v}, nil
 	case KindBiconnected:
 		v := a.O.Biconnected(m, sym, q.U, q.V)
+		return Answer{Bool: &v}, nil
+	case KindTwoEdgeConnected:
+		v := a.O.OneEdgeConnected(m, sym, q.U, q.V)
 		return Answer{Bool: &v}, nil
 	}
 	return Answer{}, fmt.Errorf("oracle: bicc does not serve kind %q", q.Kind)
@@ -91,6 +98,7 @@ func init() {
 			{Kind: KindBridge, Pairwise: true},
 			{Kind: KindArticulation, Pairwise: false},
 			{Kind: KindBiconnected, Pairwise: true},
+			{Kind: KindTwoEdgeConnected, Pairwise: true},
 		},
 		Build: func(c *parallel.Ctx, vw graph.View, k int, seed uint64) QueryOracle {
 			return BiccAdapter{O: bicc.BuildOracle(c, vw, nil, k, seed)}

@@ -31,14 +31,17 @@ import (
 type Kind string
 
 // The built-in kinds. Connected and Component are served by the Theorem 4.4
-// connectivity oracle; Bridge, Articulation and Biconnected by the
-// Theorem 5.3 biconnectivity oracle.
+// connectivity oracle; Bridge, Articulation, Biconnected and
+// TwoEdgeConnected by the Theorem 5.3 biconnectivity oracle (2-edge
+// connectivity is the §5.3 OneEdgeConnected query: no single edge removal
+// separates the pair).
 const (
-	KindConnected    Kind = "connected"    // u, v — same component?
-	KindComponent    Kind = "component"    // u — canonical component label
-	KindBridge       Kind = "bridge"       // u, v — is edge {u,v} a bridge?
-	KindArticulation Kind = "articulation" // u — is u a cut vertex?
-	KindBiconnected  Kind = "biconnected"  // u, v — biconnected pair?
+	KindConnected        Kind = "connected"    // u, v — same component?
+	KindComponent        Kind = "component"    // u — canonical component label
+	KindBridge           Kind = "bridge"       // u, v — is edge {u,v} a bridge?
+	KindArticulation     Kind = "articulation" // u — is u a cut vertex?
+	KindBiconnected      Kind = "biconnected"  // u, v — biconnected pair?
+	KindTwoEdgeConnected Kind = "2ecc"         // u, v — same 2-edge-connected component?
 )
 
 // Spec describes one query kind: its wire name and whether it takes a

@@ -22,7 +22,7 @@ func buildAll(t *testing.T, g *graph.Graph, omega int) map[string]QueryOracle {
 }
 
 // TestBuiltinsRegistered pins the built-in registry contents: both paper
-// oracles present, the five kinds in the stable serving order, correct
+// oracles present, the six kinds in the stable serving order, correct
 // pairwise arity.
 func TestBuiltinsRegistered(t *testing.T) {
 	names := Names()
@@ -35,7 +35,7 @@ func TestBuiltinsRegistered(t *testing.T) {
 		t.Fatalf("builtins missing from registry: %v", names)
 	}
 
-	wantOrder := []Kind{KindConnected, KindComponent, KindBridge, KindArticulation, KindBiconnected}
+	wantOrder := []Kind{KindConnected, KindComponent, KindBridge, KindArticulation, KindBiconnected, KindTwoEdgeConnected}
 	ks := Kinds()
 	if len(ks) < len(wantOrder) {
 		t.Fatalf("registry has %d kinds, want at least %d", len(ks), len(wantOrder))
@@ -49,6 +49,7 @@ func TestBuiltinsRegistered(t *testing.T) {
 	pairwise := map[Kind]bool{
 		KindConnected: true, KindComponent: false,
 		KindBridge: true, KindArticulation: false, KindBiconnected: true,
+		KindTwoEdgeConnected: true,
 	}
 	for k, want := range pairwise {
 		s, ok := SpecOf(k)
@@ -91,6 +92,7 @@ func TestAdaptersMatchDirect(t *testing.T) {
 			{built["bicc"], Query{KindBridge, u, v}, boolAns(bo.IsBridge(dm2, sym, u, v))},
 			{built["bicc"], Query{KindArticulation, u, 0}, boolAns(bo.IsArticulation(dm2, sym, u))},
 			{built["bicc"], Query{KindBiconnected, u, v}, boolAns(bo.Biconnected(dm2, sym, u, v))},
+			{built["bicc"], Query{KindTwoEdgeConnected, u, v}, boolAns(bo.OneEdgeConnected(dm2, sym, u, v))},
 		} {
 			got, err := tc.oracle.Answer(am, sym, tc.q)
 			if err != nil {

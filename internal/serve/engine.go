@@ -63,15 +63,17 @@ import (
 // kind type; the constants below re-export the built-ins).
 type Kind = oracle.Kind
 
-// The five built-in query kinds. Connected, Component and the spanning
+// The six built-in query kinds. Connected, Component and the spanning
 // structure behind them come from conn.Oracle (Thm 4.2/4.4); Bridge,
-// Articulation and Biconnected from bicc.Oracle (Thm 5.1/5.3/6.1).
+// Articulation, Biconnected and TwoEdgeConnected from bicc.Oracle
+// (Thm 5.1/5.3/6.1).
 const (
-	KindConnected    = oracle.KindConnected
-	KindComponent    = oracle.KindComponent
-	KindBridge       = oracle.KindBridge
-	KindArticulation = oracle.KindArticulation
-	KindBiconnected  = oracle.KindBiconnected
+	KindConnected        = oracle.KindConnected
+	KindComponent        = oracle.KindComponent
+	KindBridge           = oracle.KindBridge
+	KindArticulation     = oracle.KindArticulation
+	KindBiconnected      = oracle.KindBiconnected
+	KindTwoEdgeConnected = oracle.KindTwoEdgeConnected
 )
 
 // Kinds lists every query kind registered when package serve initialized,
@@ -130,6 +132,19 @@ type Config struct {
 	// (successful or not) with its record. Called outside the engine's
 	// lock, from the rebuild goroutine; keep it fast and non-blocking.
 	OnRebuild func(RebuildRecord)
+
+	// Persist, if non-nil, is the graph's durable log (persist.go): every
+	// accepted update batch is appended to it before staging, and every
+	// published epoch is committed to it. Nil disables persistence.
+	Persist GraphPersister
+	// InitialEpoch seeds the first snapshot's epoch — a recovered engine
+	// resumes at (at least) the epoch its clients last saw acknowledged
+	// instead of restarting at 0.
+	InitialEpoch int64
+	// InitialSeq seeds the update sequence counter — a recovered engine
+	// numbers its next accepted batch InitialSeq+1 so WAL sequence numbers
+	// stay monotonic across restarts.
+	InitialSeq int64
 }
 
 // KindStats is the cumulative serving telemetry for one query kind.
@@ -231,6 +246,7 @@ type Engine struct {
 	sym       int
 	seed      uint64
 	onRebuild func(RebuildRecord)
+	persist   GraphPersister
 
 	// Oracle dispatch, fixed at New from the process-wide registry.
 	factories []oracle.Factory
@@ -264,6 +280,7 @@ type Engine struct {
 	pending   []*updateBatch
 	delta     map[[2]int32]int // staged-but-unpublished edge multiplicity delta
 	seq       int64            // update batches staged, ever
+	pubSeq    int64            // highest seq folded into the published snapshot
 	unapplied int              // staged batches not yet folded into a snapshot
 	history   []RebuildRecord  // most recent rebuilds, newest last
 
@@ -271,6 +288,11 @@ type Engine struct {
 	nIncremental int64
 	edgesAdded   int64
 	edgesRemoved int64
+
+	// testRebuildErr, when non-nil, lets white-box tests inject a rebuild
+	// failure (standing in for a plugged-in oracle whose rebuild errors —
+	// the path that must surface as ErrRebuildFailed, not a 400).
+	testRebuildErr func(next *graph.Graph) error
 }
 
 type kindAgg struct {
@@ -307,6 +329,9 @@ func New(g *graph.Graph, cfg Config) *Engine {
 		sym:         cfg.SymLimit,
 		seed:        cfg.Seed,
 		onRebuild:   cfg.OnRebuild,
+		persist:     cfg.Persist,
+		seq:         cfg.InitialSeq,
+		pubSeq:      cfg.InitialSeq,
 		pool:        pool,
 		maxInflight: int64(cfg.MaxInflight),
 		disp:        asym.NewMeter(omega),
@@ -328,7 +353,7 @@ func New(g *graph.Graph, cfg Config) *Engine {
 		e.kinds[i].meter = asym.NewMeter(omega)
 	}
 	os, costs := e.buildOracles(g)
-	e.snap.Store(&snapshot{epoch: 0, g: g, oracles: os, costs: costs})
+	e.snap.Store(&snapshot{epoch: cfg.InitialEpoch, g: g, oracles: os, costs: costs})
 	return e
 }
 
@@ -394,9 +419,39 @@ func (e *Engine) buildCosts(s *snapshot) map[string]asym.Cost {
 // Graph returns the currently served graph (the latest snapshot's).
 func (e *Engine) Graph() *graph.Graph { return e.snap.Load().g }
 
-// Epoch returns the current snapshot epoch (0 for the initial build; +1
-// per published rebuild).
+// Epoch returns the current snapshot epoch (Config.InitialEpoch for the
+// initial build — 0 unless recovered; +1 per published rebuild).
 func (e *Engine) Epoch() int64 { return e.snap.Load().epoch }
+
+// LastSeq returns the sequence number of the most recently accepted update
+// batch (Config.InitialSeq until the first accept).
+func (e *Engine) LastSeq() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seq
+}
+
+// ConnRemap returns the current snapshot's connectivity-oracle label remap
+// table (nil when absent or empty) — the piece of dynamic-update state the
+// durable store persists alongside the graph.
+func (e *Engine) ConnRemap() map[int32]int32 { return connRemapOf(e.snap.Load()) }
+
+// PersistNow forces the durable store (when configured) to write a fresh
+// snapshot of the currently *published* state — the graceful-shutdown
+// fold, so the next boot loads one file instead of replaying the WAL.
+// The watermark is the highest sequence number actually folded into the
+// published snapshot: staged-but-unpublished batches stay in the WAL and
+// replay on the next boot. No-op without a persister.
+func (e *Engine) PersistNow() error {
+	if e.persist == nil {
+		return nil
+	}
+	e.mu.Lock()
+	sn := e.snap.Load()
+	seq := e.pubSeq
+	e.mu.Unlock()
+	return e.persist.SaveSnapshot(sn.epoch, seq, sn.g, connRemapOf(sn))
+}
 
 // Omega returns the engine's write cost ω.
 func (e *Engine) Omega() int { return e.omega }

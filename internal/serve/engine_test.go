@@ -51,6 +51,9 @@ func direct(e *Engine, m *asym.Meter, sym *asym.SymTracker, q Query) Result {
 	case KindBiconnected:
 		v := e.Bicc().Biconnected(m, sym, q.U, q.V)
 		res.Bool = &v
+	case KindTwoEdgeConnected:
+		v := e.Bicc().OneEdgeConnected(m, sym, q.U, q.V)
+		res.Bool = &v
 	}
 	return res
 }

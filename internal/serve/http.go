@@ -477,9 +477,16 @@ func handleUpdate(resolve resolver) http.HandlerFunc {
 		}
 		st, err := e.Update(Update{Add: req.Add, Remove: req.Remove}, req.Wait)
 		if err != nil {
+			// 400 is reserved for requests the client got wrong (bad
+			// vertices, absent removals). A server-side failure — the
+			// engine closing, the rebuild of a valid batch failing, the
+			// durable log rejecting the append — is 5xx.
 			status := http.StatusBadRequest
-			if errors.Is(err, ErrClosed) {
+			switch {
+			case errors.Is(err, ErrClosed):
 				status = http.StatusServiceUnavailable
+			case errors.Is(err, ErrRebuildFailed), errors.Is(err, ErrPersist):
+				status = http.StatusInternalServerError
 			}
 			httpError(w, status, "%v", err)
 			return

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+)
+
+// This file is the serving layer's durability seam. The engine and
+// registry never touch disk themselves; they call these narrow interfaces
+// at the three moments that matter — an update batch is accepted, a
+// snapshot epoch publishes, a graph is created or deleted — and
+// internal/store implements them (cmd/oracled wires the two together, so
+// serve stays free of any on-disk format knowledge).
+//
+// Ordering contract with the engine:
+//
+//   - LogUpdate is called under the engine's update lock, after the batch
+//     validated and BEFORE it is staged: a batch the client saw accepted
+//     is in the WAL. A LogUpdate error rejects the batch (ErrPersist →
+//     HTTP 500) with nothing staged.
+//   - EpochPublished is called from the background rebuild goroutine after
+//     each snapshot swap, outside the engine lock, with the published
+//     graph and the connectivity oracle's remap table — everything a
+//     store needs to write a compacted snapshot. It must tolerate running
+//     concurrently with LogUpdate calls for later sequence numbers.
+//   - SaveSnapshot is the forced variant (creation-time initial snapshot);
+//     its error fails the graph build rather than serving a graph whose
+//     durability promise cannot be kept.
+
+// GraphPersister is the durable log of one graph.
+type GraphPersister interface {
+	// LogUpdate durably appends one accepted update batch before the
+	// engine stages it. seq is the batch's staging sequence number
+	// (monotonic per graph, resuming across restarts).
+	LogUpdate(seq int64, add, remove [][2]int32) error
+	// EpochPublished records that snapshot epoch `epoch`, folding updates
+	// through seq, is now served; implementations use it to append a
+	// commit record and to decide WAL compaction.
+	EpochPublished(epoch, seq int64, g *graph.Graph, connRemap map[int32]int32)
+	// LogAbort durably records that the staged batches in the inclusive
+	// sequence range [fromSeq, toSeq] were dropped by a failed rebuild:
+	// their updaters were told they failed, so recovery must not
+	// re-apply their logged update records. Called under the engine's
+	// update lock, before the batches' staged deltas are released.
+	LogAbort(fromSeq, toSeq int64) error
+	// SaveSnapshot forces a full snapshot of the given state.
+	SaveSnapshot(epoch, seq int64, g *graph.Graph, connRemap map[int32]int32) error
+}
+
+// RegistryPersister records fleet lifecycle events (the durable half of
+// the /graphs API).
+type RegistryPersister interface {
+	// CreateGraph durably registers a graph and returns its persister.
+	// specJSON is the creation GraphSpec in its own wire encoding (the
+	// registry marshals it), stored so recovery can rebuild the engine
+	// with the same parameters.
+	CreateGraph(name string, specJSON []byte) (GraphPersister, error)
+	// DeleteGraph durably unregisters a graph and removes its data.
+	DeleteGraph(name string) error
+}
+
+// ErrPersist is returned by Update when the durable log rejects the batch;
+// the HTTP layer maps it to 500 (the daemon cannot keep its durability
+// promise, which is a server fault, not a client one).
+var ErrPersist = errors.New("serve: durable log write failed")
+
+// ErrRebuildFailed wraps a server-side rebuild failure (e.g. a plugged-in
+// oracle's rebuild erroring or panicking) reported to wait=true updaters.
+// The HTTP layer maps it to 500: the batch was valid, the server failed to
+// apply it — the ROADMAP wart of reporting it as a 400 is gone.
+var ErrRebuildFailed = errors.New("serve: rebuild failed")
+
+// connRemapOf extracts the connectivity oracle's label remap table from a
+// snapshot (nil when no conn factory is registered or the table is empty).
+func connRemapOf(s *snapshot) map[int32]int32 {
+	for _, o := range s.oracles {
+		if a, ok := o.(interface{ Remap() map[int32]int32 }); ok {
+			return a.Remap()
+		}
+	}
+	return nil
+}

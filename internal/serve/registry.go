@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"regexp"
@@ -121,6 +122,12 @@ type RegistryConfig struct {
 	// OnState, if non-nil, is called on lifecycle transitions
 	// (building→ready, building→failed) outside the registry lock.
 	OnState func(graph string, state GraphState, errMsg string)
+	// Persist, if non-nil, makes the fleet durable: every Create is
+	// recorded (and given a per-graph durable log wired into its engine)
+	// before the build starts, every Delete removes the graph's data, and
+	// a freshly built graph writes its initial snapshot before going
+	// ready. Attach bypasses persistence (single-engine back-compat).
+	Persist RegistryPersister
 }
 
 // Registry manages named graphs with full lifecycle: background builds,
@@ -146,6 +153,25 @@ type graphEntry struct {
 	err   string
 	eng   *Engine
 	built time.Duration
+
+	// Persistence wiring (nil without a RegistryPersister). recovered
+	// entries resume at initEpoch/initSeq and skip the initial snapshot
+	// (theirs already exists on disk). deleting marks an entry whose
+	// durable delete is in flight (a second DELETE 404s instead of
+	// racing it).
+	persist   GraphPersister
+	recovered bool
+	deleting  bool
+	initEpoch int64
+	initSeq   int64
+
+	// noDefaultClaim keeps insertLocked from promoting this entry to the
+	// default slot. Recovered entries set it: which graph was the default
+	// before the crash is the embedder's knowledge (cmd/oracled restores
+	// its -graphname graph via SetDefault), and auto-claiming in manifest
+	// order could silently point the un-prefixed endpoints at another
+	// tenant's graph.
+	noDefaultClaim bool
 }
 
 // NewRegistry returns an empty registry. The first graph subsequently
@@ -186,13 +212,33 @@ func (reg *Registry) Attach(name string, e *Engine) error {
 	return nil
 }
 
-// insertLocked adds an entry and makes it the default if it is the first.
+// insertLocked adds an entry and makes it the default if it is the first
+// (unless the entry declines the claim — recovered graphs do).
 func (reg *Registry) insertLocked(ent *graphEntry) {
 	reg.graphs[ent.name] = ent
 	reg.order = append(reg.order, ent.name)
-	if reg.defaultName == "" {
+	if reg.defaultName == "" && !ent.noDefaultClaim {
 		reg.defaultName = ent.name
 	}
+}
+
+// SetDefault points the default slot (the un-prefixed compatibility
+// endpoints) at a registered graph. It refuses to re-point an occupied
+// slot away from a different graph — the default only moves by deleting
+// it first — so a tenant's graph can never be silently promoted over a
+// live default. Used by embedders after recovery, where no entry
+// auto-claims the slot.
+func (reg *Registry) SetDefault(name string) error {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, ok := reg.graphs[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	if reg.defaultName != "" && reg.defaultName != name {
+		return fmt.Errorf("serve: default slot already held by %q", reg.defaultName)
+	}
+	reg.defaultName = name
+	return nil
 }
 
 // Create registers a graph from spec and builds its engine in the
@@ -290,13 +336,32 @@ func (reg *Registry) AtQuota() bool {
 	return quota > 0 && len(reg.graphs) >= quota
 }
 
+// CreateRecovered registers a graph reconstructed from the durable store:
+// the engine builds over the recovered graph in the background (listener
+// up immediately, same as any create), resumes at the recovered
+// epoch/sequence watermark, and continues appending to the given durable
+// log. No creation event is re-recorded and no initial snapshot is
+// written — both already exist on disk — and the entry never auto-claims
+// the default slot (the embedder restores it with SetDefault).
+func (reg *Registry) CreateRecovered(name string, g *graph.Graph, spec GraphSpec, gp GraphPersister, epoch, seq int64) (GraphStatus, error) {
+	if g == nil {
+		return GraphStatus{}, errors.New("serve: nil recovered graph")
+	}
+	return reg.createEntry(name, spec, func() (*graph.Graph, error) { return g, nil },
+		&graphEntry{name: name, state: StateBuilding, persist: gp, recovered: true,
+			initEpoch: epoch, initSeq: seq, noDefaultClaim: true})
+}
+
 // create reserves the name, then runs the build (load + engine
 // construction) synchronously or in the background per spec.Wait.
 func (reg *Registry) create(name string, spec GraphSpec, load func() (*graph.Graph, error)) (GraphStatus, error) {
+	return reg.createEntry(name, spec, load, &graphEntry{name: name, state: StateBuilding})
+}
+
+func (reg *Registry) createEntry(name string, spec GraphSpec, load func() (*graph.Graph, error), ent *graphEntry) (GraphStatus, error) {
 	if !graphNameRE.MatchString(name) {
 		return GraphStatus{}, fmt.Errorf("serve: invalid graph name %q (want %s)", name, graphNameRE)
 	}
-	ent := &graphEntry{name: name, state: StateBuilding}
 	reg.mu.Lock()
 	if err := reg.checkCapacityLocked(name); err != nil {
 		reg.mu.Unlock()
@@ -304,6 +369,24 @@ func (reg *Registry) create(name string, spec GraphSpec, load func() (*graph.Gra
 	}
 	reg.insertLocked(ent)
 	reg.mu.Unlock()
+
+	// Durably record the creation before any build work: an accepted
+	// create must survive a crash even if its build never finishes (the
+	// store drops never-snapshotted graphs on recovery, which is the right
+	// outcome for exactly that window).
+	if !ent.recovered && reg.cfg.Persist != nil {
+		specJSON, err := json.Marshal(spec)
+		if err != nil {
+			reg.removeEntry(ent)
+			return GraphStatus{}, fmt.Errorf("serve: spec of %q: %w", name, err)
+		}
+		gp, err := reg.cfg.Persist.CreateGraph(name, specJSON)
+		if err != nil {
+			reg.removeEntry(ent)
+			return GraphStatus{}, fmt.Errorf("serve: durable create of %q: %w", name, err)
+		}
+		ent.persist = gp
+	}
 
 	if spec.Wait {
 		reg.build(ent, load, spec)
@@ -317,6 +400,26 @@ func (reg *Registry) create(name string, spec GraphSpec, load func() (*graph.Gra
 		return GraphStatus{}, fmt.Errorf("%w: %q (deleted during build)", ErrGraphNotFound, name)
 	}
 	return st, nil
+}
+
+// removeEntry rolls a reserved name back out of the registry (creation
+// failed before any build started).
+func (reg *Registry) removeEntry(ent *graphEntry) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if reg.graphs[ent.name] != ent {
+		return
+	}
+	delete(reg.graphs, ent.name)
+	for i, n := range reg.order {
+		if n == ent.name {
+			reg.order = append(reg.order[:i], reg.order[i+1:]...)
+			break
+		}
+	}
+	if reg.defaultName == ent.name {
+		reg.defaultName = ""
+	}
 }
 
 // build materializes the graph, constructs the entry's engine, and
@@ -340,7 +443,21 @@ func (reg *Registry) build(ent *graphEntry, load func() (*graph.Graph, error), s
 		if g, buildErr = load(); buildErr != nil {
 			return
 		}
-		eng = New(g, reg.engineConfig(ent.name, spec))
+		cfg := reg.engineConfig(ent.name, spec)
+		cfg.Persist = ent.persist
+		cfg.InitialEpoch = ent.initEpoch
+		cfg.InitialSeq = ent.initSeq
+		eng = New(g, cfg)
+		// A fresh create writes its initial snapshot before going ready:
+		// the durability promise starts at the moment clients can reach
+		// the graph. (Recovered graphs already have one on disk.)
+		if ent.persist != nil && !ent.recovered {
+			if buildErr = ent.persist.SaveSnapshot(eng.Epoch(), eng.LastSeq(), eng.Graph(), eng.ConnRemap()); buildErr != nil {
+				buildErr = fmt.Errorf("initial snapshot: %w", buildErr)
+				eng.Close()
+				eng = nil
+			}
+		}
 	}()
 
 	reg.mu.Lock()
@@ -464,18 +581,20 @@ func (reg *Registry) statusLocked(ent *graphEntry) GraphStatus {
 	return st
 }
 
-// Delete unregisters a graph. New requests 404 immediately; the engine is
-// closed in the background once its in-flight requests drain. The default
-// graph cannot be deleted while it serves (the un-prefixed compatibility
-// endpoints route to it) — except in the failed state, where deletion is
-// the only way to free the name and recover without a restart. The
-// default slot is then left empty (un-prefixed requests 404) until the
-// next created graph claims it — never silently re-pointed at an existing
-// tenant's graph.
+// Delete unregisters a graph. The durable removal (when a persister is
+// configured) happens first — a failure leaves the graph registered so
+// the client can simply retry the DELETE — then the name 404s and the
+// engine is closed in the background once its in-flight requests drain.
+// The default graph cannot be deleted while it serves (the un-prefixed
+// compatibility endpoints route to it) — except in the failed state,
+// where deletion is the only way to free the name and recover without a
+// restart. The default slot is then left empty (un-prefixed requests 404)
+// until the next created graph claims it — never silently re-pointed at
+// an existing tenant's graph.
 func (reg *Registry) Delete(name string) error {
 	reg.mu.Lock()
 	ent, ok := reg.graphs[name]
-	if !ok {
+	if !ok || ent.deleting {
 		reg.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrGraphNotFound, name)
 	}
@@ -483,15 +602,38 @@ func (reg *Registry) Delete(name string) error {
 		reg.mu.Unlock()
 		return ErrDefaultGraph
 	}
-	delete(reg.graphs, name)
-	for i, n := range reg.order {
-		if n == name {
-			reg.order = append(reg.order[:i], reg.order[i+1:]...)
-			break
+	ent.deleting = true
+	reg.mu.Unlock()
+
+	// Durable removal before the registry removal: if the tombstone or
+	// data removal fails, the entry is still registered, so the DELETE is
+	// retryable instead of leaving on-disk state that resurrects a graph
+	// every boot behind a name that 404s. The graph serves (and a crash
+	// recovers it) until the durable delete succeeds. A draining engine
+	// may still append to the removed log through its open descriptor;
+	// those writes land in unlinked files and vanish with the close —
+	// exactly a deleted graph's fate.
+	if reg.cfg.Persist != nil && ent.persist != nil {
+		if err := reg.cfg.Persist.DeleteGraph(name); err != nil {
+			reg.mu.Lock()
+			ent.deleting = false
+			reg.mu.Unlock()
+			return fmt.Errorf("serve: durable delete of %q: %w", name, err)
 		}
 	}
-	if name == reg.defaultName {
-		reg.defaultName = ""
+
+	reg.mu.Lock()
+	if reg.graphs[name] == ent {
+		delete(reg.graphs, name)
+		for i, n := range reg.order {
+			if n == name {
+				reg.order = append(reg.order[:i], reg.order[i+1:]...)
+				break
+			}
+		}
+		if name == reg.defaultName {
+			reg.defaultName = ""
+		}
 	}
 	reg.mu.Unlock()
 

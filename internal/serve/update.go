@@ -146,6 +146,16 @@ func (e *Engine) Update(u Update, wait bool) (UpdateStatus, error) {
 		batchDelta[key]--
 	}
 
+	// Durability before staging: once the batch is staged it can be
+	// acknowledged, so it must already be in the WAL by then. A log
+	// failure rejects the batch with nothing staged.
+	if e.persist != nil {
+		if perr := e.persist.LogUpdate(e.seq+1, u.Add, u.Remove); perr != nil {
+			e.mu.Unlock()
+			return UpdateStatus{}, fmt.Errorf("%w: %v", ErrPersist, perr)
+		}
+	}
+
 	for k, d := range batchDelta {
 		e.delta[k] += d
 	}
@@ -206,10 +216,16 @@ func (e *Engine) rebuildLoop() {
 		start := time.Now()
 		next, rec, err := e.buildNext(cur, batches)
 		rec.Duration = time.Since(start)
+		if err != nil {
+			// Typed so wait=true updaters (and the HTTP layer) can tell a
+			// server-side rebuild failure from a rejected request.
+			err = fmt.Errorf("%w: %v", ErrRebuildFailed, err)
+		}
 
 		e.mu.Lock()
 		if err == nil {
 			e.snap.Store(next)
+			e.pubSeq = batches[len(batches)-1].seq
 			e.nRebuilds++
 			if rec.Strategy == StrategyIncremental {
 				e.nIncremental++
@@ -218,6 +234,17 @@ func (e *Engine) rebuildLoop() {
 			e.edgesRemoved += int64(rec.RemovedEdges)
 		} else {
 			rec.Err = err.Error()
+			// The dropped batches' WAL records must not replay on
+			// recovery: abort them durably BEFORE their staged deltas are
+			// released below — once released, later updates validate
+			// against a graph without these batches, and a recovery that
+			// resurrected them could invalidate those later, acknowledged
+			// batches. (Batches drain FIFO, so the range is contiguous.)
+			if e.persist != nil {
+				if aerr := e.persist.LogAbort(batches[0].seq, batches[len(batches)-1].seq); aerr != nil {
+					rec.Err += "; abort record failed: " + aerr.Error()
+				}
+			}
 		}
 		e.history = append(e.history, rec)
 		if len(e.history) > MaxRebuildHistory {
@@ -240,6 +267,15 @@ func (e *Engine) rebuildLoop() {
 		e.cond.Broadcast()
 		cb := e.onRebuild
 		e.mu.Unlock()
+		if err == nil && e.persist != nil {
+			// Commit the published epoch to the durable log (and let it
+			// compact) outside the engine lock: the snapshot's graph and
+			// remap are immutable, so the store can encode them while new
+			// batches stage concurrently. Batches drain FIFO with
+			// monotonic sequence numbers, so the last one's seq is the
+			// publish's coverage watermark.
+			e.persist.EpochPublished(rec.Epoch, batches[len(batches)-1].seq, next.g, connRemapOf(next))
+		}
 		if cb != nil {
 			cb(rec)
 		}
@@ -273,6 +309,12 @@ func (e *Engine) buildNext(cur *snapshot, batches []*updateBatch) (*snapshot, Re
 	gm := asym.NewMeter(e.omega)
 	newG := ov.Build(gm)
 	rec.GraphCost = gm.Snapshot()
+	if e.testRebuildErr != nil {
+		if err := e.testRebuildErr(newG); err != nil {
+			rec.Epoch = cur.epoch
+			return nil, rec, err
+		}
+	}
 
 	incremental := ov.Removed() == 0
 	nf := len(e.factories)

@@ -1,0 +1,300 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+// randomSnapshot builds a random but internally consistent snapshot: a
+// graph with parallel edges and self-loops, an overlay whose removals are
+// valid against base+adds, and a remap table shaped like the chains
+// ApplyInsertions produces (keys redirecting to canonical labels).
+func randomSnapshot(rng *graph.RNG, maxN int) *Snapshot {
+	n := 1 + rng.Intn(maxN)
+	m := rng.Intn(3 * n)
+	edges := make([][2]int32, 0, m)
+	for i := 0; i < m; i++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		edges = append(edges, [2]int32{u, v})
+		if rng.Intn(8) == 0 { // parallel copy
+			edges = append(edges, [2]int32{u, v})
+		}
+	}
+	base := graph.FromEdges(n, edges)
+
+	overlay := map[[2]int32]int{}
+	for i := rng.Intn(16); i > 0; i-- {
+		e := graph.NormEdge([2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
+		overlay[e] += 1 + rng.Intn(3)
+	}
+	// Stage removals only where base plus staged adds has copies to give.
+	for i := rng.Intn(8); i > 0 && base.M() > 0; i-- {
+		e := base.Edges()[rng.Intn(base.M())]
+		if base.EdgeMultiplicity(e[0], e[1])+overlay[e] > 0 {
+			overlay[e]--
+			if overlay[e] == 0 {
+				delete(overlay, e)
+			}
+		}
+	}
+	if len(overlay) == 0 {
+		overlay = nil
+	}
+
+	var remap map[int32]int32
+	if k := rng.Intn(10); k > 0 {
+		remap = map[int32]int32{}
+		for i := 0; i < k; i++ {
+			remap[int32(rng.Intn(n))] = int32(rng.Intn(n))
+		}
+	}
+
+	return &Snapshot{
+		Epoch:   int64(rng.Intn(1 << 20)),
+		LastSeq: int64(rng.Intn(1 << 20)),
+		Base:    base,
+		Overlay: overlay,
+		Remap:   remap,
+	}
+}
+
+func encode(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, s); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func sameGraph(a, b *graph.Graph) bool {
+	return a.N() == b.N() && reflect.DeepEqual(a.Edges(), b.Edges())
+}
+
+// TestSnapshotRoundTrip is the property test: random graph + overlay +
+// remap chains encode → decode → deep-equal, across many seeds and sizes,
+// and the decoded snapshot materializes to the same effective graph.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := graph.NewRNG(1)
+	for trial := 0; trial < 200; trial++ {
+		s := randomSnapshot(rng, 200)
+		got, err := DecodeSnapshot(bytes.NewReader(encode(t, s)))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if got.Epoch != s.Epoch || got.LastSeq != s.LastSeq {
+			t.Fatalf("trial %d: watermark (%d,%d) != (%d,%d)", trial, got.Epoch, got.LastSeq, s.Epoch, s.LastSeq)
+		}
+		if !sameGraph(got.Base, s.Base) {
+			t.Fatalf("trial %d: base graph mismatch", trial)
+		}
+		if !reflect.DeepEqual(got.Overlay, s.Overlay) {
+			t.Fatalf("trial %d: overlay %v != %v", trial, got.Overlay, s.Overlay)
+		}
+		if !reflect.DeepEqual(got.Remap, s.Remap) {
+			t.Fatalf("trial %d: remap %v != %v", trial, got.Remap, s.Remap)
+		}
+		wantG, err := s.Materialize()
+		if err != nil {
+			t.Fatalf("trial %d: materialize original: %v", trial, err)
+		}
+		gotG, err := got.Materialize()
+		if err != nil {
+			t.Fatalf("trial %d: materialize decoded: %v", trial, err)
+		}
+		if !sameGraph(wantG, gotG) {
+			t.Fatalf("trial %d: materialized graphs differ", trial)
+		}
+	}
+}
+
+// TestSnapshotEmptyAndEdgeCases pins the degenerate shapes: empty graph,
+// no overlay, no remap, zero epoch.
+func TestSnapshotEmptyAndEdgeCases(t *testing.T) {
+	for _, s := range []*Snapshot{
+		{Base: graph.FromEdges(0, nil)},
+		{Base: graph.FromEdges(1, nil), Epoch: 1 << 40, LastSeq: 1 << 41},
+		{Base: graph.FromEdges(3, [][2]int32{{0, 0}, {0, 0}, {1, 2}}),
+			Overlay: map[[2]int32]int{{0, 0}: -1, {1, 2}: 2},
+			Remap:   map[int32]int32{2: 0}},
+	} {
+		got, err := DecodeSnapshot(bytes.NewReader(encode(t, s)))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Epoch != s.Epoch || got.LastSeq != s.LastSeq || !sameGraph(got.Base, s.Base) {
+			t.Fatalf("round-trip mismatch: %+v", got)
+		}
+	}
+	if err := EncodeSnapshot(&bytes.Buffer{}, &Snapshot{}); err == nil {
+		t.Fatal("encoding a snapshot without a base graph succeeded")
+	}
+}
+
+// TestSnapshotTruncationRejected: every strict prefix of a valid snapshot
+// must fail to decode (no prefix may silently parse as a snapshot).
+func TestSnapshotTruncationRejected(t *testing.T) {
+	raw := encode(t, randomSnapshot(graph.NewRNG(7), 120))
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := DecodeSnapshot(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded successfully", cut, len(raw))
+		}
+	}
+}
+
+// TestSnapshotCorruptionRejected: flipping any single bit anywhere in the
+// file must be caught (CRC32 detects all single-bit errors).
+func TestSnapshotCorruptionRejected(t *testing.T) {
+	raw := encode(t, randomSnapshot(graph.NewRNG(9), 80))
+	for pos := 0; pos < len(raw); pos++ {
+		for bit := 0; bit < 8; bit += 3 {
+			mut := append([]byte(nil), raw...)
+			mut[pos] ^= 1 << bit
+			if _, err := DecodeSnapshot(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d decoded successfully", pos, bit)
+			}
+		}
+	}
+}
+
+// TestSnapshotVersionAndMagic pins the header checks.
+func TestSnapshotVersionAndMagic(t *testing.T) {
+	s := &Snapshot{Base: graph.FromEdges(2, [][2]int32{{0, 1}})}
+	raw := encode(t, s)
+
+	bad := append([]byte("XXXX"), raw[4:]...)
+	fixCRC(bad)
+	if _, err := DecodeSnapshot(bytes.NewReader(bad)); err == nil || !errors.Is(err, graphio.ErrCorrupt) {
+		t.Fatalf("bad magic: err=%v, want ErrCorrupt", err)
+	}
+
+	bad = append([]byte(nil), raw...)
+	bad[4] = 99 // version varint (single byte for small versions)
+	fixCRC(bad)
+	if _, err := DecodeSnapshot(bytes.NewReader(bad)); err == nil {
+		t.Fatal("future version decoded successfully")
+	} else if errors.Is(err, graphio.ErrCorrupt) {
+		t.Fatalf("future version reported as corruption, want a version error: %v", err)
+	}
+}
+
+// fixCRC recomputes the trailing checksum so header mutations test the
+// *semantic* checks rather than tripping the CRC.
+func fixCRC(raw []byte) {
+	body := raw[:len(raw)-4]
+	sum := graphio.Checksum(body)
+	raw[len(raw)-4] = byte(sum)
+	raw[len(raw)-3] = byte(sum >> 8)
+	raw[len(raw)-2] = byte(sum >> 16)
+	raw[len(raw)-1] = byte(sum >> 24)
+}
+
+// TestEdgeCodecs exercises the graphio primitives the snapshot and WAL
+// build on, including the not-sorted error path of the delta codec.
+func TestEdgeCodecs(t *testing.T) {
+	rng := graph.NewRNG(3)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(500)
+		raw := make([][2]int32, rng.Intn(400))
+		for i := range raw {
+			raw[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+		}
+		buf := graphio.AppendEdgesRaw(nil, raw)
+		got, rest, err := graphio.DecodeEdgesRaw(buf)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("raw decode: err=%v rest=%d", err, len(rest))
+		}
+		if len(got) != len(raw) || (len(raw) > 0 && !reflect.DeepEqual(got, raw)) {
+			t.Fatalf("raw round-trip mismatch")
+		}
+
+		sorted := graph.FromEdges(n, raw).Edges()
+		dbuf, err := graphio.AppendEdgesDelta(nil, sorted)
+		if err != nil {
+			t.Fatalf("delta encode: %v", err)
+		}
+		dgot, rest, err := graphio.DecodeEdgesDelta(dbuf)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("delta decode: err=%v rest=%d", err, len(rest))
+		}
+		if len(dgot) != len(sorted) || (len(sorted) > 0 && !reflect.DeepEqual(dgot, sorted)) {
+			t.Fatalf("delta round-trip mismatch")
+		}
+	}
+	if _, err := graphio.AppendEdgesDelta(nil, [][2]int32{{3, 4}, {1, 2}}); err == nil {
+		t.Fatal("unsorted edge list delta-encoded successfully")
+	}
+	if _, err := graphio.AppendEdgesDelta(nil, [][2]int32{{4, 3}}); err == nil {
+		t.Fatal("unnormalized edge delta-encoded successfully")
+	}
+}
+
+// TestFrameTornTail: a frame stream cut at every possible byte boundary
+// yields the intact prefix and then exactly one ErrCorrupt (or clean EOF at
+// a frame boundary) — the WAL replay contract.
+func TestFrameTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("alpha"), []byte(""), bytes.Repeat([]byte{0xAB}, 300)}
+	for i, p := range payloads {
+		if err := graphio.WriteFrame(&buf, byte('a'+i), p); err != nil {
+			t.Fatalf("write frame: %v", err)
+		}
+	}
+	full := buf.Bytes()
+	for cut := 0; cut <= len(full); cut++ {
+		r := bytes.NewReader(full[:cut])
+		var seen int
+		var terminal error
+		for {
+			tag, p, err := graphio.ReadFrame(r)
+			if err != nil {
+				terminal = err
+				break
+			}
+			if tag != byte('a'+seen) || !bytes.Equal(p, payloads[seen]) {
+				t.Fatalf("cut %d: frame %d mangled", cut, seen)
+			}
+			seen++
+		}
+		if errors.Is(terminal, graphio.ErrCorrupt) {
+			continue // torn tail detected — acceptable at any non-boundary cut
+		}
+		if !errors.Is(terminal, io.EOF) {
+			t.Fatalf("cut %d: terminal error %v", cut, terminal)
+		}
+		// Clean EOF must only happen at frame boundaries.
+		want := 0
+		off := 0
+		for i, p := range payloads {
+			var fb bytes.Buffer
+			graphio.WriteFrame(&fb, byte('a'+i), p)
+			off += fb.Len()
+			if off <= cut {
+				want = i + 1
+			}
+		}
+		if seen != want {
+			t.Fatalf("cut %d: clean EOF after %d frames, want %d", cut, seen, want)
+		}
+	}
+}
+
+func TestFrameOversizeRejected(t *testing.T) {
+	// A corrupted length field must not drive a giant allocation.
+	var buf bytes.Buffer
+	if err := graphio.WriteFrame(&buf, 'x', []byte("ok")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	raw := buf.Bytes()
+	raw[1] = 0xff // length varint first byte: continuation, huge value
+	raw[2] = 0xff
+	if _, _, err := graphio.ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+}

@@ -1,0 +1,280 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// GraphLog is one graph's durable log: the current WAL segment plus the
+// compaction bookkeeping that decides when to fold the WAL into a fresh
+// snapshot. It implements the serving layer's per-graph persistence
+// interface (serve.GraphPersister).
+//
+// Concurrency: LogUpdate is called from the serving layer's update staging
+// path (serialized per graph by the engine lock, but the GraphLog takes no
+// dependency on that), EpochPublished/SaveSnapshot from the engine's
+// background rebuild goroutine. All methods lock l.mu; a compaction holds
+// it for the duration of the snapshot encode, which stalls concurrent
+// update *staging* briefly but never queries — queries never touch the
+// store.
+type GraphLog struct {
+	dir  string
+	name string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // current WAL segment (O_APPEND)
+	segEpoch int64    // epoch in the current segment's name
+	// older holds closed segments not yet covered by a snapshot, with the
+	// largest update seq each may contain (an upper bound); a segment is
+	// deleted once a snapshot's watermark covers it.
+	older map[int64]int64
+
+	segMaxSeq      int64 // largest update seq appended to the current segment
+	bytesSinceSnap int64
+	lastSnap       time.Time
+	snapEpoch      int64 // newest durable snapshot epoch
+	snapSeq        int64 // its seq watermark
+	closed         bool
+}
+
+// countWriter counts bytes written through it (append-size accounting).
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// openGraphLog opens (creating if needed) the WAL segment for snapEpoch.
+func openGraphLog(dir, name string, opts Options, snapEpoch, snapSeq int64) (*GraphLog, error) {
+	l := &GraphLog{
+		dir:       dir,
+		name:      name,
+		opts:      opts,
+		segEpoch:  snapEpoch,
+		older:     map[int64]int64{},
+		lastSnap:  time.Now(),
+		snapEpoch: snapEpoch,
+		snapSeq:   snapSeq,
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walName(snapEpoch)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l.f = f
+	return l, nil
+}
+
+// noteRecovered installs the segment inventory found by recovery: the
+// newest segment becomes the append target (already opened at segEpoch ==
+// snapEpoch only when they coincide; otherwise reopen the true newest) and
+// older segments are tracked for deferred deletion. Called once, before
+// the log is shared.
+func (l *GraphLog) noteRecovered(segEpochs []int64, segMax map[int64]int64, snapEpoch int64) {
+	if len(segEpochs) == 0 {
+		return
+	}
+	newest := segEpochs[len(segEpochs)-1]
+	if newest != l.segEpoch {
+		// Recovery found segments newer than the snapshot's (e.g. a
+		// compaction rotated the WAL but the subsequent snapshot write
+		// lost the race with the crash). Append to the newest so ordering
+		// stays monotonic.
+		if f, err := os.OpenFile(filepath.Join(l.dir, walName(newest)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+			l.f.Close()
+			l.f = f
+			l.segEpoch = newest
+		}
+	}
+	for _, ep := range segEpochs {
+		if ep != l.segEpoch {
+			l.older[ep] = segMax[ep]
+		} else {
+			l.segMaxSeq = segMax[ep]
+		}
+	}
+	// Size-trigger accounting starts from what is already on disk, so a
+	// messy recovery compacts sooner rather than never.
+	for _, ep := range segEpochs {
+		if fi, err := os.Stat(filepath.Join(l.dir, walName(ep))); err == nil {
+			l.bytesSinceSnap += fi.Size()
+		}
+	}
+}
+
+// Dir returns the graph's storage directory.
+func (l *GraphLog) Dir() string { return l.dir }
+
+// LogUpdate durably appends one accepted update batch. Under FsyncAlways
+// the record is synced before return (the batch is then durable before the
+// serving layer stages or acknowledges it); under FsyncCommit/FsyncNone
+// the append is buffered by the OS, which still survives SIGKILL.
+func (l *GraphLog) LogUpdate(seq int64, add, remove [][2]int32) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("store: graph log closed")
+	}
+	cw := &countWriter{w: l.f}
+	if err := appendUpdateRecord(cw, seq, add, remove); err != nil {
+		return err
+	}
+	l.bytesSinceSnap += cw.n
+	if seq > l.segMaxSeq {
+		l.segMaxSeq = seq
+	}
+	if l.opts.fsync() == FsyncAlways {
+		return l.f.Sync()
+	}
+	return nil
+}
+
+// EpochPublished records that snapshot epoch `epoch` (folding updates
+// through seq) was published, then compacts the WAL into a fresh snapshot
+// when the size or age trigger fires. Called from the engine's rebuild
+// goroutine after every publish; errors are reported through Options.Logf
+// because the publish itself already happened — the WAL still holds every
+// record needed to recover even if this particular snapshot never lands.
+func (l *GraphLog) EpochPublished(epoch, seq int64, g *graph.Graph, remap map[int32]int32) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	if err := appendCommitRecord(l.f, epoch, seq); err != nil {
+		l.opts.logf("store: [%s] commit record: %v", l.name, err)
+		return
+	}
+	if l.opts.fsync() != FsyncNone {
+		if err := l.f.Sync(); err != nil {
+			l.opts.logf("store: [%s] commit sync: %v", l.name, err)
+		}
+	}
+	byTrig := l.opts.compactBytes() > 0 && l.bytesSinceSnap >= l.opts.compactBytes()
+	ageTrig := l.opts.compactInterval() > 0 && time.Since(l.lastSnap) >= l.opts.compactInterval() && l.bytesSinceSnap > 0
+	if !byTrig && !ageTrig {
+		return
+	}
+	if err := l.compactLocked(epoch, seq, g, remap); err != nil {
+		l.opts.logf("store: [%s] compaction at epoch %d: %v", l.name, epoch, err)
+	} else {
+		l.opts.logf("store: [%s] compacted into %s (seq %d)", l.name, snapshotName(epoch), seq)
+	}
+}
+
+// LogAbort durably records that the staged batches in the inclusive
+// sequence range [fromSeq, toSeq] were dropped by a failed rebuild.
+// Without it, recovery would replay update records whose batches the
+// server reported as failed — resurrecting edges clients were told never
+// landed, and potentially invalidating later acknowledged batches whose
+// removals were validated against a graph without them. Synced under any
+// policy but FsyncNone (like commits: it guards a correctness boundary).
+func (l *GraphLog) LogAbort(fromSeq, toSeq int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("store: graph log closed")
+	}
+	cw := &countWriter{w: l.f}
+	if err := appendAbortRecord(cw, fromSeq, toSeq); err != nil {
+		return err
+	}
+	l.bytesSinceSnap += cw.n
+	if l.opts.fsync() != FsyncNone {
+		return l.f.Sync()
+	}
+	return nil
+}
+
+// SaveSnapshot forces a snapshot of state (epoch, seq, g, remap) and
+// rotates the WAL — the creation-time initial snapshot and the graceful-
+// shutdown fold both come through here.
+func (l *GraphLog) SaveSnapshot(epoch, seq int64, g *graph.Graph, remap map[int32]int32) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("store: graph log closed")
+	}
+	return l.compactLocked(epoch, seq, g, remap)
+}
+
+// compactLocked writes the snapshot, rotates to a fresh segment named for
+// it, and deletes whatever older files the new snapshot fully covers.
+// Rotation happens before the snapshot write, so records appended by a
+// concurrent LogUpdate during the encode land in the new segment and are
+// never covered-and-deleted by mistake; segments that picked up records
+// beyond the snapshot's watermark survive until a later snapshot covers
+// them.
+func (l *GraphLog) compactLocked(epoch, seq int64, g *graph.Graph, remap map[int32]int32) error {
+	if epoch != l.segEpoch {
+		nf, err := os.OpenFile(filepath.Join(l.dir, walName(epoch)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		l.f.Close()
+		// The closed segment may hold records staged after the publish this
+		// snapshot captures (they raced in before this compaction took the
+		// lock), so it is covered only once a snapshot watermark reaches its
+		// true max seq — tracked per append, never assumed.
+		l.older[l.segEpoch] = l.segMaxSeq
+		l.f = nf
+		l.segEpoch = epoch
+		l.segMaxSeq = 0
+		if err := syncDir(l.dir); err != nil {
+			return err
+		}
+	}
+	if _, err := WriteSnapshotFile(l.dir, &Snapshot{Epoch: epoch, LastSeq: seq, Base: g, Remap: remap}); err != nil {
+		return err
+	}
+	l.snapEpoch, l.snapSeq = epoch, seq
+	l.bytesSinceSnap = 0
+	l.lastSnap = time.Now()
+
+	// Reclaim: older segments fully covered by the snapshot, and all but
+	// the two newest snapshots.
+	for ep, maxSeq := range l.older {
+		if maxSeq <= seq {
+			os.Remove(filepath.Join(l.dir, walName(ep)))
+			delete(l.older, ep)
+		}
+	}
+	if snaps, err := listNumbered(l.dir, "snap-", ".wecs"); err == nil && len(snaps) > 2 {
+		for _, ep := range snaps[:len(snaps)-2] {
+			os.Remove(filepath.Join(l.dir, snapshotName(ep)))
+		}
+	}
+	return nil
+}
+
+// Close closes the segment file. Further appends fail; recovery replays
+// whatever was written.
+func (l *GraphLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}
+
+// debugString summarizes the log state (tests).
+func (l *GraphLog) debugString() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return fmt.Sprintf("seg=%d snap=%d/%d bytes=%d older=%d",
+		l.segEpoch, l.snapEpoch, l.snapSeq, l.bytesSinceSnap, len(l.older))
+}

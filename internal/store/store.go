@@ -1,0 +1,596 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+// Fsync policies for WAL appends. Snapshot files are always fsynced before
+// the atomic rename regardless of policy.
+const (
+	// FsyncAlways syncs after every WAL append: an acknowledged update is
+	// durable against power loss, not just process death.
+	FsyncAlways = "always"
+	// FsyncCommit syncs only on epoch-commit records and snapshots:
+	// acknowledged updates survive process death (SIGKILL) but a power cut
+	// may lose the tail after the last published epoch.
+	FsyncCommit = "commit"
+	// FsyncNone never syncs the WAL (tests and benchmarks).
+	FsyncNone = "none"
+)
+
+// ValidFsync reports whether s names a known fsync policy.
+func ValidFsync(s string) bool {
+	return s == FsyncAlways || s == FsyncCommit || s == FsyncNone
+}
+
+// Default compaction thresholds (Options zero values).
+const (
+	DefaultCompactBytes    = 4 << 20
+	DefaultCompactInterval = 5 * time.Minute
+)
+
+// Options configures a Store.
+type Options struct {
+	// Fsync is the WAL sync policy (FsyncAlways / FsyncCommit / FsyncNone);
+	// empty selects FsyncCommit.
+	Fsync string
+	// CompactBytes triggers a compaction once this many WAL bytes
+	// accumulated since the last snapshot; 0 selects DefaultCompactBytes,
+	// negative disables the size trigger.
+	CompactBytes int64
+	// CompactInterval triggers a compaction when the last snapshot is older
+	// than this and the WAL has grown since; 0 selects
+	// DefaultCompactInterval, negative disables the time trigger.
+	CompactInterval time.Duration
+	// Logf, when non-nil, receives recovery and compaction diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) fsync() string {
+	if o.Fsync == "" {
+		return FsyncCommit
+	}
+	return o.Fsync
+}
+
+func (o Options) compactBytes() int64 {
+	switch {
+	case o.CompactBytes == 0:
+		return DefaultCompactBytes
+	case o.CompactBytes < 0:
+		return 0
+	}
+	return o.CompactBytes
+}
+
+func (o Options) compactInterval() time.Duration {
+	switch {
+	case o.CompactInterval == 0:
+		return DefaultCompactInterval
+	case o.CompactInterval < 0:
+		return 0
+	}
+	return o.CompactInterval
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Manifest record tags.
+const (
+	manCreate byte = 'G'
+	manDelete byte = 'D'
+)
+
+const manifestName = "MANIFEST.log"
+
+// storeNameRE guards manifest names used as path segments; it matches the
+// serving layer's graph-name grammar.
+var storeNameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// Store is one data directory: the fleet manifest plus a GraphLog per live
+// graph. All methods are safe for concurrent use; per-graph append traffic
+// only contends on its own GraphLog.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	manifest *os.File
+	logs     map[string]*GraphLog
+	closed   bool
+}
+
+// RecoveredGraph is one graph reconstructed from disk by Open.
+type RecoveredGraph struct {
+	Name     string
+	SpecJSON []byte
+	// Graph is the recovered effective graph: newest valid snapshot with
+	// the WAL tail folded in.
+	Graph *graph.Graph
+	// Epoch is the serving epoch to resume at — at least the last epoch
+	// any client saw acknowledged.
+	Epoch int64
+	// LastSeq is the highest recovered update sequence number; the serving
+	// layer resumes numbering after it.
+	LastSeq int64
+	// Remap is the connectivity-oracle label remap table from the
+	// snapshot (informational: recovered oracles are rebuilt from
+	// scratch, which re-canonicalizes labels).
+	Remap map[int32]int32
+	// Log is the graph's open WAL, ready for continued appends.
+	Log *GraphLog
+	// Warn carries non-fatal recovery notes (torn tail truncated, older
+	// snapshot used, ...); empty for a clean recovery.
+	Warn string
+}
+
+// Recovery is everything Open reconstructed from a data directory.
+type Recovery struct {
+	// Graphs holds every recovered graph in manifest (creation) order —
+	// the first entry is the fleet's default graph.
+	Graphs []*RecoveredGraph
+	// Warnings lists store-level recovery notes (orphan directories
+	// removed, unrecoverable graphs dropped, manifest tail truncated).
+	Warnings []string
+}
+
+// Open opens (creating if needed) a data directory, replays the manifest
+// and every live graph's snapshot + WAL, and returns the store ready for
+// new appends plus the recovered fleet.
+func Open(dir string, opts Options) (*Store, *Recovery, error) {
+	if !ValidFsync(opts.fsync()) {
+		return nil, nil, fmt.Errorf("store: unknown fsync policy %q", opts.Fsync)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "graphs"), 0o755); err != nil {
+		return nil, nil, err
+	}
+	st := &Store{dir: dir, opts: opts, logs: map[string]*GraphLog{}}
+	rec := &Recovery{}
+
+	// A crash between CreateTemp and the atomic rename (snapshot or
+	// manifest rewrite) leaves a *.tmp file nothing references; sweep them
+	// so each crash-during-compaction doesn't leak a snapshot-sized file.
+	removeTmpFiles(dir)
+
+	names, err := st.replayManifest(rec)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Orphan graph directories (created but never manifested, or deleted
+	// with the removal interrupted) are cleaned up, never resurrected: the
+	// manifest is the authority on fleet membership.
+	live := map[string]bool{}
+	for _, n := range names {
+		live[n] = true
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "graphs"))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, ent := range entries {
+		if !live[ent.Name()] {
+			rec.Warnings = append(rec.Warnings, fmt.Sprintf("removing orphan graph dir %q (not in manifest)", ent.Name()))
+			os.RemoveAll(filepath.Join(dir, "graphs", ent.Name()))
+		}
+	}
+
+	for _, name := range names {
+		rg, err := st.openGraph(name)
+		if err != nil {
+			// Unrecoverable (no valid snapshot at all): drop it from the
+			// manifest so the next boot is clean, and say so loudly.
+			rec.Warnings = append(rec.Warnings,
+				fmt.Sprintf("graph %q unrecoverable, dropping: %v", name, err))
+			if derr := st.DeleteGraph(name); derr != nil {
+				rec.Warnings = append(rec.Warnings, fmt.Sprintf("dropping %q: %v", name, derr))
+			}
+			continue
+		}
+		st.logs[name] = rg.Log
+		rec.Graphs = append(rec.Graphs, rg)
+	}
+	for _, w := range rec.Warnings {
+		opts.logf("store: %s", w)
+	}
+	return st, rec, nil
+}
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// replayManifest reads MANIFEST.log (tolerating a torn tail, which is
+// truncated away), rewrites it compacted when it held tombstones or
+// damage, and leaves it open for appends. Returns live names in creation
+// order.
+func (s *Store) replayManifest(rec *Recovery) ([]string, error) {
+	path := filepath.Join(s.dir, manifestName)
+	var names []string
+	name2spec := map[string][]byte{}
+	dirty := false
+	if raw, err := os.ReadFile(path); err == nil {
+		b := raw
+		for len(b) > 0 {
+			// Frames are read from the in-memory byte slice so a torn
+			// tail leaves the prefix intact.
+			br := bytes.NewReader(b)
+			tag, payload, err := graphio.ReadFrame(br)
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					rec.Warnings = append(rec.Warnings, fmt.Sprintf("manifest tail truncated: %v", err))
+					dirty = true
+				}
+				break
+			}
+			b = b[len(b)-br.Len():]
+			switch tag {
+			case manCreate:
+				name, spec, err := decodeManifestCreate(payload)
+				if err != nil {
+					rec.Warnings = append(rec.Warnings, fmt.Sprintf("manifest: %v", err))
+					dirty = true
+					b = nil
+					break
+				}
+				if _, ok := name2spec[name]; !ok {
+					names = append(names, name)
+				}
+				name2spec[name] = spec
+			case manDelete:
+				name := string(payload)
+				if _, ok := name2spec[name]; ok {
+					delete(name2spec, name)
+					for i, n := range names {
+						if n == name {
+							names = append(names[:i], names[i+1:]...)
+							break
+						}
+					}
+				}
+				dirty = true
+			}
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+
+	if dirty {
+		// Rewrite compacted: live creates only, in order, via tmp+rename.
+		tmp, err := os.CreateTemp(s.dir, "manifest-*.tmp")
+		if err != nil {
+			return nil, err
+		}
+		defer os.Remove(tmp.Name())
+		for _, n := range names {
+			if err := writeManifestCreate(tmp, n, name2spec[n]); err != nil {
+				tmp.Close()
+				return nil, err
+			}
+		}
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return nil, err
+		}
+		if err := tmp.Close(); err != nil {
+			return nil, err
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			return nil, err
+		}
+		if err := syncDir(s.dir); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.manifest = f
+	return names, nil
+}
+
+func writeManifestCreate(w io.Writer, name string, spec []byte) error {
+	payload := binary.AppendUvarint(nil, uint64(len(name)))
+	payload = append(payload, name...)
+	payload = append(payload, spec...)
+	return graphio.WriteFrame(w, manCreate, payload)
+}
+
+func decodeManifestCreate(payload []byte) (name string, spec []byte, err error) {
+	n, b, err := ruv(payload)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(b)) {
+		return "", nil, fmt.Errorf("%w: manifest name length %d exceeds payload", graphio.ErrCorrupt, n)
+	}
+	return string(b[:n]), append([]byte(nil), b[n:]...), nil
+}
+
+// CreateGraph durably registers a new graph: its directory and spec.json
+// are created, the create event is appended to the manifest (fsynced), and
+// an empty WAL at epoch 0 is opened. The caller follows up with
+// Log.SaveSnapshot once the graph is materialized; until then the graph
+// recovers as unrecoverable-and-dropped, which is the correct outcome for
+// a create whose build never finished.
+func (s *Store) CreateGraph(name string, specJSON []byte) (*GraphLog, error) {
+	if !storeNameRE.MatchString(name) {
+		return nil, fmt.Errorf("store: invalid graph name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("store: closed")
+	}
+	if _, ok := s.logs[name]; ok {
+		return nil, fmt.Errorf("store: graph %q already exists", name)
+	}
+	dir := filepath.Join(s.dir, "graphs", name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "spec.json"), specJSON, 0o644); err != nil {
+		return nil, err
+	}
+	if err := writeManifestCreate(s.manifest, name, specJSON); err != nil {
+		return nil, err
+	}
+	if err := s.manifest.Sync(); err != nil {
+		return nil, err
+	}
+	l, err := openGraphLog(dir, name, s.opts, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.logs[name] = l
+	return l, nil
+}
+
+// DeleteGraph durably unregisters a graph: tombstone appended to the
+// manifest (fsynced), then the directory is removed. A crash in between
+// leaves an orphan directory that the next Open cleans up.
+func (s *Store) DeleteGraph(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if l, ok := s.logs[name]; ok {
+		l.Close()
+		delete(s.logs, name)
+	}
+	if err := graphio.WriteFrame(s.manifest, manDelete, []byte(name)); err != nil {
+		return err
+	}
+	if err := s.manifest.Sync(); err != nil {
+		return err
+	}
+	return os.RemoveAll(filepath.Join(s.dir, "graphs", name))
+}
+
+// Close closes the manifest and every open graph log. Compaction state is
+// flushed but no final snapshot is forced; recovery replays the WAL tails.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, l := range s.logs {
+		l.Close()
+	}
+	s.logs = map[string]*GraphLog{}
+	return s.manifest.Close()
+}
+
+// removeTmpFiles sweeps crash-orphaned temp files out of one directory.
+func removeTmpFiles(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, ent.Name()))
+		}
+	}
+}
+
+// openGraph recovers one graph's state from its directory.
+func (s *Store) openGraph(name string) (*RecoveredGraph, error) {
+	dir := filepath.Join(s.dir, "graphs", name)
+	removeTmpFiles(dir)
+	spec, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+
+	var warns []string
+
+	// Newest snapshot that decodes cleanly wins; older ones are fallbacks
+	// against latent corruption of the newest.
+	snapEpochs, err := listNumbered(dir, "snap-", ".wecs")
+	if err != nil {
+		return nil, err
+	}
+	var snap *Snapshot
+	for i := len(snapEpochs) - 1; i >= 0 && snap == nil; i-- {
+		path := filepath.Join(dir, snapshotName(snapEpochs[i]))
+		f, err := os.Open(path)
+		if err != nil {
+			warns = append(warns, fmt.Sprintf("%s: %v", path, err))
+			continue
+		}
+		sn, err := DecodeSnapshot(f)
+		f.Close()
+		if err != nil {
+			warns = append(warns, fmt.Sprintf("%s: %v", path, err))
+			continue
+		}
+		snap = sn
+	}
+	if snap == nil {
+		return nil, fmt.Errorf("no valid snapshot among %d candidates (%v)", len(snapEpochs), warns)
+	}
+
+	// Replay every WAL segment in epoch order. A torn or corrupt frame
+	// truncates that segment to its intact prefix and discards anything
+	// newer (ordering beyond the damage is unknowable).
+	segEpochs, err := listNumbered(dir, "wal-", ".log")
+	if err != nil {
+		return nil, err
+	}
+	var replay walReplay
+	maxSeq := snap.LastSeq
+	segMax := map[int64]int64{}
+	for i, ep := range segEpochs {
+		path := filepath.Join(dir, walName(ep))
+		good, ok := replayWALFile(path, &replay, &maxSeq)
+		segMax[ep] = maxSeq
+		if !ok {
+			warns = append(warns, fmt.Sprintf("WAL damage, truncating %s to %d bytes: %s", filepath.Base(path), good, replay.Warn))
+			if err := os.Truncate(path, good); err != nil {
+				return nil, fmt.Errorf("truncate damaged WAL: %w", err)
+			}
+			for _, later := range segEpochs[i+1:] {
+				warns = append(warns, fmt.Sprintf("discarding %s (follows damaged segment)", walName(later)))
+				os.Remove(filepath.Join(dir, walName(later)))
+			}
+			break
+		}
+	}
+
+	// Fold the tail — updates beyond the snapshot's watermark — through the
+	// normal Overlay path. Sequence numbers are strictly increasing across
+	// segments; anything at or below the snapshot watermark is already
+	// folded in, and batches in an aborted range were dropped by a failed
+	// rebuild (their updaters saw an error) so they must not be re-applied.
+	aborted := func(seq int64) bool {
+		for _, a := range replay.Aborts {
+			if seq >= a.From && seq <= a.To {
+				return true
+			}
+		}
+		return false
+	}
+	g, err := snap.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	applied := snap.LastSeq
+	var pendingTail int
+	if len(replay.Updates) > 0 {
+		ov := graph.NewOverlay(g)
+		for _, u := range replay.Updates {
+			if u.Seq <= applied || aborted(u.Seq) {
+				continue
+			}
+			if err := ov.AddEdges(u.Add); err != nil {
+				warns = append(warns, fmt.Sprintf("WAL replay stopped at seq %d: %v", u.Seq, err))
+				break
+			}
+			if err := ov.RemoveEdges(u.Remove); err != nil {
+				warns = append(warns, fmt.Sprintf("WAL replay stopped at seq %d: %v", u.Seq, err))
+				break
+			}
+			applied = u.Seq
+			pendingTail++
+		}
+		if pendingTail > 0 {
+			g = ov.BuildPlain()
+		}
+	}
+
+	// The resume epoch must be at least the last epoch a client saw
+	// acknowledged. Commits record published epochs; updates beyond the
+	// last commit's coverage may have been published-and-acknowledged with
+	// the commit record lost to the crash, so they cost one extra epoch.
+	epoch := snap.Epoch
+	if replay.LastCommit.Epoch > epoch {
+		epoch = replay.LastCommit.Epoch
+	}
+	covered := snap.LastSeq
+	if replay.LastCommit.Seq > covered {
+		covered = replay.LastCommit.Seq
+	}
+	if applied > covered {
+		epoch++
+	}
+
+	l, err := openGraphLog(dir, name, s.opts, snap.Epoch, snap.LastSeq)
+	if err != nil {
+		return nil, err
+	}
+	l.noteRecovered(segEpochs, segMax, snap.Epoch)
+
+	return &RecoveredGraph{
+		Name:     name,
+		SpecJSON: spec,
+		Graph:    g,
+		Epoch:    epoch,
+		// The resume watermark is the highest sequence number ever LOGGED
+		// (maxSeq), not the highest folded: aborted or unreplayable
+		// batches consumed their numbers, and a recovered engine reusing
+		// one would collide with the existing WAL record — whose
+		// duplicate the next recovery's monotonic filter would drop.
+		LastSeq: maxSeq,
+		Remap:   snap.Remap,
+		Log:     l,
+		Warn:    joinWarns(warns),
+	}, nil
+}
+
+// listNumbered returns the numeric infixes of dir entries shaped
+// prefix<number>suffix, ascending.
+func listNumbered(dir, prefix, suffix string) ([]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, ent := range entries {
+		name := ent.Name()
+		if len(name) <= len(prefix)+len(suffix) ||
+			name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+			continue
+		}
+		v, err := strconv.ParseInt(name[len(prefix):len(name)-len(suffix)], 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func joinWarns(ws []string) string {
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += "; "
+		}
+		out += w
+	}
+	return out
+}

@@ -1,0 +1,388 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// openT opens a store in dir with fast-compaction-free test options.
+func openT(t *testing.T, dir string, opts Options) (*Store, *Recovery) {
+	t.Helper()
+	st, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return st, rec
+}
+
+// applyBatches folds WAL-shaped batches onto g the way the serving layer
+// would (adds before removes, batch order).
+func applyBatches(t *testing.T, g *graph.Graph, batches []walUpdate) *graph.Graph {
+	t.Helper()
+	ov := graph.NewOverlay(g)
+	for _, b := range batches {
+		if err := ov.AddEdges(b.Add); err != nil {
+			t.Fatalf("apply add: %v", err)
+		}
+		if err := ov.RemoveEdges(b.Remove); err != nil {
+			t.Fatalf("apply remove: %v", err)
+		}
+	}
+	return ov.BuildPlain()
+}
+
+// TestStoreCreateRecoverDelete is the basic lifecycle: create two graphs,
+// churn one, reopen, and the recovered fleet matches — names in creation
+// order, graphs equal to snapshot ⊕ WAL tail, sequence watermarks right.
+// Then delete one and reopen again.
+func TestStoreCreateRecoverDelete(t *testing.T) {
+	dir := t.TempDir()
+	st, rec := openT(t, dir, Options{Fsync: FsyncNone})
+	if len(rec.Graphs) != 0 {
+		t.Fatalf("fresh dir recovered %d graphs", len(rec.Graphs))
+	}
+
+	ga := graph.RandomRegular(64, 3, 1)
+	gb := graph.Cycle(40)
+	la, err := st.CreateGraph("alpha", []byte(`{"omega":16}`))
+	if err != nil {
+		t.Fatalf("create alpha: %v", err)
+	}
+	lb, err := st.CreateGraph("beta", []byte(`{"omega":32}`))
+	if err != nil {
+		t.Fatalf("create beta: %v", err)
+	}
+	if _, err := st.CreateGraph("alpha", nil); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+	if _, err := st.CreateGraph("../evil", nil); err == nil {
+		t.Fatal("path-traversal name accepted")
+	}
+	if err := la.SaveSnapshot(0, 0, ga, nil); err != nil {
+		t.Fatalf("alpha snapshot: %v", err)
+	}
+	if err := lb.SaveSnapshot(0, 0, gb, nil); err != nil {
+		t.Fatalf("beta snapshot: %v", err)
+	}
+
+	// Churn beta: two acknowledged batches, one published epoch between.
+	batches := []walUpdate{
+		{Seq: 1, Add: [][2]int32{{0, 5}, {3, 3}}},
+		{Seq: 2, Add: [][2]int32{{1, 7}}, Remove: [][2]int32{{0, 1}}},
+	}
+	if err := lb.LogUpdate(1, batches[0].Add, batches[0].Remove); err != nil {
+		t.Fatalf("log 1: %v", err)
+	}
+	g1 := applyBatches(t, gb, batches[:1])
+	lb.EpochPublished(1, 1, g1, nil)
+	if err := lb.LogUpdate(2, batches[1].Add, batches[1].Remove); err != nil {
+		t.Fatalf("log 2: %v", err)
+	}
+	st.Close()
+
+	st2, rec2 := openT(t, dir, Options{Fsync: FsyncNone})
+	if len(rec2.Graphs) != 2 || rec2.Graphs[0].Name != "alpha" || rec2.Graphs[1].Name != "beta" {
+		t.Fatalf("recovered fleet: %+v", rec2.Graphs)
+	}
+	ra, rb := rec2.Graphs[0], rec2.Graphs[1]
+	if string(ra.SpecJSON) != `{"omega":16}` {
+		t.Fatalf("alpha spec: %s", ra.SpecJSON)
+	}
+	if !sameGraph(ra.Graph, ga) || ra.Epoch != 0 || ra.LastSeq != 0 {
+		t.Fatalf("alpha recovery: epoch=%d seq=%d", ra.Epoch, ra.LastSeq)
+	}
+	want := applyBatches(t, gb, batches)
+	if !sameGraph(rb.Graph, want) {
+		t.Fatalf("beta graph: n=%d m=%d, want n=%d m=%d", rb.Graph.N(), rb.Graph.M(), want.N(), want.M())
+	}
+	if rb.LastSeq != 2 {
+		t.Fatalf("beta lastSeq=%d, want 2", rb.LastSeq)
+	}
+	// Batch 2 was acknowledged (staged) but never published: its fold costs
+	// one epoch beyond the last committed epoch 1.
+	if rb.Epoch != 2 {
+		t.Fatalf("beta epoch=%d, want 2", rb.Epoch)
+	}
+
+	if err := st2.DeleteGraph("alpha"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	st2.Close()
+
+	st3, rec3 := openT(t, dir, Options{Fsync: FsyncNone})
+	defer st3.Close()
+	if len(rec3.Graphs) != 1 || rec3.Graphs[0].Name != "beta" {
+		t.Fatalf("after delete: %+v", rec3.Graphs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "graphs", "alpha")); !os.IsNotExist(err) {
+		t.Fatalf("alpha dir survives delete: %v", err)
+	}
+}
+
+// TestStoreTornWALTail simulates a crash mid-append: extra garbage (a torn
+// frame) at the WAL tail is truncated away, the intact prefix recovers,
+// and the log accepts further appends that then recover too.
+func TestStoreTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{Fsync: FsyncNone})
+	g := graph.Cycle(30)
+	l, err := st.CreateGraph("g", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SaveSnapshot(0, 0, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LogUpdate(1, [][2]int32{{2, 9}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Tear the tail: append half a record's worth of garbage.
+	walPath := filepath.Join(dir, "graphs", "g", walName(0))
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{recUpdate, 200, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, rec := openT(t, dir, Options{Fsync: FsyncNone})
+	if len(rec.Graphs) != 1 {
+		t.Fatalf("recovered %d graphs", len(rec.Graphs))
+	}
+	rg := rec.Graphs[0]
+	if rg.Warn == "" || !strings.Contains(rg.Warn, "truncating") {
+		t.Fatalf("torn tail not reported: %q", rg.Warn)
+	}
+	want := applyBatches(t, g, []walUpdate{{Seq: 1, Add: [][2]int32{{2, 9}}}})
+	if !sameGraph(rg.Graph, want) || rg.LastSeq != 1 {
+		t.Fatalf("torn-tail recovery wrong: seq=%d", rg.LastSeq)
+	}
+
+	// The truncated log keeps working: append seq 2, crash, recover both.
+	if err := rg.Log.LogUpdate(2, [][2]int32{{4, 11}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	st3, rec3 := openT(t, dir, Options{Fsync: FsyncNone})
+	defer st3.Close()
+	rg3 := rec3.Graphs[0]
+	want = applyBatches(t, g, []walUpdate{
+		{Seq: 1, Add: [][2]int32{{2, 9}}},
+		{Seq: 2, Add: [][2]int32{{4, 11}}},
+	})
+	if !sameGraph(rg3.Graph, want) || rg3.LastSeq != 2 {
+		t.Fatalf("post-truncation append lost: seq=%d warn=%q", rg3.LastSeq, rg3.Warn)
+	}
+}
+
+// TestStoreCompaction drives enough churn through a tiny CompactBytes
+// threshold to force compactions, then verifies: a fresh snapshot exists at
+// the published epoch, fully-covered old segments are gone, at most two
+// snapshots are retained, and recovery still reproduces the reference
+// graph exactly.
+func TestStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{Fsync: FsyncNone, CompactBytes: 64})
+	g := graph.RandomRegular(48, 3, 3)
+	l, err := st.CreateGraph("g", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SaveSnapshot(0, 0, g, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	cur := g
+	rng := graph.NewRNG(5)
+	var seq, epoch int64
+	for i := 0; i < 12; i++ {
+		add := [][2]int32{{int32(rng.Intn(48)), int32(rng.Intn(48))}, {int32(rng.Intn(48)), int32(rng.Intn(48))}}
+		seq++
+		if err := l.LogUpdate(seq, add, nil); err != nil {
+			t.Fatal(err)
+		}
+		cur = applyBatches(t, cur, []walUpdate{{Seq: seq, Add: add}})
+		epoch++
+		l.EpochPublished(epoch, seq, cur, map[int32]int32{int32(i): 0})
+	}
+
+	gdir := filepath.Join(dir, "graphs", "g")
+	snaps, _ := listNumbered(gdir, "snap-", ".wecs")
+	if len(snaps) == 0 || len(snaps) > 2 {
+		t.Fatalf("retained snapshots: %v (want 1..2)", snaps)
+	}
+	if snaps[len(snaps)-1] < 2 {
+		t.Fatalf("no compaction happened: newest snapshot epoch %d", snaps[len(snaps)-1])
+	}
+	segs, _ := listNumbered(gdir, "wal-", ".log")
+	if len(segs) > 2 {
+		t.Fatalf("old segments not reclaimed: %v", segs)
+	}
+	st.Close()
+
+	st2, rec := openT(t, dir, Options{Fsync: FsyncNone})
+	defer st2.Close()
+	rg := rec.Graphs[0]
+	if !sameGraph(rg.Graph, cur) {
+		t.Fatalf("compacted recovery mismatch: n=%d m=%d want m=%d", rg.Graph.N(), rg.Graph.M(), cur.M())
+	}
+	if rg.Epoch != epoch || rg.LastSeq != seq {
+		t.Fatalf("compacted recovery watermark epoch=%d seq=%d, want %d/%d", rg.Epoch, rg.LastSeq, epoch, seq)
+	}
+}
+
+// TestStoreCreateWithoutSnapshotDropped: a graph whose creation was logged
+// but whose initial snapshot never landed (crash mid-build) is dropped at
+// the next open — and the directory cleaned — rather than resurrected
+// empty or left to fail every boot.
+func TestStoreCreateWithoutSnapshotDropped(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{Fsync: FsyncNone})
+	if _, err := st.CreateGraph("halfbuilt", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, rec := openT(t, dir, Options{Fsync: FsyncNone})
+	defer st2.Close()
+	if len(rec.Graphs) != 0 {
+		t.Fatalf("half-built graph resurrected: %+v", rec.Graphs[0])
+	}
+	found := false
+	for _, w := range rec.Warnings {
+		found = found || strings.Contains(w, "halfbuilt")
+	}
+	if !found {
+		t.Fatalf("no warning about the dropped graph: %v", rec.Warnings)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "graphs", "halfbuilt")); !os.IsNotExist(err) {
+		t.Fatal("half-built dir not cleaned")
+	}
+
+	// And its name is reusable.
+	if _, err := st2.CreateGraph("halfbuilt", []byte(`{}`)); err != nil {
+		t.Fatalf("name not freed: %v", err)
+	}
+}
+
+// TestStoreAbortedBatchesSkipped: update records covered by an abort
+// record (a failed rebuild's dropped batches) are not re-applied on
+// recovery, but their sequence numbers stay consumed — the resume
+// watermark keeps counting past them even when the newest records are
+// aborted.
+func TestStoreAbortedBatchesSkipped(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{Fsync: FsyncNone})
+	g := graph.Cycle(24)
+	l, err := st.CreateGraph("g", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SaveSnapshot(0, 0, g, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// seq 1 dropped by a failed rebuild, seq 2 applied, seq 3 dropped too
+	// (and is the newest record in the WAL).
+	if err := l.LogUpdate(1, [][2]int32{{0, 9}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LogAbort(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LogUpdate(2, [][2]int32{{2, 11}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LogUpdate(3, [][2]int32{{4, 13}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LogAbort(3, 3); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, rec := openT(t, dir, Options{Fsync: FsyncNone})
+	defer st2.Close()
+	rg := rec.Graphs[0]
+	want := applyBatches(t, g, []walUpdate{{Seq: 2, Add: [][2]int32{{2, 11}}}})
+	if !sameGraph(rg.Graph, want) {
+		t.Fatalf("aborted batches leaked into recovery: m=%d want %d", rg.Graph.M(), want.M())
+	}
+	if rg.LastSeq != 3 {
+		t.Fatalf("resume watermark %d, want 3 (aborted seqs stay consumed)", rg.LastSeq)
+	}
+}
+
+// TestStoreOrphanDirCleanup: a directory under graphs/ that the manifest
+// does not know is removed on open.
+func TestStoreOrphanDirCleanup(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{Fsync: FsyncNone})
+	st.Close()
+	orphan := filepath.Join(dir, "graphs", "ghost")
+	if err := os.MkdirAll(orphan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(orphan, "junk"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, rec := openT(t, dir, Options{Fsync: FsyncNone})
+	defer st2.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphan dir survived open")
+	}
+	found := false
+	for _, w := range rec.Warnings {
+		found = found || strings.Contains(w, "ghost")
+	}
+	if !found {
+		t.Fatalf("orphan cleanup not reported: %v", rec.Warnings)
+	}
+}
+
+// TestStoreSnapshotOverlayPreserved: a snapshot written with a populated
+// overlay (base + staged delta) recovers to the same effective graph as
+// the materialized form — the two encodings are interchangeable.
+func TestStoreSnapshotOverlayPreserved(t *testing.T) {
+	dir := t.TempDir()
+	base := graph.Cycle(20)
+	ov := map[[2]int32]int{{0, 10}: 2, {0, 1}: -1}
+	snap := &Snapshot{Epoch: 3, LastSeq: 7, Base: base, Overlay: ov, Remap: map[int32]int32{5: 1}}
+
+	st, _ := openT(t, dir, Options{Fsync: FsyncNone})
+	l, err := st.CreateGraph("g", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l
+	if _, err := WriteSnapshotFile(filepath.Join(dir, "graphs", "g"), snap); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, rec := openT(t, dir, Options{Fsync: FsyncNone})
+	defer st2.Close()
+	rg := rec.Graphs[0]
+	want, err := snap.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(rg.Graph, want) {
+		t.Fatal("overlay snapshot materialized differently on recovery")
+	}
+	if !reflect.DeepEqual(rg.Remap, snap.Remap) {
+		t.Fatalf("remap lost: %v", rg.Remap)
+	}
+	if rg.Epoch != 3 || rg.LastSeq != 7 {
+		t.Fatalf("watermark epoch=%d seq=%d", rg.Epoch, rg.LastSeq)
+	}
+}

@@ -1,0 +1,224 @@
+package store
+
+// The per-graph write-ahead log. Records are CRC-framed (graphio.WriteFrame)
+// and come in two kinds:
+//
+//	'U' update: varint seq, raw add list, raw remove list — one accepted
+//	    /update batch, appended BEFORE the serving layer stages it, so a
+//	    batch whose acceptance the client saw is always recoverable.
+//	'C' commit: varint epoch, varint seq — snapshot epoch `epoch` was
+//	    published and folds in every update with sequence <= seq. Written
+//	    after each publish; recovery uses it to restore the epoch counter
+//	    to at least the last acknowledged epoch.
+//	'A' abort: varint fromSeq, varint toSeq — the staged batches in that
+//	    contiguous sequence range were dropped by a failed rebuild (their
+//	    updaters saw an error, the served graph excludes them). Recovery
+//	    must skip their update records, or it would resurrect edges the
+//	    server told clients had failed.
+//
+// Segments are named wal-<epoch>.log and rotated at each compaction: a new
+// snapshot at epoch E opens wal-E.log, and older segments (fully covered by
+// the snapshot) are deleted once the snapshot is durably in place. Replay
+// reads segments in epoch order and stops at the first torn or corrupt
+// frame — the tail that was mid-write when the process died.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/graphio"
+)
+
+const (
+	recUpdate byte = 'U'
+	recCommit byte = 'C'
+	recAbort  byte = 'A'
+)
+
+// walUpdate is one decoded update record.
+type walUpdate struct {
+	Seq    int64
+	Add    [][2]int32
+	Remove [][2]int32
+}
+
+// walCommit is one decoded commit record.
+type walCommit struct {
+	Epoch int64
+	Seq   int64
+}
+
+// appendUpdateRecord frames and writes an update record.
+func appendUpdateRecord(w io.Writer, seq int64, add, remove [][2]int32) error {
+	buf := binary.AppendVarint(nil, seq)
+	buf = graphio.AppendEdgesRaw(buf, add)
+	buf = graphio.AppendEdgesRaw(buf, remove)
+	return graphio.WriteFrame(w, recUpdate, buf)
+}
+
+// appendCommitRecord frames and writes a commit record.
+func appendCommitRecord(w io.Writer, epoch, seq int64) error {
+	buf := binary.AppendVarint(nil, epoch)
+	buf = binary.AppendVarint(buf, seq)
+	return graphio.WriteFrame(w, recCommit, buf)
+}
+
+// appendAbortRecord frames and writes an abort record.
+func appendAbortRecord(w io.Writer, fromSeq, toSeq int64) error {
+	buf := binary.AppendVarint(nil, fromSeq)
+	buf = binary.AppendVarint(buf, toSeq)
+	return graphio.WriteFrame(w, recAbort, buf)
+}
+
+func decodeUpdateRecord(payload []byte) (walUpdate, error) {
+	seq, b, err := rv(payload)
+	if err != nil {
+		return walUpdate{}, err
+	}
+	add, b, err := graphio.DecodeEdgesRaw(b)
+	if err != nil {
+		return walUpdate{}, err
+	}
+	remove, b, err := graphio.DecodeEdgesRaw(b)
+	if err != nil {
+		return walUpdate{}, err
+	}
+	if len(b) != 0 {
+		return walUpdate{}, fmt.Errorf("%w: %d trailing bytes in update record", graphio.ErrCorrupt, len(b))
+	}
+	return walUpdate{Seq: seq, Add: add, Remove: remove}, nil
+}
+
+func decodeCommitRecord(payload []byte) (walCommit, error) {
+	epoch, b, err := rv(payload)
+	if err != nil {
+		return walCommit{}, err
+	}
+	seq, b, err := rv(b)
+	if err != nil {
+		return walCommit{}, err
+	}
+	if len(b) != 0 {
+		return walCommit{}, fmt.Errorf("%w: %d trailing bytes in commit record", graphio.ErrCorrupt, len(b))
+	}
+	return walCommit{Epoch: epoch, Seq: seq}, nil
+}
+
+// walAbort is one decoded abort record: the inclusive dropped seq range.
+type walAbort struct {
+	From, To int64
+}
+
+func decodeAbortRecord(payload []byte) (walAbort, error) {
+	from, b, err := rv(payload)
+	if err != nil {
+		return walAbort{}, err
+	}
+	to, b, err := rv(b)
+	if err != nil {
+		return walAbort{}, err
+	}
+	if len(b) != 0 {
+		return walAbort{}, fmt.Errorf("%w: %d trailing bytes in abort record", graphio.ErrCorrupt, len(b))
+	}
+	return walAbort{From: from, To: to}, nil
+}
+
+// walReplay is the merged result of replaying one graph's WAL segments.
+type walReplay struct {
+	// Updates holds every update record seen, in append order.
+	Updates []walUpdate
+	// Aborts holds every abort record's dropped seq range.
+	Aborts []walAbort
+	// LastCommit is the newest commit record (zero-valued when none).
+	LastCommit walCommit
+	// Commits counts commit records seen.
+	Commits int
+	// Truncated reports that replay stopped early at a torn or corrupt
+	// frame; Warn carries the detail.
+	Truncated bool
+	Warn      string
+}
+
+// countingReader wraps a bufio.Reader and tracks consumed bytes, so replay
+// knows the exact offset of the last intact frame (the truncation point
+// for a torn tail).
+type countingReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// replayWALFile reads one segment into acc, stopping cleanly at a torn
+// tail. It returns the byte offset of the end of the last intact frame
+// (the length callers truncate a damaged segment to before appending) and
+// whether the whole segment was intact. seqMax is updated to the largest
+// update sequence seen in this segment.
+func replayWALFile(path string, acc *walReplay, seqMax *int64) (good int64, ok bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		acc.Truncated, acc.Warn = true, fmt.Sprintf("open %s: %v", path, err)
+		return 0, false
+	}
+	defer f.Close()
+	cr := &countingReader{r: bufio.NewReader(f)}
+	for {
+		tag, payload, err := graphio.ReadFrame(cr)
+		if errors.Is(err, io.EOF) {
+			return good, true
+		}
+		if err != nil {
+			acc.Truncated, acc.Warn = true, fmt.Sprintf("%s: %v", path, err)
+			return good, false
+		}
+		switch tag {
+		case recUpdate:
+			u, err := decodeUpdateRecord(payload)
+			if err != nil {
+				acc.Truncated, acc.Warn = true, fmt.Sprintf("%s: %v", path, err)
+				return good, false
+			}
+			acc.Updates = append(acc.Updates, u)
+			if u.Seq > *seqMax {
+				*seqMax = u.Seq
+			}
+		case recCommit:
+			c, err := decodeCommitRecord(payload)
+			if err != nil {
+				acc.Truncated, acc.Warn = true, fmt.Sprintf("%s: %v", path, err)
+				return good, false
+			}
+			acc.LastCommit = c
+			acc.Commits++
+		case recAbort:
+			a, err := decodeAbortRecord(payload)
+			if err != nil {
+				acc.Truncated, acc.Warn = true, fmt.Sprintf("%s: %v", path, err)
+				return good, false
+			}
+			acc.Aborts = append(acc.Aborts, a)
+		default:
+			// Unknown record kinds from a newer writer are skipped, not
+			// fatal: the CRC already proved the frame intact, and older
+			// readers must tolerate forward-compatible additions.
+		}
+		good = cr.n
+	}
+}
