@@ -4,10 +4,11 @@
 GO ?= go
 
 # Concurrency-critical packages for the -race pass (the serving layer, the
-# oracle registry, plus their concurrently-used dependencies); the full
-# suite under -race is too slow for a gate.
+# oracle registry, the conn dynamic/forest update paths, plus their
+# concurrently-used dependencies); the full suite under -race is too slow
+# for a gate.
 RACE_PKGS := ./internal/serve/... ./internal/oracle/... ./internal/store/... \
-             ./internal/asym/ \
+             ./internal/conn/ ./internal/asym/ \
              ./internal/parallel/ ./internal/eulertour/ ./internal/graphio/ \
              ./internal/unionfind/
 
@@ -42,12 +43,15 @@ serve:
 smoke:
 	$(GO) run ./cmd/wecbench -exp serve -servequeries 2000 -serveconc 2 -scale 1
 
-# End-to-end smoke of the dynamic-update path: interleaved /update batches
-# under query load, every post-swap answer verified against a from-scratch
-# oracle, epoch/pending/rebuild-cost telemetry asserted (incremental
-# rebuilds must write strictly less than a full build).
+# End-to-end smoke of the dynamic-update path (race-built): /update batches
+# cycling insertion-only / deletion-heavy / mixed shapes under query load,
+# every post-swap answer verified against a from-scratch oracle, the
+# per-oracle strategy ladder asserted exactly (patch-insert, patch-delete,
+# scheduled re-base — and zero full conn rebuilds, since every removal is
+# chosen split-free), and patched rebuilds must write strictly less than a
+# full build.
 smoke-churn:
-	$(GO) run ./cmd/wecbench -exp serve -servechurn 6 -servechurnedges 24 -serveconc 2 -scale 1
+	$(GO) run -race ./cmd/wecbench -exp serve -servechurn 9 -servechurnedges 24 -servechurnrebase 5 -serveconc 2 -scale 1
 
 # End-to-end smoke of the multi-graph registry, under the race detector:
 # two graphs created through the lifecycle API and served concurrently,

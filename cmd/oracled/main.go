@@ -56,6 +56,16 @@
 //
 // With -graph "-" the edge list is read from stdin. On SIGINT/SIGTERM the
 // daemon stops accepting requests, drains in-flight ones, and exits.
+//
+// The `inspect` subcommand dumps a data directory without starting a
+// daemon (and without repairing anything — strictly read-only): manifest
+// entries, snapshot headers (format version, epoch/seq watermark, CRC
+// verdict, section sizes incl. the persisted forest and chain depth), and
+// WAL segment coverage (record counts, sequence ranges, commit watermarks,
+// torn tails):
+//
+//	oracled inspect /var/lib/oracled
+//	oracled inspect -json /var/lib/oracled
 package main
 
 import (
@@ -68,6 +78,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -88,6 +100,9 @@ func (p storePersist) CreateGraph(name string, specJSON []byte) (serve.GraphPers
 func (p storePersist) DeleteGraph(name string) error { return p.st.DeleteGraph(name) }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "inspect" {
+		os.Exit(runInspect(os.Args[2:]))
+	}
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		graphArg    = flag.String("graph", "", `edge-list file ("-" for stdin); empty uses -gen`)
@@ -103,6 +118,7 @@ func main() {
 		poolSize    = flag.Int("poolsize", 0, "shared query-worker pool size across all graphs (0 = GOMAXPROCS)")
 		maxInflight = flag.Int("maxinflight", 0, "per-graph cap on concurrently admitted requests; beyond it 429 (0 = unlimited)")
 		maxGraphs   = flag.Int("maxgraphs", 0, "cap on registered graphs (0 = default 64, negative = unlimited)")
+		rebaseEvery = flag.Int("rebaseevery", 0, "re-base an oracle's incremental patch chain after this many chained batches (0 = default 64, negative = never)")
 
 		dataDir  = flag.String("datadir", "", "durable store directory; empty = in-memory fleet (lost on exit)")
 		fsync    = flag.String("fsync", store.FsyncCommit, "WAL sync policy with -datadir: always|commit|none")
@@ -153,7 +169,7 @@ func main() {
 
 	var reg *serve.Registry
 	reg = serve.NewRegistry(serve.RegistryConfig{
-		Engine:      serve.Config{Omega: *omega, K: *k, Seed: *seed, Workers: *workers},
+		Engine:      serve.Config{Omega: *omega, K: *k, Seed: *seed, Workers: *workers, RebaseEvery: *rebaseEvery},
 		Pool:        serve.NewPool(*poolSize),
 		MaxInflight: *maxInflight,
 		MaxGraphs:   *maxGraphs,
@@ -189,7 +205,8 @@ func main() {
 				spec = serve.GraphSpec{}
 			}
 			spec.Wait = false
-			if _, err := reg.CreateRecovered(rg.Name, rg.Graph, spec, rg.Log, rg.Epoch, rg.LastSeq); err != nil {
+			rs := serve.RecoveredState{Epoch: rg.Epoch, Seq: rg.LastSeq, Forest: rg.Forest, ChainDepth: rg.ChainDepth}
+			if _, err := reg.CreateRecovered(rg.Name, rg.Graph, spec, rg.Log, rs); err != nil {
 				fmt.Fprintf(os.Stderr, "oracled: recover %q: %v\n", rg.Name, err)
 				os.Exit(1)
 			}
@@ -294,9 +311,22 @@ func logRebuild(name string, r serve.RebuildRecord) {
 		fmt.Fprintf(os.Stderr, "oracled: [%s] rebuild failed (%d batches dropped): %s\n", name, r.Batches, r.Err)
 		return
 	}
-	fmt.Printf("oracled: [%s] epoch %d published: %s rebuild of %d batches (+%d/-%d edges) in %v — writes graph=%d conn=%d bicc=%d\n",
+	perOracle := ""
+	if len(r.Strategies) > 0 {
+		names := make([]string, 0, len(r.Strategies))
+		for n := range r.Strategies {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, n := range names {
+			parts = append(parts, n+"="+r.Strategies[n])
+		}
+		perOracle = " [" + strings.Join(parts, " ") + "]"
+	}
+	fmt.Printf("oracled: [%s] epoch %d published: %s rebuild of %d batches (+%d/-%d edges) in %v%s — writes graph=%d conn=%d bicc=%d\n",
 		name, r.Epoch, r.Strategy, r.Batches, r.AddedEdges, r.RemovedEdges,
-		r.Duration.Round(time.Millisecond),
+		r.Duration.Round(time.Millisecond), perOracle,
 		r.GraphCost.Writes, r.ConnCost.Writes, r.BiccCost.Writes)
 }
 

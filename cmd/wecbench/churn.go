@@ -19,17 +19,24 @@ import (
 // Churn workload (-exp serve -servechurn N): the end-to-end gate on the
 // dynamic-update path. An in-process oracled serves a generated graph while
 // -serveconc clients keep /batch query load running; the main goroutine
-// interleaves N /update batches — odd batches insertion-only (incremental
-// rebuild path), even batches mixed add/remove (full rebuild path) — each
-// with wait=true so the returned epoch is the batch's snapshot. After every
-// swap the server's answers are verified against a from-scratch engine
-// rebuilt over the evolving edge list. The process exits nonzero unless
-// every query was answered, every post-swap answer matched, the epoch
-// advanced once per batch, and every incremental rebuild reported strictly
-// fewer connectivity-oracle writes than the from-scratch build.
+// interleaves N /update batches cycling through three shapes — insertion-
+// only (patch-insert path), deletion-heavy (patch-delete path: every
+// removal is chosen split-free, so the maintained spanning forest absorbs
+// it, replacement search included, with zero full conn rebuilds), and
+// mixed add+remove — each with wait=true so the returned epoch is the
+// batch's snapshot. The harness mirrors the engine's strategy ladder
+// (including the -servechurnrebase re-base cadence) and asserts the
+// per-oracle strategy sequence and cumulative strategy counters match
+// exactly. After every swap the server's answers are verified against a
+// from-scratch engine rebuilt over the evolving edge list. The process
+// exits nonzero unless every query was answered, every post-swap answer
+// matched, the epoch advanced once per batch, the conn oracle was never
+// fully rebuilt, and every patched rebuild reported strictly fewer
+// connectivity-oracle writes than the from-scratch build.
 var (
-	serveChurn      = flag.Int("servechurn", 0, "serve mode: interleaved /update batches (0 = static serving; in-process only)")
-	serveChurnEdges = flag.Int("servechurnedges", 32, "serve mode: edges added/removed per update batch")
+	serveChurn       = flag.Int("servechurn", 0, "serve mode: interleaved /update batches (0 = static serving; in-process only)")
+	serveChurnEdges  = flag.Int("servechurnedges", 32, "serve mode: edges added/removed per update batch")
+	serveChurnRebase = flag.Int("servechurnrebase", 5, "serve mode: re-base the conn patch chain after this many chained batches (0 = engine default, negative = never)")
 )
 
 func churnBench(scale int) {
@@ -41,12 +48,13 @@ func churnBench(scale int) {
 
 	// A disconnected base (8 random-regular islands) so insertion batches
 	// actually merge components and the incremental label-merge path does
-	// real work rather than trivially writing nothing.
+	// real work rather than trivially writing nothing. Degree 3 keeps most
+	// edges on cycles, so split-free removals are plentiful.
 	g := graph.Disconnected(graph.RandomRegular((1<<8)*scale, 3, 71), 8)
 	n := g.N()
-	fmt.Printf("in-process oracled: n=%d m=%d ω=%d; churn: %d batches × %d edges under %d query clients\n",
-		g.N(), g.M(), *serveOmega, *serveChurn, *serveChurnEdges, *serveConc)
-	eng := serve.New(g, serve.Config{Omega: *serveOmega, Seed: 7})
+	fmt.Printf("in-process oracled: n=%d m=%d ω=%d; churn: %d batches × %d edges under %d query clients (rebase every %d)\n",
+		g.N(), g.M(), *serveOmega, *serveChurn, *serveChurnEdges, *serveConc, *serveChurnRebase)
+	eng := serve.New(g, serve.Config{Omega: *serveOmega, Seed: 7, RebaseEvery: *serveChurnRebase})
 	defer eng.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -79,36 +87,61 @@ func churnBench(scale int) {
 		}(c)
 	}
 
+	// Mirror the engine's strategy ladder so every batch's expected conn
+	// strategy (and the re-base cadence) can be asserted exactly.
+	effRebase := *serveChurnRebase
+	switch {
+	case effRebase == 0:
+		effRebase = serve.DefaultRebaseEvery
+	case effRebase < 0:
+		effRebase = 0
+	}
+	depth := 0
+	var expect []string
+
 	edges := g.Edges()
 	rng := graph.NewRNG(4242)
 	var fresh *serve.Engine
 	start := time.Now()
 	for i := 1; i <= *serveChurn && !failed.Load(); i++ {
 		req := serve.UpdateRequest{Wait: true}
-		next := edges
-		if i%2 == 1 {
-			// Insertion-only: the incremental rebuild path.
+		working := edges
+		switch i % 3 {
+		case 1: // insertion-only: the patch-insert path
 			for j := 0; j < *serveChurnEdges; j++ {
 				req.Add = append(req.Add, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
 			}
-		} else {
-			// Mixed: remove half (distinct positions in the multiset), add half.
+			working = append(working, req.Add...)
+		case 2: // deletion-heavy: the patch-delete path, split-free removals only
+			req.Remove, working = pickSplitFreeRemovals(rng, n, working, *serveChurnEdges)
+			if len(req.Remove) == 0 {
+				// Degenerate graph with no split-free edge left: keep the
+				// batch non-empty (and the ladder mirror honest) with one add.
+				req.Add = append(req.Add, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
+				working = append(working, req.Add...)
+			}
+		default: // mixed: half adds (applied first), half split-free removals
 			half := *serveChurnEdges / 2
-			idx := map[int]bool{}
-			for len(idx) < half && len(idx) < len(edges) {
-				idx[rng.Intn(len(edges))] = true
-			}
-			next = nil
-			for j, e := range edges {
-				if idx[j] {
-					req.Remove = append(req.Remove, e)
-				} else {
-					next = append(next, e)
-				}
-			}
 			for j := 0; j < half; j++ {
 				req.Add = append(req.Add, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
 			}
+			working = append(append([][2]int32{}, working...), req.Add...)
+			req.Remove, working = pickSplitFreeRemovals(rng, n, working, half)
+		}
+		if effRebase > 0 && depth >= effRebase {
+			expect = append(expect, serve.StrategyRebased)
+			depth = 0
+		} else if len(req.Remove) > 0 {
+			expect = append(expect, serve.StrategyPatchedDelete)
+			// Chain depth counts patch *generations*: a mixed batch folds
+			// twice (insertions, then deletions), a pure one once.
+			depth++
+			if len(req.Add) > 0 {
+				depth++
+			}
+		} else {
+			expect = append(expect, serve.StrategyPatchedInsert)
+			depth++
 		}
 		var ur serve.UpdateResponse
 		if err := postUpdate(base, req, &ur); err != nil {
@@ -121,8 +154,7 @@ func churnBench(scale int) {
 			failed.Store(true)
 			break
 		}
-		next = append(next, req.Add...)
-		edges = next
+		edges = working
 
 		// Every post-swap answer must match a from-scratch rebuilt oracle.
 		if fresh != nil {
@@ -134,8 +166,8 @@ func churnBench(scale int) {
 			failed.Store(true)
 			break
 		}
-		fmt.Printf("  epoch %2d: +%d/-%d edges applied and verified (m=%d)\n",
-			ur.Epoch, len(req.Add), len(req.Remove), len(edges))
+		fmt.Printf("  epoch %2d: +%d/-%d edges applied and verified (m=%d, want %s)\n",
+			ur.Epoch, len(req.Add), len(req.Remove), len(edges), expect[len(expect)-1])
 	}
 	stop.Store(true)
 	wg.Wait()
@@ -157,7 +189,14 @@ func churnBench(scale int) {
 			failed.Store(true)
 		}
 	}
-	wantInc := int64((*serveChurn + 1) / 2)
+	wantInc := int64(0)
+	wantByStrat := map[string]int64{}
+	for _, s := range expect {
+		wantByStrat[s]++
+		if s == serve.StrategyPatchedInsert || s == serve.StrategyPatchedDelete {
+			wantInc++
+		}
+	}
 	if st.Epoch != int64(*serveChurn) || st.PendingUpdates != 0 ||
 		st.TotalRebuilds != int64(*serveChurn) || st.IncrementalRebuilds != wantInc {
 		fmt.Fprintf(os.Stderr, "churn: FAILED — stats epoch=%d pending=%d rebuilds=%d incremental=%d (want %d/0/%d/%d)\n",
@@ -166,8 +205,32 @@ func churnBench(scale int) {
 		failed.Store(true)
 	}
 
+	// The tentpole gate: the conn oracle must never have been fully
+	// rebuilt — every deletion was split-free, so the maintained spanning
+	// forest absorbed all of them — and the cumulative per-oracle strategy
+	// counters must match the mirrored ladder exactly (bicc has no
+	// incremental path and rebuilds fully every epoch).
+	connStrat := st.Strategies["conn"]
+	if connStrat[serve.StrategyFull] != 0 {
+		fmt.Fprintf(os.Stderr, "churn: FAILED — %d full conn rebuilds (want 0): %v\n",
+			connStrat[serve.StrategyFull], connStrat)
+		failed.Store(true)
+	}
+	for _, s := range []string{serve.StrategyPatchedInsert, serve.StrategyPatchedDelete, serve.StrategyRebased} {
+		if connStrat[s] != wantByStrat[s] {
+			fmt.Fprintf(os.Stderr, "churn: FAILED — conn strategy %q count %d, want %d\n",
+				s, connStrat[s], wantByStrat[s])
+			failed.Store(true)
+		}
+	}
+	if st.Strategies["bicc"][serve.StrategyFull] != int64(*serveChurn) {
+		fmt.Fprintf(os.Stderr, "churn: FAILED — bicc full rebuilds %d, want %d\n",
+			st.Strategies["bicc"][serve.StrategyFull], *serveChurn)
+		failed.Store(true)
+	}
+
 	// Per-rebuild cost telemetry, and the write-savings gate: every
-	// incremental rebuild must report strictly fewer connectivity-oracle
+	// patched rebuild must report strictly fewer connectivity-oracle
 	// writes than building that oracle from scratch. /stats keeps a bounded
 	// history, so assert we got exactly the records we expect and say so
 	// when the oldest epochs rotated out rather than reading as covered.
@@ -183,25 +246,55 @@ func churnBench(scale int) {
 		failed.Store(true)
 	}
 	fullConnWrites := fresh.Stats().BuildConn.Writes
-	fmt.Printf("\n%6s %-12s %8s %8s | %12s %12s %12s | %9s\n",
-		"epoch", "strategy", "+edges", "-edges", "graph wr", "conn wr", "bicc wr", "ms")
+	fmt.Printf("\n%6s %-14s %8s %8s | %12s %12s %12s | %9s\n",
+		"epoch", "conn strategy", "+edges", "-edges", "graph wr", "conn wr", "bicc wr", "ms")
 	for _, r := range st.Rebuilds {
-		fmt.Printf("%6d %-12s %8d %8d | %12d %12d %12d | %9.1f\n",
-			r.Epoch, r.Strategy, r.AddedEdges, r.RemovedEdges,
+		fmt.Printf("%6d %-14s %8d %8d | %12d %12d %12d | %9.1f\n",
+			r.Epoch, r.Strategies["conn"], r.AddedEdges, r.RemovedEdges,
 			r.GraphCost.Writes, r.ConnCost.Writes, r.BiccCost.Writes, r.DurationMs)
-		if r.Strategy == serve.StrategyIncremental && r.ConnCost.Writes >= fullConnWrites {
-			fmt.Fprintf(os.Stderr, "churn: FAILED — incremental epoch %d conn writes %d not below full build %d\n",
+		if int(r.Epoch) >= 1 && int(r.Epoch) <= len(expect) {
+			if want := expect[r.Epoch-1]; r.Strategies["conn"] != want {
+				fmt.Fprintf(os.Stderr, "churn: FAILED — epoch %d conn strategy %q, want %q\n",
+					r.Epoch, r.Strategies["conn"], want)
+				failed.Store(true)
+			}
+		}
+		patched := r.Strategies["conn"] == serve.StrategyPatchedInsert || r.Strategies["conn"] == serve.StrategyPatchedDelete
+		if patched && r.ConnCost.Writes >= fullConnWrites {
+			fmt.Fprintf(os.Stderr, "churn: FAILED — patched epoch %d conn writes %d not below full build %d\n",
 				r.Epoch, r.ConnCost.Writes, fullConnWrites)
 			failed.Store(true)
 		}
 	}
-	fmt.Printf("from-scratch conn-oracle build writes: %d (incremental rebuilds stay strictly below)\n", fullConnWrites)
+	fmt.Printf("from-scratch conn-oracle build writes: %d (patched rebuilds stay strictly below)\n", fullConnWrites)
+	fmt.Printf("conn strategy counters: %v\n", connStrat)
 	fmt.Printf("\n%d epochs, %d queries answered during churn, %v wall, 0 failed\n",
 		st.Epoch, answered.Load(), wall.Round(time.Millisecond))
 
 	if failed.Load() {
 		os.Exit(1)
 	}
+}
+
+// pickSplitFreeRemovals chooses up to count removals from the working edge
+// multiset such that no removal can split a component: a chosen edge either
+// keeps a surviving parallel copy or its endpoints stay connected through
+// the remaining edges (checked by BFS). This is what pins the server's
+// behavior: every such removal must be absorbed by the maintained spanning
+// forest (possibly via replacement-edge search) without a full conn
+// rebuild. Returns the removals and the remaining multiset.
+func pickSplitFreeRemovals(rng *graph.RNG, n int, working [][2]int32, count int) (removed, remaining [][2]int32) {
+	remaining = append([][2]int32{}, working...)
+	for attempts := 0; len(removed) < count && attempts < 8*count && len(remaining) > 0; attempts++ {
+		idx := rng.Intn(len(remaining))
+		if !graph.RemovalPreservesConnectivity(n, remaining, idx) {
+			continue
+		}
+		removed = append(removed, remaining[idx])
+		remaining[idx] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+	}
+	return removed, remaining
 }
 
 // verifyChurn compares the served answers (via /batch) with a from-scratch

@@ -192,7 +192,8 @@ func main() {
 	})
 	defer reg2.Close()
 	for _, rg := range rec.Graphs {
-		if _, err := reg2.CreateRecovered(rg.Name, rg.Graph, serve.GraphSpec{Wait: true}, rg.Log, rg.Epoch, rg.LastSeq); err != nil {
+		rs := serve.RecoveredState{Epoch: rg.Epoch, Seq: rg.LastSeq, Forest: rg.Forest, ChainDepth: rg.ChainDepth}
+		if _, err := reg2.CreateRecovered(rg.Name, rg.Graph, serve.GraphSpec{Wait: true}, rg.Log, rs); err != nil {
 			panic(err)
 		}
 	}

@@ -1,0 +1,172 @@
+package conn
+
+import (
+	"sort"
+
+	"repro/internal/asym"
+	"repro/internal/graph"
+	"repro/internal/spanning"
+)
+
+// Forest is an explicit spanning forest over the vertices of a dynamic
+// connectivity oracle's graph — the structure that makes deletions cheap.
+// A deletion of a non-forest edge cannot change connectivity at all; a
+// deletion of a forest edge splits one tree into two, and connectivity is
+// preserved iff some surviving edge of the graph reconnects the two sides
+// (a replacement edge, found by scanning the smaller side). Only when no
+// replacement exists has a component genuinely split, which the label-based
+// oracle cannot express incrementally — that is the rebuild fallback.
+//
+// The forest lives on the *update* path only: queries never touch it, so it
+// needs no synchronization with concurrent readers. The single background
+// rebuilder of the serving layer is its only writer, and every patch works
+// on a Clone (copy-on-write snapshot discipline, like the remap table).
+// Within the asymmetric cost model the forest is an in-place structure:
+// maintenance charges O(1) writes per link/cut, and the Go-level clone is
+// an unmetered implementation detail of snapshot isolation, not a persisted
+// rewrite.
+type Forest struct {
+	n int
+	// adj is the forest adjacency (tree edges only, both directions).
+	adj [][]int32
+	// set holds normalized (u <= v) forest-edge keys for O(1) membership.
+	set   map[[2]int32]bool
+	edges int
+}
+
+// NewForest returns an empty forest over n vertices.
+func NewForest(n int) *Forest {
+	return &Forest{n: n, adj: make([][]int32, n), set: map[[2]int32]bool{}}
+}
+
+// SeedForest selects a spanning forest of the n-vertex multigraph given by
+// edges via spanning.Forest (union-find over the explicit edge list) and
+// materializes it. Costs: spanning.Forest's reads/writes plus two writes
+// per adjacency entry of the chosen edges.
+func SeedForest(m *asym.Meter, n int, edges [][2]int32) *Forest {
+	f := NewForest(n)
+	for _, i := range spanning.Forest(m, n, edges) {
+		f.Link(edges[i][0], edges[i][1])
+		m.Write(2)
+	}
+	return f
+}
+
+// N returns the vertex count.
+func (f *Forest) N() int { return f.n }
+
+// Size returns the number of forest edges.
+func (f *Forest) Size() int { return f.edges }
+
+// Has reports whether {u,v} is a forest edge.
+func (f *Forest) Has(u, v int32) bool { return f.set[graph.NormEdge([2]int32{u, v})] }
+
+// Link adds the forest edge {u,v}. The caller guarantees u and v are in
+// distinct trees (forests never hold cycles) and the edge is not a
+// self-loop.
+func (f *Forest) Link(u, v int32) {
+	key := graph.NormEdge([2]int32{u, v})
+	if f.set[key] {
+		return
+	}
+	f.set[key] = true
+	f.adj[u] = append(f.adj[u], v)
+	f.adj[v] = append(f.adj[v], u)
+	f.edges++
+}
+
+// Cut removes the forest edge {u,v}; a no-op when absent.
+func (f *Forest) Cut(u, v int32) {
+	key := graph.NormEdge([2]int32{u, v})
+	if !f.set[key] {
+		return
+	}
+	delete(f.set, key)
+	f.adj[u] = dropNeighbor(f.adj[u], v)
+	f.adj[v] = dropNeighbor(f.adj[v], u)
+	f.edges--
+}
+
+func dropNeighbor(adj []int32, w int32) []int32 {
+	for i, x := range adj {
+		if x == w {
+			adj[i] = adj[len(adj)-1]
+			return adj[:len(adj)-1]
+		}
+	}
+	return adj
+}
+
+// Clone returns an independent copy (copy-on-write for patched oracles).
+func (f *Forest) Clone() *Forest {
+	c := &Forest{n: f.n, adj: make([][]int32, f.n), set: make(map[[2]int32]bool, len(f.set)), edges: f.edges}
+	for v, a := range f.adj {
+		if len(a) > 0 {
+			c.adj[v] = append([]int32(nil), a...)
+		}
+	}
+	for k := range f.set {
+		c.set[k] = true
+	}
+	return c
+}
+
+// EdgeList returns the forest edges, normalized and sorted — the canonical
+// form the durable store persists.
+func (f *Forest) EdgeList() [][2]int32 {
+	if f.edges == 0 {
+		return nil
+	}
+	out := make([][2]int32, 0, f.edges)
+	for k := range f.set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// smallerSide explores the trees of u and v (the edge {u,v} must already be
+// cut) in lockstep and returns the vertex set of the smaller one, in BFS
+// order plus as a membership set — so the replacement-edge search pays
+// O(min side), the classic bound for decremental forest maintenance. Reads
+// are charged per traversed forest adjacency entry.
+func (f *Forest) smallerSide(m *asym.Meter, u, v int32) ([]int32, map[int32]bool) {
+	type walk struct {
+		order []int32
+		seen  map[int32]bool
+		next  int // frontier cursor into order
+	}
+	start := func(r int32) *walk {
+		return &walk{order: []int32{r}, seen: map[int32]bool{r: true}}
+	}
+	// step expands one vertex; false once the whole tree is explored.
+	step := func(w *walk) bool {
+		if w.next >= len(w.order) {
+			return false
+		}
+		x := w.order[w.next]
+		w.next++
+		for _, y := range f.adj[x] {
+			m.Read(1)
+			if !w.seen[y] {
+				w.seen[y] = true
+				w.order = append(w.order, y)
+			}
+		}
+		return true
+	}
+	a, b := start(u), start(v)
+	for {
+		if !step(a) {
+			return a.order, a.seen
+		}
+		if !step(b) {
+			return b.order, b.seen
+		}
+	}
+}

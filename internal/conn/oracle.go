@@ -38,6 +38,17 @@ type Oracle struct {
 	// of its merged component. Nil for freshly built oracles. The map is
 	// immutable after construction, so concurrent queries stay safe.
 	remap map[int32]int32
+	// forest, when non-nil, is the explicit spanning forest of the
+	// oracle's *current* effective graph (base plus applied insertions
+	// minus applied deletions) — the structure ApplyDeletions needs.
+	// Maintained copy-on-write by the dynamic-update path (dynamic.go);
+	// queries never read it, so it takes no part in the concurrency
+	// contract above.
+	forest *Forest
+	// chainDepth counts the incremental patches (ApplyInsertions /
+	// ApplyDeletions generations) separating this oracle from its last
+	// full decomposition — the remap-chain length Rebase collapses.
+	chainDepth int
 }
 
 // clustersGraph is the implicit clusters graph: vertex i is the i-th center
@@ -178,6 +189,27 @@ func (o *Oracle) Remap() map[int32]int32 {
 	}
 	return out
 }
+
+// ChainDepth returns the number of incremental patches applied since the
+// oracle's last full decomposition build (0 for a fresh build). The serving
+// layer's strategy engine re-bases the oracle once this crosses its
+// configured budget.
+func (o *Oracle) ChainDepth() int { return o.chainDepth }
+
+// ForestEdges returns the explicit spanning forest's edges, normalized and
+// sorted (nil when the oracle carries no forest). Like Remap, this is the
+// I/O-path accessor the durable store persists with each snapshot;
+// unmetered.
+func (o *Oracle) ForestEdges() [][2]int32 {
+	if o.forest == nil {
+		return nil
+	}
+	return o.forest.EdgeList()
+}
+
+// HasForest reports whether the oracle carries an explicit spanning forest
+// (the precondition of ApplyDeletions).
+func (o *Oracle) HasForest() bool { return o.forest != nil }
 
 // VisitSpanningForest enumerates the edges of a spanning forest of the
 // whole graph, realizing the spanning-forest remark at the end of §4.3:

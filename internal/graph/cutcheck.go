@@ -1,0 +1,41 @@
+package graph
+
+// RemovalPreservesConnectivity reports whether removing one copy of
+// edges[skip] keeps its endpoints connected through the remaining multiset
+// (O(n+m) BFS over an adjacency built on the fly). Self-loops trivially
+// preserve connectivity; a surviving parallel copy shows up as a direct
+// path. This is the workload-construction check the churn harnesses and
+// tests use to pick deletions the serving layer's spanning-forest
+// maintenance must absorb without a rebuild — it is not on any serving
+// path and is unmetered.
+func RemovalPreservesConnectivity(n int, edges [][2]int32, skip int) bool {
+	u, v := edges[skip][0], edges[skip][1]
+	if u == v {
+		return true
+	}
+	adj := make([][]int32, n)
+	for i, e := range edges {
+		if i == skip {
+			continue
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	seen := make([]bool, n)
+	seen[u] = true
+	stack := []int32{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == v {
+			return true
+		}
+		for _, y := range adj[x] {
+			if !seen[y] {
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	return false
+}

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/asym"
@@ -17,8 +18,11 @@ import (
 // oracle call would charge.
 
 // ConnAdapter serves the connectivity kinds over a conn.Oracle
-// (Theorem 4.4). It also carries the oracle's incremental-insertion path
-// (InsertionApplier) and component count (ComponentCounter).
+// (Theorem 4.4). It also carries the oracle's full dynamic-update surface:
+// the incremental-insertion path (InsertionApplier), the forest-backed
+// deletion path (DeletionApplier), remap-chain re-basing (Rebaser), the
+// persisted-forest recovery hooks (ForestCarrier), and the component count
+// (ComponentCounter).
 type ConnAdapter struct{ O *conn.Oracle }
 
 // Answer dispatches connected/component queries.
@@ -42,6 +46,45 @@ func (a ConnAdapter) ApplyInsertions(m *asym.Meter, sym *asym.SymTracker, edges 
 		return nil, err
 	}
 	return ConnAdapter{O: next}, nil
+}
+
+// ApplyDeletions folds a deletion batch into a new adapter via the
+// spanning-forest maintenance of conn.Oracle.ApplyDeletions. A batch that
+// genuinely splits a component is refused with an error wrapping the
+// registry's ErrNeedsRebuild, which the serving layer's strategy ladder
+// reads as "step down to a full rebuild".
+func (a ConnAdapter) ApplyDeletions(m *asym.Meter, sym *asym.SymTracker, removed [][2]int32, next *graph.Graph) (QueryOracle, error) {
+	nx, err := a.O.ApplyDeletions(m, sym, removed, next)
+	if err != nil {
+		if errors.Is(err, conn.ErrNeedsRebuild) {
+			return nil, fmt.Errorf("%w: %v", ErrNeedsRebuild, err)
+		}
+		return nil, err
+	}
+	return ConnAdapter{O: nx}, nil
+}
+
+// ChainDepth reports how many incremental patches separate the oracle from
+// its last full decomposition.
+func (a ConnAdapter) ChainDepth() int { return a.O.ChainDepth() }
+
+// Rebase collapses the oracle's remap chain onto a fresh decomposition over
+// the current graph (vw), reseeding the maintained spanning forest.
+func (a ConnAdapter) Rebase(c *parallel.Ctx, vw graph.View, k int, seed uint64) QueryOracle {
+	return ConnAdapter{O: a.O.Rebase(c, vw, k, seed)}
+}
+
+// ForestEdges exposes the maintained spanning forest for persistence.
+func (a ConnAdapter) ForestEdges() [][2]int32 { return a.O.ForestEdges() }
+
+// AdoptForest installs a recovered forest and chain depth (validated
+// against the oracle's graph) into a copy of the adapter.
+func (a ConnAdapter) AdoptForest(edges [][2]int32, chainDepth int) (QueryOracle, error) {
+	nx, err := a.O.AdoptForest(edges, chainDepth)
+	if err != nil {
+		return nil, err
+	}
+	return ConnAdapter{O: nx}, nil
 }
 
 // NumComponents reports the snapshot's component count.
@@ -89,7 +132,14 @@ func init() {
 			{Kind: KindComponent, Pairwise: false},
 		},
 		Build: func(c *parallel.Ctx, vw graph.View, k int, seed uint64) QueryOracle {
-			return ConnAdapter{O: conn.BuildOracle(c, vw, k, seed)}
+			o := conn.BuildOracle(c, vw, k, seed)
+			// The explicit spanning forest is part of the dynamic-capable
+			// oracle's construction (it is what makes deletions patchable),
+			// so it is seeded here and charged to the same build meter —
+			// BuildOracle itself stays pristine for the paper's static
+			// cost bounds.
+			o.EnsureForest(vw.M)
+			return ConnAdapter{O: o}
 		},
 	})
 	MustRegister(Factory{

@@ -18,6 +18,7 @@
 package oracle
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -80,6 +81,46 @@ type QueryOracle interface {
 // multiset.
 type InsertionApplier interface {
 	ApplyInsertions(m *asym.Meter, sym *asym.SymTracker, edges [][2]int32) (QueryOracle, error)
+}
+
+// ErrNeedsRebuild is the typed refusal of DeletionApplier.ApplyDeletions:
+// the batch cannot be absorbed incrementally (a deletion genuinely splits
+// a component) and the caller must step down to a full reconstruction.
+// It signals a strategy decision, not a failure — the receiver oracle is
+// untouched and still valid for its own snapshot.
+var ErrNeedsRebuild = errors.New("oracle: deletion batch needs a rebuild")
+
+// DeletionApplier mirrors InsertionApplier for edge removals: oracles that
+// maintain enough structure (conn's explicit spanning forest) to absorb a
+// deletion batch with O(batch) writes whenever connectivity is preserved.
+// next is the already-materialized post-batch graph — the serving layer
+// builds the new CSR for every strategy, so the replacement-edge search
+// runs over it instead of a private overlay. A batch the oracle cannot
+// absorb returns an error wrapping ErrNeedsRebuild.
+type DeletionApplier interface {
+	ApplyDeletions(m *asym.Meter, sym *asym.SymTracker, removed [][2]int32, next *graph.Graph) (QueryOracle, error)
+}
+
+// Rebaser is implemented by oracles whose incremental patches form a chain
+// (remap tables, maintained forests) that should periodically be collapsed
+// onto a fresh construction. ChainDepth reports how many patched
+// generations separate the oracle from its last full build; Rebase pays one
+// reconstruction over the current graph to reset it to zero.
+type Rebaser interface {
+	ChainDepth() int
+	Rebase(c *parallel.Ctx, vw graph.View, k int, seed uint64) QueryOracle
+}
+
+// ForestCarrier is implemented by oracles that maintain an explicit
+// spanning forest across dynamic updates. ForestEdges is the persistence
+// accessor (normalized, sorted; nil when absent); AdoptForest is the
+// recovery constructor — it returns a copy of the oracle carrying a
+// previously persisted forest and chain depth, validating the forest
+// against the oracle's graph (an error means the caller keeps the oracle's
+// own freshly seeded forest).
+type ForestCarrier interface {
+	ForestEdges() [][2]int32
+	AdoptForest(edges [][2]int32, chainDepth int) (QueryOracle, error)
 }
 
 // ComponentCounter exposes the connected-component count of the oracle's

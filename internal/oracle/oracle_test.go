@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/asym"
@@ -162,6 +163,73 @@ func TestInsertionApplier(t *testing.T) {
 	old, _ := built["conn"].Answer(m, sym, Query{Kind: KindConnected, U: 0, V: 15})
 	if *old.Bool {
 		t.Fatal("base oracle mutated by ApplyInsertions")
+	}
+}
+
+// TestDeletionApplierAndRebaser pins the dynamic-update capability surface
+// of the built-ins: the conn adapter implements DeletionApplier (absorbing
+// split-free removals, refusing genuine splits with ErrNeedsRebuild),
+// Rebaser (chain depth + collapse) and ForestCarrier (persist/adopt); the
+// bicc adapter implements none of them (it has no incremental path).
+func TestDeletionApplierAndRebaser(t *testing.T) {
+	g := graph.Disconnected(graph.Cycle(10), 3)
+	built := buildAll(t, g, 16)
+	if _, ok := built["bicc"].(DeletionApplier); ok {
+		t.Fatal("bicc adapter claims a deletion path")
+	}
+	if _, ok := built["bicc"].(Rebaser); ok {
+		t.Fatal("bicc adapter claims a re-base path")
+	}
+	da, ok := built["conn"].(DeletionApplier)
+	if !ok {
+		t.Fatal("conn adapter must implement DeletionApplier")
+	}
+	m := asym.NewMeter(16)
+	sym := asym.NewSymTracker(0)
+
+	// A cycle edge is split-free: absorbed without error, same components.
+	cut := g.Edges()[0]
+	edges := append([][2]int32{}, g.Edges()[1:]...)
+	next := graph.FromEdges(g.N(), edges)
+	patched, err := da.ApplyDeletions(m, sym, [][2]int32{cut}, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patched.(ComponentCounter).NumComponents() != 3 {
+		t.Fatalf("components %d, want 3", patched.(ComponentCounter).NumComponents())
+	}
+	if patched.(Rebaser).ChainDepth() != 1 {
+		t.Fatalf("depth %d, want 1", patched.(Rebaser).ChainDepth())
+	}
+
+	// Cutting the now-path island genuinely splits: typed refusal.
+	cut2 := edges[0]
+	next2 := graph.FromEdges(g.N(), edges[1:])
+	if _, err := patched.(DeletionApplier).ApplyDeletions(m, sym, [][2]int32{cut2}, next2); !errors.Is(err, ErrNeedsRebuild) {
+		t.Fatalf("split refusal: %v, want ErrNeedsRebuild", err)
+	}
+
+	// Re-base collapses the chain; the forest round-trips through the
+	// carrier hooks.
+	c := parallel.NewCtx(asym.NewMeter(16), asym.NewSymTracker(0))
+	rb := patched.(Rebaser).Rebase(c, graph.View{G: next, M: asym.NewMeter(16)}, 0, 7)
+	if rb.(Rebaser).ChainDepth() != 0 {
+		t.Fatalf("rebased depth %d", rb.(Rebaser).ChainDepth())
+	}
+	fc := rb.(ForestCarrier)
+	forest := fc.ForestEdges()
+	if len(forest) == 0 {
+		t.Fatal("rebased oracle carries no forest")
+	}
+	adopted, err := fc.AdoptForest(forest, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adopted.(Rebaser).ChainDepth() != 42 {
+		t.Fatalf("adopted depth %d, want 42", adopted.(Rebaser).ChainDepth())
+	}
+	if _, err := fc.AdoptForest([][2]int32{{0, 25}}, 0); err == nil {
+		t.Fatal("stale forest adopted")
 	}
 }
 

@@ -133,6 +133,16 @@ type Config struct {
 	// lock, from the rebuild goroutine; keep it fast and non-blocking.
 	OnRebuild func(RebuildRecord)
 
+	// RebaseEvery is the incremental patch-chain budget: an oracle whose
+	// chain depth (oracle.Rebaser) reaches it is re-based — rebuilt fresh
+	// over the current graph, collapsing its remap chain — instead of
+	// patched again. Depth counts patch *generations*, each of which
+	// copies the persisted remap table once: a pure insertion or deletion
+	// batch is one generation, a mixed batch two (the insertion fold and
+	// the deletion fold). 0 selects DefaultRebaseEvery; negative disables
+	// automatic re-basing (chains grow until a batch forces a rebuild).
+	RebaseEvery int
+
 	// Persist, if non-nil, is the graph's durable log (persist.go): every
 	// accepted update batch is appended to it before staging, and every
 	// published epoch is committed to it. Nil disables persistence.
@@ -145,6 +155,17 @@ type Config struct {
 	// numbers its next accepted batch InitialSeq+1 so WAL sequence numbers
 	// stay monotonic across restarts.
 	InitialSeq int64
+	// InitialForest, when non-nil, is a recovered spanning forest (store
+	// snapshot v2): after the oracles build, it is offered to every
+	// oracle.ForestCarrier together with InitialChainDepth, so the
+	// dynamic-update machinery resumes the persisted forest and re-base
+	// schedule instead of starting a fresh chain. A forest that fails
+	// validation against the recovered graph is dropped silently — the
+	// oracle keeps its own freshly seeded forest.
+	InitialForest [][2]int32
+	// InitialChainDepth is the recovered remap-chain depth adopted with
+	// InitialForest.
+	InitialChainDepth int
 }
 
 // KindStats is the cumulative serving telemetry for one query kind.
@@ -193,14 +214,23 @@ type Stats struct {
 	Admission AdmissionStats `json:"admission"`
 	Pool      PoolStats      `json:"pool"`
 
-	// Dynamic-update telemetry (update.go).
-	Epoch               int64           `json:"epoch"`
-	PendingUpdates      int             `json:"pending_updates"`
-	TotalRebuilds       int64           `json:"total_rebuilds"`
-	IncrementalRebuilds int64           `json:"incremental_rebuilds"`
-	EdgesAdded          int64           `json:"edges_added"`
-	EdgesRemoved        int64           `json:"edges_removed"`
-	Rebuilds            []RebuildRecord `json:"rebuilds,omitempty"`
+	// Dynamic-update telemetry (update.go). IncrementalRebuilds counts
+	// rebuilds whose summary strategy was a patch (patched-insert or
+	// patched-delete); Strategies has the full per-oracle breakdown —
+	// factory name -> strategy -> cumulative count — which is what the
+	// churn harnesses assert on ("zero full conn rebuilds").
+	Epoch               int64                       `json:"epoch"`
+	PendingUpdates      int                         `json:"pending_updates"`
+	TotalRebuilds       int64                       `json:"total_rebuilds"`
+	IncrementalRebuilds int64                       `json:"incremental_rebuilds"`
+	Strategies          map[string]map[string]int64 `json:"strategies,omitempty"`
+	// ConnChainDepth is the conn oracle's current incremental patch-chain
+	// depth (how far the snapshot is from its last full decomposition;
+	// re-based to 0 every RebaseEvery generations).
+	ConnChainDepth int             `json:"conn_chain_depth"`
+	EdgesAdded     int64           `json:"edges_added"`
+	EdgesRemoved   int64           `json:"edges_removed"`
+	Rebuilds       []RebuildRecord `json:"rebuilds,omitempty"`
 }
 
 // snapshot is the immutable per-epoch serving state. A snapshot is built
@@ -240,13 +270,14 @@ type kindRef struct {
 // trackers, search scratch) is worker-local, so any number of goroutines
 // may call Do / Query / Update concurrently.
 type Engine struct {
-	omega     int
-	k         int
-	workers   int
-	sym       int
-	seed      uint64
-	onRebuild func(RebuildRecord)
-	persist   GraphPersister
+	omega       int
+	k           int
+	workers     int
+	sym         int
+	seed        uint64
+	rebaseEvery int // resolved patch-chain budget (0 = re-basing disabled)
+	onRebuild   func(RebuildRecord)
+	persist     GraphPersister
 
 	// Oracle dispatch, fixed at New from the process-wide registry.
 	factories []oracle.Factory
@@ -286,6 +317,7 @@ type Engine struct {
 
 	nRebuilds    int64
 	nIncremental int64
+	stratCounts  map[string]map[string]int64 // factory -> strategy -> rebuilds
 	edgesAdded   int64
 	edgesRemoved int64
 
@@ -322,12 +354,20 @@ func New(g *graph.Graph, cfg Config) *Engine {
 	if pool == nil {
 		pool = NewPool(0)
 	}
+	rebaseEvery := cfg.RebaseEvery
+	switch {
+	case rebaseEvery == 0:
+		rebaseEvery = DefaultRebaseEvery
+	case rebaseEvery < 0:
+		rebaseEvery = 0
+	}
 	e := &Engine{
 		omega:       omega,
 		k:           k,
 		workers:     workers,
 		sym:         cfg.SymLimit,
 		seed:        cfg.Seed,
+		rebaseEvery: rebaseEvery,
 		onRebuild:   cfg.OnRebuild,
 		persist:     cfg.Persist,
 		seq:         cfg.InitialSeq,
@@ -338,6 +378,7 @@ func New(g *graph.Graph, cfg Config) *Engine {
 		byKind:      map[oracle.Kind]kindRef{},
 		facByName:   map[string]int{},
 		delta:       map[[2]int32]int{},
+		stratCounts: map[string]map[string]int64{},
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.factories = oracle.Factories()
@@ -353,6 +394,19 @@ func New(g *graph.Graph, cfg Config) *Engine {
 		e.kinds[i].meter = asym.NewMeter(omega)
 	}
 	os, costs := e.buildOracles(g)
+	if len(cfg.InitialForest) > 0 || cfg.InitialChainDepth > 0 {
+		// Recovery: offer the persisted forest + chain depth to every
+		// forest-carrying oracle. A forest the oracle rejects (stale
+		// against the recovered graph) is dropped — the fresh seed from
+		// the build stands, which is always correct, just a new chain.
+		for i, o := range os {
+			if fc, ok := o.(oracle.ForestCarrier); ok {
+				if adopted, err := fc.AdoptForest(cfg.InitialForest, cfg.InitialChainDepth); err == nil {
+					os[i] = adopted
+				}
+			}
+		}
+	}
 	e.snap.Store(&snapshot{epoch: cfg.InitialEpoch, g: g, oracles: os, costs: costs})
 	return e
 }
@@ -431,10 +485,14 @@ func (e *Engine) LastSeq() int64 {
 	return e.seq
 }
 
-// ConnRemap returns the current snapshot's connectivity-oracle label remap
-// table (nil when absent or empty) — the piece of dynamic-update state the
-// durable store persists alongside the graph.
-func (e *Engine) ConnRemap() map[int32]int32 { return connRemapOf(e.snap.Load()) }
+// ConnDyn returns the current snapshot's complete dynamic conn state — the
+// label remap table, the maintained spanning forest, and the incremental
+// patch-chain depth — everything the durable store writes into a v2
+// snapshot so a restarted daemon resumes the update machinery where the
+// fleet left off.
+func (e *Engine) ConnDyn() (remap map[int32]int32, forest [][2]int32, chainDepth int) {
+	return connDynOf(e.snap.Load())
+}
 
 // PersistNow forces the durable store (when configured) to write a fresh
 // snapshot of the currently *published* state — the graceful-shutdown
@@ -450,7 +508,8 @@ func (e *Engine) PersistNow() error {
 	sn := e.snap.Load()
 	seq := e.pubSeq
 	e.mu.Unlock()
-	return e.persist.SaveSnapshot(sn.epoch, seq, sn.g, connRemapOf(sn))
+	remap, forest, depth := connDynOf(sn)
+	return e.persist.SaveSnapshot(sn.epoch, seq, sn.g, remap, forest, depth)
 }
 
 // Omega returns the engine's write cost ω.
@@ -642,11 +701,22 @@ func (e *Engine) Stats() Stats {
 	s.PendingUpdates = e.unapplied
 	s.TotalRebuilds = e.nRebuilds
 	s.IncrementalRebuilds = e.nIncremental
+	if len(e.stratCounts) > 0 {
+		s.Strategies = make(map[string]map[string]int64, len(e.stratCounts))
+		for name, m := range e.stratCounts {
+			inner := make(map[string]int64, len(m))
+			for strat, c := range m {
+				inner[strat] = c
+			}
+			s.Strategies[name] = inner
+		}
+	}
 	s.EdgesAdded = e.edgesAdded
 	s.EdgesRemoved = e.edgesRemoved
 	s.Rebuilds = append([]RebuildRecord(nil), e.history...)
 	e.mu.Unlock()
 	s.NumComponents, s.NumBCC = sn.counts()
+	s.ConnChainDepth = connChainDepthOf(sn)
 	for i, spec := range e.specs {
 		s.Queries[string(spec.Kind)] = KindStats{
 			Count:  e.kinds[i].count.Load(),

@@ -177,13 +177,15 @@ type StatsJSON struct {
 	Admission AdmissionJSON `json:"admission"`
 	Pool      PoolJSON      `json:"pool"`
 
-	Epoch               int64               `json:"epoch"`
-	PendingUpdates      int                 `json:"pending_updates"`
-	TotalRebuilds       int64               `json:"total_rebuilds"`
-	IncrementalRebuilds int64               `json:"incremental_rebuilds"`
-	EdgesAdded          int64               `json:"edges_added"`
-	EdgesRemoved        int64               `json:"edges_removed"`
-	Rebuilds            []RebuildRecordJSON `json:"rebuilds,omitempty"`
+	Epoch               int64                       `json:"epoch"`
+	PendingUpdates      int                         `json:"pending_updates"`
+	TotalRebuilds       int64                       `json:"total_rebuilds"`
+	IncrementalRebuilds int64                       `json:"incremental_rebuilds"`
+	Strategies          map[string]map[string]int64 `json:"strategies,omitempty"`
+	ConnChainDepth      int                         `json:"conn_chain_depth"`
+	EdgesAdded          int64                       `json:"edges_added"`
+	EdgesRemoved        int64                       `json:"edges_removed"`
+	Rebuilds            []RebuildRecordJSON         `json:"rebuilds,omitempty"`
 }
 
 // RebuildRecordJSON mirrors RebuildRecord with CostJSON leaves and the
@@ -191,6 +193,7 @@ type StatsJSON struct {
 type RebuildRecordJSON struct {
 	Epoch        int64               `json:"epoch"`
 	Strategy     string              `json:"strategy"`
+	Strategies   map[string]string   `json:"strategies,omitempty"`
 	Batches      int                 `json:"batches"`
 	AddedEdges   int                 `json:"added_edges"`
 	RemovedEdges int                 `json:"removed_edges"`
@@ -556,12 +559,15 @@ func statsJSON(s Stats) StatsJSON {
 	out.PendingUpdates = s.PendingUpdates
 	out.TotalRebuilds = s.TotalRebuilds
 	out.IncrementalRebuilds = s.IncrementalRebuilds
+	out.Strategies = s.Strategies
+	out.ConnChainDepth = s.ConnChainDepth
 	out.EdgesAdded = s.EdgesAdded
 	out.EdgesRemoved = s.EdgesRemoved
 	for _, r := range s.Rebuilds {
 		out.Rebuilds = append(out.Rebuilds, RebuildRecordJSON{
 			Epoch:        r.Epoch,
 			Strategy:     r.Strategy,
+			Strategies:   r.Strategies,
 			Batches:      r.Batches,
 			AddedEdges:   r.AddedEdges,
 			RemovedEdges: r.RemovedEdges,

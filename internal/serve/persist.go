@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/graph"
+	"repro/internal/oracle"
 )
 
 // This file is the serving layer's durability seam. The engine and
@@ -28,7 +29,11 @@ import (
 //     its error fails the graph build rather than serving a graph whose
 //     durability promise cannot be kept.
 
-// GraphPersister is the durable log of one graph.
+// GraphPersister is the durable log of one graph. The dynamic conn state
+// handed to EpochPublished/SaveSnapshot — label remap table, maintained
+// spanning forest, incremental patch-chain depth — is what store snapshot
+// format v2 carries so recovery resumes the update machinery incrementally
+// instead of starting a fresh chain.
 type GraphPersister interface {
 	// LogUpdate durably appends one accepted update batch before the
 	// engine stages it. seq is the batch's staging sequence number
@@ -36,8 +41,11 @@ type GraphPersister interface {
 	LogUpdate(seq int64, add, remove [][2]int32) error
 	// EpochPublished records that snapshot epoch `epoch`, folding updates
 	// through seq, is now served; implementations use it to append a
-	// commit record and to decide WAL compaction.
-	EpochPublished(epoch, seq int64, g *graph.Graph, connRemap map[int32]int32)
+	// commit record and to decide WAL compaction. dyn supplies the conn
+	// dynamic state on demand — materializing the forest edge list is
+	// O(F log F), so implementations call it only when they actually
+	// write a snapshot (a compaction trigger fired), not on every epoch.
+	EpochPublished(epoch, seq int64, g *graph.Graph, dyn func() (connRemap map[int32]int32, forest [][2]int32, chainDepth int))
 	// LogAbort durably records that the staged batches in the inclusive
 	// sequence range [fromSeq, toSeq] were dropped by a failed rebuild:
 	// their updaters were told they failed, so recovery must not
@@ -45,7 +53,7 @@ type GraphPersister interface {
 	// update lock, before the batches' staged deltas are released.
 	LogAbort(fromSeq, toSeq int64) error
 	// SaveSnapshot forces a full snapshot of the given state.
-	SaveSnapshot(epoch, seq int64, g *graph.Graph, connRemap map[int32]int32) error
+	SaveSnapshot(epoch, seq int64, g *graph.Graph, connRemap map[int32]int32, forest [][2]int32, chainDepth int) error
 }
 
 // RegistryPersister records fleet lifecycle events (the durable half of
@@ -71,13 +79,37 @@ var ErrPersist = errors.New("serve: durable log write failed")
 // apply it — the ROADMAP wart of reporting it as a 400 is gone.
 var ErrRebuildFailed = errors.New("serve: rebuild failed")
 
-// connRemapOf extracts the connectivity oracle's label remap table from a
-// snapshot (nil when no conn factory is registered or the table is empty).
-func connRemapOf(s *snapshot) map[int32]int32 {
+// connDynOf extracts the connectivity oracle's dynamic state from a
+// snapshot: the label remap table (nil when empty), the maintained
+// spanning forest (nil when the oracle carries none), and the incremental
+// patch-chain depth. All zero values when no conn-like factory is
+// registered.
+func connDynOf(s *snapshot) (remap map[int32]int32, forest [][2]int32, chainDepth int) {
 	for _, o := range s.oracles {
-		if a, ok := o.(interface{ Remap() map[int32]int32 }); ok {
-			return a.Remap()
+		a, ok := o.(interface{ Remap() map[int32]int32 })
+		if !ok {
+			continue
+		}
+		remap = a.Remap()
+		if fc, ok := o.(oracle.ForestCarrier); ok {
+			forest = fc.ForestEdges()
+		}
+		if ct, ok := o.(interface{ ChainDepth() int }); ok {
+			chainDepth = ct.ChainDepth()
+		}
+		return remap, forest, chainDepth
+	}
+	return nil, nil, 0
+}
+
+// connChainDepthOf probes just the chain depth — the cheap slice of the
+// dynamic state for telemetry paths (/stats polls must not pay connDynOf's
+// remap copy and forest materialization to read one int).
+func connChainDepthOf(s *snapshot) int {
+	for _, o := range s.oracles {
+		if ct, ok := o.(interface{ ChainDepth() int }); ok {
+			return ct.ChainDepth()
 		}
 	}
-	return nil
+	return 0
 }

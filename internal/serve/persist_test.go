@@ -25,6 +25,8 @@ type memPersist struct {
 	aborts    [][2]int64
 	staged    func() int // observed staging depth at LogUpdate time
 	depths    []int
+	forests   []int // forest sizes seen by EpochPublished/SaveSnapshot
+	depths2   []int // chain depths seen by EpochPublished/SaveSnapshot
 	failLog   error
 }
 
@@ -41,16 +43,21 @@ func (p *memPersist) LogUpdate(seq int64, add, remove [][2]int32) error {
 	return nil
 }
 
-func (p *memPersist) EpochPublished(epoch, seq int64, g *graph.Graph, remap map[int32]int32) {
+func (p *memPersist) EpochPublished(epoch, seq int64, g *graph.Graph, dyn func() (map[int32]int32, [][2]int32, int)) {
+	_, forest, chainDepth := dyn()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.commits = append(p.commits, [2]int64{epoch, seq})
+	p.forests = append(p.forests, len(forest))
+	p.depths2 = append(p.depths2, chainDepth)
 }
 
-func (p *memPersist) SaveSnapshot(epoch, seq int64, g *graph.Graph, remap map[int32]int32) error {
+func (p *memPersist) SaveSnapshot(epoch, seq int64, g *graph.Graph, remap map[int32]int32, forest [][2]int32, chainDepth int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.snapshots = append(p.snapshots, [2]int64{epoch, seq})
+	p.forests = append(p.forests, len(forest))
+	p.depths2 = append(p.depths2, chainDepth)
 	return nil
 }
 
@@ -68,7 +75,9 @@ func (p *memPersist) snap() memPersist {
 		commits:   append([][2]int64(nil), p.commits...),
 		snapshots: append([][2]int64(nil), p.snapshots...),
 		aborts:    append([][2]int64(nil), p.aborts...),
-		depths:    append([]int(nil), p.depths...)}
+		depths:    append([]int(nil), p.depths...),
+		forests:   append([]int(nil), p.forests...),
+		depths2:   append([]int(nil), p.depths2...)}
 }
 
 // TestEngineWALBeforeStage: every accepted batch reaches the log with the
@@ -118,6 +127,15 @@ func TestEngineWALBeforeStage(t *testing.T) {
 	// Each wait=true batch forces its own publish: commits are (6,41),(7,42).
 	if len(got.commits) != 2 || got.commits[0] != [2]int64{6, 41} || got.commits[1] != [2]int64{7, 42} {
 		t.Fatalf("commits %v, want [[6 41] [7 42]]", got.commits)
+	}
+	// Every publish hands the store the conn dynamic state: the maintained
+	// spanning forest (127 edges of the connected 128-vertex graph) and
+	// the growing patch-chain depth.
+	if len(got.forests) != 2 || got.forests[0] != 127 || got.forests[1] != 127 {
+		t.Fatalf("published forest sizes %v, want [127 127]", got.forests)
+	}
+	if len(got.depths2) != 2 || got.depths2[0] != 1 || got.depths2[1] != 2 {
+		t.Fatalf("published chain depths %v, want [1 2]", got.depths2)
 	}
 }
 
@@ -285,7 +303,7 @@ func TestRegistryLifecycleDurability(t *testing.T) {
 	// Recovered graphs resume their watermark and their log.
 	g := graph.RandomRegular(64, 3, 9)
 	rl := &memPersist{}
-	if _, err := reg.CreateRecovered("rec", g, GraphSpec{Wait: true}, rl, 7, 30); err != nil {
+	if _, err := reg.CreateRecovered("rec", g, GraphSpec{Wait: true}, rl, RecoveredState{Epoch: 7, Seq: 30}); err != nil {
 		t.Fatalf("recovered create: %v", err)
 	}
 	waitReady(t, reg, "rec")
@@ -352,7 +370,7 @@ func TestRecoveredDefaultClaim(t *testing.T) {
 
 	ga := graph.RandomRegular(64, 3, 1)
 	gb := graph.RandomRegular(64, 3, 2)
-	if _, err := reg.CreateRecovered("tenant", ga, GraphSpec{Wait: true}, nil, 0, 0); err != nil {
+	if _, err := reg.CreateRecovered("tenant", ga, GraphSpec{Wait: true}, nil, RecoveredState{}); err != nil {
 		t.Fatal(err)
 	}
 	waitReady(t, reg, "tenant")
@@ -363,7 +381,7 @@ func TestRecoveredDefaultClaim(t *testing.T) {
 		t.Fatal("Default() resolved with an empty slot")
 	}
 
-	if _, err := reg.CreateRecovered("primary", gb, GraphSpec{Wait: true}, nil, 3, 5); err != nil {
+	if _, err := reg.CreateRecovered("primary", gb, GraphSpec{Wait: true}, nil, RecoveredState{Epoch: 3, Seq: 5}); err != nil {
 		t.Fatal(err)
 	}
 	waitReady(t, reg, "primary")

@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// raceEnabled lets long-haul tests shrink their iteration counts under the
+// race detector (the CI race gate runs this package).
+const raceEnabled = false

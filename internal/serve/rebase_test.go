@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestRebaseEveryScheduling: with RebaseEvery=3, chained insertion-only
+// batches must go patch, patch, patch, REBASE, patch, ... — the re-base
+// collapsing the chain (depth back to 0, remap gone) while answers stay
+// equivalent to a from-scratch engine.
+func TestRebaseEveryScheduling(t *testing.T) {
+	g := graph.Disconnected(graph.Cycle(8), 8)
+	e := New(g, Config{Omega: 16, Seed: 5, RebaseEvery: 3})
+	defer e.Close()
+	n := g.N()
+	rng := graph.NewRNG(31)
+
+	want := []string{
+		StrategyPatchedInsert, StrategyPatchedInsert, StrategyPatchedInsert,
+		StrategyRebased,
+		StrategyPatchedInsert, StrategyPatchedInsert, StrategyPatchedInsert,
+	}
+	for i := range want {
+		u := Update{Add: [][2]int32{{int32(rng.Intn(n)), int32(rng.Intn(n))}}}
+		if _, err := e.Update(u, true); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	st := e.Stats()
+	if len(st.Rebuilds) != len(want) {
+		t.Fatalf("%d rebuild records, want %d", len(st.Rebuilds), len(want))
+	}
+	for i, r := range st.Rebuilds {
+		if r.Strategies["conn"] != want[i] {
+			t.Fatalf("batch %d conn strategy %q, want %q", i+1, r.Strategies["conn"], want[i])
+		}
+	}
+	if st.Strategies["conn"][StrategyRebased] != 1 || st.Strategies["conn"][StrategyPatchedInsert] != 6 {
+		t.Fatalf("conn counters %+v", st.Strategies["conn"])
+	}
+	// After the re-base the chain restarted: depth reflects batches since.
+	if _, _, depth := e.ConnDyn(); depth != 3 {
+		t.Fatalf("chain depth %d, want 3", depth)
+	}
+
+	fresh := New(e.Graph(), Config{Omega: 16, Seed: 5})
+	defer fresh.Close()
+	assertEquivalent(t, e, fresh, 7)
+
+	// RebaseEvery < 0 disables the schedule entirely.
+	e2 := New(g, Config{Omega: 16, Seed: 5, RebaseEvery: -1})
+	defer e2.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := e2.Update(Update{Add: [][2]int32{{int32(rng.Intn(n)), int32(rng.Intn(n))}}}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := e2.Stats().Strategies["conn"]; c[StrategyRebased] != 0 || c[StrategyPatchedInsert] != 5 {
+		t.Fatalf("disabled re-base counters %+v", c)
+	}
+}
+
+// TestInitialForestAdoption: a recovered forest + chain depth handed to New
+// is adopted by the conn oracle (so the re-base schedule resumes), while an
+// invalid forest is dropped in favor of the fresh seed.
+func TestInitialForestAdoption(t *testing.T) {
+	g := graph.Disconnected(graph.Cycle(10), 4)
+	donor := New(g, Config{Omega: 16, Seed: 5})
+	_, persisted, _ := donor.ConnDyn()
+	donor.Close()
+	if len(persisted) == 0 {
+		t.Fatal("donor carries no forest")
+	}
+
+	e := New(g, Config{Omega: 16, Seed: 5, InitialForest: persisted, InitialChainDepth: 9})
+	defer e.Close()
+	remap, forest, depth := e.ConnDyn()
+	if depth != 9 {
+		t.Fatalf("adopted depth %d, want 9", depth)
+	}
+	if !reflect.DeepEqual(forest, persisted) {
+		t.Fatal("adopted forest differs from the persisted one")
+	}
+	if remap != nil {
+		t.Fatalf("recovered oracle invented a remap: %v", remap)
+	}
+
+	// Stale forest (edge not in the graph): silently dropped, fresh seed
+	// kept, chain restarts at 0.
+	bad := append(append([][2]int32{}, persisted[1:]...), [2]int32{0, 25})
+	e2 := New(g, Config{Omega: 16, Seed: 5, InitialForest: bad, InitialChainDepth: 9})
+	defer e2.Close()
+	_, forest2, depth2 := e2.ConnDyn()
+	if depth2 != 0 || len(forest2) != len(persisted) {
+		t.Fatalf("stale forest: depth=%d forest=%d edges (want fresh seed)", depth2, len(forest2))
+	}
+
+	// And the adopted engine still absorbs deletions through it.
+	cut := g.Edges()[0] // a cycle edge: split-free
+	if _, err := e.Update(Update{Remove: [][2]int32{cut}}, true); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Strategies["conn"][StrategyPatchedDelete] != 1 {
+		t.Fatalf("adopted forest did not absorb the deletion: %+v", st.Strategies["conn"])
+	}
+}

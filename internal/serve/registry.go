@@ -159,11 +159,13 @@ type graphEntry struct {
 	// (theirs already exists on disk). deleting marks an entry whose
 	// durable delete is in flight (a second DELETE 404s instead of
 	// racing it).
-	persist   GraphPersister
-	recovered bool
-	deleting  bool
-	initEpoch int64
-	initSeq   int64
+	persist    GraphPersister
+	recovered  bool
+	deleting   bool
+	initEpoch  int64
+	initSeq    int64
+	initForest [][2]int32
+	initDepth  int
 
 	// noDefaultClaim keeps insertLocked from promoting this entry to the
 	// default slot. Recovered entries set it: which graph was the default
@@ -336,20 +338,36 @@ func (reg *Registry) AtQuota() bool {
 	return quota > 0 && len(reg.graphs) >= quota
 }
 
+// RecoveredState is the durable watermark and dynamic conn state a graph
+// resumes at after recovery (store snapshot v2 persists Forest/ChainDepth;
+// v1 snapshots recover with both zero, which simply starts a fresh chain).
+type RecoveredState struct {
+	Epoch int64
+	Seq   int64
+	// Forest is the recovered spanning forest, already re-based onto the
+	// recovered graph by the store (valid even when a WAL tail changed the
+	// edge set after the snapshot).
+	Forest [][2]int32
+	// ChainDepth is the recovered incremental patch-chain depth.
+	ChainDepth int
+}
+
 // CreateRecovered registers a graph reconstructed from the durable store:
 // the engine builds over the recovered graph in the background (listener
 // up immediately, same as any create), resumes at the recovered
-// epoch/sequence watermark, and continues appending to the given durable
-// log. No creation event is re-recorded and no initial snapshot is
-// written — both already exist on disk — and the entry never auto-claims
-// the default slot (the embedder restores it with SetDefault).
-func (reg *Registry) CreateRecovered(name string, g *graph.Graph, spec GraphSpec, gp GraphPersister, epoch, seq int64) (GraphStatus, error) {
+// epoch/sequence watermark with the recovered dynamic conn state (forest +
+// chain depth), and continues appending to the given durable log. No
+// creation event is re-recorded and no initial snapshot is written — both
+// already exist on disk — and the entry never auto-claims the default slot
+// (the embedder restores it with SetDefault).
+func (reg *Registry) CreateRecovered(name string, g *graph.Graph, spec GraphSpec, gp GraphPersister, rs RecoveredState) (GraphStatus, error) {
 	if g == nil {
 		return GraphStatus{}, errors.New("serve: nil recovered graph")
 	}
 	return reg.createEntry(name, spec, func() (*graph.Graph, error) { return g, nil },
 		&graphEntry{name: name, state: StateBuilding, persist: gp, recovered: true,
-			initEpoch: epoch, initSeq: seq, noDefaultClaim: true})
+			initEpoch: rs.Epoch, initSeq: rs.Seq, initForest: rs.Forest, initDepth: rs.ChainDepth,
+			noDefaultClaim: true})
 }
 
 // create reserves the name, then runs the build (load + engine
@@ -447,12 +465,15 @@ func (reg *Registry) build(ent *graphEntry, load func() (*graph.Graph, error), s
 		cfg.Persist = ent.persist
 		cfg.InitialEpoch = ent.initEpoch
 		cfg.InitialSeq = ent.initSeq
+		cfg.InitialForest = ent.initForest
+		cfg.InitialChainDepth = ent.initDepth
 		eng = New(g, cfg)
 		// A fresh create writes its initial snapshot before going ready:
 		// the durability promise starts at the moment clients can reach
 		// the graph. (Recovered graphs already have one on disk.)
 		if ent.persist != nil && !ent.recovered {
-			if buildErr = ent.persist.SaveSnapshot(eng.Epoch(), eng.LastSeq(), eng.Graph(), eng.ConnRemap()); buildErr != nil {
+			remap, forest, depth := eng.ConnDyn()
+			if buildErr = ent.persist.SaveSnapshot(eng.Epoch(), eng.LastSeq(), eng.Graph(), remap, forest, depth); buildErr != nil {
 				buildErr = fmt.Errorf("initial snapshot: %w", buildErr)
 				eng.Close()
 				eng = nil

@@ -18,26 +18,46 @@ import (
 // current snapshot keeps answering queries for the whole rebuild — updates
 // never block reads.
 //
-// Strategy selection per rebuild:
+// Strategy selection is a per-oracle ladder, chosen per coalesced batch
+// (the new graph CSR is written in every case — full rebuilds and the
+// deletion path's replacement search need it):
 //
-//   - insertion-only batches: the incremental path — the new graph CSR is
-//     written (full rebuilds need it), and every oracle that implements
-//     oracle.InsertionApplier is patched instead of rebuilt (the
-//     connectivity oracle's O(#merged-components)-write label merge);
-//     oracles without an incremental path (biconnectivity is not
-//     insertion-monotone) are rebuilt over the new graph.
-//   - any batch containing a removal: full rebuild of graph and all
-//     oracles.
+//   patch-insert   insertion-only batch, oracle implements
+//                  oracle.InsertionApplier: the connectivity oracle's
+//                  O(#merged-components)-write label merge.
+//   patch-delete   batch contains removals, oracle implements
+//                  oracle.DeletionApplier (and InsertionApplier when the
+//                  batch also adds): spanning-forest maintenance absorbs
+//                  every removal that preserves connectivity; a genuine
+//                  component split (typed oracle.ErrNeedsRebuild) steps
+//                  down one rung to a full rebuild of that oracle.
+//   rebased        the oracle's incremental patch chain reached
+//                  Config.RebaseEvery: one reconstruction over the current
+//                  graph collapses the remap chain and reseeds the forest
+//                  (oracle.Rebaser), scheduled before the chain's per-batch
+//                  copy cost outgrows its savings.
+//   full           everything else (biconnectivity is neither insertion-
+//                  nor deletion-monotone, so it rebuilds every epoch).
 //
-// Per-rebuild asymmetric costs (graph / conn / bicc, separately metered)
-// are recorded in RebuildRecord and served through /stats, which is how the
-// write savings of the incremental path are measured end to end.
+// Per-rebuild asymmetric costs (graph / conn / bicc, separately metered),
+// the per-oracle strategies taken, and cumulative per-oracle strategy
+// counters are recorded in RebuildRecord / Stats and served through
+// /stats — how the write savings of the incremental paths are measured
+// (and asserted by the churn harnesses) end to end.
 
-// Rebuild strategies recorded in RebuildRecord.Strategy.
+// Rebuild strategies recorded per oracle in RebuildRecord.Strategies and
+// summarized in RebuildRecord.Strategy.
 const (
-	StrategyIncremental = "incremental"
-	StrategyFull        = "full"
+	StrategyPatchedInsert = "patched-insert"
+	StrategyPatchedDelete = "patched-delete"
+	StrategyRebased       = "rebased"
+	StrategyFull          = "full"
 )
+
+// DefaultRebaseEvery is the chain-depth budget selected by
+// Config.RebaseEvery = 0: an oracle whose incremental patch chain reaches
+// this depth is re-based (fresh decomposition) instead of patched again.
+const DefaultRebaseEvery = 64
 
 // ErrClosed is returned by Update after Close.
 var ErrClosed = errors.New("serve: engine closed")
@@ -71,17 +91,20 @@ type UpdateStatus struct {
 }
 
 // RebuildRecord is the telemetry of one background rebuild attempt.
-// ConnCost/BiccCost are the built-in factories' costs (kept for
-// single-graph clients); OracleCosts has every registered factory's,
-// keyed by factory name.
+// Strategy summarizes the batch (the most incremental rung any oracle
+// reached); Strategies records the rung each oracle actually took, keyed
+// by factory name. ConnCost/BiccCost are the built-in factories' costs
+// (kept for single-graph clients); OracleCosts has every registered
+// factory's, keyed by factory name.
 type RebuildRecord struct {
 	Epoch        int64                `json:"epoch"`
-	Strategy     string               `json:"strategy"` // "incremental" | "full"
-	Batches      int                  `json:"batches"`  // update batches coalesced in
+	Strategy     string               `json:"strategy"`             // patched-insert | patched-delete | rebased | full
+	Strategies   map[string]string    `json:"strategies,omitempty"` // factory name -> strategy taken
+	Batches      int                  `json:"batches"`              // update batches coalesced in
 	AddedEdges   int                  `json:"added_edges"`
 	RemovedEdges int                  `json:"removed_edges"`
 	GraphCost    asym.Cost            `json:"graph_cost"` // writing the new CSR
-	ConnCost     asym.Cost            `json:"conn_cost"`  // connectivity oracle (incremental or full)
+	ConnCost     asym.Cost            `json:"conn_cost"`  // connectivity oracle (patched, rebased or full)
 	BiccCost     asym.Cost            `json:"bicc_cost"`  // biconnectivity oracle (always full)
 	OracleCosts  map[string]asym.Cost `json:"oracle_costs,omitempty"`
 	Duration     time.Duration        `json:"duration_ns"`
@@ -227,8 +250,14 @@ func (e *Engine) rebuildLoop() {
 			e.snap.Store(next)
 			e.pubSeq = batches[len(batches)-1].seq
 			e.nRebuilds++
-			if rec.Strategy == StrategyIncremental {
+			if rec.Strategy == StrategyPatchedInsert || rec.Strategy == StrategyPatchedDelete {
 				e.nIncremental++
+			}
+			for name, s := range rec.Strategies {
+				if e.stratCounts[name] == nil {
+					e.stratCounts[name] = map[string]int64{}
+				}
+				e.stratCounts[name][s]++
 			}
 			e.edgesAdded += int64(rec.AddedEdges)
 			e.edgesRemoved += int64(rec.RemovedEdges)
@@ -274,7 +303,8 @@ func (e *Engine) rebuildLoop() {
 			// batches stage concurrently. Batches drain FIFO with
 			// monotonic sequence numbers, so the last one's seq is the
 			// publish's coverage watermark.
-			e.persist.EpochPublished(rec.Epoch, batches[len(batches)-1].seq, next.g, connRemapOf(next))
+			e.persist.EpochPublished(rec.Epoch, batches[len(batches)-1].seq, next.g,
+				func() (map[int32]int32, [][2]int32, int) { return connDynOf(next) })
 		}
 		if cb != nil {
 			cb(rec)
@@ -282,16 +312,57 @@ func (e *Engine) rebuildLoop() {
 	}
 }
 
-// buildNext folds the staged batches into a new snapshot. The incremental
-// path is taken iff no batch removes an edge: oracles implementing
-// oracle.InsertionApplier are patched from the current snapshot, the rest
-// are rebuilt over the new graph. The new graph CSR is written either way
-// (the full rebuilds and future overlays need it).
+// planStrategy picks one oracle's rung on the update-strategy ladder for a
+// batch of the given shape: rebase when the patch chain hit its budget,
+// else the cheapest patch the oracle's capabilities and the batch shape
+// allow, else a full rebuild. The plan is provisional — patch-delete steps
+// down to full inside the build when the oracle refuses the batch with
+// oracle.ErrNeedsRebuild (a genuine component split).
+func (e *Engine) planStrategy(o oracle.QueryOracle, hasAdds, hasRemovals bool) string {
+	if e.rebaseEvery > 0 {
+		if rb, ok := o.(oracle.Rebaser); ok && rb.ChainDepth() >= e.rebaseEvery {
+			return StrategyRebased
+		}
+	}
+	if !hasRemovals {
+		if _, ok := o.(oracle.InsertionApplier); ok {
+			return StrategyPatchedInsert
+		}
+		return StrategyFull
+	}
+	if _, ok := o.(oracle.DeletionApplier); ok {
+		if !hasAdds {
+			return StrategyPatchedDelete
+		}
+		if _, ok := o.(oracle.InsertionApplier); ok {
+			return StrategyPatchedDelete
+		}
+	}
+	return StrategyFull
+}
+
+// summarizeStrategies collapses the per-oracle strategies into the record's
+// headline: the most incremental rung any oracle reached.
+func summarizeStrategies(strategies []string) string {
+	rank := map[string]int{StrategyFull: 0, StrategyRebased: 1, StrategyPatchedDelete: 2, StrategyPatchedInsert: 3}
+	best := StrategyFull
+	for _, s := range strategies {
+		if rank[s] > rank[best] {
+			best = s
+		}
+	}
+	return best
+}
+
+// buildNext folds the staged batches into a new snapshot, walking the
+// update-strategy ladder independently for every oracle (see the file
+// header). The new graph CSR is written in every case — full rebuilds need
+// it and the deletion path's replacement search runs over it.
 func (e *Engine) buildNext(cur *snapshot, batches []*updateBatch) (*snapshot, RebuildRecord, error) {
 	rec := RebuildRecord{Epoch: cur.epoch + 1, Batches: len(batches), Strategy: StrategyFull}
 
 	ov := graph.NewOverlay(cur.g)
-	var adds [][2]int32
+	var adds, removes [][2]int32
 	for _, b := range batches {
 		if err := ov.AddEdges(b.add); err != nil {
 			rec.Epoch = cur.epoch
@@ -302,6 +373,7 @@ func (e *Engine) buildNext(cur *snapshot, batches []*updateBatch) (*snapshot, Re
 			return nil, rec, err
 		}
 		adds = append(adds, b.add...)
+		removes = append(removes, b.remove...)
 	}
 	rec.AddedEdges = ov.Added()
 	rec.RemovedEdges = ov.Removed()
@@ -316,19 +388,15 @@ func (e *Engine) buildNext(cur *snapshot, batches []*updateBatch) (*snapshot, Re
 		}
 	}
 
-	incremental := ov.Removed() == 0
+	hasAdds, hasRemovals := ov.Added() > 0, ov.Removed() > 0
 	nf := len(e.factories)
 	ms := make([]*asym.Meter, nf)
 	os := make([]oracle.QueryOracle, nf)
 	errs := make([]error, nf)
-	patched := false
+	strategies := make([]string, nf)
 	for i := range ms {
 		ms[i] = asym.NewMeter(e.omega)
-		if incremental {
-			if _, ok := cur.oracles[i].(oracle.InsertionApplier); ok {
-				patched = true
-			}
-		}
+		strategies[i] = e.planStrategy(cur.oracles[i], hasAdds, hasRemovals)
 	}
 	root := parallel.NewCtx(e.disp, nil)
 	root.SetGrain(1)
@@ -342,11 +410,41 @@ func (e *Engine) buildNext(cur *snapshot, batches []*updateBatch) (*snapshot, Re
 				errs[i] = fmt.Errorf("oracle %q rebuild panicked: %v", e.factories[i].Name, r)
 			}
 		}()
-		if incremental {
-			if ia, ok := cur.oracles[i].(oracle.InsertionApplier); ok {
-				os[i], errs[i] = ia.ApplyInsertions(ms[i], asym.NewSymTracker(e.sym), adds)
+		switch strategies[i] {
+		case StrategyPatchedInsert:
+			ia := cur.oracles[i].(oracle.InsertionApplier)
+			os[i], errs[i] = ia.ApplyInsertions(ms[i], asym.NewSymTracker(e.sym), adds)
+			return
+		case StrategyPatchedDelete:
+			sym := asym.NewSymTracker(e.sym)
+			patched := cur.oracles[i]
+			var err error
+			if len(adds) > 0 {
+				// Coalesced-batch order: all adds fold in first (they can
+				// only merge), then the removals run against the final
+				// multiset — the same end state as replaying the batches.
+				patched, err = patched.(oracle.InsertionApplier).ApplyInsertions(ms[i], sym, adds)
+			}
+			if err == nil {
+				os[i], err = patched.(oracle.DeletionApplier).ApplyDeletions(ms[i], sym, removes, newG)
+			}
+			if err == nil {
 				return
 			}
+			if !errors.Is(err, oracle.ErrNeedsRebuild) {
+				errs[i] = err
+				return
+			}
+			// A deletion genuinely split a component: step down the ladder
+			// to a full rebuild of this oracle (fresh meter so the recorded
+			// cost is the rebuild's, not patch-attempt + rebuild).
+			strategies[i] = StrategyFull
+			ms[i] = asym.NewMeter(e.omega)
+		case StrategyRebased:
+			rb := cur.oracles[i].(oracle.Rebaser)
+			c := parallel.NewCtx(ms[i], asym.NewSymTracker(e.sym))
+			os[i] = rb.Rebase(c, graph.View{G: newG, M: ms[i]}, e.k, e.seed)
+			return
 		}
 		c := parallel.NewCtx(ms[i], asym.NewSymTracker(e.sym))
 		os[i] = e.factories[i].Build(c, graph.View{G: newG, M: ms[i]}, e.k, e.seed)
@@ -357,9 +455,11 @@ func (e *Engine) buildNext(cur *snapshot, batches []*updateBatch) (*snapshot, Re
 			return nil, rec, err
 		}
 	}
-	if incremental && patched {
-		rec.Strategy = StrategyIncremental
+	rec.Strategies = make(map[string]string, nf)
+	for i, f := range e.factories {
+		rec.Strategies[f.Name] = strategies[i]
 	}
+	rec.Strategy = summarizeStrategies(strategies)
 	costs := make([]asym.Cost, nf)
 	for i, m := range ms {
 		costs[i] = m.Snapshot()

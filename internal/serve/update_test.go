@@ -89,8 +89,14 @@ func TestUpdateInsertionIncremental(t *testing.T) {
 		t.Fatalf("rebuilds %d incremental %d", stats.TotalRebuilds, stats.IncrementalRebuilds)
 	}
 	rec := stats.Rebuilds[len(stats.Rebuilds)-1]
-	if rec.Strategy != StrategyIncremental || rec.AddedEdges != len(add) || rec.RemovedEdges != 0 {
+	if rec.Strategy != StrategyPatchedInsert || rec.AddedEdges != len(add) || rec.RemovedEdges != 0 {
 		t.Fatalf("record %+v", rec)
+	}
+	if rec.Strategies["conn"] != StrategyPatchedInsert || rec.Strategies["bicc"] != StrategyFull {
+		t.Fatalf("per-oracle strategies %+v", rec.Strategies)
+	}
+	if stats.Strategies["conn"][StrategyPatchedInsert] != 1 || stats.Strategies["bicc"][StrategyFull] != 1 {
+		t.Fatalf("strategy counters %+v", stats.Strategies)
 	}
 	// The write-savings claim: the incremental connectivity maintenance
 	// must cost strictly fewer asymmetric writes than the full build of
@@ -126,8 +132,17 @@ func TestUpdateRemovalFullRebuild(t *testing.T) {
 	}
 	stats := e.Stats()
 	rec := stats.Rebuilds[len(stats.Rebuilds)-1]
+	// Removing a bridge genuinely splits the component: the deletion patch
+	// must refuse (no replacement edge exists) and the ladder must step
+	// down to a full rebuild of the conn oracle.
 	if rec.Strategy != StrategyFull || rec.RemovedEdges != 1 {
 		t.Fatalf("record %+v", rec)
+	}
+	if rec.Strategies["conn"] != StrategyFull {
+		t.Fatalf("bridge removal conn strategy %q, want full (%+v)", rec.Strategies["conn"], rec.Strategies)
+	}
+	if stats.Strategies["conn"][StrategyFull] != 1 || stats.IncrementalRebuilds != 0 {
+		t.Fatalf("counters %+v incremental=%d", stats.Strategies, stats.IncrementalRebuilds)
 	}
 	fresh := New(e.Graph(), Config{Omega: 16, Seed: 11})
 	defer fresh.Close()
@@ -169,9 +184,22 @@ func TestUpdateChainedBatches(t *testing.T) {
 		fresh.Close()
 	}
 	st := e.Stats()
-	if st.IncrementalRebuilds == 0 || st.IncrementalRebuilds == st.TotalRebuilds {
-		t.Fatalf("want a mix of strategies, got %d/%d incremental",
-			st.IncrementalRebuilds, st.TotalRebuilds)
+	if st.IncrementalRebuilds == 0 {
+		t.Fatalf("no incremental rebuilds across %d batches", st.TotalRebuilds)
+	}
+	// The per-oracle counters partition the rebuilds: pure-insertion
+	// batches patch-insert, removal batches either patch-delete (a
+	// replacement edge existed) or step down to full (a split) — never
+	// anything else, and they must add up.
+	conn := st.Strategies["conn"]
+	if conn[StrategyPatchedInsert] != 3 {
+		t.Fatalf("conn patched-insert %d, want 3 (counters %+v)", conn[StrategyPatchedInsert], conn)
+	}
+	if conn[StrategyPatchedDelete]+conn[StrategyFull] != 2 || conn[StrategyRebased] != 0 {
+		t.Fatalf("conn removal-batch counters %+v, want patch-delete+full = 2", conn)
+	}
+	if st.Strategies["bicc"][StrategyFull] != st.TotalRebuilds {
+		t.Fatalf("bicc counters %+v, want %d full", st.Strategies["bicc"], st.TotalRebuilds)
 	}
 }
 
@@ -314,8 +342,14 @@ func TestHTTPUpdateRoundTrip(t *testing.T) {
 		t.Fatalf("stats epoch=%d rebuilds=%d/%d pending=%d records=%d",
 			st.Epoch, st.IncrementalRebuilds, st.TotalRebuilds, st.PendingUpdates, len(st.Rebuilds))
 	}
-	if st.Rebuilds[0].Strategy != StrategyIncremental || st.Rebuilds[0].ConnCost.Work == 0 {
+	if st.Rebuilds[0].Strategy != StrategyPatchedInsert || st.Rebuilds[0].ConnCost.Work == 0 {
 		t.Fatalf("rebuild record %+v", st.Rebuilds[0])
+	}
+	if st.Rebuilds[0].Strategies["conn"] != StrategyPatchedInsert {
+		t.Fatalf("rebuild record strategies %+v", st.Rebuilds[0].Strategies)
+	}
+	if st.Strategies["conn"][StrategyPatchedInsert] != 1 {
+		t.Fatalf("strategy counters %+v", st.Strategies)
 	}
 
 	// Remove the same edge again: full rebuild, epoch 2.

@@ -9,6 +9,7 @@ package spanning
 
 import (
 	"repro/internal/asym"
+	"repro/internal/graph"
 	"repro/internal/unionfind"
 )
 
@@ -26,6 +27,45 @@ func Forest(m *asym.Meter, n int, edges [][2]int32) []int32 {
 		if dsu.Union(e[0], e[1]) {
 			out = append(out, int32(i))
 			m.Write(1) // record the chosen edge index
+		}
+	}
+	return out
+}
+
+// Rebase selects a spanning forest of the n-vertex multigraph given by
+// edges, preferring the edges of prior — a previously chosen forest — so
+// that a persisted forest survives a restart wherever it is still valid.
+// Prior edges that no longer exist in the graph (or would now close a
+// cycle) are dropped silently; the remainder is completed from the graph's
+// own edge list. The result is always a valid spanning forest of edges,
+// returned as normalized (u <= v) pairs.
+func Rebase(m *asym.Meter, n int, edges, prior [][2]int32) [][2]int32 {
+	avail := make(map[[2]int32]int, len(edges))
+	for _, e := range edges {
+		avail[graph.NormEdge(e)]++
+	}
+	m.Op(len(edges))
+	dsu := unionfind.New(m, n)
+	var out [][2]int32
+	for _, e := range prior {
+		key := graph.NormEdge(e)
+		m.Read(2)
+		if key[0] < 0 || int(key[1]) >= n || key[0] == key[1] || avail[key] == 0 {
+			continue
+		}
+		if dsu.Union(key[0], key[1]) {
+			out = append(out, key)
+			m.Write(1)
+		}
+	}
+	for _, e := range edges {
+		m.Read(2)
+		if e[0] == e[1] {
+			continue
+		}
+		if dsu.Union(e[0], e[1]) {
+			out = append(out, graph.NormEdge(e))
+			m.Write(1)
 		}
 	}
 	return out

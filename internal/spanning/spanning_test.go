@@ -111,3 +111,68 @@ func TestComponentsEmpty(t *testing.T) {
 		t.Fatalf("components = %d", nc)
 	}
 }
+
+// TestRebasePrefersPrior: Rebase must return a valid spanning forest that
+// reuses every prior edge still present and acyclic, drops vanished or
+// cycle-closing prior edges, and completes the rest from the graph.
+func TestRebasePrefersPrior(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := graph.GNM(40, 55, seed, false)
+		m := asym.NewMeter(2)
+		prior := Forest(m, g.N(), g.Edges())
+		var priorEdges [][2]int32
+		for _, i := range prior {
+			priorEdges = append(priorEdges, g.Edges()[i])
+		}
+		// Perturb the graph: drop some edges, add some new ones.
+		rng := graph.NewRNG(seed + 1)
+		var edges [][2]int32
+		for _, e := range g.Edges() {
+			if rng.Intn(4) != 0 {
+				edges = append(edges, e)
+			}
+		}
+		for j := 0; j < 8; j++ {
+			edges = append(edges, [2]int32{int32(rng.Intn(g.N())), int32(rng.Intn(g.N()))})
+		}
+
+		out := Rebase(asym.NewMeter(2), g.N(), edges, priorEdges)
+		// Valid spanning forest of the new multiset?
+		mult := map[[2]int32]int{}
+		for _, e := range edges {
+			mult[graph.NormEdge(e)]++
+		}
+		uf := unionfind.NewRef(g.N())
+		for _, e := range out {
+			if mult[e] == 0 || !uf.Union(e[0], e[1]) {
+				return false
+			}
+		}
+		ref := unionfind.NewRef(g.N())
+		want := 0
+		for _, e := range edges {
+			if e[0] != e[1] && ref.Union(e[0], e[1]) {
+				want++
+			}
+		}
+		if len(out) != want {
+			return false
+		}
+		// Every surviving prior edge is reused (prior edges are processed
+		// first and prior is itself acyclic, so none can be rejected).
+		chosen := map[[2]int32]bool{}
+		for _, e := range out {
+			chosen[e] = true
+		}
+		for _, e := range priorEdges {
+			key := graph.NormEdge(e)
+			if mult[key] > 0 && !chosen[key] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

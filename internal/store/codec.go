@@ -40,28 +40,37 @@ import (
 	"repro/internal/graphio"
 )
 
-// Snapshot file format (version 1):
+// Snapshot file format (version 2; version 1 lacks the FOREST section and
+// remains readable — see DecodeSnapshot's negotiation):
 //
 //	magic "WECS" | uvarint version | varint epoch | varint lastSeq
 //	GRAPH:   uvarint n, delta-encoded edge list (graphio.AppendEdgesDelta)
 //	OVERLAY: uvarint count, per entry varint u, varint v, varint delta
 //	REMAP:   uvarint count, per entry varint from, varint to
+//	FOREST:  delta-encoded edge list, then varint chainDepth   (v2 only)
 //	CRC32-C over everything above, 4 bytes LE
 //
 // The overlay section lets a snapshot be expressed as base + staged
 // multiset delta without materializing the merged CSR first; the serving
 // daemon writes compacted snapshots with an empty overlay, but the codec
 // (and its property tests) treat a populated one as first-class. The remap
-// section preserves the connectivity oracle's label-merge table — the
-// durable trace of the incremental-insertion path — so a recovered store
-// can report (and a future incremental-recovery path could reuse) the
-// label state the fleet had acknowledged.
+// section preserves the connectivity oracle's label-merge table and the
+// forest section its maintained spanning forest plus incremental
+// patch-chain depth — the durable trace of the incremental update paths —
+// so a recovered daemon resumes the dynamic-update machinery (deletion
+// absorption, re-base scheduling) where the fleet left off instead of
+// starting a fresh chain.
 
 // snapMagic opens every snapshot file.
 var snapMagic = []byte("WECS")
 
-// SnapshotVersion is the current snapshot format version.
-const SnapshotVersion = 1
+// Snapshot format versions. SnapshotVersion is what EncodeSnapshot writes;
+// DecodeSnapshot also reads snapshotVersionV1 (pre-forest) so data
+// directories written before the forest-field bump survive the upgrade.
+const (
+	SnapshotVersion   = 2
+	snapshotVersionV1 = 1
+)
 
 // Snapshot is the durable state of one graph: an immutable base graph, a
 // staged edge-multiset overlay on top of it, the connectivity oracle's
@@ -81,6 +90,13 @@ type Snapshot struct {
 	// Remap is the connectivity oracle's label remap table at Epoch (nil
 	// when the oracle had none).
 	Remap map[int32]int32
+	// Forest is the connectivity oracle's maintained spanning forest at
+	// Epoch, normalized and sorted (nil when none was carried — v1
+	// snapshots, or a conn-less fleet).
+	Forest [][2]int32
+	// ChainDepth is the connectivity oracle's incremental patch-chain
+	// depth at Epoch (0 for v1 snapshots).
+	ChainDepth int
 }
 
 // Materialize applies the overlay to the base and returns the effective
@@ -139,6 +155,14 @@ func EncodeSnapshot(w io.Writer, s *Snapshot) error {
 		buf = binary.AppendVarint(buf, int64(s.Remap[k]))
 	}
 
+	// v2: the maintained spanning forest (normalized+sorted, so the delta
+	// codec applies) and the incremental patch-chain depth.
+	buf, err = graphio.AppendEdgesDelta(buf, s.Forest)
+	if err != nil {
+		return fmt.Errorf("store: forest: %w", err)
+	}
+	buf = binary.AppendVarint(buf, int64(s.ChainDepth))
+
 	buf = binary.LittleEndian.AppendUint32(buf, graphio.Checksum(buf))
 	_, err = w.Write(buf)
 	return err
@@ -169,8 +193,13 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != SnapshotVersion {
-		return nil, fmt.Errorf("store: unsupported snapshot version %d (have %d)", version, SnapshotVersion)
+	// Version negotiation: the current version and its direct predecessor
+	// decode (v1 simply lacks the forest section), anything else is
+	// rejected — a v3 writer that changes earlier sections would otherwise
+	// misparse silently.
+	if version != SnapshotVersion && version != snapshotVersionV1 {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d (reads %d and %d)",
+			version, snapshotVersionV1, SnapshotVersion)
 	}
 	epoch, b, err := rv(b)
 	if err != nil {
@@ -247,16 +276,38 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 		}
 		remap[int32(from)] = int32(to)
 	}
+
+	var forest [][2]int32
+	var chainDepth int64
+	if version >= SnapshotVersion {
+		forest, b, err = graphio.DecodeEdgesDelta(b)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range forest {
+			if uint64(e[1]) >= n {
+				return nil, fmt.Errorf("%w: forest edge (%d,%d) out of range n=%d", graphio.ErrCorrupt, e[0], e[1], n)
+			}
+		}
+		if chainDepth, b, err = rv(b); err != nil {
+			return nil, err
+		}
+		if chainDepth < 0 {
+			return nil, fmt.Errorf("%w: negative chain depth %d", graphio.ErrCorrupt, chainDepth)
+		}
+	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes after snapshot", graphio.ErrCorrupt, len(b))
 	}
 
 	return &Snapshot{
-		Epoch:   epoch,
-		LastSeq: lastSeq,
-		Base:    graph.FromEdges(int(n), edges),
-		Overlay: overlay,
-		Remap:   remap,
+		Epoch:      epoch,
+		LastSeq:    lastSeq,
+		Base:       graph.FromEdges(int(n), edges),
+		Overlay:    overlay,
+		Remap:      remap,
+		Forest:     forest,
+		ChainDepth: int(chainDepth),
 	}, nil
 }
 

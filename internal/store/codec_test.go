@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"reflect"
@@ -55,12 +56,24 @@ func randomSnapshot(rng *graph.RNG, maxN int) *Snapshot {
 		}
 	}
 
+	// A forest-shaped edge list: a subsample of the base's sorted edge
+	// list (the canonical normalized+sorted form the conn oracle hands the
+	// store), plus the chain depth it travels with.
+	var forest [][2]int32
+	for _, e := range base.Edges() {
+		if rng.Intn(2) == 0 {
+			forest = append(forest, e)
+		}
+	}
+
 	return &Snapshot{
-		Epoch:   int64(rng.Intn(1 << 20)),
-		LastSeq: int64(rng.Intn(1 << 20)),
-		Base:    base,
-		Overlay: overlay,
-		Remap:   remap,
+		Epoch:      int64(rng.Intn(1 << 20)),
+		LastSeq:    int64(rng.Intn(1 << 20)),
+		Base:       base,
+		Overlay:    overlay,
+		Remap:      remap,
+		Forest:     forest,
+		ChainDepth: rng.Intn(200),
 	}
 }
 
@@ -99,6 +112,12 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		}
 		if !reflect.DeepEqual(got.Remap, s.Remap) {
 			t.Fatalf("trial %d: remap %v != %v", trial, got.Remap, s.Remap)
+		}
+		if len(got.Forest) != len(s.Forest) || (len(s.Forest) > 0 && !reflect.DeepEqual(got.Forest, s.Forest)) {
+			t.Fatalf("trial %d: forest %v != %v", trial, got.Forest, s.Forest)
+		}
+		if got.ChainDepth != s.ChainDepth {
+			t.Fatalf("trial %d: chain depth %d != %d", trial, got.ChainDepth, s.ChainDepth)
 		}
 		wantG, err := s.Materialize()
 		if err != nil {
@@ -181,6 +200,60 @@ func TestSnapshotVersionAndMagic(t *testing.T) {
 		t.Fatal("future version decoded successfully")
 	} else if errors.Is(err, graphio.ErrCorrupt) {
 		t.Fatalf("future version reported as corruption, want a version error: %v", err)
+	}
+}
+
+// encodeV1 hand-writes the version-1 layout (no forest section) — the
+// exact bytes a pre-forest daemon's store produced — so the negotiation
+// test cannot drift with the current encoder.
+func encodeV1(s *Snapshot) []byte {
+	buf := append([]byte(nil), snapMagic...)
+	buf = binary.AppendUvarint(buf, snapshotVersionV1)
+	buf = binary.AppendVarint(buf, s.Epoch)
+	buf = binary.AppendVarint(buf, s.LastSeq)
+	buf = binary.AppendUvarint(buf, uint64(s.Base.N()))
+	buf, _ = graphio.AppendEdgesDelta(buf, s.Base.Edges())
+	buf = binary.AppendUvarint(buf, uint64(len(s.Overlay)))
+	for _, e := range sortedOverlayKeys(s.Overlay) {
+		buf = binary.AppendVarint(buf, int64(e[0]))
+		buf = binary.AppendVarint(buf, int64(e[1]))
+		buf = binary.AppendVarint(buf, int64(s.Overlay[e]))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Remap)))
+	for _, k := range sortedRemapKeys(s.Remap) {
+		buf = binary.AppendVarint(buf, int64(k))
+		buf = binary.AppendVarint(buf, int64(s.Remap[k]))
+	}
+	return binary.LittleEndian.AppendUint32(buf, graphio.Checksum(buf))
+}
+
+// TestSnapshotV1ReadCompat: version-1 snapshots (written before the forest
+// field) must keep decoding after the version bump — same graph, overlay
+// and remap, with the forest absent and chain depth zero — so existing
+// -datadir directories survive the upgrade. Truncated v1 files must still
+// be rejected.
+func TestSnapshotV1ReadCompat(t *testing.T) {
+	rng := graph.NewRNG(11)
+	for trial := 0; trial < 50; trial++ {
+		s := randomSnapshot(rng, 120)
+		raw := encodeV1(s)
+		got, err := DecodeSnapshot(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("trial %d: v1 decode: %v", trial, err)
+		}
+		if got.Epoch != s.Epoch || got.LastSeq != s.LastSeq || !sameGraph(got.Base, s.Base) ||
+			!reflect.DeepEqual(got.Overlay, s.Overlay) || !reflect.DeepEqual(got.Remap, s.Remap) {
+			t.Fatalf("trial %d: v1 content mismatch", trial)
+		}
+		if got.Forest != nil || got.ChainDepth != 0 {
+			t.Fatalf("trial %d: v1 decode invented forest=%v depth=%d", trial, got.Forest, got.ChainDepth)
+		}
+	}
+	raw := encodeV1(randomSnapshot(rng, 60))
+	for cut := 0; cut < len(raw); cut += 7 {
+		if _, err := DecodeSnapshot(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncated v1 snapshot (%d/%d bytes) decoded", cut, len(raw))
+		}
 	}
 }
 

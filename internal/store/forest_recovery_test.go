@@ -1,0 +1,111 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/unionfind"
+)
+
+// checkSpanningForestOf verifies forest is a valid spanning forest of g:
+// subgraph, acyclic, n - components(g) edges.
+func checkSpanningForestOf(t *testing.T, g *graph.Graph, forest [][2]int32) {
+	t.Helper()
+	uf := unionfind.NewRef(g.N())
+	for _, e := range forest {
+		if g.EdgeMultiplicity(e[0], e[1]) == 0 {
+			t.Fatalf("forest edge %v not in recovered graph", e)
+		}
+		if !uf.Union(e[0], e[1]) {
+			t.Fatalf("forest edge %v closes a cycle", e)
+		}
+	}
+	comps := unionfind.NewRef(g.N())
+	want := 0
+	for _, e := range g.Edges() {
+		if e[0] != e[1] && comps.Union(e[0], e[1]) {
+			want++
+		}
+	}
+	if len(forest) != want {
+		t.Fatalf("recovered forest has %d edges, want %d", len(forest), want)
+	}
+}
+
+// TestStoreForestRecovery: the forest and chain depth persisted in a v2
+// snapshot come back from recovery, and a WAL tail that changed the edge
+// set after the snapshot gets the forest re-based — surviving persisted
+// edges kept, the rest completed — so it is always valid for the recovered
+// graph.
+func TestStoreForestRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{Fsync: FsyncNone})
+	g := graph.Disconnected(graph.Cycle(10), 3) // n=30, 3 components
+	l, err := st.CreateGraph("g", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist a snapshot carrying a hand-picked spanning forest (cycle
+	// minus one edge per island) and a chain depth.
+	var forest [][2]int32
+	for _, e := range g.Edges() {
+		if e[0]+1 == e[1] { // the consecutive edges of each cycle: a path
+			forest = append(forest, e)
+		}
+	}
+	checkSpanningForestOf(t, g, forest)
+	if err := l.SaveSnapshot(4, 9, g, map[int32]int32{7: 0}, forest, 13); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Clean recovery: forest and depth come back verbatim.
+	st2, rec := openT(t, dir, Options{Fsync: FsyncNone})
+	rg := rec.Graphs[0]
+	if rg.ChainDepth != 13 {
+		t.Fatalf("chain depth %d, want 13", rg.ChainDepth)
+	}
+	checkSpanningForestOf(t, rg.Graph, rg.Forest)
+	kept := map[[2]int32]bool{}
+	for _, e := range forest {
+		kept[e] = true
+	}
+	for _, e := range rg.Forest {
+		if !kept[e] {
+			t.Fatalf("clean recovery replaced forest edge %v", e)
+		}
+	}
+
+	// A WAL tail that merges two islands and deletes a persisted forest
+	// edge: recovery must re-base — keep what survives, absorb the merge,
+	// drop the deleted edge — and still return a valid spanning forest.
+	if err := rg.Log.LogUpdate(10, [][2]int32{{0, 10}}, [][2]int32{forest[0]}); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+
+	st3, rec3 := openT(t, dir, Options{Fsync: FsyncNone})
+	defer st3.Close()
+	rg3 := rec3.Graphs[0]
+	if rg3.Graph.M() != g.M() { // one added, one removed
+		t.Fatalf("tail fold m=%d, want %d", rg3.Graph.M(), g.M())
+	}
+	checkSpanningForestOf(t, rg3.Graph, rg3.Forest)
+	if rg3.ChainDepth != 13 {
+		t.Fatalf("chain depth lost across tail fold: %d", rg3.ChainDepth)
+	}
+	reused := 0
+	still := map[[2]int32]bool{}
+	for _, e := range rg3.Forest {
+		still[e] = true
+	}
+	for _, e := range forest[1:] { // everything but the deleted edge survives
+		if still[e] {
+			reused++
+		}
+	}
+	if reused != len(forest)-1 {
+		t.Fatalf("re-base reused %d/%d surviving persisted edges", reused, len(forest)-1)
+	}
+}

@@ -147,7 +147,10 @@ func (l *GraphLog) LogUpdate(seq int64, add, remove [][2]int32) error {
 // goroutine after every publish; errors are reported through Options.Logf
 // because the publish itself already happened — the WAL still holds every
 // record needed to recover even if this particular snapshot never lands.
-func (l *GraphLog) EpochPublished(epoch, seq int64, g *graph.Graph, remap map[int32]int32) {
+// dyn supplies the conn oracle's dynamic state (persisted by v2
+// snapshots); it is invoked only when a compaction trigger actually fires,
+// so the publish fast path never pays the forest materialization.
+func (l *GraphLog) EpochPublished(epoch, seq int64, g *graph.Graph, dyn func() (map[int32]int32, [][2]int32, int)) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -167,7 +170,8 @@ func (l *GraphLog) EpochPublished(epoch, seq int64, g *graph.Graph, remap map[in
 	if !byTrig && !ageTrig {
 		return
 	}
-	if err := l.compactLocked(epoch, seq, g, remap); err != nil {
+	remap, forest, chainDepth := dyn()
+	if err := l.compactLocked(epoch, seq, g, remap, forest, chainDepth); err != nil {
 		l.opts.logf("store: [%s] compaction at epoch %d: %v", l.name, epoch, err)
 	} else {
 		l.opts.logf("store: [%s] compacted into %s (seq %d)", l.name, snapshotName(epoch), seq)
@@ -198,16 +202,16 @@ func (l *GraphLog) LogAbort(fromSeq, toSeq int64) error {
 	return nil
 }
 
-// SaveSnapshot forces a snapshot of state (epoch, seq, g, remap) and
-// rotates the WAL — the creation-time initial snapshot and the graceful-
-// shutdown fold both come through here.
-func (l *GraphLog) SaveSnapshot(epoch, seq int64, g *graph.Graph, remap map[int32]int32) error {
+// SaveSnapshot forces a snapshot of state (epoch, seq, g, conn dynamic
+// state) and rotates the WAL — the creation-time initial snapshot and the
+// graceful-shutdown fold both come through here.
+func (l *GraphLog) SaveSnapshot(epoch, seq int64, g *graph.Graph, remap map[int32]int32, forest [][2]int32, chainDepth int) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return errors.New("store: graph log closed")
 	}
-	return l.compactLocked(epoch, seq, g, remap)
+	return l.compactLocked(epoch, seq, g, remap, forest, chainDepth)
 }
 
 // compactLocked writes the snapshot, rotates to a fresh segment named for
@@ -217,7 +221,7 @@ func (l *GraphLog) SaveSnapshot(epoch, seq int64, g *graph.Graph, remap map[int3
 // never covered-and-deleted by mistake; segments that picked up records
 // beyond the snapshot's watermark survive until a later snapshot covers
 // them.
-func (l *GraphLog) compactLocked(epoch, seq int64, g *graph.Graph, remap map[int32]int32) error {
+func (l *GraphLog) compactLocked(epoch, seq int64, g *graph.Graph, remap map[int32]int32, forest [][2]int32, chainDepth int) error {
 	if epoch != l.segEpoch {
 		nf, err := os.OpenFile(filepath.Join(l.dir, walName(epoch)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -236,7 +240,10 @@ func (l *GraphLog) compactLocked(epoch, seq int64, g *graph.Graph, remap map[int
 			return err
 		}
 	}
-	if _, err := WriteSnapshotFile(l.dir, &Snapshot{Epoch: epoch, LastSeq: seq, Base: g, Remap: remap}); err != nil {
+	if _, err := WriteSnapshotFile(l.dir, &Snapshot{
+		Epoch: epoch, LastSeq: seq, Base: g,
+		Remap: remap, Forest: forest, ChainDepth: chainDepth,
+	}); err != nil {
 		return err
 	}
 	l.snapEpoch, l.snapSeq = epoch, seq

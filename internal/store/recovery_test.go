@@ -160,7 +160,8 @@ func TestRegistryStoreCrashRecovery(t *testing.T) {
 		if err := json.Unmarshal(rg.SpecJSON, &spec); err != nil {
 			t.Fatalf("spec of %s: %v", rg.Name, err)
 		}
-		if _, err := reg2.CreateRecovered(rg.Name, rg.Graph, spec, rg.Log, rg.Epoch, rg.LastSeq); err != nil {
+		rs := serve.RecoveredState{Epoch: rg.Epoch, Seq: rg.LastSeq, Forest: rg.Forest, ChainDepth: rg.ChainDepth}
+		if _, err := reg2.CreateRecovered(rg.Name, rg.Graph, spec, rg.Log, rs); err != nil {
 			t.Fatalf("recover %s: %v", rg.Name, err)
 		}
 	}
@@ -193,7 +194,8 @@ func TestRegistryStoreCrashRecovery(t *testing.T) {
 	defer st3.Close()
 	reg3 := serve.NewRegistry(serve.RegistryConfig{Engine: serve.Config{Omega: omega, Seed: seed}})
 	for _, rg := range rec3.Graphs {
-		if _, err := reg3.CreateRecovered(rg.Name, rg.Graph, serve.GraphSpec{}, rg.Log, rg.Epoch, rg.LastSeq); err != nil {
+		rs := serve.RecoveredState{Epoch: rg.Epoch, Seq: rg.LastSeq, Forest: rg.Forest, ChainDepth: rg.ChainDepth}
+		if _, err := reg3.CreateRecovered(rg.Name, rg.Graph, serve.GraphSpec{}, rg.Log, rs); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -15,8 +15,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/asym"
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/spanning"
 )
 
 // Fsync policies for WAL appends. Snapshot files are always fsynced before
@@ -136,6 +138,16 @@ type RecoveredGraph struct {
 	// snapshot (informational: recovered oracles are rebuilt from
 	// scratch, which re-canonicalizes labels).
 	Remap map[int32]int32
+	// Forest is the connectivity oracle's maintained spanning forest,
+	// re-based onto the recovered graph: persisted forest edges that
+	// survived the WAL tail are kept, the rest is completed from the
+	// recovered edge list — so it is always a valid spanning forest of
+	// Graph, ready for the serving layer to adopt. Nil when the snapshot
+	// carried none (v1 format).
+	Forest [][2]int32
+	// ChainDepth is the recovered incremental patch-chain depth (0 for v1
+	// snapshots); the serving layer resumes its re-base schedule from it.
+	ChainDepth int
 	// Log is the graph's open WAL, ready for continued appends.
 	Log *GraphLog
 	// Warn carries non-fatal recovery notes (torn tail truncated, older
@@ -543,6 +555,16 @@ func (s *Store) openGraph(name string) (*RecoveredGraph, error) {
 	}
 	l.noteRecovered(segEpochs, segMax, snap.Epoch)
 
+	// Re-base the persisted forest onto the recovered graph: the WAL tail
+	// may have added or removed edges after the snapshot, so surviving
+	// forest edges are kept and the rest completed from the recovered edge
+	// list — the incremental half of recovery (the serving layer adopts
+	// the result instead of discarding the fleet's dynamic state).
+	forest := snap.Forest
+	if len(forest) > 0 {
+		forest = spanning.Rebase(asym.NewMeter(1), g.N(), g.Edges(), forest)
+	}
+
 	return &RecoveredGraph{
 		Name:     name,
 		SpecJSON: spec,
@@ -553,10 +575,12 @@ func (s *Store) openGraph(name string) (*RecoveredGraph, error) {
 		// batches consumed their numbers, and a recovered engine reusing
 		// one would collide with the existing WAL record — whose
 		// duplicate the next recovery's monotonic filter would drop.
-		LastSeq: maxSeq,
-		Remap:   snap.Remap,
-		Log:     l,
-		Warn:    joinWarns(warns),
+		LastSeq:    maxSeq,
+		Remap:      snap.Remap,
+		Forest:     forest,
+		ChainDepth: snap.ChainDepth,
+		Log:        l,
+		Warn:       joinWarns(warns),
 	}, nil
 }
 

@@ -10,6 +10,9 @@ import (
 	"repro/internal/graph"
 )
 
+// dynNone is the empty conn-dynamic-state supplier for EpochPublished.
+func dynNone() (map[int32]int32, [][2]int32, int) { return nil, nil, 0 }
+
 // openT opens a store in dir with fast-compaction-free test options.
 func openT(t *testing.T, dir string, opts Options) (*Store, *Recovery) {
 	t.Helper()
@@ -63,10 +66,10 @@ func TestStoreCreateRecoverDelete(t *testing.T) {
 	if _, err := st.CreateGraph("../evil", nil); err == nil {
 		t.Fatal("path-traversal name accepted")
 	}
-	if err := la.SaveSnapshot(0, 0, ga, nil); err != nil {
+	if err := la.SaveSnapshot(0, 0, ga, nil, nil, 0); err != nil {
 		t.Fatalf("alpha snapshot: %v", err)
 	}
-	if err := lb.SaveSnapshot(0, 0, gb, nil); err != nil {
+	if err := lb.SaveSnapshot(0, 0, gb, nil, nil, 0); err != nil {
 		t.Fatalf("beta snapshot: %v", err)
 	}
 
@@ -79,7 +82,7 @@ func TestStoreCreateRecoverDelete(t *testing.T) {
 		t.Fatalf("log 1: %v", err)
 	}
 	g1 := applyBatches(t, gb, batches[:1])
-	lb.EpochPublished(1, 1, g1, nil)
+	lb.EpochPublished(1, 1, g1, dynNone)
 	if err := lb.LogUpdate(2, batches[1].Add, batches[1].Remove); err != nil {
 		t.Fatalf("log 2: %v", err)
 	}
@@ -135,7 +138,7 @@ func TestStoreTornWALTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.SaveSnapshot(0, 0, g, nil); err != nil {
+	if err := l.SaveSnapshot(0, 0, g, nil, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.LogUpdate(1, [][2]int32{{2, 9}}, nil); err != nil {
@@ -197,7 +200,7 @@ func TestStoreCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.SaveSnapshot(0, 0, g, nil); err != nil {
+	if err := l.SaveSnapshot(0, 0, g, nil, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -212,7 +215,8 @@ func TestStoreCompaction(t *testing.T) {
 		}
 		cur = applyBatches(t, cur, []walUpdate{{Seq: seq, Add: add}})
 		epoch++
-		l.EpochPublished(epoch, seq, cur, map[int32]int32{int32(i): 0})
+		remap := map[int32]int32{int32(i): 0}
+		l.EpochPublished(epoch, seq, cur, func() (map[int32]int32, [][2]int32, int) { return remap, nil, 0 })
 	}
 
 	gdir := filepath.Join(dir, "graphs", "g")
@@ -287,7 +291,7 @@ func TestStoreAbortedBatchesSkipped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.SaveSnapshot(0, 0, g, nil); err != nil {
+	if err := l.SaveSnapshot(0, 0, g, nil, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 
