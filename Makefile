@@ -12,7 +12,7 @@ RACE_PKGS := ./internal/serve/... ./internal/oracle/... ./internal/store/... \
              ./internal/parallel/ ./internal/eulertour/ ./internal/graphio/ \
              ./internal/unionfind/
 
-.PHONY: build test race bench lint serve smoke smoke-churn smoke-multitenant smoke-restart ci
+.PHONY: build test race bench bench-record bench-smoke lint serve smoke smoke-churn smoke-multitenant smoke-restart ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,23 @@ race:
 # `go test -bench . -benchtime 3s .` for real measurements.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Regenerate the committed BENCH_*.json files at the repo root: the pinned
+# engine sweep on both dispatch paths (fast + legacy baseline) and the HTTP
+# sweep. Graph shapes and asymmetric costs are bit-stable across machines;
+# QPS/latency/alloc fields vary by host (see docs/benchmark.md).
+bench-record:
+	$(GO) run ./cmd/wecbench -exp bench -benchlegacy -benchout .
+
+# Seconds-scale version of bench-record: tiny sizes and query counts, all
+# three BENCH files emitted to a scratch dir (BENCH_SMOKE_OUT overrides)
+# and schema-validated — the harness exits nonzero on a malformed document.
+# Never writes to the repo root, so the committed files stay untouched.
+bench-smoke:
+	@out=$${BENCH_SMOKE_OUT:-$$(mktemp -d)}; \
+	$(GO) run ./cmd/wecbench -exp bench -benchlegacy \
+	  -benchsizes 256,512 -benchqueries 768 -benchhttpqueries 768 \
+	  -benchbatch 64 -benchout $$out && ls -l $$out/BENCH_*.json
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -74,4 +91,4 @@ smoke-restart:
 	$(GO) run -race ./cmd/wecbench -exp restart -restartchurn 4 -oracledbin $$tmp/oracled; \
 	rc=$$?; rm -rf $$tmp; exit $$rc
 
-ci: lint build test race bench smoke smoke-churn smoke-multitenant smoke-restart
+ci: lint build test race bench bench-smoke smoke smoke-churn smoke-multitenant smoke-restart

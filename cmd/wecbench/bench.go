@@ -1,0 +1,657 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// bench mode: the recorded performance trajectory. -exp bench sweeps graph
+// size × query mix × workload family over the serving engine (in-process
+// serve.Engine.Do) and the HTTP surface (/batch), and emits schema-stable
+// BENCH_<experiment>.json files: QPS, batch-latency percentiles, allocs and
+// bytes per query (runtime.MemStats deltas), and per-kind asymmetric
+// read/write work. The sweep is pinned — fixed graph seeds, fixed query
+// seeds, a fixed size ladder — so `make bench-record` regenerates the
+// committed files reproducibly; the deterministic fields (graph shape,
+// asymmetric costs) are bit-stable while timing fields vary by machine.
+// docs/benchmark.md is the methodology page: schema glossary, how to read
+// the curves, and the before/after rule for perf PRs.
+//
+// With -benchlegacy the engine sweep also runs under
+// serve.Config.LegacyDispatch — the boxed pre-optimization dispatch path —
+// producing BENCH_query_hot_path_legacy.json, the "before" of every
+// before/after pair.
+var (
+	benchOut         = flag.String("benchout", ".", "bench mode: directory BENCH_*.json files are written to")
+	benchSizes       = flag.String("benchsizes", "4096,8192,16384", "bench mode: comma-separated graph sizes (each multiplied by -scale)")
+	benchQueries     = flag.Int("benchqueries", 4096, "bench mode: queries per sweep point (engine sweep)")
+	benchBatch       = flag.Int("benchbatch", 256, "bench mode: queries per batch")
+	benchOmega       = flag.Int("benchomega", 64, "bench mode: asymmetric write cost ω")
+	benchLegacy      = flag.Bool("benchlegacy", false, "bench mode: also record the legacy-dispatch baseline sweep")
+	benchHTTPQueries = flag.Int("benchhttpqueries", 4096, "bench mode: queries per sweep point (HTTP sweep)")
+	benchHTTPConc    = flag.Int("benchhttpconc", 4, "bench mode: concurrent HTTP clients")
+)
+
+// benchSchemaVersion is the version stamped into every BENCH file. Any
+// change to the JSON shape — fields added, removed, renamed, or retyped —
+// must bump it; the golden-file test (bench_test.go) enforces that.
+const benchSchemaVersion = 1
+
+// The pinned sweep axes. Families shape the workload: uniform is a random
+// 3-regular graph, powerlaw a degree-bounded preferential-attachment graph
+// (the §6 transform), churn the uniform graph with concurrent edge updates
+// staged during measurement. Mixes pick the query families: conn is the
+// cheap O(√ω)-read connectivity family, bicc the expensive O(ω)-read
+// biconnectivity family, mixed a 50/50 draw.
+var (
+	benchFamilies = []string{"uniform", "powerlaw", "churn"}
+	benchMixes    = []string{"conn", "bicc", "mixed"}
+)
+
+// Fixed seeds: graph generation and query streams are deterministic per
+// sweep point, so reruns replay identical work.
+const (
+	benchGraphSeedUniform  = 71
+	benchGraphSeedPowerLaw = 99
+	benchEngineSeed        = 7
+	benchQuerySeedBase     = 211
+	benchChurnSeedBase     = 977
+)
+
+// benchDoc is one BENCH_<experiment>.json file.
+type benchDoc struct {
+	SchemaVersion int          `json:"schema_version"`
+	Experiment    string       `json:"experiment"`
+	Description   string       `json:"description"`
+	Config        benchConfig  `json:"config"`
+	Points        []benchPoint `json:"points"`
+}
+
+// benchConfig records the sweep spec a document was produced under — the
+// reproducibility contract of make bench-record.
+type benchConfig struct {
+	// Dispatch names the measured path: "fast" (the zero-alloc
+	// FastAnswerer path), "legacy" (boxed pre-optimization dispatch), or
+	// "http" (the full HTTP /batch surface over the fast path).
+	Dispatch        string   `json:"dispatch"`
+	Omega           int      `json:"omega"`
+	K               int      `json:"k"`
+	Seed            uint64   `json:"seed"`
+	QueriesPerPoint int      `json:"queries_per_point"`
+	BatchSize       int      `json:"batch_size"`
+	Sizes           []int    `json:"sizes"`
+	Families        []string `json:"families"`
+	Mixes           []string `json:"mixes"`
+	// GoMaxProcs is the worker parallelism the timing fields were measured
+	// under (machine-dependent, recorded for interpretation).
+	GoMaxProcs int `json:"gomaxprocs"`
+	// HTTPClients is the concurrent-client count of the HTTP sweep (0 for
+	// engine sweeps).
+	HTTPClients int `json:"http_clients,omitempty"`
+}
+
+// benchPoint is one sweep point: one (size, family, mix) cell's measured
+// curve sample.
+type benchPoint struct {
+	Family  string `json:"family"`
+	Mix     string `json:"mix"`
+	N       int    `json:"n"`
+	M       int    `json:"m"`
+	Queries int64  `json:"queries"`
+	// QPS and LatencyNs are wall-clock (machine-dependent).
+	QPS       float64      `json:"qps"`
+	LatencyNs benchLatency `json:"latency_ns"`
+	// AllocsPerQuery/BytesPerQuery are runtime.MemStats deltas across the
+	// measurement window divided by the query count. Omitted for the churn
+	// family, where concurrent rebuild allocations would be misattributed
+	// to the query path.
+	AllocsPerQuery *float64 `json:"allocs_per_query,omitempty"`
+	BytesPerQuery  *float64 `json:"bytes_per_query,omitempty"`
+	// Asym is the deterministic cost-model telemetry per served kind:
+	// asymmetric reads/writes/work per query (Stats deltas).
+	Asym map[string]benchAsym `json:"asym"`
+	// ChurnBatches counts update batches staged during a churn point's
+	// measurement window (0 elsewhere).
+	ChurnBatches int64 `json:"churn_batches,omitempty"`
+}
+
+// benchLatency is the nearest-rank batch-latency digest in nanoseconds.
+type benchLatency struct {
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P95 int64 `json:"p95"`
+	P99 int64 `json:"p99"`
+	Max int64 `json:"max"`
+}
+
+// benchAsym is per-query asymmetric cost for one kind.
+type benchAsym struct {
+	Queries       int64   `json:"queries"`
+	ReadsPerQuery float64 `json:"reads_per_query"`
+	WritesPerQ    float64 `json:"writes_per_query"`
+	WorkPerQuery  float64 `json:"work_per_query"`
+}
+
+// benchRun is the wecbench runner for -exp bench.
+func benchRun(scale int) {
+	header("Bench", "recorded perf trajectory: engine + HTTP sweeps -> BENCH_*.json")
+	sizes, err := parseBenchSizes(*benchSizes, scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(2)
+	}
+
+	doc := benchEngineSweep(sizes, false)
+	emitBench(doc)
+	if *benchLegacy {
+		legacy := benchEngineSweep(sizes, true)
+		emitBench(legacy)
+		benchCompare(legacy, doc)
+	}
+	emitBench(benchHTTPSweep(sizes))
+}
+
+// emitBench validates and writes one document, exiting nonzero on either
+// failure — CI treats a malformed BENCH file as a broken build.
+func emitBench(doc benchDoc) {
+	if err := validateBenchDoc(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: FAILED — invalid %s document: %v\n", doc.Experiment, err)
+		os.Exit(1)
+	}
+	path, err := writeBenchFile(*benchOut, doc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: FAILED — %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d points)\n", path, len(doc.Points))
+}
+
+// benchCompare prints the headline before/after deltas between the legacy
+// and fast engine sweeps (matched points only).
+func benchCompare(legacy, fast benchDoc) {
+	type key struct {
+		family, mix string
+		n           int
+	}
+	idx := map[key]benchPoint{}
+	for _, p := range legacy.Points {
+		idx[key{p.Family, p.Mix, p.N}] = p
+	}
+	fmt.Printf("\n%-9s %-6s %8s | %13s %13s | %10s %10s\n",
+		"family", "mix", "n", "allocs/q", "bytes/q", "p95", "QPS")
+	for _, p := range fast.Points {
+		lp, ok := idx[key{p.Family, p.Mix, p.N}]
+		if !ok {
+			continue
+		}
+		allocs, bytes := "-", "-"
+		if p.AllocsPerQuery != nil && lp.AllocsPerQuery != nil {
+			allocs = fmt.Sprintf("%.1f→%.1f", *lp.AllocsPerQuery, *p.AllocsPerQuery)
+			bytes = fmt.Sprintf("%.0f→%.0f", *lp.BytesPerQuery, *p.BytesPerQuery)
+		}
+		fmt.Printf("%-9s %-6s %8d | %13s %13s | %9.2fx %9.2fx\n",
+			p.Family, p.Mix, p.N, allocs, bytes,
+			float64(lp.LatencyNs.P95)/float64(p.LatencyNs.P95),
+			p.QPS/lp.QPS)
+	}
+}
+
+// parseBenchSizes parses the -benchsizes ladder, multiplying by scale.
+func parseBenchSizes(spec string, scale int) ([]int, error) {
+	var sizes []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -benchsizes entry %q", f)
+		}
+		sizes = append(sizes, n*scale)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("-benchsizes is empty")
+	}
+	return sizes, nil
+}
+
+// benchGraph builds the pinned workload graph of one (family, size) cell.
+func benchGraph(family string, n int) *graph.Graph {
+	switch family {
+	case "powerlaw":
+		return graph.BoundDegree(graph.PowerLaw(n, 4, benchGraphSeedPowerLaw), 3).G
+	default: // uniform, churn
+		return graph.RandomRegular(n, 3, benchGraphSeedUniform)
+	}
+}
+
+// mixFrac maps a mix name to its connectivity-family fraction.
+func mixFrac(mix string) float64 {
+	switch mix {
+	case "conn":
+		return 1.0
+	case "bicc":
+		return 0.0
+	default:
+		return 0.5
+	}
+}
+
+// benchBatches pregenerates the whole query stream of one point, so no
+// query-generation allocations land inside the measurement window.
+func benchBatches(seed uint64, n, total, batch int, frac float64) [][]serve.Query {
+	rng := graph.NewRNG(seed)
+	out := make([][]serve.Query, 0, (total+batch-1)/batch)
+	for done := 0; done < total; done += batch {
+		b := batch
+		if total-done < b {
+			b = total - done
+		}
+		qs := make([]serve.Query, b)
+		for i := range qs {
+			var kind serve.Kind
+			if rng.Float64() < frac {
+				kind = connKinds[rng.Intn(len(connKinds))]
+			} else {
+				kind = biccKinds[rng.Intn(len(biccKinds))]
+			}
+			qs[i] = serve.Query{Kind: kind, U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+		}
+		out = append(out, qs)
+	}
+	return out
+}
+
+// benchEngineSweep measures the in-process serving hot path (Engine.Do)
+// across the full size × family × mix grid.
+func benchEngineSweep(sizes []int, legacy bool) benchDoc {
+	dispatch := "fast"
+	experiment := "query_hot_path"
+	desc := "in-process serve.Engine.Do over the zero-alloc FastAnswerer dispatch path"
+	if legacy {
+		dispatch = "legacy"
+		experiment = "query_hot_path_legacy"
+		desc = "in-process serve.Engine.Do over the boxed legacy dispatch path (pre-optimization baseline)"
+	}
+	doc := benchDoc{
+		SchemaVersion: benchSchemaVersion,
+		Experiment:    experiment,
+		Description:   desc,
+		Config: benchConfig{
+			Dispatch:        dispatch,
+			Omega:           *benchOmega,
+			Seed:            benchEngineSeed,
+			QueriesPerPoint: *benchQueries,
+			BatchSize:       *benchBatch,
+			Sizes:           sizes,
+			Families:        benchFamilies,
+			Mixes:           benchMixes,
+			GoMaxProcs:      runtime.GOMAXPROCS(0),
+		},
+	}
+	fmt.Printf("\nengine sweep (%s dispatch): %d sizes × %d families × %d mixes, %d queries/point, ω=%d\n",
+		dispatch, len(sizes), len(benchFamilies), len(benchMixes), *benchQueries, *benchOmega)
+	fmt.Printf("%-9s %-6s %8s %8s | %10s %10s %10s | %9s %10s\n",
+		"family", "mix", "n", "m", "QPS", "p50", "p95", "allocs/q", "bytes/q")
+	for si, n := range sizes {
+		for fi, family := range benchFamilies {
+			g := benchGraph(family, n)
+			eng := serve.New(g, serve.Config{
+				Omega:          *benchOmega,
+				Seed:           benchEngineSeed,
+				LegacyDispatch: legacy,
+			})
+			doc.Config.K = eng.K()
+			for mi, mix := range benchMixes {
+				seed := uint64(benchQuerySeedBase + 97*si + 13*fi + mi)
+				p := benchMeasurePoint(eng, family, mix, seed)
+				doc.Points = append(doc.Points, p)
+				allocs, bytes := "-", "-"
+				if p.AllocsPerQuery != nil {
+					allocs = fmt.Sprintf("%.2f", *p.AllocsPerQuery)
+					bytes = fmt.Sprintf("%.0f", *p.BytesPerQuery)
+				}
+				fmt.Printf("%-9s %-6s %8d %8d | %10.0f %10v %10v | %9s %10s\n",
+					family, mix, p.N, p.M, p.QPS,
+					time.Duration(p.LatencyNs.P50).Round(time.Microsecond),
+					time.Duration(p.LatencyNs.P95).Round(time.Microsecond),
+					allocs, bytes)
+			}
+			eng.Close()
+		}
+	}
+	return doc
+}
+
+// benchMeasurePoint runs one point's pregenerated query stream against the
+// engine and digests the window: latency percentiles and QPS from the batch
+// loop, allocs/bytes per query from MemStats deltas (skipped under churn),
+// per-kind asymmetric costs from Stats deltas. A point with query errors
+// aborts the run — the harness doubles as a correctness gate.
+func benchMeasurePoint(eng *serve.Engine, family, mix string, seed uint64) benchPoint {
+	n := eng.Graph().N()
+	total := *benchQueries
+	batches := benchBatches(seed, n, total, *benchBatch, mixFrac(mix))
+	churn := family == "churn"
+
+	before := eng.Stats()
+	lat := make([]time.Duration, 0, len(batches))
+	var ch *benchChurner
+	if churn {
+		ch = startBenchChurner(eng, n, seed+benchChurnSeedBase)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for _, qs := range batches {
+		t0 := time.Now()
+		eng.Do(qs)
+		lat = append(lat, time.Since(t0))
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if ch != nil {
+		ch.stopAndWait()
+	}
+	after := eng.Stats()
+
+	p := benchPoint{
+		Family:  family,
+		Mix:     mix,
+		N:       before.GraphN,
+		M:       before.GraphM,
+		Queries: int64(total),
+		Asym:    map[string]benchAsym{},
+	}
+	sum := summarize(lat, int64(total), wall)
+	p.QPS = sum.QPS
+	p.LatencyNs = benchLatency{
+		P50: int64(sum.P50), P90: int64(sum.P90), P95: int64(sum.P95),
+		P99: int64(sum.P99), Max: int64(sum.Max),
+	}
+	if !churn {
+		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(total)
+		bytes := float64(m1.TotalAlloc-m0.TotalAlloc) / float64(total)
+		p.AllocsPerQuery = &allocs
+		p.BytesPerQuery = &bytes
+	} else {
+		p.ChurnBatches = ch.batches.Load()
+	}
+	var errs int64
+	for kind, a := range after.Queries {
+		b := before.Queries[kind]
+		count := a.Count - b.Count
+		errs += a.Errors - b.Errors
+		if count == 0 {
+			continue
+		}
+		p.Asym[kind] = benchAsym{
+			Queries:       count,
+			ReadsPerQuery: float64(a.Cost.Reads-b.Cost.Reads) / float64(count),
+			WritesPerQ:    float64(a.Cost.Writes-b.Cost.Writes) / float64(count),
+			WorkPerQuery:  float64(a.Cost.Work()-b.Cost.Work()) / float64(count),
+		}
+	}
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "bench: FAILED — %d query errors at family=%s mix=%s n=%d\n",
+			errs, family, mix, n)
+		os.Exit(1)
+	}
+	return p
+}
+
+// benchChurner stages small edge-update batches against the engine while a
+// churn point measures, alternating an add batch with the removal of the
+// same edges so the graph's size stays near its seed.
+type benchChurner struct {
+	stop    chan struct{}
+	done    chan struct{}
+	batches atomic.Int64
+}
+
+func startBenchChurner(eng *serve.Engine, n int, seed uint64) *benchChurner {
+	c := &benchChurner{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(c.done)
+		rng := graph.NewRNG(seed)
+		var pending [][2]int32
+		for {
+			select {
+			case <-c.stop:
+				return
+			default:
+			}
+			if pending == nil {
+				edges := make([][2]int32, 8)
+				for i := range edges {
+					edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+				}
+				if _, err := eng.Update(serve.Update{Add: edges}, false); err == nil {
+					pending = edges
+				}
+			} else {
+				if _, err := eng.Update(serve.Update{Remove: pending}, false); err == nil {
+					pending = nil
+				}
+			}
+			c.batches.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	return c
+}
+
+func (c *benchChurner) stopAndWait() {
+	close(c.stop)
+	<-c.done
+}
+
+// benchHTTPSweep measures the full HTTP surface: an in-process oracled
+// server per size over the uniform family, driven with concurrent /batch
+// clients on the mixed query mix.
+func benchHTTPSweep(sizes []int) benchDoc {
+	doc := benchDoc{
+		SchemaVersion: benchSchemaVersion,
+		Experiment:    "serve_http",
+		Description:   "HTTP /batch surface: in-process oracled server, concurrent clients, mixed query mix",
+		Config: benchConfig{
+			Dispatch:        "http",
+			Omega:           *benchOmega,
+			Seed:            benchEngineSeed,
+			QueriesPerPoint: *benchHTTPQueries,
+			BatchSize:       *benchBatch,
+			Sizes:           sizes,
+			Families:        []string{"uniform"},
+			Mixes:           []string{"mixed"},
+			GoMaxProcs:      runtime.GOMAXPROCS(0),
+			HTTPClients:     *benchHTTPConc,
+		},
+	}
+	fmt.Printf("\nHTTP sweep: %d sizes, %d queries/point, %d clients\n",
+		len(sizes), *benchHTTPQueries, *benchHTTPConc)
+	fmt.Printf("%8s %8s | %10s %10s %10s\n", "n", "m", "QPS", "p50", "p95")
+	for _, n := range sizes {
+		g := benchGraph("uniform", n)
+		eng := serve.New(g, serve.Config{Omega: *benchOmega, Seed: benchEngineSeed})
+		doc.Config.K = eng.K()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: listen: %v\n", err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: serve.NewServer(eng)}
+		go srv.Serve(ln)
+		base := "http://" + ln.Addr().String()
+
+		before := eng.Stats()
+		total := int64(*benchHTTPQueries)
+		var sent, answered atomic.Int64
+		var failed atomic.Bool
+		var mu sync.Mutex
+		var lat []time.Duration
+		var wg sync.WaitGroup
+		start := time.Now()
+		for cl := 0; cl < *benchHTTPConc; cl++ {
+			wg.Add(1)
+			go func(client int) {
+				defer wg.Done()
+				rng := graph.NewRNG(uint64(benchQuerySeedBase + 1000 + client))
+				var local []time.Duration
+				defer func() {
+					mu.Lock()
+					lat = append(lat, local...)
+					mu.Unlock()
+				}()
+				for {
+					remaining := total - sent.Add(int64(*benchBatch))
+					batch := *benchBatch
+					if remaining < 0 {
+						batch += int(remaining)
+						if batch <= 0 {
+							break
+						}
+					}
+					qs := benchBatches(rng.Next(), g.N(), batch, batch, 0.5)[0]
+					t0 := time.Now()
+					if err := postBatch(base, qs); err != nil {
+						fmt.Fprintf(os.Stderr, "bench: batch failed: %v\n", err)
+						failed.Store(true)
+						return
+					}
+					local = append(local, time.Since(t0))
+					answered.Add(int64(batch))
+					if remaining <= 0 {
+						break
+					}
+				}
+			}(cl)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		srv.Close()
+		if failed.Load() || answered.Load() < total {
+			fmt.Fprintf(os.Stderr, "bench: FAILED — only %d/%d HTTP queries answered at n=%d\n",
+				answered.Load(), total, n)
+			os.Exit(1)
+		}
+		after := eng.Stats()
+		p := benchPoint{
+			Family:  "uniform",
+			Mix:     "mixed",
+			N:       before.GraphN,
+			M:       before.GraphM,
+			Queries: total,
+			Asym:    map[string]benchAsym{},
+		}
+		sum := summarize(lat, total, wall)
+		p.QPS = sum.QPS
+		p.LatencyNs = benchLatency{
+			P50: int64(sum.P50), P90: int64(sum.P90), P95: int64(sum.P95),
+			P99: int64(sum.P99), Max: int64(sum.Max),
+		}
+		for kind, a := range after.Queries {
+			b := before.Queries[kind]
+			count := a.Count - b.Count
+			if count == 0 {
+				continue
+			}
+			p.Asym[kind] = benchAsym{
+				Queries:       count,
+				ReadsPerQuery: float64(a.Cost.Reads-b.Cost.Reads) / float64(count),
+				WritesPerQ:    float64(a.Cost.Writes-b.Cost.Writes) / float64(count),
+				WorkPerQuery:  float64(a.Cost.Work()-b.Cost.Work()) / float64(count),
+			}
+		}
+		doc.Points = append(doc.Points, p)
+		fmt.Printf("%8d %8d | %10.0f %10v %10v\n",
+			p.N, p.M, p.QPS,
+			time.Duration(p.LatencyNs.P50).Round(time.Microsecond),
+			time.Duration(p.LatencyNs.P95).Round(time.Microsecond))
+	}
+	return doc
+}
+
+// validateBenchDoc checks the schema invariants every emitted document must
+// satisfy; CI's bench-smoke job runs the emitted files back through this.
+func validateBenchDoc(d benchDoc) error {
+	if d.SchemaVersion != benchSchemaVersion {
+		return fmt.Errorf("schema_version %d, want %d", d.SchemaVersion, benchSchemaVersion)
+	}
+	if d.Experiment == "" {
+		return fmt.Errorf("empty experiment name")
+	}
+	switch d.Config.Dispatch {
+	case "fast", "legacy", "http":
+	default:
+		return fmt.Errorf("unknown dispatch %q", d.Config.Dispatch)
+	}
+	if d.Config.Omega <= 0 || d.Config.K <= 0 || len(d.Config.Sizes) == 0 {
+		return fmt.Errorf("incomplete config: %+v", d.Config)
+	}
+	if len(d.Points) == 0 {
+		return fmt.Errorf("no points")
+	}
+	want := len(d.Config.Sizes) * len(d.Config.Families) * len(d.Config.Mixes)
+	if len(d.Points) != want {
+		return fmt.Errorf("%d points, want %d (sizes × families × mixes)", len(d.Points), want)
+	}
+	for i, p := range d.Points {
+		if p.N <= 0 || p.M < 0 || p.Queries <= 0 || p.QPS <= 0 {
+			return fmt.Errorf("point %d: non-positive shape/throughput: %+v", i, p)
+		}
+		l := p.LatencyNs
+		if l.P50 < 0 || l.P50 > l.P90 || l.P90 > l.P95 || l.P95 > l.P99 || l.P99 > l.Max {
+			return fmt.Errorf("point %d: latency percentiles not monotone: %+v", i, l)
+		}
+		if (p.AllocsPerQuery == nil) != (p.BytesPerQuery == nil) {
+			return fmt.Errorf("point %d: allocs/bytes must be set together", i)
+		}
+		if p.AllocsPerQuery != nil && (*p.AllocsPerQuery < 0 || *p.BytesPerQuery < 0) {
+			return fmt.Errorf("point %d: negative alloc stats", i)
+		}
+		if len(p.Asym) == 0 {
+			return fmt.Errorf("point %d: no asym telemetry", i)
+		}
+		var covered int64
+		for kind, a := range p.Asym {
+			if a.Queries <= 0 || a.ReadsPerQuery < 0 || a.WorkPerQuery < 0 {
+				return fmt.Errorf("point %d kind %s: bad asym entry %+v", i, kind, a)
+			}
+			covered += a.Queries
+		}
+		if covered != p.Queries {
+			return fmt.Errorf("point %d: asym covers %d of %d queries", i, covered, p.Queries)
+		}
+	}
+	return nil
+}
+
+// writeBenchFile marshals the document to <dir>/BENCH_<experiment>.json
+// (indented, trailing newline — committed files must diff cleanly).
+func writeBenchFile(dir string, d benchDoc) (string, error) {
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	buf = append(buf, '\n')
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+d.Experiment+".json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

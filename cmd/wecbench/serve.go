@@ -5,11 +5,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"net"
 	"net/http"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -137,10 +135,11 @@ func serveBench(scale int) {
 	}
 	fmt.Printf("\n%12s %12s %10s | %10s %10s %10s %10s\n",
 		"queries", "wall", "QPS", "p50", "p90", "p99", "max")
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	sum := summarize(latencies, total, wall)
+	round := func(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
 	fmt.Printf("%12d %12v %10.0f | %10v %10v %10v %10v\n",
-		total, wall.Round(time.Millisecond), float64(total)/wall.Seconds(),
-		pct(latencies, 0.50), pct(latencies, 0.90), pct(latencies, 0.99), pct(latencies, 1.0))
+		total, wall.Round(time.Millisecond), sum.QPS,
+		round(sum.P50), round(sum.P90), round(sum.P99), round(sum.Max))
 
 	statsAfter, err := fetchStats(base)
 	if err != nil {
@@ -177,24 +176,6 @@ func randomBatch(rng *graph.RNG, n, batch int) []serve.Query {
 		qs[i] = serve.Query{Kind: kind, U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
 	}
 	return qs
-}
-
-// pct returns the p-th percentile of a sorted sample by the nearest-rank
-// definition: the ⌈p·n⌉-th smallest value. The previous ⌊p·n⌋-1 index
-// under-reported whenever p·n was fractional (p50 of 101 samples returned
-// the 50th value instead of the median).
-func pct(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(math.Ceil(p*float64(len(sorted)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i].Round(10 * time.Microsecond)
 }
 
 func fetchInfo(base string) (serve.Info, error) {

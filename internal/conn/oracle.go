@@ -147,7 +147,14 @@ func BuildOracle(c *parallel.Ctx, vw graph.View, k int, seed uint64) *Oracle {
 // components. O(k) expected reads (the ρ query) plus O(log n) for the
 // center-index lookup; no writes.
 func (o *Oracle) Query(m *asym.Meter, sym *asym.SymTracker, v int32) int32 {
-	s := o.D.Rho(m, sym, v)
+	return o.QueryS(m, sym, nil, v)
+}
+
+// QueryS is Query with a caller-provided reusable search scratch (nil
+// allocates per call) — the serving layer's zero-alloc query path. Charged
+// costs are identical to Query's.
+func (o *Oracle) QueryS(m *asym.Meter, sym *asym.SymTracker, sc *decomp.Scratch, v int32) int32 {
+	s := o.D.RhoS(m, sym, sc, v)
 	var lab int32
 	if i := o.D.CenterIndex(m, s); i < 0 {
 		// Implicit center of a small primary-free component: the center id
@@ -172,6 +179,12 @@ func (o *Oracle) Query(m *asym.Meter, sym *asym.SymTracker, v int32) int32 {
 // Connected reports whether u and v are in the same component.
 func (o *Oracle) Connected(m *asym.Meter, sym *asym.SymTracker, u, v int32) bool {
 	return o.Query(m, sym, u) == o.Query(m, sym, v)
+}
+
+// ConnectedS is Connected with a reusable search scratch shared by both ρ
+// queries (nil allocates per call).
+func (o *Oracle) ConnectedS(m *asym.Meter, sym *asym.SymTracker, sc *decomp.Scratch, u, v int32) bool {
+	return o.QueryS(m, sym, sc, u) == o.QueryS(m, sym, sc, v)
 }
 
 // Remap returns a copy of the dynamic-insertion label remap table (nil for

@@ -13,11 +13,50 @@ import (
 // charge asymmetric reads for graph and center-bit probes but perform zero
 // asymmetric writes.
 
+// Scratch is a reusable symmetric-memory workspace for the query-side
+// searches (ρ, ρ0, cluster listing). The searches visit O(k) expected
+// vertices, so a scratch amortizes to a handful of small, long-lived
+// buffers: a serving worker allocates one Scratch and threads it through
+// every query it answers, making the steady-state query path allocation
+// free. A nil *Scratch everywhere means "allocate per call", the original
+// behavior — the paper-table experiments and the serving layer's legacy
+// dispatch path keep it.
+//
+// A Scratch is not safe for concurrent use; it is worker-local by design.
+// Reuse does not change charged costs: meters see exactly the reads/ops a
+// scratch-less search charges.
+type Scratch struct {
+	parent   map[int32]int32
+	order    []int32
+	frontier []int32
+	next     []int32
+	path     []int32
+}
+
+// NewScratch returns an empty reusable search workspace.
+func NewScratch() *Scratch {
+	return &Scratch{parent: make(map[int32]int32, 64)}
+}
+
+// reset prepares the scratch for the next search, keeping capacity.
+func (sc *Scratch) reset() {
+	clear(sc.parent)
+	sc.order = sc.order[:0]
+	sc.frontier = sc.frontier[:0]
+	sc.next = sc.next[:0]
+}
+
 // search is the deterministic priority BFS of §3. Starting from v, it calls
 // visit(u) for each reached vertex in L(SP(v,·)) order. visit returns true
 // to stop the whole search at u. parent pointers record the tie-broken
 // shortest-path tree. The search stops after visiting cap vertices (cap <= 0
 // means unbounded) or when the component is exhausted.
+//
+// With a non-nil scratch the parent map and traversal slices are reused
+// buffers (the zero-alloc serving path) and adjacency lists are read
+// through the bulk CSR span accessor — one meter update per vertex
+// expansion instead of one per neighbor, identical charged totals. With a
+// nil scratch every call allocates fresh state, the original behavior.
 //
 // Order correctness: the frontier is processed in discovery order and each
 // vertex's neighbors are scanned in increasing id (= decreasing priority
@@ -32,9 +71,18 @@ type searchState struct {
 	hit     int32           // the vertex at which visit stopped
 }
 
-func (d *Decomposition) search(m *asym.Meter, sym *asym.SymTracker, v int32, cap int, visit func(u int32) bool) searchState {
-	st := searchState{parent: map[int32]int32{v: v}, hit: -1}
-	frontier := []int32{v}
+func (d *Decomposition) search(m *asym.Meter, sym *asym.SymTracker, sc *Scratch, v int32, cap int, visit func(u int32) bool) searchState {
+	var st searchState
+	var frontier, next []int32
+	if sc != nil {
+		sc.reset()
+		st = searchState{parent: sc.parent, order: sc.order, hit: -1}
+		frontier, next = sc.frontier, sc.next
+	} else {
+		st = searchState{parent: make(map[int32]int32, 8), hit: -1}
+	}
+	st.parent[v] = v
+	frontier = append(frontier, v)
 	st.order = append(st.order, v)
 	acquired := 2
 	if sym != nil {
@@ -43,6 +91,11 @@ func (d *Decomposition) search(m *asym.Meter, sym *asym.SymTracker, v int32, cap
 	release := func() {
 		if sym != nil {
 			sym.Release(acquired)
+		}
+		if sc != nil {
+			// Hand grown buffers back so the capacity survives to the
+			// next query on this scratch.
+			sc.order, sc.frontier, sc.next = st.order, frontier, next
 		}
 	}
 	m.Op(1)
@@ -61,16 +114,26 @@ func (d *Decomposition) search(m *asym.Meter, sym *asym.SymTracker, v int32, cap
 		callSeed = d.callSeq.Add(1)
 	}
 	for len(frontier) > 0 {
-		var next []int32
+		next = next[:0]
 		for _, x := range frontier {
 			deg := vw.Degree(int(x))
 			order := d.neighborOrder(callSeed, x, deg)
+			var span []int32
+			if sc != nil && order == nil {
+				// Zero-alloc path: one bulk charge for the whole CSR span.
+				span = vw.AdjSpan(int(x))
+			}
 			for i := 0; i < deg; i++ {
 				slot := i
 				if order != nil {
 					slot = order[i]
 				}
-				u := vw.Neighbor(int(x), slot)
+				var u int32
+				if span != nil {
+					u = span[slot]
+				} else {
+					u = vw.Neighbor(int(x), slot)
+				}
 				if _, seen := st.parent[u]; seen {
 					continue
 				}
@@ -93,22 +156,31 @@ func (d *Decomposition) search(m *asym.Meter, sym *asym.SymTracker, v int32, cap
 				next = append(next, u)
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
 	release()
 	return st
 }
 
 // pathFrom reconstructs the tie-broken shortest path v .. target from the
-// search's parent pointers, in order starting at v.
-func (st *searchState) pathFrom(v, target int32) []int32 {
-	rev := []int32{target}
+// search's parent pointers, in order starting at v. A non-nil scratch
+// lends its reusable path buffer; the returned slice is only valid until
+// the scratch's next search in that case.
+func (st *searchState) pathFrom(sc *Scratch, v, target int32) []int32 {
+	var rev []int32
+	if sc != nil {
+		rev = sc.path[:0]
+	}
+	rev = append(rev, target)
 	for x := target; x != v; {
 		x = st.parent[x]
 		rev = append(rev, x)
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if sc != nil {
+		sc.path = rev
 	}
 	return rev
 }
@@ -118,15 +190,23 @@ func (st *searchState) pathFrom(v, target int32) []int32 {
 // writes). In a small primary-free component the implicit center — the
 // smallest vertex of the component — is returned, per the §3 extension.
 func (d *Decomposition) Rho(m *asym.Meter, sym *asym.SymTracker, v int32) int32 {
-	c, _ := d.rhoPath(m, sym, v)
+	return d.RhoS(m, sym, nil, v)
+}
+
+// RhoS is Rho with a caller-provided reusable scratch (nil allocates per
+// call) — the serving layer's zero-alloc query path. Charged costs are
+// identical to Rho's.
+func (d *Decomposition) RhoS(m *asym.Meter, sym *asym.SymTracker, sc *Scratch, v int32) int32 {
+	c, _ := d.rhoPath(m, sym, sc, v)
 	return c
 }
 
 // rhoPath returns ρ(v) together with the prefix of SP(v, ρ0(v)) ending at
 // ρ(v), in order starting at v. The path is nil for implicit centers of
-// primary-free small components.
-func (d *Decomposition) rhoPath(m *asym.Meter, sym *asym.SymTracker, v int32) (int32, []int32) {
-	st := d.search(m, sym, v, 0, func(u int32) bool {
+// primary-free small components (and borrowed from the scratch when one is
+// supplied).
+func (d *Decomposition) rhoPath(m *asym.Meter, sym *asym.SymTracker, sc *Scratch, v int32) (int32, []int32) {
+	st := d.search(m, sym, sc, v, 0, func(u int32) bool {
 		m.Read(1)
 		return d.isPrimary.RawGet(int(u))
 	})
@@ -144,7 +224,7 @@ func (d *Decomposition) rhoPath(m *asym.Meter, sym *asym.SymTracker, v int32) (i
 		return min, nil
 	}
 	// Walk the path from v toward ρ0(v); the first center is ρ(v).
-	path := st.pathFrom(v, st.hit)
+	path := st.pathFrom(sc, v, st.hit)
 	for i, u := range path {
 		m.Read(1)
 		if d.isCenter.RawGet(int(u)) {
@@ -159,23 +239,23 @@ func (d *Decomposition) rhoPath(m *asym.Meter, sym *asym.SymTracker, v int32) (i
 // of a primary-free small component the path is recomputed by a restricted
 // search. O(k) expected reads, no writes.
 func (d *Decomposition) PathToCenter(m *asym.Meter, sym *asym.SymTracker, v int32) []int32 {
-	c, path := d.rhoPath(m, sym, v)
+	c, path := d.rhoPath(m, sym, nil, v)
 	if path != nil {
 		return path
 	}
 	// Implicit center: search from v until c is reached; the parent chain
 	// gives the deterministic path.
-	st := d.search(m, sym, v, 0, func(u int32) bool { return u == c })
+	st := d.search(m, sym, nil, v, 0, func(u int32) bool { return u == c })
 	if !st.stopped {
 		return []int32{v} // isolated vertex (v == c)
 	}
-	return st.pathFrom(v, c)
+	return st.pathFrom(nil, v, c)
 }
 
 // Rho0 returns ρ0(v), the nearest primary center (or the implicit center of
 // a primary-free small component).
 func (d *Decomposition) Rho0(m *asym.Meter, sym *asym.SymTracker, v int32) int32 {
-	st := d.search(m, sym, v, 0, func(u int32) bool {
+	st := d.search(m, sym, nil, v, 0, func(u int32) bool {
 		m.Read(1)
 		return d.isPrimary.RawGet(int(u))
 	})
@@ -294,7 +374,7 @@ func (d *Decomposition) extendUnconnected(c *parallel.Ctx, vw graph.View, opt Op
 		cap = 4 * d.k * max(1, log2ceil(max(2, n)))
 	}
 	for v := 0; v < n; v++ {
-		st := d.search(vw.M, c.Sym(), int32(v), cap, func(u int32) bool {
+		st := d.search(vw.M, c.Sym(), nil, int32(v), cap, func(u int32) bool {
 			vw.M.Read(1)
 			return d.isPrimary.RawGet(int(u))
 		})

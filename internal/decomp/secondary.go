@@ -53,7 +53,7 @@ func (d *Decomposition) clusterSearch(m *asym.Meter, sym *asym.SymTracker, s int
 					continue
 				}
 				seen[u] = true
-				c, path := d.rhoPath(m, sym, u)
+				c, path := d.rhoPath(m, sym, nil, u)
 				if c != s {
 					continue
 				}

@@ -12,6 +12,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/asym"
@@ -61,12 +62,14 @@ func FromEdges(n int, edges [][2]int32) *Graph {
 	return g
 }
 
+// sortAdj sorts every adjacency list by neighbor id. slices.Sort
+// specializes the comparison to int32 (no per-element interface closure,
+// unlike sort.Slice), which makes CSR packing the cheap part of a snapshot
+// rebuild — the dynamic update path re-materializes the CSR every epoch.
 func (g *Graph) sortAdj() {
 	n := g.N()
 	for v := 0; v < n; v++ {
-		lo, hi := g.off[v], g.off[v+1]
-		s := g.adj[lo:hi]
-		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		slices.Sort(g.adj[g.off[v]:g.off[v+1]])
 	}
 }
 
@@ -186,4 +189,17 @@ func (vw View) VisitNeighbors(v int, f func(u int32)) {
 	for i := 0; i < d; i++ {
 		f(vw.Neighbor(v, i))
 	}
+}
+
+// AdjSpan returns v's full adjacency list as one contiguous CSR span,
+// charging one read per neighbor word in a single meter update. It is the
+// bulk equivalent of deg(v) Neighbor calls — identical charged cost, one
+// atomic counter update instead of deg(v) — and is what the zero-alloc
+// query fast path iterates instead of per-slot virtual reads. The returned
+// slice aliases the graph's immutable adjacency array; callers must not
+// mutate it.
+func (vw View) AdjSpan(v int) []int32 {
+	a := vw.G.Adj(v)
+	vw.M.Read(len(a))
+	return a
 }

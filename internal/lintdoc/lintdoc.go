@@ -1,0 +1,139 @@
+// Package lintdoc is a dependency-free godoc-coverage linter in the spirit
+// of revive's "exported" rule: every exported top-level identifier — and
+// every exported method on an exported type — must carry a doc comment.
+// It runs from `go test` (packages that want the guarantee add a one-line
+// test calling Check on their own directory), so the repository's no-new-
+// dependencies constraint holds and the check rides the existing CI test
+// job instead of needing a separate linter install.
+//
+// Scope follows the revive rule: top-level funcs, types, consts, vars, and
+// methods. Struct fields and interface members are not required to be
+// documented (document them where it helps, but the lint does not force
+// it). A const/var block is covered by a single doc comment on the block.
+package lintdoc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Check parses the non-test Go files of dir and returns one finding per
+// exported identifier lacking a doc comment, as "file:line: name" strings
+// sorted by position. An empty slice means full coverage.
+func Check(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	add := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, what))
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			checkFile(f, add)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func checkFile(f *ast.File, add func(token.Pos, string)) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || hasDoc(d.Doc) {
+				continue
+			}
+			if d.Recv != nil {
+				recv := receiverName(d.Recv)
+				if !exportedName(recv) {
+					continue // method on an unexported type: not public API
+				}
+				add(d.Pos(), fmt.Sprintf("method %s.%s", recv, d.Name.Name))
+				continue
+			}
+			add(d.Pos(), "func "+d.Name.Name)
+		case *ast.GenDecl:
+			checkGenDecl(d, add)
+		}
+	}
+}
+
+func checkGenDecl(d *ast.GenDecl, add func(token.Pos, string)) {
+	blockDoc := hasDoc(d.Doc)
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			// A type needs its own comment (or the decl's, for the common
+			// single-spec form).
+			if s.Name.IsExported() && !blockDoc && !hasDoc(s.Doc) {
+				add(s.Pos(), "type "+s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			// One comment on a const/var block covers every spec in it.
+			if blockDoc || hasDoc(s.Doc) || hasDoc(s.Comment) {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					add(name.Pos(), kindWord(d.Tok)+" "+name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverName extracts the receiver's base type name (T from T, *T, or
+// T[...] generic forms).
+func receiverName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func exportedName(name string) bool {
+	if name == "" {
+		return false
+	}
+	return unicode.IsUpper([]rune(name)[0])
+}
+
+func hasDoc(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.TrimSpace(cg.Text()) != ""
+}
+
+func kindWord(tok token.Token) string {
+	switch tok {
+	case token.CONST:
+		return "const"
+	case token.VAR:
+		return "var"
+	}
+	return tok.String()
+}

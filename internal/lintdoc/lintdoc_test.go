@@ -1,0 +1,99 @@
+package lintdoc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func checkSrc(t *testing.T, src string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestCheckFindsUndocumentedExports(t *testing.T) {
+	got := checkSrc(t, `package x
+
+func Documented() {} // no doc comment above, inline doesn't count
+
+type T struct{ F int }
+
+func (t T) M() {}
+
+func (t *T) Documented2() {}
+
+const C = 1
+
+var V = 2
+
+type hidden struct{}
+
+func (h hidden) Exported() {} // method on unexported type: skipped
+
+func private() {}
+`)
+	wantNames := []string{"func Documented", "type T", "method T.M", "method T.Documented2", "const C", "var V"}
+	if len(got) != len(wantNames) {
+		t.Fatalf("got %d findings %v, want %d", len(got), got, len(wantNames))
+	}
+	for _, w := range wantNames {
+		found := false
+		for _, g := range got {
+			if strings.HasSuffix(g, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing finding for %q in %v", w, got)
+		}
+	}
+}
+
+func TestCheckAcceptsDocumentedCode(t *testing.T) {
+	got := checkSrc(t, `// Package x is documented.
+package x
+
+// Documented does nothing.
+func Documented() {}
+
+// T is a type.
+type T struct{ F int }
+
+// M is a method.
+func (t T) M() {}
+
+// Grouped constants share one block comment.
+const (
+	A = 1
+	B = 2
+)
+
+var v = 3 // unexported: no requirement
+`)
+	if len(got) != 0 {
+		t.Errorf("documented code flagged: %v", got)
+	}
+}
+
+func TestCheckValueSpecLineComment(t *testing.T) {
+	got := checkSrc(t, `package x
+
+var (
+	// A has a per-spec doc.
+	A = 1
+	B = 2 // B has a line comment.
+)
+`)
+	if len(got) != 0 {
+		t.Errorf("per-spec comments not honored: %v", got)
+	}
+}

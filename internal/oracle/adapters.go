@@ -7,6 +7,7 @@ import (
 	"repro/internal/asym"
 	"repro/internal/bicc"
 	"repro/internal/conn"
+	"repro/internal/decomp"
 	"repro/internal/graph"
 	"repro/internal/parallel"
 )
@@ -36,6 +37,24 @@ func (a ConnAdapter) Answer(m *asym.Meter, sym *asym.SymTracker, q Query) (Answe
 		return Answer{Label: &v}, nil
 	}
 	return Answer{}, fmt.Errorf("oracle: conn does not serve kind %q", q.Kind)
+}
+
+// NewScratch returns the reusable decomposition-search workspace of the
+// zero-alloc fast path (FastAnswerer).
+func (a ConnAdapter) NewScratch() any { return decomp.NewScratch() }
+
+// AnswerFast answers connected/component queries without boxing the result,
+// reusing the worker's search scratch (FastAnswerer). Equivalent to Answer
+// in answers, errors, and charged costs.
+func (a ConnAdapter) AnswerFast(m *asym.Meter, sym *asym.SymTracker, q Query, scratch any) (AnswerVal, error) {
+	sc, _ := scratch.(*decomp.Scratch)
+	switch q.Kind {
+	case KindConnected:
+		return AnswerVal{IsBool: true, Bool: a.O.ConnectedS(m, sym, sc, q.U, q.V)}, nil
+	case KindComponent:
+		return AnswerVal{Label: a.O.QueryS(m, sym, sc, q.U)}, nil
+	}
+	return AnswerVal{}, fmt.Errorf("oracle: conn does not serve kind %q", q.Kind)
 }
 
 // ApplyInsertions folds an insertion-only batch into a new adapter via the
@@ -120,6 +139,28 @@ func (a BiccAdapter) Answer(m *asym.Meter, sym *asym.SymTracker, q Query) (Answe
 
 // NumBCC reports the snapshot's biconnected-component count.
 func (a BiccAdapter) NumBCC() int { return a.O.NumBCC }
+
+// NewScratch returns nil: the biconnectivity queries build per-query local
+// graphs whose scratch is not yet pooled (FastAnswerer).
+func (a BiccAdapter) NewScratch() any { return nil }
+
+// AnswerFast answers the biconnectivity kinds without boxing the result
+// (FastAnswerer). The per-query local-graph construction inside the oracle
+// is unchanged; what the fast path removes is the serving layer's
+// per-answer heap traffic.
+func (a BiccAdapter) AnswerFast(m *asym.Meter, sym *asym.SymTracker, q Query, _ any) (AnswerVal, error) {
+	switch q.Kind {
+	case KindBridge:
+		return AnswerVal{IsBool: true, Bool: a.O.IsBridge(m, sym, q.U, q.V)}, nil
+	case KindArticulation:
+		return AnswerVal{IsBool: true, Bool: a.O.IsArticulation(m, sym, q.U)}, nil
+	case KindBiconnected:
+		return AnswerVal{IsBool: true, Bool: a.O.Biconnected(m, sym, q.U, q.V)}, nil
+	case KindTwoEdgeConnected:
+		return AnswerVal{IsBool: true, Bool: a.O.OneEdgeConnected(m, sym, q.U, q.V)}, nil
+	}
+	return AnswerVal{}, fmt.Errorf("oracle: bicc does not serve kind %q", q.Kind)
+}
 
 // The built-ins register here (one init so the kind order is fixed:
 // connectivity family first, biconnectivity family second — the stable

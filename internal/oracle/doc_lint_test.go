@@ -1,0 +1,21 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/lintdoc"
+)
+
+// TestExportedAPIDocumented enforces godoc coverage on the oracle
+// registry's exported surface (revive "exported"-rule semantics, run from
+// go test so no linter install is needed): plugged-in oracles program
+// against this package, so its API contract must be written down.
+func TestExportedAPIDocumented(t *testing.T) {
+	missing, err := lintdoc.Check(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range missing {
+		t.Errorf("undocumented exported identifier: %s", m)
+	}
+}

@@ -74,6 +74,36 @@ type QueryOracle interface {
 	Answer(m *asym.Meter, sym *asym.SymTracker, q Query) (Answer, error)
 }
 
+// AnswerVal is the unboxed answer of the allocation-free query fast path:
+// for boolean kinds IsBool is true and Bool carries the answer; otherwise
+// Label carries the component label. Unlike Answer, nothing here is
+// pointer-typed, so returning one never escapes to the heap.
+type AnswerVal struct {
+	Label  int32
+	Bool   bool
+	IsBool bool
+}
+
+// FastAnswerer is the optional zero-alloc query capability. An oracle that
+// implements it answers hot-path queries without boxing the result and with
+// a reusable per-worker scratch:
+//
+//   - NewScratch returns a workspace a serving worker allocates once and
+//     passes back on every AnswerFast call (nil when the oracle needs
+//     none). A scratch must only depend on the oracle's *type* — snapshot
+//     swaps hand the same scratch to the next epoch's oracle instance.
+//   - AnswerFast must be observably equivalent to Answer: same answers,
+//     same errors, same charged costs. The serving engine's dispatch
+//     prefers it and falls back to Answer for oracles without it (or when
+//     the legacy-dispatch benchmark knob forces the boxed path).
+//
+// A scratch is worker-local and never used concurrently; the oracle itself
+// must remain safe for concurrent AnswerFast calls with distinct scratches.
+type FastAnswerer interface {
+	NewScratch() any
+	AnswerFast(m *asym.Meter, sym *asym.SymTracker, q Query, scratch any) (AnswerVal, error)
+}
+
 // InsertionApplier is implemented by oracles that can fold an
 // insertion-only edge batch into a new oracle with o(rebuild) writes
 // instead of a full reconstruction (conn.Oracle.ApplyInsertions). The

@@ -1,0 +1,21 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/lintdoc"
+)
+
+// TestExportedAPIDocumented enforces godoc coverage on this package's
+// exported surface (revive "exported"-rule semantics, run from go test so
+// no linter install is needed). The serving layer is the repository's
+// public face — every exported identifier must say what it does.
+func TestExportedAPIDocumented(t *testing.T) {
+	missing, err := lintdoc.Check(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range missing {
+		t.Errorf("undocumented exported identifier: %s", m)
+	}
+}

@@ -133,6 +133,14 @@ type Config struct {
 	// lock, from the rebuild goroutine; keep it fast and non-blocking.
 	OnRebuild func(RebuildRecord)
 
+	// LegacyDispatch forces the boxed per-query dispatch path: a fresh
+	// worker per batch chunk, Answer (pointer-boxed results) instead of
+	// AnswerFast, and no reusable search scratch. It exists so the
+	// benchmark harness can regenerate the pre-optimization baseline
+	// (BENCH_query_hot_path_legacy.json) against the same code; answers
+	// and charged costs are identical either way.
+	LegacyDispatch bool
+
 	// RebaseEvery is the incremental patch-chain budget: an oracle whose
 	// chain depth (oracle.Rebaser) reaches it is re-based — rebuilt fresh
 	// over the current graph, collapsing its remap chain — instead of
@@ -235,13 +243,30 @@ type Stats struct {
 
 // snapshot is the immutable per-epoch serving state. A snapshot is built
 // completely before its pointer is published; after that nothing in it
-// mutates, so readers never lock. oracles and costs are parallel to the
-// engine's factory list.
+// mutates, so readers never lock. oracles, costs and fast are parallel to
+// the engine's factory list.
 type snapshot struct {
 	epoch   int64
 	g       *graph.Graph
 	oracles []oracle.QueryOracle
 	costs   []asym.Cost
+	// fast caches each oracle's FastAnswerer capability (nil for oracles
+	// without one), so the per-query hot path does one slice index instead
+	// of a type assertion per query.
+	fast []oracle.FastAnswerer
+}
+
+// newSnap assembles a snapshot, resolving each oracle's zero-alloc
+// capability once. Every snapshot — initial build and rebuild publishes —
+// goes through here so the fast slice is never missing.
+func newSnap(epoch int64, g *graph.Graph, os []oracle.QueryOracle, costs []asym.Cost) *snapshot {
+	s := &snapshot{epoch: epoch, g: g, oracles: os, costs: costs, fast: make([]oracle.FastAnswerer, len(os))}
+	for i, o := range os {
+		if fa, ok := o.(oracle.FastAnswerer); ok {
+			s.fast[i] = fa
+		}
+	}
+	return s
 }
 
 // counts extracts the structure counters from whichever snapshot oracles
@@ -276,6 +301,7 @@ type Engine struct {
 	sym         int
 	seed        uint64
 	rebaseEvery int // resolved patch-chain budget (0 = re-basing disabled)
+	legacy      bool
 	onRebuild   func(RebuildRecord)
 	persist     GraphPersister
 
@@ -293,6 +319,11 @@ type Engine struct {
 	queueWaitNs atomic.Int64
 
 	snap atomic.Pointer[snapshot]
+
+	// wpool recycles worker state (per-kind meters, symmetric tracker,
+	// per-factory query scratch) across batch chunks, so steady-state
+	// serving allocates nothing per chunk. Unused under LegacyDispatch.
+	wpool sync.Pool
 
 	// Per-kind aggregates. The meters are shared long-lived accumulators
 	// (atomic internally); workers merge into them only at shard
@@ -368,6 +399,7 @@ func New(g *graph.Graph, cfg Config) *Engine {
 		sym:         cfg.SymLimit,
 		seed:        cfg.Seed,
 		rebaseEvery: rebaseEvery,
+		legacy:      cfg.LegacyDispatch,
 		onRebuild:   cfg.OnRebuild,
 		persist:     cfg.Persist,
 		seq:         cfg.InitialSeq,
@@ -407,7 +439,7 @@ func New(g *graph.Graph, cfg Config) *Engine {
 			}
 		}
 	}
-	e.snap.Store(&snapshot{epoch: cfg.InitialEpoch, g: g, oracles: os, costs: costs})
+	e.snap.Store(newSnap(cfg.InitialEpoch, g, os, costs))
 	return e
 }
 
@@ -574,13 +606,19 @@ func (e *Engine) Admit() (release func(), err error) {
 	}
 }
 
-// worker holds one shard's private cost-model state: a meter per query kind
-// plus a symmetric-memory tracker. Nothing here is shared until mergeInto.
+// worker holds one shard's private cost-model state: a meter per query
+// kind, a symmetric-memory tracker, and one reusable query scratch per
+// oracle factory. Nothing here is shared until mergeInto.
 type worker struct {
 	meters []*asym.Meter
 	counts []int64
 	errs   []int64
 	sym    *asym.SymTracker
+	// scratch[fi] is the FastAnswerer scratch of factory fi (nil for
+	// factories without one or whose NewScratch returns nil). A scratch
+	// depends only on the oracle's type, so a pooled worker's scratch
+	// stays valid across snapshot swaps.
+	scratch []any
 }
 
 func (e *Engine) newWorker() *worker {
@@ -596,6 +634,37 @@ func (e *Engine) newWorker() *worker {
 	return w
 }
 
+// getWorker takes a worker from the engine's pool (or builds one),
+// equipping it with per-factory query scratch on first use.
+func (e *Engine) getWorker(s *snapshot) *worker {
+	w, _ := e.wpool.Get().(*worker)
+	if w == nil {
+		w = e.newWorker()
+	}
+	if w.scratch == nil {
+		w.scratch = make([]any, len(e.factories))
+		for i, fa := range s.fast {
+			if fa != nil {
+				w.scratch[i] = fa.NewScratch()
+			}
+		}
+	}
+	return w
+}
+
+// putWorker resets the worker's accumulators (after mergeInto) and returns
+// it to the pool. The scratch is deliberately kept — its grown buffers are
+// the allocation win.
+func (e *Engine) putWorker(w *worker) {
+	for i := range w.meters {
+		w.meters[i].Reset()
+		w.counts[i] = 0
+		w.errs[i] = 0
+	}
+	w.sym.Reset()
+	e.wpool.Put(w)
+}
+
 // mergeInto folds the worker's per-kind totals into the engine aggregates.
 func (w *worker) mergeInto(e *Engine) {
 	for i := range e.kinds {
@@ -609,13 +678,32 @@ func (w *worker) mergeInto(e *Engine) {
 	}
 }
 
+// Shared Result.Bool targets: boolean answers point at one of these two
+// immutable words instead of boxing a fresh bool per query. Results are
+// read-only after Do returns, so sharing is safe.
+var (
+	boolTrueVal  = true
+	boolFalseVal = false
+	boolTrue     = &boolTrueVal
+	boolFalse    = &boolFalseVal
+)
+
 // answer runs one query against the snapshot's oracles using the worker's
 // private meters. Dispatch is by registered kind: the spec supplies the
 // arity for validation, the kindRef the owning oracle. The single m.Write(1)
 // charges the store of the answer into the batch's result slice (the
 // output-sized write cost of the model); the oracles themselves write
 // nothing during queries.
-func (e *Engine) answer(s *snapshot, w *worker, q Query) Result {
+//
+// labels, when non-nil, selects the zero-alloc path for oracles that
+// implement oracle.FastAnswerer: results are built from shared bool words
+// and a caller-owned label arena instead of boxing a value per query. The
+// arena must have capacity for one label per remaining query in the
+// caller's chunk — appends then never reallocate, so previously returned
+// Result.Label pointers stay valid. A nil labels (or an oracle without the
+// capability) takes the boxed Answer path; answers and charged costs are
+// identical on both.
+func (e *Engine) answer(s *snapshot, w *worker, q Query, labels *[]int32) Result {
 	ref, ok := e.byKind[q.Kind]
 	if !ok {
 		// Unknown kinds are not attributable to a per-kind meter; count
@@ -628,6 +716,25 @@ func (e *Engine) answer(s *snapshot, w *worker, q Query) Result {
 		return Result{Err: fmt.Sprintf("vertex out of range [0,%d)", n)}
 	}
 	m := w.meters[ref.agg]
+	if labels != nil {
+		if fa := s.fast[ref.fac]; fa != nil {
+			av, err := fa.AnswerFast(m, w.sym, oracle.Query{Kind: q.Kind, U: q.U, V: q.V}, w.scratch[ref.fac])
+			if err != nil {
+				w.errs[ref.agg]++
+				return Result{Err: err.Error()}
+			}
+			m.Write(1) // store the answer (output-sized cost)
+			w.counts[ref.agg]++
+			if av.IsBool {
+				if av.Bool {
+					return Result{Bool: boolTrue}
+				}
+				return Result{Bool: boolFalse}
+			}
+			*labels = append(*labels, av.Label)
+			return Result{Label: &(*labels)[len(*labels)-1]}
+		}
+	}
 	ans, err := s.oracles[ref.fac].Answer(m, w.sym, oracle.Query{Kind: q.Kind, U: q.U, V: q.V})
 	if err != nil {
 		w.errs[ref.agg]++
@@ -659,11 +766,24 @@ func (e *Engine) Do(queries []Query) []Result {
 		if hi > len(queries) {
 			hi = len(queries)
 		}
-		w := e.newWorker()
+		if e.legacy {
+			w := e.newWorker()
+			for i := lo; i < hi; i++ {
+				out[i] = e.answer(s, w, queries[i], nil)
+			}
+			w.mergeInto(e)
+			return
+		}
+		w := e.getWorker(s)
+		// One label arena per chunk, sized so appends never reallocate
+		// (at most one label per query) — Result.Label pointers into it
+		// stay valid for the caller.
+		labels := make([]int32, 0, hi-lo)
 		for i := lo; i < hi; i++ {
-			out[i] = e.answer(s, w, queries[i])
+			out[i] = e.answer(s, w, queries[i], &labels)
 		}
 		w.mergeInto(e)
+		e.putWorker(w)
 	})
 	e.queueWaitNs.Add(int64(wait))
 	return out
@@ -672,9 +792,18 @@ func (e *Engine) Do(queries []Query) []Result {
 // Query answers a single query (a one-element batch without the pool
 // round-trip).
 func (e *Engine) Query(q Query) Result {
-	w := e.newWorker()
-	res := e.answer(e.snap.Load(), w, q)
+	s := e.snap.Load()
+	if e.legacy {
+		w := e.newWorker()
+		res := e.answer(s, w, q, nil)
+		w.mergeInto(e)
+		return res
+	}
+	w := e.getWorker(s)
+	labels := make([]int32, 0, 1)
+	res := e.answer(s, w, q, &labels)
 	w.mergeInto(e)
+	e.putWorker(w)
 	return res
 }
 

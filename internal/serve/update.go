@@ -464,7 +464,7 @@ func (e *Engine) buildNext(cur *snapshot, batches []*updateBatch) (*snapshot, Re
 	for i, m := range ms {
 		costs[i] = m.Snapshot()
 	}
-	next := &snapshot{epoch: cur.epoch + 1, g: newG, oracles: os, costs: costs}
+	next := newSnap(cur.epoch+1, newG, os, costs)
 	rec.ConnCost = e.costByName(next, "conn")
 	rec.BiccCost = e.costByName(next, "bicc")
 	rec.OracleCosts = e.buildCosts(next)
