@@ -30,8 +30,10 @@ bench:
 
 # Regenerate the committed BENCH_*.json files at the repo root: the pinned
 # engine sweep on both dispatch paths (fast + legacy baseline) and the HTTP
-# sweep. Graph shapes and asymmetric costs are bit-stable across machines;
-# QPS/latency/alloc fields vary by host (see docs/benchmark.md).
+# sweep. Graph shapes and the uniform/powerlaw asymmetric costs are
+# bit-stable across machines; churn asym fields race the rebuilder and are
+# only approximately stable; QPS/latency/alloc fields vary by host (see
+# docs/benchmark.md).
 bench-record:
 	$(GO) run ./cmd/wecbench -exp bench -benchlegacy -benchout .
 

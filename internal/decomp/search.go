@@ -53,10 +53,13 @@ func (sc *Scratch) reset() {
 // means unbounded) or when the component is exhausted.
 //
 // With a non-nil scratch the parent map and traversal slices are reused
-// buffers (the zero-alloc serving path) and adjacency lists are read
-// through the bulk CSR span accessor — one meter update per vertex
-// expansion instead of one per neighbor, identical charged totals. With a
-// nil scratch every call allocates fresh state, the original behavior.
+// buffers (the zero-alloc serving path) and adjacency lists are iterated
+// directly off the CSR span, with reads charged in bulk for exactly the
+// slots scanned — one meter update per vertex expansion (or a partial one
+// at an early exit) instead of one per neighbor, identical charged totals
+// to the per-slot Neighbor path even when visit stops the search mid-scan.
+// With a nil scratch every call allocates fresh state, the original
+// behavior.
 //
 // Order correctness: the frontier is processed in discovery order and each
 // vertex's neighbors are scanned in increasing id (= decreasing priority
@@ -120,8 +123,12 @@ func (d *Decomposition) search(m *asym.Meter, sym *asym.SymTracker, sc *Scratch,
 			order := d.neighborOrder(callSeed, x, deg)
 			var span []int32
 			if sc != nil && order == nil {
-				// Zero-alloc path: one bulk charge for the whole CSR span.
-				span = vw.AdjSpan(int(x))
+				// Zero-alloc path: iterate the CSR span in place. Reads
+				// are charged for the slots actually scanned — one bulk
+				// meter update after a full scan, a partial one at an
+				// early exit — so charged totals match the per-slot
+				// Neighbor path exactly.
+				span = d.g.Adj(int(x))
 			}
 			for i := 0; i < deg; i++ {
 				slot := i
@@ -145,15 +152,24 @@ func (d *Decomposition) search(m *asym.Meter, sym *asym.SymTracker, sc *Scratch,
 				}
 				m.Op(1)
 				if visit(u) {
+					if span != nil {
+						m.Read(i + 1) // span slots scanned before the stop
+					}
 					st.stopped, st.hit = true, u
 					release()
 					return st
 				}
 				if cap > 0 && len(st.order) >= cap {
+					if span != nil {
+						m.Read(i + 1) // span slots scanned before the cap
+					}
 					release()
 					return st
 				}
 				next = append(next, u)
+			}
+			if span != nil {
+				m.Read(deg) // the full span was scanned
 			}
 		}
 		frontier, next = next, frontier

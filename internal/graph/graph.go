@@ -191,15 +191,7 @@ func (vw View) VisitNeighbors(v int, f func(u int32)) {
 	}
 }
 
-// AdjSpan returns v's full adjacency list as one contiguous CSR span,
-// charging one read per neighbor word in a single meter update. It is the
-// bulk equivalent of deg(v) Neighbor calls — identical charged cost, one
-// atomic counter update instead of deg(v) — and is what the zero-alloc
-// query fast path iterates instead of per-slot virtual reads. The returned
-// slice aliases the graph's immutable adjacency array; callers must not
-// mutate it.
-func (vw View) AdjSpan(v int) []int32 {
-	a := vw.G.Adj(v)
-	vw.M.Read(len(a))
-	return a
-}
+// Callers that iterate a CSR span directly via G.Adj (the zero-alloc query
+// fast path in internal/decomp) must charge vw.M.Read for exactly the
+// slots they scan, so charged totals stay identical to the per-slot
+// Neighbor path even on an early exit mid-scan.

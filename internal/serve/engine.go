@@ -97,6 +97,12 @@ type Query struct {
 // Bool carries connected/bridge/articulation/biconnected answers, Label the
 // component label. Component labels are canonical within one snapshot
 // epoch; a full rebuild may renumber them.
+//
+// Results are read-only. On the fast dispatch path Bool aliases one of two
+// process-wide interned bool words shared by every boolean Result, and
+// Label points into a batch-owned arena shared by the batch's Results —
+// writing through either pointer silently corrupts other results, past and
+// future. Dereference and copy the values; never assign through them.
 type Result struct {
 	Bool  *bool  `json:"bool,omitempty"`
 	Label *int32 `json:"label,omitempty"`
@@ -700,7 +706,10 @@ var (
 // and a caller-owned label arena instead of boxing a value per query. The
 // arena must have capacity for one label per remaining query in the
 // caller's chunk — appends then never reallocate, so previously returned
-// Result.Label pointers stay valid. A nil labels (or an oracle without the
+// Result.Label pointers stay valid. If a caller undersizes the arena, the
+// overflow labels are boxed individually (an allocation, not corruption)
+// rather than appended through a reallocation that would dangle earlier
+// Result.Label pointers. A nil labels (or an oracle without the
 // capability) takes the boxed Answer path; answers and charged costs are
 // identical on both.
 func (e *Engine) answer(s *snapshot, w *worker, q Query, labels *[]int32) Result {
@@ -731,8 +740,16 @@ func (e *Engine) answer(s *snapshot, w *worker, q Query, labels *[]int32) Result
 				}
 				return Result{Bool: boolFalse}
 			}
-			*labels = append(*labels, av.Label)
-			return Result{Label: &(*labels)[len(*labels)-1]}
+			if len(*labels) < cap(*labels) {
+				*labels = append(*labels, av.Label)
+				return Result{Label: &(*labels)[len(*labels)-1]}
+			}
+			// Undersized arena (a caller bug — both call sites size it to
+			// one slot per query): box this label rather than let append
+			// reallocate, which would silently dangle every previously
+			// returned Result.Label into the old array.
+			lbl := av.Label
+			return Result{Label: &lbl}
 		}
 	}
 	ans, err := s.oracles[ref.fac].Answer(m, w.sym, oracle.Query{Kind: q.Kind, U: q.U, V: q.V})
