@@ -4,13 +4,15 @@
 GO ?= go
 
 # Concurrency-critical packages for the -race pass (the serving layer, the
-# oracle registry, the conn dynamic/forest update paths, plus their
-# concurrently-used dependencies); the full suite under -race is too slow
-# for a gate.
+# oracle registry, the conn dynamic/forest update paths, the parallel-build
+# oracles and generators, plus their concurrently-used dependencies); the
+# full suite under -race is too slow for a gate.
 RACE_PKGS := ./internal/serve/... ./internal/oracle/... ./internal/store/... \
              ./internal/conn/ ./internal/asym/ \
              ./internal/parallel/ ./internal/eulertour/ ./internal/graphio/ \
-             ./internal/unionfind/
+             ./internal/unionfind/ \
+             ./internal/bicc/ ./internal/spanning/ ./internal/ldd/ \
+             ./internal/graph/
 
 .PHONY: build test race bench bench-record bench-smoke lint serve smoke smoke-churn smoke-multitenant smoke-restart ci
 
@@ -47,10 +49,14 @@ bench-smoke:
 	  -benchsizes 256,512 -benchqueries 768 -benchhttpqueries 768 \
 	  -benchbatch 64 -benchout $$out && ls -l $$out/BENCH_*.json
 
+# gofmt + vet + the repository's own invariant analyzers (weclint: metered
+# access, snapshot immutability, typed errors, the zero-alloc hot path,
+# godoc coverage, //wec: directive hygiene — see docs/static-analysis.md).
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 	  echo "files need gofmt:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/weclint ./...
 
 # Run the query daemon on a generated graph (override with ARGS, e.g.
 # make serve ARGS="-graph edges.txt -omega 256 -addr :9090").

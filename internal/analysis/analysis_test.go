@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestMeteredAccessFixture(t *testing.T) {
+	RunFixture(t, MeteredAccess, "repro/internal/decomp", FixtureDir(t, "meteredaccess"))
+}
+
+// TestMeteredAccessOutOfScope loads the same fixture under a path outside
+// MeteredPackages: the rule must stay silent regardless of content.
+func TestMeteredAccessOutOfScope(t *testing.T) {
+	names, err := filepath.Glob(filepath.Join(FixtureDir(t, "meteredaccess"), "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files: %v", err)
+	}
+	sort.Strings(names)
+	pkg, err := LoadFiles("fixture/free", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{MeteredAccess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("out-of-scope package flagged: %s", d)
+	}
+}
+
+func TestSnapshotSafeFixture(t *testing.T) {
+	RunFixture(t, SnapshotSafe, "fixture/snap", FixtureDir(t, "snapshotsafe"))
+}
+
+func TestTypedErrFixture(t *testing.T) {
+	RunFixture(t, TypedErr, "fixture/errs", FixtureDir(t, "typederr"))
+}
+
+func TestNoAllocPathFixture(t *testing.T) {
+	RunFixture(t, NoAllocPath, "fixture/noalloc", FixtureDir(t, "noallocpath"))
+}
+
+func TestDocStyleFixture(t *testing.T) {
+	RunFixture(t, DocStyle, "repro/internal/graph", FixtureDir(t, "docstyle"))
+}
+
+// TestWecDirectiveFixture asserts the wecdirective diagnostics explicitly: a
+// want comment cannot share a line with the directive comment it describes,
+// so the analysistest convention does not apply.
+func TestWecDirectiveFixture(t *testing.T) {
+	pkg, err := LoadFiles("fixture/dirs",
+		[]string{filepath.Join(FixtureDir(t, "wecdirective"), "fixture.go")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{WecDirective})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		line int
+		sub  string
+	}{
+		{6, "unknown directive //wec:unmeterd"},
+		{9, "//wec:unmetered needs a reason"},
+		{12, "//wec:mutator needs a reason"},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		if diags[i].Pos.Line != w.line || !strings.Contains(diags[i].Message, w.sub) {
+			t.Errorf("diagnostic %d: got %s, want line %d containing %q", i, diags[i], w.line, w.sub)
+		}
+	}
+}
+
+// TestLoadRepoPackage exercises the go-list loader on a real module package
+// (build-tag-correct file sets, source-importer type checking).
+func TestLoadRepoPackage(t *testing.T) {
+	pkgs, err := Load([]string{"../lintdoc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	found := false
+	for _, p := range pkgs {
+		if p.Path == "repro/internal/lintdoc" {
+			found = true
+			if p.Types.Scope().Lookup("Check") == nil {
+				t.Error("lintdoc.Check not in type-checked scope")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("repro/internal/lintdoc not among %d loaded packages", len(pkgs))
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		comment, name, reason string
+		ok                    bool
+	}{
+		{"//wec:unmetered charged above", "unmetered", "charged above", true},
+		{"//wec:noalloc", "noalloc", "", true},
+		{"//wec:immutable", "immutable", "", true},
+		{"// wec:unmetered spaced out", "", "", false}, // directives allow no space, like //go:
+		{"//wec:", "", "", false},
+		{"// plain comment", "", "", false},
+	}
+	for _, c := range cases {
+		d, ok := parseDirective(&ast.Comment{Text: c.comment})
+		if ok != c.ok {
+			t.Errorf("parseDirective(%q): ok=%v, want %v", c.comment, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.Name != c.name || d.Reason != c.reason {
+			t.Errorf("parseDirective(%q) = {%q %q}, want {%q %q}", c.comment, d.Name, d.Reason, c.name, c.reason)
+		}
+	}
+}
+
+// TestAllAnalyzersRegistered pins the suite: every analyzer is reachable
+// from All() under its documented name.
+func TestAllAnalyzersRegistered(t *testing.T) {
+	want := []string{"meteredaccess", "snapshotsafe", "typederr", "noallocpath", "docstyle", "wecdirective"}
+	got := map[string]bool{}
+	for _, a := range All() {
+		got[a.Name] = true
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("analyzer %q missing from All()", name)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("All() has %d analyzers, want %d", len(got), len(want))
+	}
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads the fixture package in dir under the import path
+// pkgPath, runs one analyzer over it, and compares the diagnostics against
+// `// want "regexp"` expectations in the fixture source — the analysistest
+// convention: a want comment names (one or more quoted regexps, each
+// matched against a separate diagnostic) what the analyzer must report on
+// that line, and any diagnostic without a matching want fails the test.
+// pkgPath matters for scoped analyzers: a fixture loaded under
+// "repro/internal/decomp" is in meteredaccess scope, one under
+// "fixture/free" is not.
+func RunFixture(t *testing.T, a *Analyzer, pkgPath, dir string) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s: %v", dir, err)
+	}
+	sort.Strings(names)
+	pkg, err := LoadFiles(pkgPath, names)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, p := range patterns {
+					rx, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants[k] = append(wants[k], rx)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, rx := range wants[k] {
+			if rx.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, rxs := range wants {
+		for _, rx := range rxs {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, rx)
+		}
+	}
+}
+
+// wantRe matches the quoted regexps of a `// want "..." "..."` comment.
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// parseWant extracts the quoted patterns from a want comment.
+func parseWant(comment string) ([]string, bool) {
+	body, ok := strings.CutPrefix(comment, "// want ")
+	if !ok {
+		return nil, false
+	}
+	var out []string
+	for _, q := range wantRe.FindAllString(body, -1) {
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out, len(out) > 0
+}
+
+// FixtureDir returns testdata/<name> relative to the caller's working
+// directory (the analysis package directory under `go test`).
+func FixtureDir(t *testing.T, name string) string {
+	t.Helper()
+	dir := filepath.Join("testdata", name)
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("fixture dir %s: %v", dir, err)
+	}
+	return dir
+}
+
+// posLine is a test helper resolving a token.Pos to its line.
+func posLine(fset *token.FileSet, pos token.Pos) int { return fset.Position(pos).Line }

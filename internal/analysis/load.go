@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one loaded, parsed, type-checked unit of analysis. In-package
+// test files are analyzed together with the package's own files; an external
+// test package (package foo_test) loads as its own unit with path
+// "<path>_test".
+type Package struct {
+	// Path is the package's import path (plus "_test" for external tests).
+	Path string
+	// Dir is the package's source directory.
+	Dir string
+	// Fset resolves positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed files, comments included.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's fact maps for Files.
+	Info *types.Info
+	// Directives indexes the //wec: directives of Files.
+	Directives *DirectiveIndex
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// Load resolves package patterns with the go tool, parses every selected
+// file (build-tag filtering comes from `go list`, so the analyzed file set
+// is exactly what `go build` / `go test` would compile on this platform),
+// and type-checks each package against the standard library's source
+// importer — no external loader dependency. Test files are included:
+// in-package tests join their package; external test packages become their
+// own units.
+func Load(patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %w", patterns, err)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			break
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+		}
+		var main []string
+		main = append(main, lp.GoFiles...)
+		main = append(main, lp.TestGoFiles...)
+		sort.Strings(main)
+		for _, unit := range []struct {
+			path  string
+			names []string
+		}{
+			{lp.ImportPath, main},
+			{lp.ImportPath + "_test", lp.XTestGoFiles},
+		} {
+			if len(unit.names) == 0 {
+				continue
+			}
+			paths := make([]string, len(unit.names))
+			for i, n := range unit.names {
+				paths[i] = filepath.Join(lp.Dir, n)
+			}
+			pkg, err := check(fset, imp, unit.path, lp.Dir, paths)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadFiles parses and type-checks one explicit file set as a package with
+// the given import path (the analysistest fixture entry point; scoped
+// analyzers see pkgPath as the package's identity). A fresh importer per
+// call keeps fixture type universes independent.
+func LoadFiles(pkgPath string, files []string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return check(fset, imp, pkgPath, filepath.Dir(files[0]), files)
+}
+
+// check parses and type-checks one package unit.
+func check(fset *token.FileSet, imp types.Importer, pkgPath, dir string, paths []string) (*Package, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		Path:       pkgPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Directives: IndexDirectives(fset, files),
+	}, nil
+}

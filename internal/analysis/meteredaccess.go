@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MeteredPackages lists the paper-pristine algorithm packages: every access
+// to graph adjacency or label storage inside them must be charged to an
+// asym.Meter (via graph.View or the asym.Array Get/Set accessors), because
+// the paper's read/write bounds are claims about exactly these packages.
+// Deliberately free accesses carry a //wec:unmetered <reason> directive.
+var MeteredPackages = []string{
+	"repro/internal/conn",
+	"repro/internal/bicc",
+	"repro/internal/decomp",
+	"repro/internal/ldd",
+	"repro/internal/eulertour",
+}
+
+// unmeteredAccessors maps the full name of every raw (cost-free) accessor
+// of asymmetric-memory state to the metered alternative named in the
+// diagnostic. Full names follow types.Func.FullName.
+var unmeteredAccessors = map[string]string{
+	"(*repro/internal/graph.Graph).Adj":              "graph.View.VisitNeighbors/Neighbor",
+	"(*repro/internal/graph.Graph).Degree":           "graph.View.Degree",
+	"(*repro/internal/graph.Graph).EdgeIndex":        "a metered scan via graph.View",
+	"(*repro/internal/graph.Graph).EdgeMultiplicity": "a metered scan via graph.View",
+	"(*repro/internal/graph.Graph).Edges":            "a metered scan via graph.View",
+	"(*repro/internal/asym.Array).Raw":               "asym.Array.Get/Set",
+	"(*repro/internal/asym.Array64).Raw":             "asym.Array64.Get/Set",
+	"(*repro/internal/asym.BitArray).RawGet":         "asym.BitArray.Get",
+}
+
+// MeteredAccess reports raw adjacency/label accesses in the paper-pristine
+// packages that bypass the cost meters and are not annotated
+// //wec:unmetered <reason>. PR 6's span fast path overcharge (fixed in
+// commit e785161) is the class of drift this rule pins down: every free
+// access is either rewritten onto a metered accessor or visibly justified.
+var MeteredAccess = &Analyzer{
+	Name: "meteredaccess",
+	Doc:  "paper-pristine packages must access graph/label storage through metered accessors",
+	Run:  runMeteredAccess,
+}
+
+func runMeteredAccess(pass *Pass) error {
+	if !pkgInScope(pass.Pkg.Path(), MeteredPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue // tests assert on results; cost accounting binds algorithm code
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeFullName(pass.TypesInfo, call)
+			if name == "" {
+				return true
+			}
+			metered, hit := unmeteredAccessors[name]
+			if !hit {
+				return true
+			}
+			if d := pass.directiveFor(f, call.Pos(), DirUnmetered); d != nil {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"unmetered access %s bypasses the cost meter; use %s or annotate //wec:unmetered <reason>",
+				name, metered)
+			return true
+		})
+	}
+	return nil
+}
+
+// directiveFor finds the named directive for the statement at pos: attached
+// to its line (or the line above), or in the enclosing function's doc
+// comment for the function-scoped directives.
+func (p *Pass) directiveFor(f *ast.File, pos token.Pos, name string) *Directive {
+	if d := p.Directives.At(pos, name); d != nil {
+		return d
+	}
+	if fn := enclosingFunc(f, pos); fn != nil {
+		return FuncDirective(fn, name)
+	}
+	return nil
+}
+
+// pkgInScope reports whether path names one of the scoped packages (the
+// exact path or a fixture loaded under it).
+func pkgInScope(path string, scope []string) bool {
+	for _, s := range scope {
+		if path == s || path == s+"_test" {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFullName resolves a call's callee to its types.Func.FullName (e.g.
+// "(*repro/internal/graph.Graph).Adj"); "" when the callee is not a named
+// function or method.
+func calleeFullName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn.FullName()
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn.FullName()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotSafe enforces the serving layer's publish-then-freeze discipline:
+// a type annotated //wec:immutable (the epoch snapshot behind
+// serve.Engine's atomic pointer and everything reachable from it — the
+// oracles, the decomposition) may only have its fields assigned inside
+// functions annotated //wec:mutator <reason> (constructors, builders, and
+// the copy-on-write owners of private clones). Everything else is a
+// mutate-after-publish hazard that the -race gate can only catch when a
+// racing query happens to observe it; this rule catches it on every run.
+//
+// The check is per-package and syntactic over field assignments: mutation
+// through an aliased sub-slice or an unannotated helper in another package
+// is out of scope (unexported fields keep cross-package writes out by
+// construction).
+var SnapshotSafe = &Analyzer{
+	Name: "snapshotsafe",
+	Doc:  "fields of //wec:immutable types may only be assigned in //wec:mutator functions",
+	Run:  runSnapshotSafe,
+}
+
+func runSnapshotSafe(pass *Pass) error {
+	marked := immutableTypes(pass)
+	if len(marked) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var lhs []ast.Expr
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				lhs = st.Lhs
+			case *ast.IncDecStmt:
+				lhs = []ast.Expr{st.X}
+			default:
+				return true
+			}
+			for _, e := range lhs {
+				sel, fieldOwner := markedFieldWrite(pass, e, marked)
+				if sel == nil {
+					continue
+				}
+				fn := enclosingFunc(f, e.Pos())
+				if fn != nil && FuncDirective(fn, DirMutator) != nil {
+					continue
+				}
+				pass.Reportf(e.Pos(),
+					"assignment to field %s of snapshot-immutable type %s outside a //wec:mutator function",
+					sel.Sel.Name, fieldOwner)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// immutableTypes collects the named types of this package whose
+// declarations carry //wec:immutable.
+func immutableTypes(pass *Pass) map[*types.TypeName]bool {
+	marked := map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			declMarked := docDirective(gd.Doc, DirImmutable) != nil
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !declMarked && docDirective(ts.Doc, DirImmutable) == nil {
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					marked[tn] = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// markedFieldWrite reports whether assigning through e writes a field of a
+// marked type: the LHS is unwrapped through index/star/paren layers, and
+// every selector on the way down is tested, so x.Field = v, x.Field[i] = v
+// and x.A.B = v (A's owner marked) all count. Returns the offending
+// selector and the owner type's name.
+func markedFieldWrite(pass *Pass, e ast.Expr, marked map[*types.TypeName]bool) (*ast.SelectorExpr, string) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel := pass.TypesInfo.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+				if tn := namedTypeName(sel.Recv()); tn != nil && marked[tn] {
+					return x, tn.Name()
+				}
+			}
+			e = x.X
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// namedTypeName returns the TypeName of t after stripping pointers; nil for
+// unnamed types.
+func namedTypeName(t types.Type) *types.TypeName {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u.Obj()
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return nil
+		}
+	}
+}

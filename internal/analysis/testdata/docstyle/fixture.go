@@ -1,0 +1,25 @@
+// Package fixture exercises the docstyle rule. It is loaded under the
+// import path repro/internal/graph, which puts it in DocPackages scope.
+package fixture
+
+// Documented carries a doc comment.
+type Documented struct{}
+
+// Method carries a doc comment.
+func (Documented) Method() {}
+
+func (Documented) Bare() {} // want "exported method Documented.Bare has no doc comment"
+
+type Bare struct{} // want "exported type Bare has no doc comment"
+
+func Exported() {} // want "exported func Exported has no doc comment"
+
+// unexported identifiers are out of scope.
+type hidden struct{}
+
+func helper() {}
+
+func (hidden) Method() {}
+
+var _ = helper
+var _ = hidden{}

@@ -1,0 +1,13 @@
+package fixture
+
+import "repro/internal/graph"
+
+// Test files are exempt: tests assert on results, cost accounting binds
+// algorithm code. No diagnostics expected anywhere in this file.
+func rawInTest(g *graph.Graph) int {
+	total := 0
+	for _, e := range g.Edges() {
+		total += int(e[0]) + len(g.Adj(int(e[1])))
+	}
+	return total
+}

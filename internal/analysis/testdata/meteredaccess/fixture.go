@@ -1,0 +1,46 @@
+// Package fixture exercises the meteredaccess rule. It is loaded under the
+// import path repro/internal/decomp, which puts it in MeteredPackages scope.
+package fixture
+
+import (
+	"repro/internal/asym"
+	"repro/internal/graph"
+)
+
+func flagged(g *graph.Graph, a *asym.Array, a64 *asym.Array64, b *asym.BitArray) {
+	_ = g.Adj(0)                 // want "unmetered access"
+	_ = g.Degree(0)              // want "unmetered access"
+	_ = g.Edges()                // want "unmetered access"
+	_ = g.EdgeIndex(0, 1, 0)     // want "unmetered access"
+	_ = g.EdgeMultiplicity(0, 1) // want "unmetered access"
+	_ = a.Raw()                  // want "unmetered access"
+	_ = a64.Raw()                // want "unmetered access"
+	_ = b.RawGet(0)              // want "unmetered access"
+}
+
+func lineEscape(g *graph.Graph, m *asym.Meter) {
+	m.Read(1)
+	_ = g.Degree(0) //wec:unmetered charged by the m.Read above
+}
+
+func lineAboveEscape(g *graph.Graph, m *asym.Meter) {
+	m.Read(1)
+	//wec:unmetered charged by the m.Read above
+	_ = g.Adj(0)
+}
+
+// funcEscape is a reference-style helper whose whole body is exempt.
+//
+//wec:unmetered reference implementation, not cost-accounted
+func funcEscape(g *graph.Graph) {
+	_ = g.Adj(0)
+	_ = g.Edges()
+}
+
+func metered(vw graph.View) int32 {
+	deg := vw.Degree(0)
+	if deg == 0 {
+		return -1
+	}
+	return vw.Neighbor(0, 0)
+}

@@ -1,0 +1,71 @@
+// Package fixture exercises the noallocpath rule.
+package fixture
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+//wec:noalloc
+func flagged(xs []int, bs []byte, s string, n int) {
+	_ = make([]int, n) // want "make allocates"
+	_ = new(int)       // want "new allocates"
+	xs = append(xs, 1) // want "append may grow its backing array"
+	_ = []int{1, 2}    // want "slice literal allocates"
+	_ = map[int]int{}  // want "map literal allocates"
+	_ = &pair{a: 1}    // want "&composite literal escapes"
+	_ = s + "suffix"   // want "string concatenation allocates"
+	_ = string(bs)     // want "string/slice conversion allocates"
+	_ = []byte(s)      // want "string/slice conversion allocates"
+	_ = fmt.Sprint(n)  // want "fmt.Sprint call allocates"
+	var sink any
+	sink = n // want "boxing int into any"
+	_ = sink
+	go func() {}() // want "go statement allocates a goroutine"
+}
+
+//wec:noalloc
+func addrOfLocal(n int) *int {
+	return &n // want "taking the address of local n"
+}
+
+//wec:noalloc
+func boxedReturn(n int) any {
+	return n // want "boxing int into any"
+}
+
+//wec:noalloc
+func guardedAppend(xs []int) []int {
+	if len(xs) < cap(xs) {
+		xs = append(xs, 1)
+	}
+	if cap(xs) > len(xs) {
+		xs = append(xs, 2)
+	}
+	return xs
+}
+
+//wec:noalloc
+func escapedAlloc(n int) []int {
+	return make([]int, n) //wec:alloc cold-path table build, measured separately
+}
+
+//wec:noalloc
+func closures(visit func(func(int))) func() int {
+	visit(func(int) {}) // a literal passed as an argument is presumed non-escaping
+	helper := func() int { return 1 }
+	_ = helper()
+	return func() int { return 2 } // want "stored or returned closure"
+}
+
+//wec:noalloc
+func pointerShaped(p *pair, m map[int]int) any {
+	var sink any
+	sink = p // pointers are stored inline in interfaces
+	sink = m
+	return sink
+}
+
+// unannotated is not on the noalloc path: nothing is flagged.
+func unannotated(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,43 @@
+// Package fixture exercises the snapshotsafe rule.
+package fixture
+
+// Snap is published behind an atomic pointer and must freeze after build.
+//
+//wec:immutable
+type Snap struct {
+	epoch int
+	n     int
+	inner inner
+	buf   []int
+}
+
+type inner struct{ depth int }
+
+// Plain is an ordinary mutable type.
+type Plain struct{ n int }
+
+// newSnap is the constructor.
+//
+//wec:mutator constructor; the snapshot is not shared until it returns
+func newSnap(epoch int) *Snap {
+	s := &Snap{}
+	s.epoch = epoch
+	s.n = 1
+	return s
+}
+
+func mutateOutside(s *Snap) {
+	s.epoch = 9       // want "assignment to field epoch of snapshot-immutable type Snap"
+	s.n++             // want "assignment to field n of snapshot-immutable type Snap"
+	s.inner.depth = 3 // want "assignment to field inner of snapshot-immutable type Snap"
+	s.buf[0] = 1      // want "assignment to field buf of snapshot-immutable type Snap"
+}
+
+func mutatePlain(p *Plain) {
+	p.n = 1
+	p.n++
+}
+
+func readOnly(s *Snap) int {
+	return s.epoch + s.n
+}

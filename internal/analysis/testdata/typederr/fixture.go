@@ -1,0 +1,52 @@
+// Package fixture exercises the typederr rule.
+package fixture
+
+import (
+	"errors"
+	"strings"
+)
+
+// ErrBoom is a sentinel error of this package.
+var ErrBoom = errors.New("boom")
+
+// other is package-level but not Err*-named: not a sentinel.
+var other = errors.New("other")
+
+func compare(err error) bool {
+	if err == ErrBoom { // want "sentinel error ErrBoom compared with =="
+		return true
+	}
+	if ErrBoom != err { // want "sentinel error ErrBoom compared with !="
+		return true
+	}
+	switch err {
+	case nil:
+		return false
+	case ErrBoom: // want "sentinel error ErrBoom matched by switch case"
+		return true
+	}
+	return false
+}
+
+func text(err error) bool {
+	if err.Error() == "boom" { // want "error text compared with =="
+		return true
+	}
+	if strings.Contains(err.Error(), "boom") { // want "strings.Contains over error text"
+		return true
+	}
+	return strings.HasPrefix(err.Error(), "bo") // want "strings.HasPrefix over error text"
+}
+
+func allowed(err error) bool {
+	if errors.Is(err, ErrBoom) {
+		return true
+	}
+	if err == other { // not Err*-named: identity comparison is out of scope
+		return true
+	}
+	if strings.Contains("boom", "oo") { // no error text involved
+		return true
+	}
+	return err == nil
+}

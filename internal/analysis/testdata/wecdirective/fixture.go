@@ -1,0 +1,24 @@
+// Package fixture exercises the wecdirective rule. Expectations live in the
+// analysis package's unit test (a want comment cannot share a line with the
+// directive comment it describes).
+package fixture
+
+//wec:unmeterd a typo that would silently disable the escape
+func typo() {}
+
+//wec:unmetered
+func missingReason() {}
+
+//wec:mutator
+func missingMutatorReason() {}
+
+//wec:unmetered charged by the caller
+func ok() {}
+
+//wec:noalloc
+func okNoReasonNeeded() {}
+
+//wec:immutable
+type okType struct{}
+
+var _ = okType{}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TypedErr enforces the typed-error ladder contract: the repository's
+// sentinel errors (conn.ErrNeedsRebuild, oracle.ErrNeedsRebuild,
+// serve.ErrPersist, serve.ErrRebuildFailed, serve.ErrBusy, and every other
+// package-level Err* variable in this module) must be tested with
+// errors.Is, never with == / != or by matching Error() text. The serving
+// layer wraps these sentinels (fmt.Errorf("%w: ...")) as they climb the
+// strategy ladder, so identity comparison silently stops matching one
+// wrapping layer later — exactly the drift a machine check prevents.
+var TypedErr = &Analyzer{
+	Name: "typederr",
+	Doc:  "sentinel errors must be compared with errors.Is, not == or string matching",
+	Run:  runTypedErr,
+}
+
+func runTypedErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{x.X, x.Y} {
+					if obj := sentinelErrorVar(pass, side); obj != nil {
+						pass.Reportf(x.Pos(),
+							"sentinel error %s compared with %s; use errors.Is (wrapped sentinels do not compare identical)",
+							obj.Name(), x.Op)
+						return true
+					}
+				}
+				if isErrorTextExpr(pass, x.X) || isErrorTextExpr(pass, x.Y) {
+					pass.Reportf(x.Pos(),
+						"error text compared with %s; match the sentinel with errors.Is instead of its message", x.Op)
+				}
+			case *ast.SwitchStmt:
+				if x.Tag == nil {
+					return true
+				}
+				for _, stmt := range x.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, v := range cc.List {
+						if obj := sentinelErrorVar(pass, v); obj != nil {
+							pass.Reportf(v.Pos(),
+								"sentinel error %s matched by switch case (identity comparison); use errors.Is",
+								obj.Name())
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// strings.Contains/HasPrefix/HasSuffix over Error() text.
+				name := calleeFullName(pass.TypesInfo, x)
+				switch name {
+				case "strings.Contains", "strings.HasPrefix", "strings.HasSuffix":
+					for _, arg := range x.Args {
+						if isErrorTextExpr(pass, arg) {
+							pass.Reportf(x.Pos(),
+								"%s over error text; match the sentinel with errors.Is instead of its message", name)
+							break
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelErrorVar resolves e to a package-level error variable named Err*
+// declared in this module (or the package under analysis); nil otherwise.
+func sentinelErrorVar(pass *Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // not package-level
+	}
+	if !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if !inThisModule(v.Pkg(), pass.Pkg) {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if !types.AssignableTo(v.Type(), errType) {
+		return nil
+	}
+	return v
+}
+
+// inThisModule reports whether pkg belongs to this module (or is the
+// package under analysis — fixture packages load under synthetic paths).
+func inThisModule(pkg, cur *types.Package) bool {
+	if pkg == cur {
+		return true
+	}
+	return pkg.Path() == "repro" || strings.HasPrefix(pkg.Path(), "repro/")
+}
+
+// isErrorTextExpr reports whether e is a call of the error interface's
+// Error method (the string form of an error).
+func isErrorTextExpr(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	return types.AssignableTo(recv, errType)
+}

@@ -1,0 +1,33 @@
+package analysis
+
+import "sort"
+
+// WecDirective keeps the //wec: escape hatches honest: an unknown directive
+// name (a typo silently disabling a check) and a justification-mandatory
+// directive without a reason (//wec:unmetered, //wec:alloc, //wec:mutator)
+// are themselves lint errors. Without this rule a misspelled
+// //wec:unmeterd would make the annotated access look clean to its author
+// while meteredaccess flags the line — or worse, a future rename would
+// leave stale directives that suppress nothing but still read as if they
+// did.
+var WecDirective = &Analyzer{
+	Name: "wecdirective",
+	Doc:  "//wec: directives must use known names and carry required reasons",
+	Run:  runWecDirective,
+}
+
+func runWecDirective(pass *Pass) error {
+	ds := pass.Directives.All()
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Pos < ds[j].Pos })
+	for _, d := range ds {
+		needsReason, known := knownDirectives[d.Name]
+		if !known {
+			pass.Reportf(d.Pos, "unknown directive //wec:%s (known: alloc, immutable, mutator, noalloc, unmetered)", d.Name)
+			continue
+		}
+		if needsReason && d.Reason == "" {
+			pass.Reportf(d.Pos, "//wec:%s needs a reason: //wec:%s <why this is safe>", d.Name, d.Name)
+		}
+	}
+	return nil
+}

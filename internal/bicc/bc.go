@@ -212,13 +212,13 @@ func Build(c *parallel.Ctx, vw graph.View) *BCLabeling {
 		// component (the component containing its own head contributes a
 		// BCC without a separating role for the head).
 		m.Read(1)
-		if b.labels.Raw()[h] != l {
+		if b.labels.Raw()[h] != l { //wec:unmetered charged by the m.Read(1) above
 			b.headCount.Set(int(h), b.headCount.Get(int(h))+1)
 		}
 		// A component is a real BCC when it has at least one edge: either
 		// it is attached below a head outside it (the tree edge to the
 		// head), or it has >= 2 vertices.
-		if b.labels.Raw()[h] != l || sizes[l] >= 2 {
+		if b.labels.Raw()[h] != l || sizes[l] >= 2 { //wec:unmetered re-reads the labels[h] slot already charged above
 			b.NumBCC++
 		}
 	}
@@ -260,12 +260,16 @@ func (b *BCLabeling) Tree() *eulertour.Tree { return b.tree }
 func (b *BCLabeling) Parent(v int32) int32 { return b.parent[v] }
 
 // Label returns v's component label, charging one read.
+//
+//wec:unmetered the single labels read is charged by the m.Read(1) in the body
 func (b *BCLabeling) Label(m *asym.Meter, v int32) int32 {
 	m.Read(1)
 	return b.labels.Raw()[v]
 }
 
 // Head returns the head vertex of the component with the given label.
+//
+//wec:unmetered the single head read is charged by the m.Read(1) in the body
 func (b *BCLabeling) Head(m *asym.Meter, label int32) int32 {
 	m.Read(1)
 	return b.head.Raw()[label]
@@ -274,6 +278,8 @@ func (b *BCLabeling) Head(m *asym.Meter, label int32) int32 {
 // IsBridge reports whether edge {u,v} is a bridge: it must be a tree edge
 // whose child side forms a single-vertex component headed by the other
 // endpoint (Lemma 5.1). O(1) reads, no writes.
+//
+//wec:unmetered every Raw read is pre-charged by the explicit m.Read calls
 func (b *BCLabeling) IsBridge(m *asym.Meter, u, v int32) bool {
 	if b.parent[v] != u {
 		u, v = v, u
@@ -290,6 +296,8 @@ func (b *BCLabeling) IsBridge(m *asym.Meter, u, v int32) bool {
 // IsArticulation reports whether v is an articulation point: a forest root
 // must head two components not containing it, any other vertex one. O(1)
 // reads, no writes.
+//
+//wec:unmetered the headCount read is charged by the m.Read(1) in the body
 func (b *BCLabeling) IsArticulation(m *asym.Meter, v int32) bool {
 	m.Read(1)
 	cnt := b.headCount.Raw()[v]
@@ -302,6 +310,8 @@ func (b *BCLabeling) IsArticulation(m *asym.Meter, v int32) bool {
 // EdgeLabel returns the biconnected-component label of edge {u,v}: the
 // component label of the endpoint farther from the root (§5.2's implicit
 // version of the standard output). O(1) reads, no writes.
+//
+//wec:unmetered both possible label reads are covered by the m.Read(2) up front
 func (b *BCLabeling) EdgeLabel(m *asym.Meter, u, v int32) int32 {
 	m.Read(2)
 	if b.parent[u] == v && !b.roots[u] {
@@ -312,6 +322,8 @@ func (b *BCLabeling) EdgeLabel(m *asym.Meter, u, v int32) int32 {
 
 // SameBCC reports whether distinct vertices u and v share a biconnected
 // component: same label, or one heads the other's component. O(1) reads.
+//
+//wec:unmetered the m.Read(4) up front covers the worst-case four slot reads
 func (b *BCLabeling) SameBCC(m *asym.Meter, u, v int32) bool {
 	if u == v {
 		return true
@@ -335,6 +347,8 @@ func (b *BCLabeling) SameBCC(m *asym.Meter, u, v int32) bool {
 
 // Same2EdgeCC reports whether u and v are 1-edge connected (no bridge
 // separates them). O(1) reads, no writes.
+//
+//wec:unmetered both twoEdge reads are covered by the m.Read(2) up front
 func (b *BCLabeling) Same2EdgeCC(m *asym.Meter, u, v int32) bool {
 	m.Read(2)
 	return b.twoEdge.Raw()[u] == b.twoEdge.Raw()[v]
@@ -344,6 +358,8 @@ func (b *BCLabeling) Same2EdgeCC(m *asym.Meter, u, v int32) bool {
 // articulation vertex) pairs, derived per §5.2: each component connects to
 // its head when the head is an articulation point, and each articulation
 // vertex inside a component connects to that component's label.
+//
+//wec:unmetered head/label reads are charged by the m.Read(2) in the inner loop
 func (b *BCLabeling) BlockCutTree(m *asym.Meter) [][2]int32 {
 	n := b.g.N()
 	var out [][2]int32
@@ -365,6 +381,7 @@ func (b *BCLabeling) BlockCutTree(m *asym.Meter) [][2]int32 {
 		// ...and every component it heads.
 		for u := 0; u < n; u++ {
 			lu := b.Label(m, int32(u))
+			m.Read(2)
 			if b.head.Raw()[lu] == int32(v) && b.labels.Raw()[int32(v)] != lu {
 				add(lu, int32(v))
 			}
@@ -378,6 +395,8 @@ func (b *BCLabeling) BlockCutTree(m *asym.Meter) [][2]int32 {
 // given as (2ecc label of one side, 2ecc label of the other). Its size is
 // the number of bridges, so materializing it costs O(#bridges) beyond the
 // O(m) read scan.
+//
+//wec:unmetered the CSR scan charges one read per adjacency slot and m.Read(2) per bridge endpoint pair
 func (b *BCLabeling) BridgeBlockTree(m *asym.Meter) [][2]int32 {
 	var out [][2]int32
 	for v := 0; v < b.g.N(); v++ {
@@ -397,6 +416,8 @@ func (b *BCLabeling) BridgeBlockTree(m *asym.Meter) [][2]int32 {
 
 // TwoEdgeLabel returns v's 2-edge-connected component label (the smallest
 // vertex id in the component of the graph minus bridges). O(1) reads.
+//
+//wec:unmetered the single twoEdge read is charged by the m.Read(1) in the body
 func (b *BCLabeling) TwoEdgeLabel(m *asym.Meter, v int32) int32 {
 	m.Read(1)
 	return b.twoEdge.Raw()[v]

@@ -19,6 +19,8 @@ import (
 // (Definition 4, Figure 3) in symmetric memory — O(k²) expected reads and
 // no writes — and combine local Hopcroft–Tarjan answers with the stored
 // bits.
+//
+//wec:immutable
 type Oracle struct {
 	D *decomp.Decomposition
 	g *graph.Graph
@@ -71,6 +73,8 @@ type localGraph struct {
 
 // BuildOracle constructs the oracle over the graph behind vw using the
 // given implicit k-decomposition (pass nil to build one with k = √ω).
+//
+//wec:mutator build-time constructor; the oracle is not shared until it returns
 func BuildOracle(c *parallel.Ctx, vw graph.View, d *decomp.Decomposition, k int, seed uint64) *Oracle {
 	m := vw.M
 	if d == nil {

@@ -395,7 +395,7 @@ func (o *Oracle) EdgeBCCLabel(m *asym.Meter, sym *asym.SymTracker, u, v int32) i
 	// The replaced edge's Vo endpoint: find it by scanning u's incident
 	// local edges for a Vo neighbor whose subtree holds cv.
 	uid := lg.idOf[u]
-	for _, w := range lg.ref.G.Adj(int(uid)) {
+	for _, w := range lg.ref.G.Adj(int(uid)) { //wec:unmetered cluster-local graph lives in small memory; its scans are free in the model
 		if child, ok := lg.voEdge[w]; ok {
 			m.Read(1)
 			inSubtree := o.ctree.IsAncestor(m, child, cv)

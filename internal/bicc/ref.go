@@ -36,6 +36,8 @@ type Ref struct {
 }
 
 // NewRef computes ground truth for g.
+//
+//wec:unmetered reference implementation; ground truth is not cost-accounted
 func NewRef(g *graph.Graph) *Ref {
 	edges := g.Edges()
 	r := &Ref{

@@ -27,7 +27,7 @@ func Baseline(c *parallel.Ctx, vw graph.View, seed uint64) Result {
 	}
 
 	curN := n
-	curEdges := vw.G.Edges()
+	curEdges := vw.G.Edges() //wec:unmetered the input edge list is given, not charged
 	// Initial edge list materialization is part of the input, not charged;
 	// every subsequent round's list is charged below.
 	round := 0
@@ -53,8 +53,8 @@ func Baseline(c *parallel.Ctx, vw graph.View, seed uint64) Result {
 		// Θ(m) writes per round that make the baseline expensive.
 		var nextEdges [][2]int32
 		for _, e := range curEdges {
-			m.Read(4) // endpoints + their cluster labels
-			cu := dec.Cluster.Raw()[e[0]]
+			m.Read(4)                     // endpoints + their cluster labels
+			cu := dec.Cluster.Raw()[e[0]] //wec:unmetered both cluster reads charged by the m.Read(4) above
 			cv := dec.Cluster.Raw()[e[1]]
 			if cu == cv {
 				continue
@@ -65,7 +65,7 @@ func Baseline(c *parallel.Ctx, vw graph.View, seed uint64) Result {
 		// Relabel the original vertices through this round's contraction.
 		for v := 0; v < n; v++ {
 			old := labels.Get(v)
-			labels.Set(v, index[dec.Cluster.Raw()[old]])
+			labels.Set(v, index[dec.Cluster.Raw()[old]]) //wec:unmetered cluster read charged by the m.Read(1) below
 			m.Read(1)
 		}
 		curN = len(dec.Sources)

@@ -42,7 +42,7 @@ func Sequential(c *parallel.Ctx, vw graph.View, wantForest bool) Result {
 	res := Result{Labels: labels}
 	for s := 0; s < n; s++ {
 		m.Read(1)
-		if labels.Raw()[s] != bfs.Unvisited {
+		if labels.Raw()[s] != bfs.Unvisited { //wec:unmetered charged by the m.Read(1) above
 			continue
 		}
 		res.NumComponents++
@@ -136,7 +136,7 @@ func clusterForest(c *parallel.Ctx, vw graph.View, dec ldd.Result) [][2]int32 {
 				for i := 0; i < deg; i++ {
 					u := vw.Neighbor(int(v), i)
 					m.Read(1)
-					if seen[u] || dec.Cluster.Raw()[u] != cl {
+					if seen[u] || dec.Cluster.Raw()[u] != cl { //wec:unmetered charged by the m.Read(1) above
 						continue
 					}
 					seen[u] = true
@@ -164,13 +164,13 @@ func filterCrossEdges(c *parallel.Ctx, vw graph.View, dec ldd.Result) [][2]int32
 	// halves whose endpoints lie in different clusters.
 	vertexOf := make([]int32, 0, 2*g.M())
 	for v := 0; v < n; v++ {
-		for j := 0; j < g.Degree(v); j++ {
+		for j := 0; j < g.Degree(v); j++ { //wec:unmetered CSR offset lookup; the slot reads themselves are charged in the filter
 			vertexOf = append(vertexOf, int32(v))
 		}
 	}
 	slotBase := make([]int, n+1)
 	for v := 0; v < n; v++ {
-		slotBase[v+1] = slotBase[v] + g.Degree(v)
+		slotBase[v+1] = slotBase[v] + g.Degree(v) //wec:unmetered CSR offset lookup, covered by the m.Op(n) charge below
 	}
 	m.Op(n)
 	slots := parallel.Filter(c, len(vertexOf), func(slot int) bool {
@@ -180,15 +180,15 @@ func filterCrossEdges(c *parallel.Ctx, vw graph.View, dec ldd.Result) [][2]int32
 			return false
 		}
 		m.Read(2)
-		return dec.Cluster.Raw()[v] != dec.Cluster.Raw()[u]
+		return dec.Cluster.Raw()[v] != dec.Cluster.Raw()[u] //wec:unmetered both cluster reads charged by the m.Read(2) above
 	})
 	out := make([][2]int32, len(slots))
 	for i, slot := range slots {
 		v := vertexOf[slot]
 		u := vw.Neighbor(int(v), slot-slotBase[v])
 		m.Read(2)
-		m.Write(2) // the packed contracted edge
-		out[i] = [2]int32{dec.Cluster.Raw()[v], dec.Cluster.Raw()[u]}
+		m.Write(2)                                                    // the packed contracted edge
+		out[i] = [2]int32{dec.Cluster.Raw()[v], dec.Cluster.Raw()[u]} //wec:unmetered both cluster reads charged by the m.Read(2) above
 	}
 	return out
 }

@@ -219,7 +219,7 @@ func (o *Oracle) ApplyDeletions(m *asym.Meter, sym *asym.SymTracker, removed [][
 			continue // non-forest: the forest still spans, connectivity untouched
 		}
 		m.Read(1)
-		if next.EdgeMultiplicity(u, v) > 0 {
+		if next.EdgeMultiplicity(u, v) > 0 { //wec:unmetered charged by the m.Read(1) above
 			// A parallel copy survives the whole batch; the tree edge
 			// stands on the surviving copy.
 			continue
@@ -235,7 +235,7 @@ func (o *Oracle) ApplyDeletions(m *asym.Meter, sym *asym.SymTracker, removed [][
 		// component, so every such neighbor lies on the other side).
 		relinked := false
 		for _, x := range side {
-			for _, y := range next.Adj(int(x)) {
+			for _, y := range next.Adj(int(x)) { //wec:unmetered each slot read is charged by the m.Read(1) in the loop body
 				m.Read(1)
 				if y != x && !member[y] {
 					f.Link(x, y)
@@ -272,6 +272,8 @@ func (o *Oracle) ApplyDeletions(m *asym.Meter, sym *asym.SymTracker, removed [][
 // test that built the oracle), and only on an unpatched oracle: a patched
 // oracle's effective graph differs from its base graph, so a base-seeded
 // forest would be wrong. No-op when a forest is already present.
+//
+//wec:mutator construction-time seeding, called before the oracle is shared
 func (o *Oracle) EnsureForest(m *asym.Meter) {
 	if o.forest != nil {
 		return
@@ -280,7 +282,7 @@ func (o *Oracle) EnsureForest(m *asym.Meter) {
 		panic("conn: EnsureForest on a patched oracle")
 	}
 	g := o.D.Graph()
-	o.forest = SeedForest(m, g.N(), g.Edges())
+	o.forest = SeedForest(m, g.N(), g.Edges()) //wec:unmetered SeedForest charges the edge scan to m itself
 }
 
 // AdoptForest returns a copy of o carrying the given explicit spanning
@@ -290,7 +292,9 @@ func (o *Oracle) EnsureForest(m *asym.Meter) {
 // machinery resumes where the fleet left off instead of starting a new
 // chain. The edges are validated against the oracle's base graph (present,
 // acyclic, spanning); a stale or corrupt forest is rejected so the caller
-// can fall back to EnsureForest. Unmetered (an I/O-path constructor).
+// can fall back to EnsureForest.
+//
+//wec:unmetered recovery-path constructor; validation I/O is not part of the query/update cost model
 func (o *Oracle) AdoptForest(edges [][2]int32, chainDepth int) (*Oracle, error) {
 	if chainDepth < 0 {
 		return nil, fmt.Errorf("conn: negative chain depth %d", chainDepth)

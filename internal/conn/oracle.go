@@ -23,6 +23,8 @@ import (
 // concurrently as long as each uses its own meter — or shares one, since
 // Meter and SymTracker are themselves safe for concurrent use. Package
 // serve relies on this to shard query batches across workers.
+//
+//wec:immutable
 type Oracle struct {
 	D *decomp.Decomposition
 	// labels[i] is the canonical component label of the i-th center: the
@@ -83,6 +85,8 @@ func DefaultK(omega int) int {
 // BuildOracle constructs a connectivity oracle over the bounded-degree
 // graph behind vw. k <= 0 selects √ω. All costs are charged to vw.M and
 // symmetric scratch is tracked on c's tracker.
+//
+//wec:mutator build-time constructor; the oracle is not shared until it returns
 func BuildOracle(c *parallel.Ctx, vw graph.View, k int, seed uint64) *Oracle {
 	m := vw.M
 	if k <= 0 {
@@ -112,8 +116,8 @@ func BuildOracle(c *parallel.Ctx, vw graph.View, k int, seed uint64) *Oracle {
 		ci := dec.Cluster.Get(i)
 		cg.Visit(int32(i), func(j int32) {
 			m.Read(1)
-			if int32(i) < j && dec.Cluster.Raw()[j] != ci {
-				cross = append(cross, [2]int32{ci, dec.Cluster.Raw()[j]})
+			if int32(i) < j && dec.Cluster.Raw()[j] != ci { //wec:unmetered cluster read charged by the m.Read(1) above
+				cross = append(cross, [2]int32{ci, dec.Cluster.Raw()[j]}) //wec:unmetered re-reads the slot charged above
 				m.Write(2)
 			}
 		})
@@ -153,6 +157,8 @@ func (o *Oracle) Query(m *asym.Meter, sym *asym.SymTracker, v int32) int32 {
 // QueryS is Query with a caller-provided reusable search scratch (nil
 // allocates per call) — the serving layer's zero-alloc query path. Charged
 // costs are identical to Query's.
+//
+//wec:noalloc
 func (o *Oracle) QueryS(m *asym.Meter, sym *asym.SymTracker, sc *decomp.Scratch, v int32) int32 {
 	s := o.D.RhoS(m, sym, sc, v)
 	var lab int32
@@ -164,7 +170,7 @@ func (o *Oracle) QueryS(m *asym.Meter, sym *asym.SymTracker, sc *decomp.Scratch,
 		lab = s
 	} else {
 		m.Read(1)
-		labIdx := o.labels.Raw()[i]
+		labIdx := o.labels.Raw()[i] //wec:unmetered charged by the m.Read(1) above
 		lab = o.D.Center(m, int(labIdx))
 	}
 	if o.remap != nil {
@@ -183,6 +189,8 @@ func (o *Oracle) Connected(m *asym.Meter, sym *asym.SymTracker, u, v int32) bool
 
 // ConnectedS is Connected with a reusable search scratch shared by both ρ
 // queries (nil allocates per call).
+//
+//wec:noalloc
 func (o *Oracle) ConnectedS(m *asym.Meter, sym *asym.SymTracker, sc *decomp.Scratch, u, v int32) bool {
 	return o.QueryS(m, sym, sc, u) == o.QueryS(m, sym, sc, v)
 }

@@ -33,6 +33,8 @@ import (
 // graph. Asymmetric state is two bit vectors (center membership and the
 // 1-bit primary/secondary label) and a sorted center list used as the
 // clusters-graph vertex numbering.
+//
+//wec:immutable
 type Decomposition struct {
 	g    *graph.Graph
 	k    int
@@ -78,6 +80,8 @@ type Options struct {
 // The graph need not be connected (the §3 extension is applied), but its
 // degree should be bounded for the stated costs to hold; Build works on any
 // graph, with costs degrading gracefully with the maximum degree.
+//
+//wec:mutator build-time constructor; the decomposition is not shared until it returns
 func Build(c *parallel.Ctx, vw graph.View, k int, seed uint64, opt Options) *Decomposition {
 	if k < 1 {
 		panic(fmt.Sprintf("decomp: k must be >= 1, got %d", k))
@@ -119,7 +123,7 @@ func Build(c *parallel.Ctx, vw graph.View, k int, seed uint64, opt Options) *Dec
 	ids := make([]int32, 0, 2*(n/max(1, k))+4)
 	for v := 0; v < n; v++ {
 		m.Read(1)
-		if d.isCenter.RawGet(v) {
+		if d.isCenter.RawGet(v) { //wec:unmetered charged by the m.Read(1) above
 			ids = append(ids, int32(v))
 		}
 	}
@@ -142,7 +146,7 @@ func (d *Decomposition) NumCenters() int { return d.centers.Len() }
 // Center returns the i-th center in sorted order, charging one read.
 func (d *Decomposition) Center(m *asym.Meter, i int) int32 {
 	m.Read(1)
-	return d.centers.Raw()[i]
+	return d.centers.Raw()[i] //wec:unmetered charged by the m.Read(1) above
 }
 
 // CenterIndex returns the position of center s in the sorted center list
@@ -152,13 +156,14 @@ func (d *Decomposition) CenterIndex(m *asym.Meter, s int32) int {
 	for lo < hi {
 		mid := (lo + hi) / 2
 		m.Read(1)
-		if d.centers.Raw()[mid] < s {
+		if d.centers.Raw()[mid] < s { //wec:unmetered charged by the m.Read(1) above
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < d.centers.Len() && d.centers.Raw()[lo] == s {
+	m.Read(1)
+	if lo < d.centers.Len() && d.centers.Raw()[lo] == s { //wec:unmetered charged by the m.Read(1) above
 		return lo
 	}
 	return -1
@@ -167,18 +172,21 @@ func (d *Decomposition) CenterIndex(m *asym.Meter, s int32) int {
 // IsCenter reports whether v is in S, charging one read.
 func (d *Decomposition) IsCenter(m *asym.Meter, v int32) bool {
 	m.Read(1)
-	return d.isCenter.RawGet(int(v))
+	return d.isCenter.RawGet(int(v)) //wec:unmetered charged by the m.Read(1) above
 }
 
 // IsPrimary reports whether v is in S0, charging one read.
 func (d *Decomposition) IsPrimary(m *asym.Meter, v int32) bool {
 	m.Read(1)
-	return d.isPrimary.RawGet(int(v))
+	return d.isPrimary.RawGet(int(v)) //wec:unmetered charged by the m.Read(1) above
 }
 
-// markSecondary adds u to S1 (one write per bit set, as in Lemma 3.6).
+// markSecondary adds u to S1 (one read for the double-mark probe, one
+// write per bit set, as in Lemma 3.6).
+//
+//wec:mutator construction-time helper of Build, before the decomposition is shared
 func (d *Decomposition) markSecondary(u int32) {
-	if d.isCenter.RawGet(int(u)) {
+	if d.isCenter.Get(int(u)) {
 		return
 	}
 	d.isCenter.Set(int(u), true)
@@ -186,6 +194,8 @@ func (d *Decomposition) markSecondary(u int32) {
 }
 
 // markPrimary adds u to S0 (used by the unconnected extension).
+//
+//wec:mutator construction-time helper of Build, before the decomposition is shared
 func (d *Decomposition) markPrimary(u int32) {
 	d.isCenter.Set(int(u), true)
 	d.isPrimary.Set(int(u), true)

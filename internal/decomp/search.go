@@ -74,6 +74,7 @@ type searchState struct {
 	hit     int32           // the vertex at which visit stopped
 }
 
+//wec:noalloc
 func (d *Decomposition) search(m *asym.Meter, sym *asym.SymTracker, sc *Scratch, v int32, cap int, visit func(u int32) bool) searchState {
 	var st searchState
 	var frontier, next []int32
@@ -82,11 +83,11 @@ func (d *Decomposition) search(m *asym.Meter, sym *asym.SymTracker, sc *Scratch,
 		st = searchState{parent: sc.parent, order: sc.order, hit: -1}
 		frontier, next = sc.frontier, sc.next
 	} else {
-		st = searchState{parent: make(map[int32]int32, 8), hit: -1}
+		st = searchState{parent: make(map[int32]int32, 8), hit: -1} //wec:alloc cold path without a scratch; the zero-alloc gate runs warmed
 	}
 	st.parent[v] = v
-	frontier = append(frontier, v)
-	st.order = append(st.order, v)
+	frontier = append(frontier, v) //wec:alloc amortized scratch growth; steady state stays within capacity
+	st.order = append(st.order, v) //wec:alloc amortized scratch growth; steady state stays within capacity
 	acquired := 2
 	if sym != nil {
 		sym.Acquire(acquired)
@@ -128,7 +129,7 @@ func (d *Decomposition) search(m *asym.Meter, sym *asym.SymTracker, sc *Scratch,
 				// meter update after a full scan, a partial one at an
 				// early exit — so charged totals match the per-slot
 				// Neighbor path exactly.
-				span = d.g.Adj(int(x))
+				span = d.g.Adj(int(x)) //wec:unmetered span reads are bulk-charged after the scan (see above)
 			}
 			for i := 0; i < deg; i++ {
 				slot := i
@@ -145,7 +146,7 @@ func (d *Decomposition) search(m *asym.Meter, sym *asym.SymTracker, sc *Scratch,
 					continue
 				}
 				st.parent[u] = x
-				st.order = append(st.order, u)
+				st.order = append(st.order, u) //wec:alloc amortized scratch growth; steady state stays within capacity
 				if sym != nil {
 					sym.Acquire(2)
 					acquired += 2
@@ -166,7 +167,7 @@ func (d *Decomposition) search(m *asym.Meter, sym *asym.SymTracker, sc *Scratch,
 					release()
 					return st
 				}
-				next = append(next, u)
+				next = append(next, u) //wec:alloc amortized scratch growth; steady state stays within capacity
 			}
 			if span != nil {
 				m.Read(deg) // the full span was scanned
@@ -182,15 +183,17 @@ func (d *Decomposition) search(m *asym.Meter, sym *asym.SymTracker, sc *Scratch,
 // search's parent pointers, in order starting at v. A non-nil scratch
 // lends its reusable path buffer; the returned slice is only valid until
 // the scratch's next search in that case.
+//
+//wec:noalloc
 func (st *searchState) pathFrom(sc *Scratch, v, target int32) []int32 {
 	var rev []int32
 	if sc != nil {
 		rev = sc.path[:0]
 	}
-	rev = append(rev, target)
+	rev = append(rev, target) //wec:alloc amortized scratch growth; steady state stays within capacity
 	for x := target; x != v; {
 		x = st.parent[x]
-		rev = append(rev, x)
+		rev = append(rev, x) //wec:alloc amortized scratch growth; steady state stays within capacity
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
@@ -212,6 +215,8 @@ func (d *Decomposition) Rho(m *asym.Meter, sym *asym.SymTracker, v int32) int32 
 // RhoS is Rho with a caller-provided reusable scratch (nil allocates per
 // call) — the serving layer's zero-alloc query path. Charged costs are
 // identical to Rho's.
+//
+//wec:noalloc
 func (d *Decomposition) RhoS(m *asym.Meter, sym *asym.SymTracker, sc *Scratch, v int32) int32 {
 	c, _ := d.rhoPath(m, sym, sc, v)
 	return c
@@ -221,10 +226,12 @@ func (d *Decomposition) RhoS(m *asym.Meter, sym *asym.SymTracker, sc *Scratch, v
 // ρ(v), in order starting at v. The path is nil for implicit centers of
 // primary-free small components (and borrowed from the scratch when one is
 // supplied).
+//
+//wec:noalloc
 func (d *Decomposition) rhoPath(m *asym.Meter, sym *asym.SymTracker, sc *Scratch, v int32) (int32, []int32) {
 	st := d.search(m, sym, sc, v, 0, func(u int32) bool {
 		m.Read(1)
-		return d.isPrimary.RawGet(int(u))
+		return d.isPrimary.RawGet(int(u)) //wec:unmetered charged by the m.Read(1) above
 	})
 	if !st.stopped {
 		// Component exhausted without a primary: implicit smallest-vertex
@@ -243,7 +250,7 @@ func (d *Decomposition) rhoPath(m *asym.Meter, sym *asym.SymTracker, sc *Scratch
 	path := st.pathFrom(sc, v, st.hit)
 	for i, u := range path {
 		m.Read(1)
-		if d.isCenter.RawGet(int(u)) {
+		if d.isCenter.RawGet(int(u)) { //wec:unmetered charged by the m.Read(1) above
 			return u, path[:i+1]
 		}
 	}
@@ -273,7 +280,7 @@ func (d *Decomposition) PathToCenter(m *asym.Meter, sym *asym.SymTracker, v int3
 func (d *Decomposition) Rho0(m *asym.Meter, sym *asym.SymTracker, v int32) int32 {
 	st := d.search(m, sym, nil, v, 0, func(u int32) bool {
 		m.Read(1)
-		return d.isPrimary.RawGet(int(u))
+		return d.isPrimary.RawGet(int(u)) //wec:unmetered charged by the m.Read(1) above
 	})
 	if !st.stopped {
 		min := v
@@ -392,7 +399,7 @@ func (d *Decomposition) extendUnconnected(c *parallel.Ctx, vw graph.View, opt Op
 	for v := 0; v < n; v++ {
 		st := d.search(vw.M, c.Sym(), nil, int32(v), cap, func(u int32) bool {
 			vw.M.Read(1)
-			return d.isPrimary.RawGet(int(u))
+			return d.isPrimary.RawGet(int(u)) //wec:unmetered charged by the vw.M.Read(1) above
 		})
 		if st.stopped {
 			continue // has a primary

@@ -125,7 +125,7 @@ func (d *Decomposition) addSecondaryCenters(c *parallel.Ctx, vw graph.View, opt 
 	n := vw.G.N()
 	for v := 0; v < n; v++ {
 		vw.M.Read(1)
-		if d.isPrimary.RawGet(v) {
+		if d.isPrimary.RawGet(v) { //wec:unmetered charged by the vw.M.Read(1) above
 			d.secondaryCenters(c, vw, int32(v), opt, 0)
 		}
 	}

@@ -108,7 +108,7 @@ func Decompose(c *parallel.Ctx, nb Neighborhood, m *asym.Meter, beta float64, se
 		if iter < len(buckets) {
 			for _, v := range buckets[iter] {
 				m.Read(1)
-				if cluster.Raw()[v] != Unassigned {
+				if cluster.Raw()[v] != Unassigned { //wec:unmetered charged by the m.Read(1) above
 					continue
 				}
 				cluster.Set(int(v), v)
@@ -123,7 +123,7 @@ func Decompose(c *parallel.Ctx, nb Neighborhood, m *asym.Meter, beta float64, se
 			lab := cluster.Get(int(v))
 			nb.Visit(v, func(u int32) {
 				m.Read(1)
-				if cluster.Raw()[u] != Unassigned {
+				if cluster.Raw()[u] != Unassigned { //wec:unmetered charged by the m.Read(1) above
 					return
 				}
 				cluster.Set(int(u), lab)

@@ -23,6 +23,13 @@ import (
 	"unicode"
 )
 
+// A Finding is one exported identifier lacking a doc comment: its position
+// and a "kind Name" description ("func Foo", "method T.M", "type Bar").
+type Finding struct {
+	Pos  token.Pos
+	What string
+}
+
 // Check parses the non-test Go files of dir and returns one finding per
 // exported identifier lacking a doc comment, as "file:line: name" strings
 // sorted by position. An empty slice means full coverage.
@@ -35,17 +42,27 @@ func Check(dir string) ([]string, error) {
 		return nil, err
 	}
 	var out []string
-	add := func(pos token.Pos, what string) {
-		p := fset.Position(pos)
-		out = append(out, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, what))
-	}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
-			checkFile(f, add)
+			for _, fd := range FileFindings(f) {
+				p := fset.Position(fd.Pos)
+				out = append(out, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fd.What))
+			}
 		}
 	}
 	sort.Strings(out)
 	return out, nil
+}
+
+// FileFindings applies the godoc-coverage rule to one parsed file (the
+// entry point the weclint docstyle analyzer shares with Check; the file
+// must have been parsed with comments).
+func FileFindings(f *ast.File) []Finding {
+	var out []Finding
+	checkFile(f, func(pos token.Pos, what string) {
+		out = append(out, Finding{Pos: pos, What: what})
+	})
+	return out
 }
 
 func checkFile(f *ast.File, add func(token.Pos, string)) {

@@ -46,6 +46,8 @@ func (a ConnAdapter) NewScratch() any { return decomp.NewScratch() }
 // AnswerFast answers connected/component queries without boxing the result,
 // reusing the worker's search scratch (FastAnswerer). Equivalent to Answer
 // in answers, errors, and charged costs.
+//
+//wec:noalloc
 func (a ConnAdapter) AnswerFast(m *asym.Meter, sym *asym.SymTracker, q Query, scratch any) (AnswerVal, error) {
 	sc, _ := scratch.(*decomp.Scratch)
 	switch q.Kind {
@@ -54,7 +56,7 @@ func (a ConnAdapter) AnswerFast(m *asym.Meter, sym *asym.SymTracker, q Query, sc
 	case KindComponent:
 		return AnswerVal{Label: a.O.QueryS(m, sym, sc, q.U)}, nil
 	}
-	return AnswerVal{}, fmt.Errorf("oracle: conn does not serve kind %q", q.Kind)
+	return AnswerVal{}, fmt.Errorf("oracle: conn does not serve kind %q", q.Kind) //wec:alloc unknown-kind error path, not the hot answer path
 }
 
 // ApplyInsertions folds an insertion-only batch into a new adapter via the
@@ -148,6 +150,8 @@ func (a BiccAdapter) NewScratch() any { return nil }
 // (FastAnswerer). The per-query local-graph construction inside the oracle
 // is unchanged; what the fast path removes is the serving layer's
 // per-answer heap traffic.
+//
+//wec:noalloc
 func (a BiccAdapter) AnswerFast(m *asym.Meter, sym *asym.SymTracker, q Query, _ any) (AnswerVal, error) {
 	switch q.Kind {
 	case KindBridge:
@@ -159,7 +163,7 @@ func (a BiccAdapter) AnswerFast(m *asym.Meter, sym *asym.SymTracker, q Query, _ 
 	case KindTwoEdgeConnected:
 		return AnswerVal{IsBool: true, Bool: a.O.OneEdgeConnected(m, sym, q.U, q.V)}, nil
 	}
-	return AnswerVal{}, fmt.Errorf("oracle: bicc does not serve kind %q", q.Kind)
+	return AnswerVal{}, fmt.Errorf("oracle: bicc does not serve kind %q", q.Kind) //wec:alloc unknown-kind error path, not the hot answer path
 }
 
 // The built-ins register here (one init so the kind order is fixed:

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestConnFastPathZeroAlloc is the runtime ground truth behind the
+// noallocpath static rule: the conn fast query path — Engine.answer through
+// oracle.FastAnswerer with a warmed worker and label arena — performs zero
+// allocations per query. Methodology matches BENCH_query_hot_path.json
+// (GOMAXPROCS=1, omega 64, seed 7): the recorded steady-state figure there
+// is 0 allocs/query with the small remainder amortized per-batch overhead,
+// and this gate keeps it that way.
+func TestConnFastPathZeroAlloc(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	g := graph.GNM(2048, 3072, 7, false)
+	e := New(g, Config{Omega: 64, Seed: 7, Workers: 1})
+	defer e.Close()
+
+	s := e.snap.Load()
+	w := e.getWorker(s)
+	defer e.putWorker(w)
+	labels := make([]int32, 0, 1)
+	queries := []Query{
+		{Kind: KindComponent, U: 3},
+		{Kind: KindComponent, U: 999},
+		{Kind: KindConnected, U: 3, V: 999},
+		{Kind: KindConnected, U: 0, V: 1},
+	}
+	// Warm the scratch (first searches grow the BFS workspace to its
+	// high-water mark; growth is amortized and off the steady state).
+	for _, q := range queries {
+		labels = labels[:0]
+		if r := e.answer(s, w, q, &labels); r.Err != "" {
+			t.Fatalf("warmup %+v: %s", q, r.Err)
+		}
+	}
+	for _, q := range queries {
+		q := q
+		allocs := testing.AllocsPerRun(200, func() {
+			labels = labels[:0]
+			if r := e.answer(s, w, q, &labels); r.Err != "" {
+				t.Fatalf("%+v: %s", q, r.Err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("conn fast path %+v: %.2f allocs/query, want 0", q, allocs)
+		}
+	}
+}
+
+// TestDoBatchAllocBound pins the amortized per-query allocation cost of the
+// public batch path: a Do call allocates its result slice, one label arena
+// per chunk, and pool bookkeeping — constant per batch — so per query it
+// must stay far below one allocation, matching the allocs_per_query column
+// of BENCH_query_hot_path.json (~0.03 at batch size 256).
+func TestDoBatchAllocBound(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	g := graph.GNM(2048, 3072, 7, false)
+	e := New(g, Config{Omega: 64, Seed: 7, Workers: 1})
+	defer e.Close()
+
+	const batch = 256
+	qs := make([]Query, batch)
+	for i := range qs {
+		if i%2 == 0 {
+			qs[i] = Query{Kind: KindComponent, U: int32(i % g.N())}
+		} else {
+			qs[i] = Query{Kind: KindConnected, U: int32(i % g.N()), V: int32((i * 7) % g.N())}
+		}
+	}
+	for i := 0; i < 3; i++ { // warm pool workers and scratches
+		e.Do(qs)
+	}
+	allocs := testing.AllocsPerRun(50, func() { e.Do(qs) })
+	perQuery := allocs / batch
+	if perQuery > 0.1 {
+		t.Errorf("Do batch: %.1f allocs/batch = %.3f allocs/query, want <= 0.1", allocs, perQuery)
+	}
+}

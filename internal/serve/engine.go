@@ -251,6 +251,8 @@ type Stats struct {
 // completely before its pointer is published; after that nothing in it
 // mutates, so readers never lock. oracles, costs and fast are parallel to
 // the engine's factory list.
+//
+//wec:immutable
 type snapshot struct {
 	epoch   int64
 	g       *graph.Graph
@@ -265,6 +267,8 @@ type snapshot struct {
 // newSnap assembles a snapshot, resolving each oracle's zero-alloc
 // capability once. Every snapshot — initial build and rebuild publishes —
 // goes through here so the fast slice is never missing.
+//
+//wec:mutator the snapshot constructor: the only writes before publication
 func newSnap(epoch int64, g *graph.Graph, os []oracle.QueryOracle, costs []asym.Cost) *snapshot {
 	s := &snapshot{epoch: epoch, g: g, oracles: os, costs: costs, fast: make([]oracle.FastAnswerer, len(os))}
 	for i, o := range os {
@@ -712,17 +716,19 @@ var (
 // Result.Label pointers. A nil labels (or an oracle without the
 // capability) takes the boxed Answer path; answers and charged costs are
 // identical on both.
+//
+//wec:noalloc
 func (e *Engine) answer(s *snapshot, w *worker, q Query, labels *[]int32) Result {
 	ref, ok := e.byKind[q.Kind]
 	if !ok {
 		// Unknown kinds are not attributable to a per-kind meter; count
 		// them under no kind and report the error.
-		return Result{Err: fmt.Sprintf("unknown query kind %q", q.Kind)}
+		return Result{Err: fmt.Sprintf("unknown query kind %q", q.Kind)} //wec:alloc malformed-query error path, not the hot answer path
 	}
 	n := int32(s.g.N())
 	if q.U < 0 || q.U >= n || (e.specs[ref.agg].Pairwise && (q.V < 0 || q.V >= n)) {
 		w.errs[ref.agg]++
-		return Result{Err: fmt.Sprintf("vertex out of range [0,%d)", n)}
+		return Result{Err: fmt.Sprintf("vertex out of range [0,%d)", n)} //wec:alloc malformed-query error path, not the hot answer path
 	}
 	m := w.meters[ref.agg]
 	if labels != nil {
@@ -749,7 +755,7 @@ func (e *Engine) answer(s *snapshot, w *worker, q Query, labels *[]int32) Result
 			// reallocate, which would silently dangle every previously
 			// returned Result.Label into the old array.
 			lbl := av.Label
-			return Result{Label: &lbl}
+			return Result{Label: &lbl} //wec:alloc arena-overflow fallback; both call sites size the arena to avoid it
 		}
 	}
 	ans, err := s.oracles[ref.fac].Answer(m, w.sym, oracle.Query{Kind: q.Kind, U: q.U, V: q.V})

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -294,7 +295,7 @@ func TestAdmissionControl(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Admit(); err != ErrBusy {
+	if _, err := e.Admit(); !errors.Is(err, ErrBusy) {
 		t.Fatalf("second admit: %v, want ErrBusy", err)
 	}
 
@@ -461,7 +462,7 @@ func TestDeleteDrainsInflight(t *testing.T) {
 	// After the drain the engine refuses updates (closed).
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if _, err := e.Update(Update{Add: [][2]int32{{0, 1}}}, false); err == ErrClosed {
+		if _, err := e.Update(Update{Add: [][2]int32{{0, 1}}}, false); errors.Is(err, ErrClosed) {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)

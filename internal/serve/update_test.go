@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -303,7 +304,7 @@ func TestUpdateValidation(t *testing.T) {
 	}
 
 	e.Close()
-	if _, err := e.Update(Update{Add: [][2]int32{{0, 1}}}, false); err != ErrClosed {
+	if _, err := e.Update(Update{Add: [][2]int32{{0, 1}}}, false); !errors.Is(err, ErrClosed) {
 		t.Fatalf("after Close: %v", err)
 	}
 	e.Close() // idempotent
