@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -44,12 +46,13 @@ var (
 	benchLegacy      = flag.Bool("benchlegacy", false, "bench mode: also record the legacy-dispatch baseline sweep")
 	benchHTTPQueries = flag.Int("benchhttpqueries", 4096, "bench mode: queries per sweep point (HTTP sweep)")
 	benchHTTPConc    = flag.Int("benchhttpconc", 4, "bench mode: concurrent HTTP clients")
+	benchDist        = flag.String("benchdist", "uniform", "bench mode: query endpoint distribution, uniform or zipf (hot-pair skew; exercises the result cache)")
 )
 
 // benchSchemaVersion is the version stamped into every BENCH file. Any
 // change to the JSON shape — fields added, removed, renamed, or retyped —
 // must bump it; the golden-file test (bench_test.go) enforces that.
-const benchSchemaVersion = 1
+const benchSchemaVersion = 2
 
 // The pinned sweep axes. Families shape the workload: uniform is a random
 // 3-regular graph, powerlaw a degree-bounded preferential-attachment graph
@@ -96,6 +99,11 @@ type benchConfig struct {
 	Sizes           []int    `json:"sizes"`
 	Families        []string `json:"families"`
 	Mixes           []string `json:"mixes"`
+	// QueryDist names the endpoint distribution of the query streams:
+	// "uniform" (independent uniform endpoints, the committed-file default)
+	// or "zipf" (endpoints drawn from a pregenerated hot-pair table under a
+	// Zipf-like rank weighting — the cache-effectiveness workload).
+	QueryDist string `json:"query_dist"`
 	// GoMaxProcs is the worker parallelism the timing fields were measured
 	// under (machine-dependent, recorded for interpretation).
 	GoMaxProcs int `json:"gomaxprocs"`
@@ -152,6 +160,12 @@ func benchRun(scale int) {
 	sizes, err := parseBenchSizes(*benchSizes, scale)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(2)
+	}
+	switch *benchDist {
+	case "uniform", "zipf":
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown -benchdist %q (want uniform or zipf)\n", *benchDist)
 		os.Exit(2)
 	}
 
@@ -248,10 +262,63 @@ func mixFrac(mix string) float64 {
 	}
 }
 
-// benchBatches pregenerates the whole query stream of one point, so no
-// query-generation allocations land inside the measurement window.
-func benchBatches(seed uint64, n, total, batch int, frac float64) [][]serve.Query {
+// benchZipfSeedMix decorrelates the zipf hot-pair table's rng from the
+// query stream's kind draws (which stay on the point seed), so switching
+// -benchdist never perturbs the kind sequence.
+const benchZipfSeedMix = 0x51bf
+
+// benchZipfExponent is the rank-weight exponent: pair at rank r (1-based)
+// is drawn with weight 1/r^1.2 — a mild Zipf skew where the top handful of
+// pairs dominate but the tail still gets traffic.
+const benchZipfExponent = 1.2
+
+// benchZipfPairs draws query endpoints from a pregenerated table of n
+// (u, v) pairs under a Zipf-like rank weighting, via inverse-CDF lookup on
+// the prefix-summed weights. Hot pairs repeat across batches, so the
+// serving layer's result cache (and bicc's cluster cache) answer most of
+// the stream — the workload -benchdist=zipf exists to measure.
+type benchZipfPairs struct {
+	pairs  [][2]int32
+	prefix []float64
+	rng    *graph.RNG
+}
+
+func newBenchZipfPairs(seed uint64, n int) *benchZipfPairs {
 	rng := graph.NewRNG(seed)
+	z := &benchZipfPairs{
+		pairs:  make([][2]int32, n),
+		prefix: make([]float64, n),
+		rng:    rng,
+	}
+	sum := 0.0
+	for i := range z.pairs {
+		z.pairs[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+		sum += 1 / math.Pow(float64(i+1), benchZipfExponent)
+		z.prefix[i] = sum
+	}
+	return z
+}
+
+func (z *benchZipfPairs) pick() (u, v int32) {
+	x := z.rng.Float64() * z.prefix[len(z.prefix)-1]
+	i := sort.SearchFloat64s(z.prefix, x)
+	if i >= len(z.pairs) {
+		i = len(z.pairs) - 1
+	}
+	return z.pairs[i][0], z.pairs[i][1]
+}
+
+// benchBatches pregenerates the whole query stream of one point, so no
+// query-generation allocations land inside the measurement window. dist
+// selects the endpoint distribution ("uniform" or "zipf"); the uniform
+// path's rng call sequence is unchanged from schema v1, so uniform streams
+// replay byte-identically across the version bump.
+func benchBatches(seed uint64, n, total, batch int, frac float64, dist string) [][]serve.Query {
+	rng := graph.NewRNG(seed)
+	var zipf *benchZipfPairs
+	if dist == "zipf" {
+		zipf = newBenchZipfPairs(seed^benchZipfSeedMix, n)
+	}
 	out := make([][]serve.Query, 0, (total+batch-1)/batch)
 	for done := 0; done < total; done += batch {
 		b := batch
@@ -266,7 +333,13 @@ func benchBatches(seed uint64, n, total, batch int, frac float64) [][]serve.Quer
 			} else {
 				kind = biccKinds[rng.Intn(len(biccKinds))]
 			}
-			qs[i] = serve.Query{Kind: kind, U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+			var u, v int32
+			if zipf != nil {
+				u, v = zipf.pick()
+			} else {
+				u, v = int32(rng.Intn(n)), int32(rng.Intn(n))
+			}
+			qs[i] = serve.Query{Kind: kind, U: u, V: v}
 		}
 		out = append(out, qs)
 	}
@@ -297,6 +370,7 @@ func benchEngineSweep(sizes []int, legacy bool) benchDoc {
 			Sizes:           sizes,
 			Families:        benchFamilies,
 			Mixes:           benchMixes,
+			QueryDist:       *benchDist,
 			GoMaxProcs:      runtime.GOMAXPROCS(0),
 		},
 	}
@@ -342,7 +416,7 @@ func benchEngineSweep(sizes []int, legacy bool) benchDoc {
 func benchMeasurePoint(eng *serve.Engine, family, mix string, seed uint64) benchPoint {
 	n := eng.Graph().N()
 	total := *benchQueries
-	batches := benchBatches(seed, n, total, *benchBatch, mixFrac(mix))
+	batches := benchBatches(seed, n, total, *benchBatch, mixFrac(mix), *benchDist)
 	churn := family == "churn"
 
 	before := eng.Stats()
@@ -475,6 +549,7 @@ func benchHTTPSweep(sizes []int) benchDoc {
 			Sizes:           sizes,
 			Families:        []string{"uniform"},
 			Mixes:           []string{"mixed"},
+			QueryDist:       *benchDist,
 			GoMaxProcs:      runtime.GOMAXPROCS(0),
 			HTTPClients:     *benchHTTPConc,
 		},
@@ -523,7 +598,7 @@ func benchHTTPSweep(sizes []int) benchDoc {
 							break
 						}
 					}
-					qs := benchBatches(rng.Next(), g.N(), batch, batch, 0.5)[0]
+					qs := benchBatches(rng.Next(), g.N(), batch, batch, 0.5, *benchDist)[0]
 					t0 := time.Now()
 					if err := postBatch(base, qs); err != nil {
 						fmt.Fprintf(os.Stderr, "bench: batch failed: %v\n", err)
@@ -596,6 +671,11 @@ func validateBenchDoc(d benchDoc) error {
 	case "fast", "legacy", "http":
 	default:
 		return fmt.Errorf("unknown dispatch %q", d.Config.Dispatch)
+	}
+	switch d.Config.QueryDist {
+	case "uniform", "zipf":
+	default:
+		return fmt.Errorf("unknown query_dist %q", d.Config.QueryDist)
 	}
 	if d.Config.Omega <= 0 || d.Config.K <= 0 || len(d.Config.Sizes) == 0 {
 		return fmt.Errorf("incomplete config: %+v", d.Config)

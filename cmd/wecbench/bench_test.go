@@ -8,13 +8,13 @@ import (
 )
 
 // goldenDoc is a fixed synthetic BENCH document exercising every schema
-// field. Its serialized form is pinned in testdata/bench_schema_v1.golden.json.
+// field. Its serialized form is pinned in testdata/bench_schema_v2.golden.json.
 func goldenDoc() benchDoc {
 	allocs, bytes := 0.25, 48.5
 	return benchDoc{
 		SchemaVersion: benchSchemaVersion,
 		Experiment:    "golden",
-		Description:   "synthetic document pinning schema v1",
+		Description:   "synthetic document pinning schema v2",
 		Config: benchConfig{
 			Dispatch:        "fast",
 			Omega:           64,
@@ -25,6 +25,7 @@ func goldenDoc() benchDoc {
 			Sizes:           []int{4096},
 			Families:        []string{"uniform", "churn"},
 			Mixes:           []string{"conn"},
+			QueryDist:       "uniform",
 			GoMaxProcs:      4,
 			HTTPClients:     2,
 		},
@@ -61,7 +62,7 @@ func TestBenchGoldenSchema(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf = append(buf, '\n')
-	golden := filepath.Join("testdata", "bench_schema_v1.golden.json")
+	golden := filepath.Join("testdata", "bench_schema_v2.golden.json")
 	if os.Getenv("UPDATE_GOLDEN") != "" {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -94,9 +95,10 @@ func TestBenchValidate(t *testing.T) {
 		name string
 		doc  benchDoc
 	}{
-		{"wrong version", mutate(func(d *benchDoc) { d.SchemaVersion = 2 })},
+		{"wrong version", mutate(func(d *benchDoc) { d.SchemaVersion = 99 })},
 		{"empty experiment", mutate(func(d *benchDoc) { d.Experiment = "" })},
 		{"bad dispatch", mutate(func(d *benchDoc) { d.Config.Dispatch = "warp" })},
+		{"bad query dist", mutate(func(d *benchDoc) { d.Config.QueryDist = "hotspot" })},
 		{"no points", mutate(func(d *benchDoc) { d.Points = nil })},
 		{"point count mismatch", mutate(func(d *benchDoc) { d.Points = d.Points[:1] })},
 		{"zero qps", mutate(func(d *benchDoc) { d.Points[0].QPS = 0 })},

@@ -1,0 +1,143 @@
+package bicc
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/asym"
+	"repro/internal/graph"
+)
+
+// This file is the cache-vs-fresh equivalence suite of the warm query
+// path: every S-variant answer, its charged meter totals, and its
+// symmetric-memory high-water must equal the plain (paper-pristine) path's
+// on every query — cold fill, warm hit, across snapshot swaps, and under
+// concurrent access. The charge-replay design (cache.go) makes this an
+// equality check, not an approximation.
+
+// queryBoth runs one query on both paths with fresh meters/trackers and
+// fails the test on any divergence in answer, charged cost, or symmetric
+// high-water.
+func queryBoth(t *testing.T, o *Oracle, sc *Scratch, cc *ClusterCache, kind int, u, v int32) {
+	t.Helper()
+	m1, m2 := asym.NewMeter(64), asym.NewMeter(64)
+	s1, s2 := asym.NewSymTracker(0), asym.NewSymTracker(0)
+	var plain, cached bool
+	switch kind {
+	case 0:
+		plain = o.IsBridge(m1, s1, u, v)
+		cached = o.IsBridgeS(m2, s2, sc, cc, u, v)
+	case 1:
+		plain = o.IsArticulation(m1, s1, u)
+		cached = o.IsArticulationS(m2, s2, sc, cc, u)
+	case 2:
+		plain = o.Biconnected(m1, s1, u, v)
+		cached = o.BiconnectedS(m2, s2, sc, cc, u, v)
+	default:
+		plain = o.OneEdgeConnected(m1, s1, u, v)
+		cached = o.OneEdgeConnectedS(m2, s2, sc, cc, u, v)
+	}
+	if plain != cached {
+		t.Fatalf("kind %d (%d,%d): cached answer %v, plain %v", kind, u, v, cached, plain)
+	}
+	if c1, c2 := m1.Snapshot(), m2.Snapshot(); c1 != c2 {
+		t.Fatalf("kind %d (%d,%d): cached cost %+v, plain %+v", kind, u, v, c2, c1)
+	}
+	if h1, h2 := s1.HighWater(), s2.HighWater(); h1 != h2 {
+		t.Fatalf("kind %d (%d,%d): cached sym high-water %d, plain %d", kind, u, v, h2, h1)
+	}
+}
+
+// randomizedQueries exercises all four kinds over random pairs plus real
+// edges (so the in-cluster / tree-edge / cross-edge bridge cases all hit).
+func randomizedQueries(t *testing.T, o *Oracle, g *graph.Graph, sc *Scratch, cc *ClusterCache, n int, seed uint64) {
+	t.Helper()
+	rng := graph.NewRNG(seed)
+	edges := g.Edges()
+	for i := 0; i < n; i++ {
+		var u, v int32
+		if len(edges) > 0 && i%3 == 0 {
+			e := edges[rng.Intn(len(edges))]
+			u, v = e[0], e[1]
+		} else {
+			u, v = int32(rng.Intn(g.N())), int32(rng.Intn(g.N()))
+		}
+		queryBoth(t, o, sc, cc, i%4, u, v)
+	}
+}
+
+func TestCacheEquivalenceRandomized(t *testing.T) {
+	// connect=false leaves small primary-free components in play, so the
+	// implicit-center path is covered alongside the cached cluster path.
+	g := graph.GNM(300, 360, 31, false)
+	o, _, _ := buildOracle(g, 8, 5)
+	sc := NewScratch()
+	cc := NewClusterCache(0)
+	randomizedQueries(t, o, g, sc, cc, 500, 1234)
+	hits, misses, _ := cc.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("suite did not exercise both cache outcomes: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCacheEquivalenceAcrossSwap(t *testing.T) {
+	// A snapshot swap rebuilds the oracle and replaces the cache; the
+	// worker-held Scratch survives. Equivalence must hold on the new epoch
+	// with the old, warm scratch.
+	g1 := graph.GNM(200, 280, 11, true)
+	o1, _, _ := buildOracle(g1, 8, 9)
+	sc := NewScratch()
+	cc1 := NewClusterCache(0)
+	randomizedQueries(t, o1, g1, sc, cc1, 200, 55)
+
+	g2 := graph.GNM(240, 300, 12, false)
+	o2, _, _ := buildOracle(g2, 8, 9)
+	cc2 := NewClusterCache(0)
+	randomizedQueries(t, o2, g2, sc, cc2, 200, 56)
+}
+
+func TestCacheEquivalenceConcurrent(t *testing.T) {
+	// One shared cache, one scratch per goroutine — the serving layer's
+	// shape. Run under -race this doubles as the cache's race gate.
+	g := graph.GNM(400, 520, 21, true)
+	o, _, _ := buildOracle(g, 8, 3)
+	cc := NewClusterCache(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			randomizedQueries(t, o, g, NewScratch(), cc, 150, uint64(9000+w))
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestClusterCacheEviction(t *testing.T) {
+	g := graph.GNM(300, 400, 41, true)
+	o, _, _ := buildOracle(g, 6, 7)
+	sc := NewScratch()
+	cc := NewClusterCache(2)
+	randomizedQueries(t, o, g, sc, cc, 300, 777)
+	if _, _, evicts := cc.Stats(); evicts == 0 {
+		t.Fatalf("capacity-2 cache saw no evictions over 300 randomized queries")
+	}
+	if got := cc.Len(); got > 2 {
+		t.Fatalf("cache holds %d entries, capacity 2", got)
+	}
+}
+
+func TestClusterCachePutFirstWins(t *testing.T) {
+	g := graph.Cycle(64)
+	o, _, _ := buildOracle(g, 8, 1)
+	m := asym.NewMeter(64)
+	cc := NewClusterCache(0)
+	a := o.localS(m, nil, nil, cc, 0)
+	b := o.localS(m, nil, nil, cc, 0)
+	if a != b {
+		t.Fatalf("second localS returned a different local graph than the cached one")
+	}
+	if hits, misses, _ := cc.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}

@@ -1,7 +1,10 @@
 package bicc
 
 import (
+	"slices"
+
 	"repro/internal/asym"
+	"repro/internal/decomp"
 	"repro/internal/graph"
 )
 
@@ -10,29 +13,63 @@ import (
 // biconnected / 1-edge-connected / edge-label queries, each touching at
 // most three local graphs plus O(1) stored words.
 //
+// Every query method comes in two forms: the plain paper-pristine form
+// (IsBridge, ...) that allocates per call, and an S-variant (IsBridgeS,
+// ...) threading an optional reusable *Scratch and *ClusterCache — the
+// serving layer's warm path. The plain form is the S form with nil for
+// both; answers and charged costs are identical across all four
+// combinations (cache hits replay the fill's recorded charges, see
+// cache.go).
+//
 // Concurrency contract: every stored field of Oracle is written by
 // BuildOracle and read-only afterwards. Local graphs and small-component
 // materializations are rebuilt per call in symmetric memory and never
-// cached on the Oracle (deliberately — a shared cache would both race and
-// hide the O(k²) read cost the paper charges per query), and the one lazy
+// cached *on the Oracle*; the optional ClusterCache is the caller-owned,
+// internally locked exception, and it keeps the paper's O(k²) read cost
+// visible by replaying the fill-time charges on every hit. The one lazy
 // structure reachable from a query, the Euler-tour LCA lifting table, is
 // forced at construction and guarded by a sync.Once in package eulertour.
-// Queries may therefore run from any number of goroutines concurrently;
-// each call charges only the Meter/SymTracker it is handed.
+// Queries may therefore run from any number of goroutines concurrently
+// (scratches must be goroutine-local; a cache may be shared); each call
+// charges only the Meter/SymTracker it is handed.
 
 // clusterOf returns the center index of v's cluster, or -1 for vertices of
 // small primary-free components (implicit centers).
 func (o *Oracle) clusterOf(m *asym.Meter, sym *asym.SymTracker, v int32) int32 {
-	s := o.D.Rho(m, sym, v)
+	return o.clusterOfS(m, sym, nil, v)
+}
+
+// clusterOfS is clusterOf with a reusable search scratch (nil allocates
+// per call).
+//
+//wec:noalloc
+func (o *Oracle) clusterOfS(m *asym.Meter, sym *asym.SymTracker, sc *decomp.Scratch, v int32) int32 {
+	s := o.D.RhoS(m, sym, sc, v)
 	return int32(o.D.CenterIndex(m, s))
 }
 
 // local rebuilds the Definition 4 local graph of cluster ci in symmetric
 // memory: O(k²) expected reads, no writes.
 func (o *Oracle) local(m *asym.Meter, sym *asym.SymTracker, ci int32) *localGraph {
+	return o.buildLocal(m, sym, nil, ci)
+}
+
+// buildLocal is the local-graph construction behind local (nil sc) and the
+// cache fill of localS (any sc). A non-nil scratch supplies the transient
+// build buffers — member list, tree-neighbor list, edge list, label and
+// witness sets — while the returned *localGraph always owns its maps and
+// node list: it is the artifact the ClusterCache retains, so nothing in it
+// may alias the scratch.
+func (o *Oracle) buildLocal(m *asym.Meter, sym *asym.SymTracker, sc *Scratch, ci int32) *localGraph {
 	d := o.D
 	s := d.Center(m, int(ci))
-	members := d.Cluster(m, sym, s)
+	members := d.ClusterS(m, sym, sc.dscratch(), s)
+	if sc != nil {
+		// NeighborCentersS below reuses the scratch's cluster buffers, so
+		// keep a private copy of the member list for the later passes.
+		sc.members = append(sc.members[:0], members...)
+		members = sc.members
+	}
 	lg := &localGraph{
 		idOf:   make(map[int32]int32, 2*len(members)),
 		inside: make(map[int32]bool, len(members)),
@@ -57,14 +94,10 @@ func (o *Oracle) local(m *asym.Meter, sym *asym.SymTracker, ci int32) *localGrap
 	}
 
 	// Tree neighbors: the parent edge plus one edge per child cluster.
-	type treeNbr struct {
-		child  int32 // cluster index keying the tree edge
-		inV    int32 // endpoint inside this cluster
-		outV   int32 // endpoint outside (the Vo node)
-		isPar  bool
-		labelC int32 // cluster label of the neighbor cluster
-	}
 	var tns []treeNbr
+	if sc != nil {
+		tns = sc.tns[:0]
+	}
 	if o.parentCluster[ci] != ci {
 		// The grouping label of a tree edge is the BC label of its lower
 		// endpoint (§5.2), so the parent edge (P, C) carries l(C) — two
@@ -77,7 +110,7 @@ func (o *Oracle) local(m *asym.Meter, sym *asym.SymTracker, ci int32) *localGrap
 		m.Read(3)
 	}
 	// Children are found among neighbor clusters.
-	for _, e := range o.D.NeighborCenters(m, sym, s) {
+	for _, e := range o.D.NeighborCentersS(m, sym, sc.dscratch(), s) {
 		cj := int32(o.D.CenterIndex(m, e.Other))
 		m.Read(1)
 		if o.parentCluster[cj] == ci {
@@ -90,6 +123,9 @@ func (o *Oracle) local(m *asym.Meter, sym *asym.SymTracker, ci int32) *localGrap
 	}
 
 	var edges [][2]int32
+	if sc != nil {
+		edges = sc.edges[:0]
+	}
 	addEdge := func(a, b int32) { edges = append(edges, [2]int32{addNode(a), addNode(b)}) }
 
 	// Category 1a: intra-cluster edges.
@@ -112,24 +148,45 @@ func (o *Oracle) local(m *asym.Meter, sym *asym.SymTracker, ci int32) *localGrap
 		addEdge(tn.inV, tn.outV)
 	}
 	// Category 2: chain same-labeled tree neighbors' outside vertices.
-	byLabel := map[int32][]int32{}
-	for _, tn := range tns {
-		byLabel[tn.labelC] = append(byLabel[tn.labelC], tn.outV)
+	// Labels are processed in sorted order — not Go's random map order — so
+	// the local edge list (and with it the Ref's BCC numbering) is a
+	// deterministic function of the snapshot, which is what lets the cache
+	// equivalence tests compare cached and fresh builds by equality.
+	var labels []int32
+	if sc != nil {
+		labels = sc.labels[:0]
 	}
-	for _, group := range byLabel {
-		for i := 0; i+1 < len(group); i++ {
-			addEdge(group[i], group[i+1])
+	for _, tn := range tns {
+		if !slices.Contains(labels, tn.labelC) { // |tns| is O(k); linear dedup
+			labels = append(labels, tn.labelC)
+		}
+	}
+	slices.Sort(labels)
+	for _, lab := range labels {
+		prev, havePrev := int32(0), false
+		for _, tn := range tns {
+			if tn.labelC != lab {
+				continue
+			}
+			if havePrev {
+				addEdge(prev, tn.outV)
+			}
+			prev, havePrev = tn.outV, true
 		}
 	}
 	// Category 3: boundary edges (v1 in C, v2 outside, not a tree edge)
 	// re-attach to the Vo node whose cluster subtree contains cluster(v2).
-	isTreeWitness := func(a, b int32) bool {
-		for _, tn := range tns {
-			if tn.inV == a && tn.outV == b {
-				return true
-			}
-		}
-		return false
+	// The witness set is prebuilt once — the Category 3 loop probes it per
+	// boundary edge, so a linear scan over tns there would be O(k·|tns|).
+	var witness map[[2]int32]bool
+	if sc != nil {
+		clear(sc.witness)
+		witness = sc.witness
+	} else {
+		witness = make(map[[2]int32]bool, len(tns))
+	}
+	for _, tn := range tns {
+		witness[[2]int32{tn.inV, tn.outV}] = true
 	}
 	for _, v := range members {
 		deg := vw.Degree(int(v))
@@ -138,10 +195,10 @@ func (o *Oracle) local(m *asym.Meter, sym *asym.SymTracker, ci int32) *localGrap
 			if lg.inside[u] {
 				continue
 			}
-			if isTreeWitness(v, u) {
+			if witness[[2]int32{v, u}] {
 				continue // category 1b already added it
 			}
-			cu := o.clusterOf(m, sym, u)
+			cu := o.clusterOfS(m, sym, sc.dscratch(), u)
 			vo := int32(-1)
 			for _, tn := range tns {
 				if tn.isPar {
@@ -163,8 +220,11 @@ func (o *Oracle) local(m *asym.Meter, sym *asym.SymTracker, ci int32) *localGrap
 			addEdge(v, vo)
 		}
 	}
-	lg.ref = NewRef(graph.FromEdges(len(lg.nodes), edges))
+	lg.ref = NewRef(graph.FromEdges(len(lg.nodes), edges)) // FromEdges copies edges: lg never aliases the scratch
 	m.Op(len(lg.nodes) + len(edges))
+	if sc != nil {
+		sc.tns, sc.edges, sc.labels = tns, edges, labels
+	}
 	return lg
 }
 
@@ -200,8 +260,16 @@ func (o *Oracle) smallComponent(m *asym.Meter, sym *asym.SymTracker, v int32) (*
 // in-cluster edges use the local graph (Lemma 5.5), cluster tree edges use
 // the precomputed clusters-graph bridge bit, cross edges are never bridges.
 func (o *Oracle) IsBridge(m *asym.Meter, sym *asym.SymTracker, u, v int32) bool {
-	cu := o.clusterOf(m, sym, u)
-	cv := o.clusterOf(m, sym, v)
+	return o.IsBridgeS(m, sym, nil, nil, u, v)
+}
+
+// IsBridgeS is IsBridge with an optional reusable scratch and local-graph
+// cache — the serving layer's warm path. Identical answers and charges.
+//
+//wec:noalloc
+func (o *Oracle) IsBridgeS(m *asym.Meter, sym *asym.SymTracker, sc *Scratch, cc *ClusterCache, u, v int32) bool {
+	cu := o.clusterOfS(m, sym, sc.dscratch(), u)
+	cv := o.clusterOfS(m, sym, sc.dscratch(), v)
 	if cu < 0 || cv < 0 {
 		if cu != cv {
 			return false
@@ -210,7 +278,7 @@ func (o *Oracle) IsBridge(m *asym.Meter, sym *asym.SymTracker, u, v int32) bool 
 		return ref.IsBridge(id[u], id[v])
 	}
 	if cu == cv {
-		lg := o.local(m, sym, cu)
+		lg := o.localS(m, sym, sc, cc, cu)
 		return lg.ref.IsBridge(lg.idOf[u], lg.idOf[v])
 	}
 	// Tree edge between adjacent clusters?
@@ -232,20 +300,31 @@ func (o *Oracle) IsBridge(m *asym.Meter, sym *asym.SymTracker, u, v int32) bool 
 // IsArticulation reports whether v is a cut vertex of G: exactly when it is
 // one in its cluster's local graph (§5.3 "Articulation points").
 func (o *Oracle) IsArticulation(m *asym.Meter, sym *asym.SymTracker, v int32) bool {
-	ci := o.clusterOf(m, sym, v)
+	return o.IsArticulationS(m, sym, nil, nil, v)
+}
+
+// IsArticulationS is IsArticulation with an optional reusable scratch and
+// local-graph cache — the serving layer's warm path.
+//
+//wec:noalloc
+func (o *Oracle) IsArticulationS(m *asym.Meter, sym *asym.SymTracker, sc *Scratch, cc *ClusterCache, v int32) bool {
+	ci := o.clusterOfS(m, sym, sc.dscratch(), v)
 	if ci < 0 {
 		ref, id := o.smallComponent(m, sym, v)
 		return ref.IsArticulation[id[v]]
 	}
-	lg := o.local(m, sym, ci)
+	lg := o.localS(m, sym, sc, cc, ci)
 	return lg.ref.IsArticulation[lg.idOf[v]]
 }
 
 // pathCheck runs the shared machinery of the pairwise queries: it verifies
 // the cluster tree path between c1 and c2 is passable under the given
 // blocked-depth array and local predicate, with vertices v1, v2 as the
-// endpoints inside c1, c2.
-func (o *Oracle) pathCheck(m *asym.Meter, sym *asym.SymTracker, v1, v2 int32, c1, c2 int32,
+// endpoints inside c1, c2. sc and cc are the optional warm-path scratch
+// and local-graph cache (both nil-safe).
+//
+//wec:noalloc
+func (o *Oracle) pathCheck(m *asym.Meter, sym *asym.SymTracker, sc *Scratch, cc *ClusterCache, v1, v2 int32, c1, c2 int32,
 	deepBlock []int32,
 	localPred func(lg *localGraph, a, b int32) bool) bool {
 	m.Read(2)
@@ -253,7 +332,7 @@ func (o *Oracle) pathCheck(m *asym.Meter, sym *asym.SymTracker, v1, v2 int32, c1
 		return false // different components
 	}
 	if c1 == c2 {
-		lg := o.local(m, sym, c1)
+		lg := o.localS(m, sym, sc, cc, c1)
 		return localPred(lg, lg.idOf[v1], lg.idOf[v2])
 	}
 	cl := o.ctree.LCA(m, c1, c2)
@@ -268,7 +347,7 @@ func (o *Oracle) pathCheck(m *asym.Meter, sym *asym.SymTracker, v1, v2 int32, c1
 			return v, true
 		}
 		// Exit check inside c: v must reach the parent attach vertex.
-		lg := o.local(m, sym, c)
+		lg := o.localS(m, sym, sc, cc, c)
 		m.Read(1)
 		if !localPred(lg, lg.idOf[v], lg.idOf[o.parentAttach[c]]) {
 			return 0, false
@@ -292,7 +371,7 @@ func (o *Oracle) pathCheck(m *asym.Meter, sym *asym.SymTracker, v1, v2 int32, c1
 	if !ok {
 		return false
 	}
-	lg := o.local(m, sym, cl)
+	lg := o.localS(m, sym, sc, cc, cl)
 	return localPred(lg, lg.idOf[a1], lg.idOf[a2])
 }
 
@@ -300,11 +379,19 @@ func (o *Oracle) pathCheck(m *asym.Meter, sym *asym.SymTracker, v1, v2 int32, c1
 // v2 — equivalently, whether they share a biconnected component. O(k²)
 // expected reads, no writes.
 func (o *Oracle) Biconnected(m *asym.Meter, sym *asym.SymTracker, v1, v2 int32) bool {
+	return o.BiconnectedS(m, sym, nil, nil, v1, v2)
+}
+
+// BiconnectedS is Biconnected with an optional reusable scratch and
+// local-graph cache — the serving layer's warm path.
+//
+//wec:noalloc
+func (o *Oracle) BiconnectedS(m *asym.Meter, sym *asym.SymTracker, sc *Scratch, cc *ClusterCache, v1, v2 int32) bool {
 	if v1 == v2 {
 		return true
 	}
-	c1 := o.clusterOf(m, sym, v1)
-	c2 := o.clusterOf(m, sym, v2)
+	c1 := o.clusterOfS(m, sym, sc.dscratch(), v1)
+	c2 := o.clusterOfS(m, sym, sc.dscratch(), v2)
 	if c1 < 0 || c2 < 0 {
 		if c1 != c2 {
 			return false
@@ -315,7 +402,7 @@ func (o *Oracle) Biconnected(m *asym.Meter, sym *asym.SymTracker, v1, v2 int32) 
 		}
 		return ref.SameBCC(id[v1], id[v2])
 	}
-	return o.pathCheck(m, sym, v1, v2, c1, c2, o.deepBlockV,
+	return o.pathCheck(m, sym, sc, cc, v1, v2, c1, c2, o.deepBlockV,
 		func(lg *localGraph, a, b int32) bool {
 			if a == b {
 				return true
@@ -328,11 +415,19 @@ func (o *Oracle) Biconnected(m *asym.Meter, sym *asym.SymTracker, v1, v2 int32) 
 // from v2 (they are in the same 2-edge-connected component). O(k²) expected
 // reads, no writes.
 func (o *Oracle) OneEdgeConnected(m *asym.Meter, sym *asym.SymTracker, v1, v2 int32) bool {
+	return o.OneEdgeConnectedS(m, sym, nil, nil, v1, v2)
+}
+
+// OneEdgeConnectedS is OneEdgeConnected with an optional reusable scratch
+// and local-graph cache — the serving layer's warm path.
+//
+//wec:noalloc
+func (o *Oracle) OneEdgeConnectedS(m *asym.Meter, sym *asym.SymTracker, sc *Scratch, cc *ClusterCache, v1, v2 int32) bool {
 	if v1 == v2 {
 		return true
 	}
-	c1 := o.clusterOf(m, sym, v1)
-	c2 := o.clusterOf(m, sym, v2)
+	c1 := o.clusterOfS(m, sym, sc.dscratch(), v1)
+	c2 := o.clusterOfS(m, sym, sc.dscratch(), v2)
 	if c1 < 0 || c2 < 0 {
 		if c1 != c2 {
 			return false
@@ -343,7 +438,7 @@ func (o *Oracle) OneEdgeConnected(m *asym.Meter, sym *asym.SymTracker, v1, v2 in
 		}
 		return ref.TwoEdgeCC[id[v1]] == ref.TwoEdgeCC[id[v2]]
 	}
-	return o.pathCheck(m, sym, v1, v2, c1, c2, o.deepBlockE,
+	return o.pathCheck(m, sym, sc, cc, v1, v2, c1, c2, o.deepBlockE,
 		func(lg *localGraph, a, b int32) bool {
 			if a == b {
 				return true

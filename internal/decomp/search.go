@@ -31,6 +31,19 @@ type Scratch struct {
 	frontier []int32
 	next     []int32
 	path     []int32
+
+	// Cluster/NeighborCenters workspaces (ClusterS, NeighborCentersS).
+	// Disjoint from the search fields above, so a cluster listing can call
+	// RhoS on the same scratch while its own buffers stay live. The maps
+	// are lazily created: connectivity workers share the Scratch type but
+	// never run cluster listings.
+	cOut      []int32
+	cFrontier []int32
+	cNext     []int32
+	cSeen     map[int32]bool
+	ncOut     []CenterEdge
+	ncSeen    map[int32]int
+	ncIn      map[int32]bool
 }
 
 // NewScratch returns an empty reusable search workspace.
@@ -338,6 +351,63 @@ func (d *Decomposition) Cluster(m *asym.Meter, sym *asym.SymTracker, s int32) []
 	return out
 }
 
+// ClusterS is Cluster with a caller-provided reusable scratch (nil
+// delegates to Cluster) — the warm biconnectivity query path. The returned
+// slice is borrowed from the scratch and only valid until its next
+// ClusterS/NeighborCentersS call. Charged costs and the symmetric-memory
+// high-water are identical to Cluster's: the same acquires happen at the
+// same points, and the per-seen deferred releases (all of which run at
+// return) are replaced by one counted release at return.
+//
+//wec:noalloc
+func (d *Decomposition) ClusterS(m *asym.Meter, sym *asym.SymTracker, sc *Scratch, s int32) []int32 {
+	if sc == nil {
+		return d.Cluster(m, sym, s)
+	}
+	if sc.cSeen == nil {
+		sc.cSeen = make(map[int32]bool, 64) //wec:alloc one-time lazy init; reused for the scratch's lifetime
+	}
+	out := sc.cOut[:0]
+	frontier := append(sc.cFrontier[:0], s) //wec:alloc amortized scratch growth; steady state stays within capacity
+	next := sc.cNext[:0]
+	clear(sc.cSeen)
+	seen := sc.cSeen
+	seen[s] = true
+	acquired := 0
+	if sym != nil {
+		sym.Acquire(1)
+		acquired = 1
+	}
+	vw := graph.View{G: d.g, M: m}
+	for len(frontier) > 0 {
+		next = next[:0]
+		for _, x := range frontier {
+			if d.RhoS(m, sym, sc, x) != s {
+				continue
+			}
+			out = append(out, x) //wec:alloc amortized scratch growth; steady state stays within capacity
+			deg := vw.Degree(int(x))
+			for i := 0; i < deg; i++ {
+				u := vw.Neighbor(int(x), i)
+				if !seen[u] {
+					seen[u] = true
+					if sym != nil {
+						sym.Acquire(1)
+						acquired++
+					}
+					next = append(next, u) //wec:alloc amortized scratch growth; steady state stays within capacity
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	if sym != nil {
+		sym.Release(acquired)
+	}
+	sc.cOut, sc.cFrontier, sc.cNext = out, frontier, next
+	return out
+}
+
 // NeighborCenters lists the centers adjacent to s in the clusters graph
 // (Lemma 4.3: O(k²) expected reads, no writes), deduplicated, along with
 // one witness edge {inVertex, outVertex} per neighbor center for spanning
@@ -381,6 +451,60 @@ func (d *Decomposition) NeighborCenters(m *asym.Meter, sym *asym.SymTracker, s i
 			out = append(out, CenterEdge{Other: t, From: v, To: u, Multiplicity: 1})
 		}
 	}
+	return out
+}
+
+// NeighborCentersS is NeighborCenters with a caller-provided reusable
+// scratch (nil delegates to NeighborCenters). Like the original it runs the
+// cluster listing itself, so its charged costs stay identical; the returned
+// slice — and the members slice of the inner ClusterS call — are borrowed
+// from the scratch and only valid until its next use.
+//
+//wec:noalloc
+func (d *Decomposition) NeighborCentersS(m *asym.Meter, sym *asym.SymTracker, sc *Scratch, s int32) []CenterEdge {
+	if sc == nil {
+		return d.NeighborCenters(m, sym, s)
+	}
+	members := d.ClusterS(m, sym, sc, s)
+	if sc.ncIn == nil {
+		sc.ncIn = make(map[int32]bool, 64) //wec:alloc one-time lazy init; reused for the scratch's lifetime
+	}
+	if sc.ncSeen == nil {
+		sc.ncSeen = make(map[int32]int, 16) //wec:alloc one-time lazy init; reused for the scratch's lifetime
+	}
+	clear(sc.ncIn)
+	inCluster := sc.ncIn
+	for _, v := range members {
+		inCluster[v] = true
+	}
+	if sym != nil {
+		sym.Acquire(len(members))
+		defer sym.Release(len(members))
+	}
+	out := sc.ncOut[:0]
+	clear(sc.ncSeen)
+	seen := sc.ncSeen // neighbor center -> index into out
+	vw := graph.View{G: d.g, M: m}
+	for _, v := range members {
+		deg := vw.Degree(int(v))
+		for i := 0; i < deg; i++ {
+			u := vw.Neighbor(int(v), i)
+			if inCluster[u] {
+				continue
+			}
+			t := d.RhoS(m, sym, sc, u)
+			if t == s {
+				continue
+			}
+			if j, ok := seen[t]; ok {
+				out[j].Multiplicity++
+				continue
+			}
+			seen[t] = len(out)
+			out = append(out, CenterEdge{Other: t, From: v, To: u, Multiplicity: 1}) //wec:alloc amortized scratch growth; steady state stays within capacity
+		}
+	}
+	sc.ncOut = out
 	return out
 }
 

@@ -117,8 +117,15 @@ func (a ConnAdapter) Remap() map[int32]int32 { return a.O.Remap() }
 
 // BiccAdapter serves the biconnectivity kinds over a bicc.Oracle
 // (Theorem 5.3). Biconnectivity is not insertion-monotone, so there is no
-// incremental path: the engine rebuilds it on every snapshot.
-type BiccAdapter struct{ O *bicc.Oracle }
+// incremental path: the engine rebuilds it on every snapshot. Cache, when
+// non-nil, memoizes materialized cluster local graphs for the fast path;
+// it is created fresh by the factory on every (re)build, so it can never
+// serve a stale epoch, and hits replay the fill-time charges so telemetry
+// matches the uncached path exactly.
+type BiccAdapter struct {
+	O     *bicc.Oracle
+	Cache *bicc.ClusterCache
+}
 
 // Answer dispatches bridge/articulation/biconnected/2ecc queries.
 func (a BiccAdapter) Answer(m *asym.Meter, sym *asym.SymTracker, q Query) (Answer, error) {
@@ -142,28 +149,38 @@ func (a BiccAdapter) Answer(m *asym.Meter, sym *asym.SymTracker, q Query) (Answe
 // NumBCC reports the snapshot's biconnected-component count.
 func (a BiccAdapter) NumBCC() int { return a.O.NumBCC }
 
-// NewScratch returns nil: the biconnectivity queries build per-query local
-// graphs whose scratch is not yet pooled (FastAnswerer).
-func (a BiccAdapter) NewScratch() any { return nil }
+// NewScratch returns the reusable local-graph build workspace of the
+// zero-alloc fast path (FastAnswerer).
+func (a BiccAdapter) NewScratch() any { return bicc.NewScratch() }
 
 // AnswerFast answers the biconnectivity kinds without boxing the result
-// (FastAnswerer). The per-query local-graph construction inside the oracle
-// is unchanged; what the fast path removes is the serving layer's
-// per-answer heap traffic.
+// (FastAnswerer), reusing the worker's build scratch and the adapter's
+// cluster local-graph cache. Equivalent to Answer in answers, errors, and
+// charged costs (cache hits replay the fill-time charges).
 //
 //wec:noalloc
-func (a BiccAdapter) AnswerFast(m *asym.Meter, sym *asym.SymTracker, q Query, _ any) (AnswerVal, error) {
+func (a BiccAdapter) AnswerFast(m *asym.Meter, sym *asym.SymTracker, q Query, scratch any) (AnswerVal, error) {
+	sc, _ := scratch.(*bicc.Scratch)
 	switch q.Kind {
 	case KindBridge:
-		return AnswerVal{IsBool: true, Bool: a.O.IsBridge(m, sym, q.U, q.V)}, nil
+		return AnswerVal{IsBool: true, Bool: a.O.IsBridgeS(m, sym, sc, a.Cache, q.U, q.V)}, nil
 	case KindArticulation:
-		return AnswerVal{IsBool: true, Bool: a.O.IsArticulation(m, sym, q.U)}, nil
+		return AnswerVal{IsBool: true, Bool: a.O.IsArticulationS(m, sym, sc, a.Cache, q.U)}, nil
 	case KindBiconnected:
-		return AnswerVal{IsBool: true, Bool: a.O.Biconnected(m, sym, q.U, q.V)}, nil
+		return AnswerVal{IsBool: true, Bool: a.O.BiconnectedS(m, sym, sc, a.Cache, q.U, q.V)}, nil
 	case KindTwoEdgeConnected:
-		return AnswerVal{IsBool: true, Bool: a.O.OneEdgeConnected(m, sym, q.U, q.V)}, nil
+		return AnswerVal{IsBool: true, Bool: a.O.OneEdgeConnectedS(m, sym, sc, a.Cache, q.U, q.V)}, nil
 	}
 	return AnswerVal{}, fmt.Errorf("oracle: bicc does not serve kind %q", q.Kind) //wec:alloc unknown-kind error path, not the hot answer path
+}
+
+// CacheStats reports the adapter's cluster-cache hit/miss/eviction counts
+// (CacheStatser); zeros without a cache.
+func (a BiccAdapter) CacheStats() (hits, misses, evictions int64) {
+	if a.Cache == nil {
+		return 0, 0, 0
+	}
+	return a.Cache.Stats()
 }
 
 // The built-ins register here (one init so the kind order is fixed:
@@ -196,7 +213,9 @@ func init() {
 			{Kind: KindTwoEdgeConnected, Pairwise: true},
 		},
 		Build: func(c *parallel.Ctx, vw graph.View, k int, seed uint64) QueryOracle {
-			return BiccAdapter{O: bicc.BuildOracle(c, vw, nil, k, seed)}
+			// A fresh cache per build: the engine rebuilds bicc on every
+			// snapshot, so cache lifetime == epoch lifetime by construction.
+			return BiccAdapter{O: bicc.BuildOracle(c, vw, nil, k, seed), Cache: bicc.NewClusterCache(0)}
 		},
 	})
 }

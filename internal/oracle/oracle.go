@@ -160,6 +160,14 @@ type ComponentCounter interface{ NumComponents() int }
 // BCCCounter exposes the biconnected-component count of the snapshot.
 type BCCCounter interface{ NumBCC() int }
 
+// CacheStatser is implemented by oracles whose fast path memoizes derived
+// per-snapshot structures (the bicc cluster local-graph cache). The
+// serving layer sums these counters into /stats; caching must never change
+// answers or charged costs — hits replay the fill-time charges.
+type CacheStatser interface {
+	CacheStats() (hits, misses, evictions int64)
+}
+
 // Factory builds the oracle serving one family of kinds. Build runs under a
 // parallel.Ctx (construction work and depth are metered) and must return an
 // immutable oracle; k <= 0 selects the factory's default (the paper's

@@ -52,6 +52,62 @@ func TestConnFastPathZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestBiccWarmPathAllocCeiling pins the warmed biconnectivity query path:
+// once every cluster's local graph is cached (and with a stream of
+// never-repeating queries, so the result cache cannot answer and every
+// query exercises the oracle through the cluster cache), the fast path
+// must stay at or under 2 allocations per query. This is the runtime gate
+// behind the bicc rows of BENCH_query_hot_path.json.
+func TestBiccWarmPathAllocCeiling(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	// Connected cycle-plus-chords graph: no small-component path (which
+	// deliberately stays allocating), rich biconnectivity structure.
+	const n = 2048
+	var edges [][2]int32
+	for i := int32(0); i < n; i++ {
+		edges = append(edges, [2]int32{i, (i + 1) % n})
+		if i%3 == 0 {
+			edges = append(edges, [2]int32{i, (i + 97) % n})
+		}
+	}
+	g := graph.FromEdges(n, edges)
+	e := New(g, Config{Omega: 64, Seed: 7, Workers: 1})
+	defer e.Close()
+
+	s := e.snap.Load()
+	kinds := []Kind{KindBridge, KindArticulation, KindBiconnected, KindTwoEdgeConnected}
+	// Never-repeating (kind, u, v) triples: the pair (u, v) is a bijection
+	// of the cursor below n², so the result cache misses on every query and
+	// only the cluster cache serves the warm path.
+	queryAt := func(i int) Query {
+		return Query{Kind: kinds[i%4], U: int32((i / n) % n), V: int32(i % n)}
+	}
+	cursor := 0
+	runBatch := func(batch int) {
+		w := e.getWorker(s)
+		labels := make([]int32, 0, batch)
+		for j := 0; j < batch; j++ {
+			if r := e.answer(s, w, queryAt(cursor), &labels); r.Err != "" {
+				t.Fatalf("query %d: %s", cursor, r.Err)
+			}
+			cursor++
+		}
+		w.mergeInto(e)
+		e.putWorker(w)
+	}
+	// Warm pass: every vertex appears as an endpoint, so every cluster's
+	// local graph is filled (each cluster is its own center's cluster).
+	for cursor < 3*n {
+		runBatch(256)
+	}
+	const batch = 256
+	allocs := testing.AllocsPerRun(20, func() { runBatch(batch) })
+	perQuery := allocs / batch
+	if perQuery > 2 {
+		t.Errorf("warmed bicc path: %.1f allocs/batch = %.2f allocs/query, want <= 2", allocs, perQuery)
+	}
+}
+
 // TestDoBatchAllocBound pins the amortized per-query allocation cost of the
 // public batch path: a Do call allocates its result slice, one label arena
 // per chunk, and pool bookkeeping — constant per batch — so per query it

@@ -189,6 +189,26 @@ type KindStats struct {
 	Cost   asym.Cost `json:"cost"`
 }
 
+// ResultCacheStats is the epoch-keyed hot-pair result cache telemetry
+// (resultcache.go). BatchDedup counts answers served from the batch-local
+// duplicate map, which sits in front of the shared table.
+type ResultCacheStats struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+	BatchDedup int64 `json:"batch_dedup"`
+}
+
+// CacheStats is the oracle-side derived-structure cache telemetry (the
+// bicc cluster local-graph cache), cumulative across snapshot swaps:
+// retired snapshots' counters are folded into the engine at publish time
+// and the live snapshot's are added on read.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
 // AdmissionStats is the per-graph admission-control telemetry.
 type AdmissionStats struct {
 	// MaxInflight is the configured cap (0 = unlimited).
@@ -222,6 +242,12 @@ type Stats struct {
 	BuildCosts   map[string]asym.Cost `json:"build_costs"`
 	Queries      map[string]KindStats `json:"queries"`
 	TotalQueries int64                `json:"total_queries"`
+
+	// Query-path cache telemetry: the engine's result memoization and the
+	// bicc oracle's cluster local-graph cache. Both replay fill-time
+	// charges on hits, so Queries' costs above are unaffected by either.
+	ResultCache  ResultCacheStats `json:"result_cache"`
+	ClusterCache CacheStats       `json:"cluster_cache"`
 
 	// Admission control (this graph) and the worker pool (shared across
 	// graphs when the engine belongs to a Registry).
@@ -335,6 +361,21 @@ type Engine struct {
 	// serving allocates nothing per chunk. Unused under LegacyDispatch.
 	wpool sync.Pool
 
+	// rcache is the epoch-keyed hot-pair result cache of the fast path
+	// (resultcache.go); the atomics below are its cumulative telemetry
+	// plus the retired snapshots' cluster-cache counters (the live
+	// snapshot's are read on demand in Stats). Unused under LegacyDispatch
+	// — the legacy path recomputes every answer, which is what makes it a
+	// true pre-optimization baseline.
+	rcache    *resultCache
+	rcHits    atomic.Int64
+	rcMisses  atomic.Int64
+	rcEvicts  atomic.Int64
+	dedupHits atomic.Int64
+	ccHits    atomic.Int64
+	ccMisses  atomic.Int64
+	ccEvicts  atomic.Int64
+
 	// Per-kind aggregates. The meters are shared long-lived accumulators
 	// (atomic internally); workers merge into them only at shard
 	// completion, so the per-query hot path touches worker-local state
@@ -416,6 +457,7 @@ func New(g *graph.Graph, cfg Config) *Engine {
 		pubSeq:      cfg.InitialSeq,
 		pool:        pool,
 		maxInflight: int64(cfg.MaxInflight),
+		rcache:      newResultCache(),
 		disp:        asym.NewMeter(omega),
 		byKind:      map[oracle.Kind]kindRef{},
 		facByName:   map[string]int{},
@@ -629,14 +671,28 @@ type worker struct {
 	// depends only on the oracle's type, so a pooled worker's scratch
 	// stays valid across snapshot swaps.
 	scratch []any
+	// batchSeen dedupes repeated (kind, u, v) queries within one chunk.
+	// Cleared in getWorker, so entries never outlive the chunk — and since
+	// a chunk runs entirely against one loaded snapshot, they never cross
+	// epochs either.
+	batchSeen map[rcKey]rcVal
+	// fillSym isolates the symmetric peak of one cache-filling query so it
+	// can be recorded for replay: it is Reset before each fill, and the
+	// observed peak is pulsed onto sym (every query returns its footprint
+	// to zero, so the worker's cumulative high-water is the max of
+	// per-query peaks either way).
+	fillSym *asym.SymTracker
+	dedup   int64 // batch-local dedup hits, flushed by mergeInto
 }
 
 func (e *Engine) newWorker() *worker {
 	w := &worker{
-		meters: make([]*asym.Meter, len(e.specs)),
-		counts: make([]int64, len(e.specs)),
-		errs:   make([]int64, len(e.specs)),
-		sym:    asym.NewSymTracker(e.sym),
+		meters:    make([]*asym.Meter, len(e.specs)),
+		counts:    make([]int64, len(e.specs)),
+		errs:      make([]int64, len(e.specs)),
+		sym:       asym.NewSymTracker(e.sym),
+		batchSeen: make(map[rcKey]rcVal, 64),
+		fillSym:   asym.NewSymTracker(0),
 	}
 	for i := range w.meters {
 		w.meters[i] = asym.NewMeter(e.omega)
@@ -659,6 +715,7 @@ func (e *Engine) getWorker(s *snapshot) *worker {
 			}
 		}
 	}
+	clear(w.batchSeen) // chunk-local: entries must not leak across batches
 	return w
 }
 
@@ -686,6 +743,24 @@ func (w *worker) mergeInto(e *Engine) {
 		e.kinds[i].errors.Add(w.errs[i])
 		e.total.Add(w.counts[i])
 	}
+	if w.dedup != 0 {
+		e.dedupHits.Add(w.dedup)
+		w.dedup = 0
+	}
+}
+
+// replay charges a memoized answer's recorded meter cost and symmetric
+// peak onto the worker's state, making a cache hit telemetry-identical to
+// the query that filled the entry.
+//
+//wec:noalloc
+func (w *worker) replay(m *asym.Meter, v rcVal) oracle.AnswerVal {
+	m.Merge(v.cost)
+	if v.peak > 0 {
+		w.sym.Acquire(int(v.peak))
+		w.sym.Release(int(v.peak))
+	}
+	return v.av
 }
 
 // Shared Result.Bool targets: boolean answers point at one of these two
@@ -733,10 +808,43 @@ func (e *Engine) answer(s *snapshot, w *worker, q Query, labels *[]int32) Result
 	m := w.meters[ref.agg]
 	if labels != nil {
 		if fa := s.fast[ref.fac]; fa != nil {
-			av, err := fa.AnswerFast(m, w.sym, oracle.Query{Kind: q.Kind, U: q.U, V: q.V}, w.scratch[ref.fac])
-			if err != nil {
-				w.errs[ref.agg]++
-				return Result{Err: err.Error()}
+			// Result memoization, two layers: the chunk-local batchSeen map
+			// (duplicates inside one batch), then the engine's epoch-keyed
+			// shared table. Hits replay the memoized query's recorded cost
+			// and symmetric peak, so per-kind telemetry is identical to
+			// recomputing; misses compute, record, and publish. Errors are
+			// never memoized.
+			key := rcKey{agg: int32(ref.agg), u: q.U, v: q.V}
+			var av oracle.AnswerVal
+			if hit, ok := w.batchSeen[key]; ok {
+				w.dedup++
+				av = w.replay(m, hit)
+			} else if hit, ok := e.rcache.get(s.epoch, key); ok {
+				e.rcHits.Add(1)
+				w.batchSeen[key] = hit
+				av = w.replay(m, hit)
+			} else {
+				e.rcMisses.Add(1)
+				before := m.Snapshot()
+				w.fillSym.Reset()
+				var err error
+				av, err = fa.AnswerFast(m, w.fillSym, oracle.Query{Kind: q.Kind, U: q.U, V: q.V}, w.scratch[ref.fac])
+				// Pulse the fill's isolated peak onto the worker tracker:
+				// queries return their footprint to zero, so the worker's
+				// high-water is the max of per-query peaks either way.
+				if peak := w.fillSym.HighWater(); peak > 0 {
+					w.sym.Acquire(int(peak))
+					w.sym.Release(int(peak))
+				}
+				if err != nil {
+					w.errs[ref.agg]++
+					return Result{Err: err.Error()}
+				}
+				val := rcVal{av: av, cost: m.Snapshot().Sub(before), peak: w.fillSym.HighWater()}
+				w.batchSeen[key] = val
+				if e.rcache.put(s.epoch, key, val) {
+					e.rcEvicts.Add(1)
+				}
 			}
 			m.Write(1) // store the answer (output-sized cost)
 			w.counts[ref.agg]++
@@ -874,6 +982,23 @@ func (e *Engine) Stats() Stats {
 			Count:  e.kinds[i].count.Load(),
 			Errors: e.kinds[i].errors.Load(),
 			Cost:   e.kinds[i].meter.Snapshot(),
+		}
+	}
+	s.ResultCache = ResultCacheStats{
+		Hits:       e.rcHits.Load(),
+		Misses:     e.rcMisses.Load(),
+		Evictions:  e.rcEvicts.Load(),
+		BatchDedup: e.dedupHits.Load(),
+	}
+	// Cluster-cache counters: retired snapshots' totals (folded in at
+	// publish time, update.go) plus the live snapshot's.
+	s.ClusterCache = CacheStats{Hits: e.ccHits.Load(), Misses: e.ccMisses.Load(), Evictions: e.ccEvicts.Load()}
+	for _, o := range sn.oracles {
+		if cs, ok := o.(oracle.CacheStatser); ok {
+			h, ms, ev := cs.CacheStats()
+			s.ClusterCache.Hits += h
+			s.ClusterCache.Misses += ms
+			s.ClusterCache.Evictions += ev
 		}
 	}
 	s.Admission = AdmissionStats{

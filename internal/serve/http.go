@@ -177,6 +177,9 @@ type StatsJSON struct {
 	Admission AdmissionJSON `json:"admission"`
 	Pool      PoolJSON      `json:"pool"`
 
+	ResultCache  ResultCacheStats `json:"result_cache"`
+	ClusterCache CacheStats       `json:"cluster_cache"`
+
 	Epoch               int64                       `json:"epoch"`
 	PendingUpdates      int                         `json:"pending_updates"`
 	TotalRebuilds       int64                       `json:"total_rebuilds"`
@@ -555,6 +558,8 @@ func statsJSON(s Stats) StatsJSON {
 		Tasks:       s.Pool.Tasks,
 		QueueWaitMs: float64(s.Pool.QueueWait.Microseconds()) / 1000,
 	}
+	out.ResultCache = s.ResultCache
+	out.ClusterCache = s.ClusterCache
 	out.Epoch = s.Epoch
 	out.PendingUpdates = s.PendingUpdates
 	out.TotalRebuilds = s.TotalRebuilds

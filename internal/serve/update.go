@@ -247,6 +247,18 @@ func (e *Engine) rebuildLoop() {
 
 		e.mu.Lock()
 		if err == nil {
+			// The outgoing snapshot's oracle-side cache counters retire into
+			// the engine accumulators so /stats stays cumulative across
+			// swaps (the caches themselves are rebuilt with their oracles —
+			// that is the epoch invalidation rule).
+			for _, o := range cur.oracles {
+				if cs, ok := o.(oracle.CacheStatser); ok {
+					h, ms, ev := cs.CacheStats()
+					e.ccHits.Add(h)
+					e.ccMisses.Add(ms)
+					e.ccEvicts.Add(ev)
+				}
+			}
 			e.snap.Store(next)
 			e.pubSeq = batches[len(batches)-1].seq
 			e.nRebuilds++
