@@ -8,7 +8,7 @@ GO ?= go
 # oracles and generators, plus their concurrently-used dependencies); the
 # full suite under -race is too slow for a gate.
 RACE_PKGS := ./internal/serve/... ./internal/oracle/... ./internal/store/... \
-             ./internal/conn/ ./internal/asym/ \
+             ./internal/conn/ ./internal/asym/ ./internal/obs/ \
              ./internal/parallel/ ./internal/eulertour/ ./internal/graphio/ \
              ./internal/unionfind/ \
              ./internal/bicc/ ./internal/spanning/ ./internal/ldd/ \

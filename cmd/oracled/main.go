@@ -25,6 +25,16 @@
 // write-efficient incremental path. Every rebuild is logged with its
 // graph, strategy and per-phase asymmetric costs.
 //
+// Observability: the daemon logs structured JSON (log/slog) on stdout,
+// with graph/epoch/strategy fields on lifecycle and rebuild events. The
+// fleet's metrics are served in Prometheus text format at GET /metrics and
+// recent slow-request traces at GET /debug/traces (capture threshold set
+// by -slowquery; negative captures every request). -opsaddr starts a
+// second listener carrying /metrics, /debug/traces and net/http/pprof —
+// so profiling and scraping stay reachable (and access-controllable)
+// separately from query traffic. -version prints build/VCS info and
+// exits.
+//
 // Usage:
 //
 //	oracled -graph edges.txt -addr :8080 -omega 64
@@ -32,6 +42,8 @@
 //
 //	curl -s localhost:8080/healthz       # 503 until the default graph is ready
 //	curl -s localhost:8080/info
+//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/debug/traces
 //	curl -s -d '{"kind":"connected","u":0,"v":42}' localhost:8080/query
 //	curl -s -d '{"queries":[{"kind":"component","u":7},{"kind":"bridge","u":1,"v":2}]}' \
 //	     localhost:8080/batch
@@ -74,17 +86,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
-	"sort"
-	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -124,8 +137,17 @@ func main() {
 		fsync    = flag.String("fsync", store.FsyncCommit, "WAL sync policy with -datadir: always|commit|none")
 		compactB = flag.Int64("compactbytes", store.DefaultCompactBytes, "WAL bytes since last snapshot that trigger compaction (negative disables)")
 		compactT = flag.Duration("compactevery", store.DefaultCompactInterval, "max snapshot age before a publish triggers compaction (negative disables)")
+
+		opsAddr   = flag.String("opsaddr", "", "optional second listener for /metrics, /debug/traces and /debug/pprof; empty serves no pprof")
+		slowQuery = flag.Duration("slowquery", obs.DefaultSlowQuery, "capture a request trace at /debug/traces when it runs at least this long (negative = capture all)")
+		version   = flag.Bool("version", false, "print version/build info and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("oracled " + obs.Build().String())
+		os.Exit(0)
+	}
 
 	if err := validateFlags(*graphArg, *gen, *n, *deg, *omega, *k, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "oracled: %v\n", err)
@@ -143,6 +165,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Structured JSON logging on stdout. Only the "listening on" line below
+	// stays plain text: it is the machine-readable readiness contract that
+	// harnesses (wecbench -exp restart) parse.
+	logger := slog.New(slog.NewJSONHandler(os.Stdout, nil))
+	bi := obs.Build()
+	logger.Info("oracled starting", "version", bi.Version, "revision", bi.Revision, "dirty", bi.Dirty, "go", bi.GoVersion)
+
+	// One metrics registry for the whole process: the store's durability
+	// families and the serving layer's query/rebuild families land in the
+	// same /metrics page.
+	metrics := obs.NewRegistry()
+
 	// With a data directory, open the store first: recovery decides whether
 	// the flag-described default graph even needs to be built.
 	var st *store.Store
@@ -154,8 +188,9 @@ func main() {
 			Fsync:           *fsync,
 			CompactBytes:    *compactB,
 			CompactInterval: *compactT,
+			Metrics:         metrics,
 			Logf: func(format string, args ...any) {
-				fmt.Printf(format+"\n", args...)
+				logger.Info(fmt.Sprintf(format, args...), "component", "store")
 			},
 		})
 		if err != nil {
@@ -163,8 +198,7 @@ func main() {
 			os.Exit(1)
 		}
 		persist = storePersist{st}
-		fmt.Printf("oracled: datadir %s open (fsync=%s): %d graphs to recover\n",
-			*dataDir, *fsync, len(recovered.Graphs))
+		logger.Info("datadir open", "dir", *dataDir, "fsync", *fsync, "graphs_to_recover", len(recovered.Graphs))
 	}
 
 	var reg *serve.Registry
@@ -174,21 +208,27 @@ func main() {
 		MaxInflight: *maxInflight,
 		MaxGraphs:   *maxGraphs,
 		Persist:     persist,
-		OnRebuild:   logRebuild,
+		Metrics:     metrics,
+		SlowQuery:   *slowQuery,
+		OnRebuild: func(name string, r serve.RebuildRecord) {
+			logRebuild(logger, name, r)
+		},
 		// Lifecycle logging: the build finishing (or failing) is the
 		// daemon's readiness moment, so say so with the build's shape.
 		OnState: func(name string, state serve.GraphState, errMsg string) {
 			if state == serve.StateFailed {
-				fmt.Fprintf(os.Stderr, "oracled: [%s] build FAILED: %s\n", name, errMsg)
+				logger.Error("graph build failed", "graph", name, "error", errMsg)
 				return
 			}
 			st, _ := reg.Status(name)
 			if eng, err := reg.Get(name); err == nil {
 				es := eng.Stats()
-				fmt.Printf("oracled: [%s] ready in %.0fms: n=%d m=%d k=%d components=%d bccs=%d\n",
-					name, st.BuildMs, es.GraphN, es.GraphM, es.K, es.NumComponents, es.NumBCC)
-				fmt.Printf("oracled: [%s] build cost conn: %v\n", name, es.BuildConn)
-				fmt.Printf("oracled: [%s] build cost bicc: %v\n", name, es.BuildBicc)
+				logger.Info("graph ready",
+					"graph", name, "build_ms", st.BuildMs,
+					"n", es.GraphN, "m", es.GraphM, "k", es.K,
+					"components", es.NumComponents, "bccs", es.NumBCC,
+					"build_cost_conn", fmt.Sprint(es.BuildConn),
+					"build_cost_bicc", fmt.Sprint(es.BuildBicc))
 			}
 		},
 	})
@@ -201,7 +241,7 @@ func main() {
 		for _, rg := range recovered.Graphs {
 			var spec serve.GraphSpec
 			if err := json.Unmarshal(rg.SpecJSON, &spec); err != nil {
-				fmt.Fprintf(os.Stderr, "oracled: [%s] stored spec unreadable (%v), using flag defaults\n", rg.Name, err)
+				logger.Warn("stored spec unreadable, using flag defaults", "graph", rg.Name, "error", err.Error())
 				spec = serve.GraphSpec{}
 			}
 			spec.Wait = false
@@ -211,10 +251,11 @@ func main() {
 				os.Exit(1)
 			}
 			if rg.Warn != "" {
-				fmt.Printf("oracled: [%s] recovery notes: %s\n", rg.Name, rg.Warn)
+				logger.Warn("recovery notes", "graph", rg.Name, "notes", rg.Warn)
 			}
-			fmt.Printf("oracled: [%s] recovered n=%d m=%d epoch=%d seq=%d, rebuilding oracles in the background\n",
-				rg.Name, rg.Graph.N(), rg.Graph.M(), rg.Epoch, rg.LastSeq)
+			logger.Info("graph recovered, rebuilding oracles in the background",
+				"graph", rg.Name, "n", rg.Graph.N(), "m", rg.Graph.M(),
+				"epoch", rg.Epoch, "seq", rg.LastSeq)
 			recoveredDefault = recoveredDefault || rg.Name == *graphName
 		}
 		// Recovered graphs never auto-claim the default slot (that could
@@ -236,8 +277,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "oracled: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("oracled: graph %q n=%d m=%d, building oracles in the background (ω=%d, pool=%d, maxinflight=%d)\n",
-			*graphName, g.N(), g.M(), *omega, reg.Pool().Size(), *maxInflight)
+		logger.Info("building default graph in the background",
+			"graph", *graphName, "n", g.N(), "m", g.M(),
+			"omega", *omega, "pool", reg.Pool().Size(), "maxinflight", *maxInflight)
 		if _, err := reg.CreateFromGraph(*graphName, g, serve.GraphSpec{Name: *graphName}); err != nil {
 			fmt.Fprintf(os.Stderr, "oracled: %v\n", err)
 			os.Exit(1)
@@ -250,10 +292,39 @@ func main() {
 		os.Exit(1)
 	}
 	// The resolved address (exact port even for ":0") on its own line:
-	// harnesses like wecbench -exp restart parse it.
+	// harnesses like wecbench -exp restart parse it. Keep it plain text —
+	// NOT slog — or restarted fleets stop finding their daemon.
 	fmt.Printf("oracled: listening on %s\n", ln.Addr())
-	fmt.Printf("oracled: serving (endpoints: /query /batch /update /stats /info /healthz /graphs[/{name}/...]); /healthz is 503 until %q is ready\n",
-		*graphName)
+	logger.Info("serving",
+		"addr", ln.Addr().String(), "default_graph", *graphName,
+		"endpoints", "/query /batch /update /stats /info /healthz /metrics /debug/traces /graphs[/{name}/...]")
+
+	// The ops listener carries the observability surface on its own port:
+	// pprof profiling plus a second mount of /metrics and /debug/traces, so
+	// scrapers and profilers can be firewalled away from query traffic.
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oracled: ops listener: %v\n", err)
+			os.Exit(1)
+		}
+		opsMux := http.NewServeMux()
+		opsMux.HandleFunc("/debug/pprof/", pprof.Index)
+		opsMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		opsMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		opsMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		opsMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		opsMux.Handle("/metrics", metrics.Handler())
+		opsMux.Handle("/debug/traces", reg.Tracer().Handler())
+		opsSrv = &http.Server{Handler: opsMux, ReadHeaderTimeout: 10 * time.Second}
+		logger.Info("ops listener up", "addr", opsLn.Addr().String())
+		go func() {
+			if err := opsSrv.Serve(opsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("ops listener failed", "error", err.Error())
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Handler:           serve.NewRegistryServer(reg),
@@ -268,13 +339,16 @@ func main() {
 	go func() {
 		defer close(done)
 		sig := <-stop
-		fmt.Printf("oracled: %v — shutting down (%d graphs)\n", sig, len(reg.List()))
+		logger.Info("shutting down", "signal", sig.String(), "graphs", len(reg.List()))
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(ctx)
+		if opsSrv != nil {
+			_ = opsSrv.Shutdown(ctx)
+		}
 		reg.Close()
 		if st != nil {
-			foldFleet(reg)
+			foldFleet(logger, reg)
 			st.Close()
 		}
 	}()
@@ -289,16 +363,16 @@ func main() {
 // shutdown, so the next boot loads one file per graph instead of replaying
 // WAL tails. Best-effort: a failure leaves the WAL, which recovery
 // replays anyway.
-func foldFleet(reg *serve.Registry) {
+func foldFleet(logger *slog.Logger, reg *serve.Registry) {
 	for _, gs := range reg.List() {
 		eng, err := reg.Get(gs.Name)
 		if err != nil {
 			continue
 		}
 		if err := eng.PersistNow(); err != nil {
-			fmt.Fprintf(os.Stderr, "oracled: [%s] final snapshot: %v\n", gs.Name, err)
+			logger.Error("final snapshot failed", "graph", gs.Name, "error", err.Error())
 		} else {
-			fmt.Printf("oracled: [%s] final snapshot at epoch %d\n", gs.Name, eng.Epoch())
+			logger.Info("final snapshot written", "graph", gs.Name, "epoch", eng.Epoch())
 		}
 	}
 }
@@ -306,28 +380,18 @@ func foldFleet(reg *serve.Registry) {
 // logRebuild reports every snapshot swap of every graph: strategy,
 // coalesced batch shape, and the separable asymmetric costs of the rebuild
 // phases.
-func logRebuild(name string, r serve.RebuildRecord) {
+func logRebuild(logger *slog.Logger, name string, r serve.RebuildRecord) {
 	if r.Err != "" {
-		fmt.Fprintf(os.Stderr, "oracled: [%s] rebuild failed (%d batches dropped): %s\n", name, r.Batches, r.Err)
+		logger.Error("rebuild failed, batches dropped",
+			"graph", name, "batches", r.Batches, "error", r.Err)
 		return
 	}
-	perOracle := ""
-	if len(r.Strategies) > 0 {
-		names := make([]string, 0, len(r.Strategies))
-		for n := range r.Strategies {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		parts := make([]string, 0, len(names))
-		for _, n := range names {
-			parts = append(parts, n+"="+r.Strategies[n])
-		}
-		perOracle = " [" + strings.Join(parts, " ") + "]"
-	}
-	fmt.Printf("oracled: [%s] epoch %d published: %s rebuild of %d batches (+%d/-%d edges) in %v%s — writes graph=%d conn=%d bicc=%d\n",
-		name, r.Epoch, r.Strategy, r.Batches, r.AddedEdges, r.RemovedEdges,
-		r.Duration.Round(time.Millisecond), perOracle,
-		r.GraphCost.Writes, r.ConnCost.Writes, r.BiccCost.Writes)
+	logger.Info("epoch published",
+		"graph", name, "epoch", r.Epoch, "strategy", r.Strategy,
+		"batches", r.Batches, "added_edges", r.AddedEdges, "removed_edges", r.RemovedEdges,
+		"duration_ms", float64(r.Duration.Nanoseconds())/1e6,
+		"oracle_strategies", r.Strategies,
+		"writes_graph", r.GraphCost.Writes, "writes_conn", r.ConnCost.Writes, "writes_bicc", r.BiccCost.Writes)
 }
 
 // validateFlags rejects parameter combinations that would otherwise

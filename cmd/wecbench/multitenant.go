@@ -262,7 +262,14 @@ func multitenantBench(scale int) {
 			fail("churn epoch %d verification: %v", b, err)
 			break
 		}
-		fmt.Printf("  %s epoch %d: +%d/-%d edges applied and verified under cross-tenant load\n",
+		// Scrape /metrics mid-churn, with the cross-tenant query load still
+		// running: the exposition must stay parseable and complete while
+		// epochs swap underneath it.
+		if err := checkMetrics(base, serveMetricFamilies); err != nil {
+			fail("mid-churn metrics scrape (epoch %d): %v", b, err)
+			break
+		}
+		fmt.Printf("  %s epoch %d: +%d/-%d edges applied and verified under cross-tenant load (metrics scrape ok)\n",
 			specs[churnIdx].name, ur.Epoch, len(req.Add), len(req.Remove))
 	}
 	if failed || vfailed.Load() {

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// serveMetricFamilies is the serving-layer family set every daemon must
+// expose on GET /metrics; the smoke workloads scrape it mid-churn so a
+// family that silently stops registering (or an exposition the parser
+// rejects) fails the gate, not just a dashboard.
+var serveMetricFamilies = []string{
+	"wec_query_duration_seconds",
+	"wec_queries_total",
+	"wec_batch_size_queries",
+	"wec_pool_queue_wait_seconds",
+	"wec_admission_rejected_total",
+	"wec_rebuild_duration_seconds",
+	"wec_published_epoch",
+	"wec_cache_hits_total",
+	"wec_pool_size",
+	"wec_graphs",
+}
+
+// storeMetricFamilies is the additional durability family set present when
+// the daemon runs with -datadir (restart workload).
+var storeMetricFamilies = []string{
+	"wec_wal_append_seconds",
+	"wec_wal_fsync_seconds",
+	"wec_wal_commit_seconds",
+	"wec_snapshot_write_seconds",
+	"wec_snapshot_bytes",
+	"wec_compactions_total",
+}
+
+// checkMetrics scrapes base+"/metrics", requires a parseable Prometheus
+// text exposition, and requires every family in familySets to be present.
+func checkMetrics(base string, familySets ...[]string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scrape /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape /metrics: status %d", resp.StatusCode)
+	}
+	exp, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return fmt.Errorf("/metrics exposition unparseable: %v", err)
+	}
+	for _, fams := range familySets {
+		for _, f := range fams {
+			if !exp.HasFamily(f) {
+				return fmt.Errorf("/metrics missing family %s", f)
+			}
+		}
+	}
+	return nil
+}

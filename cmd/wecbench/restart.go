@@ -278,6 +278,15 @@ func restartBench(scale int) {
 	fmt.Printf("churned: default epoch=%d m=%d, beta epoch=%d m=%d\n",
 		tenants[0].ackedEpoch, len(tenants[0].edges), tenants[1].ackedEpoch, len(tenants[1].edges))
 
+	// Scrape /metrics mid-churn: with -datadir the durability families
+	// (WAL append/fsync/commit, snapshot size, compactions) must be
+	// present alongside the serving-layer set, and the exposition must
+	// parse while rebuilds and compactions run underneath.
+	if err := checkMetrics(d.base, serveMetricFamilies, storeMetricFamilies); err != nil {
+		fatalf("mid-churn metrics scrape: %v", err)
+	}
+	fmt.Println("mid-churn metrics scrape ok (serve + store families)")
+
 	// Final acknowledged-but-racing-the-kill batches: wait=false staging is
 	// acknowledged after the WAL append, so these must survive even though
 	// their rebuild is (at best) mid-flight when SIGKILL lands.

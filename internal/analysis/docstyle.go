@@ -9,7 +9,8 @@ import (
 // DocPackages lists the packages under godoc-coverage enforcement: the
 // serving and registry layers (covered since PR 6 via per-package tests,
 // now through the one weclint entry point), the paper oracles and their
-// storage (conn, bicc, store, graph), and the analysis suite itself.
+// storage (conn, bicc, store, graph), the observability core (obs), and
+// the analysis suite itself.
 var DocPackages = []string{
 	"repro/internal/serve",
 	"repro/internal/oracle",
@@ -17,6 +18,7 @@ var DocPackages = []string{
 	"repro/internal/bicc",
 	"repro/internal/store",
 	"repro/internal/graph",
+	"repro/internal/obs",
 	"repro/internal/analysis",
 	"repro/internal/lintdoc",
 }

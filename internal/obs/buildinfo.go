@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary so scraped metrics and logs can be
+// correlated with an exact build: the Go toolchain, the module version, and
+// the VCS state stamped by `go build` when the source tree is a checkout.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Module is the main module path.
+	Module string `json:"module,omitempty"`
+	// Version is the main module version ("(devel)" for a checkout build).
+	Version string `json:"version,omitempty"`
+	// Revision is the VCS commit the binary was built from, when stamped.
+	Revision string `json:"vcs_revision,omitempty"`
+	// Time is the commit timestamp (RFC 3339), when stamped.
+	Time string `json:"vcs_time,omitempty"`
+	// Dirty reports uncommitted local modifications at build time.
+	Dirty bool `json:"vcs_dirty,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build identity, read once from
+// runtime/debug.ReadBuildInfo. Fields the toolchain did not stamp (e.g. VCS
+// data in a test binary) are left empty.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.GoVersion = bi.GoVersion
+		buildInfo.Module = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// String renders the build identity as a single human-readable line, the
+// body of `oracled -version`.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if rev == "" {
+		rev = "unknown"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Dirty {
+		rev += "-dirty"
+	}
+	s := fmt.Sprintf("revision %s (%s)", rev, b.GoVersion)
+	if b.Time != "" {
+		s += " built from commit of " + b.Time
+	}
+	return s
+}

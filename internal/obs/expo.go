@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// This file renders the registry in the Prometheus text exposition format
+// (version 0.0.4): one # HELP / # TYPE header per family in registration
+// order, then one sample line per series sorted by label values —
+// counters and gauges as a single sample, histograms as the cumulative
+// _bucket{le=...} ladder plus _sum and _count. The output is deterministic
+// for a fixed registry state, which the tests (and the smoke harnesses'
+// scrape checks) rely on.
+
+// ExpositionContentType is the Content-Type of the /metrics response.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in the registry to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(string(f.typ))
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			if f.typ == TypeHistogram {
+				writeHistogram(bw, f, s)
+				continue
+			}
+			bw.WriteString(f.name)
+			writeLabels(bw, f.labels, s.vals, "", 0)
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with the
+// le label appended after the series labels, then _sum and _count.
+func writeHistogram(bw *bufio.Writer, f familySnapshot, s seriesSnapshot) {
+	var cum int64
+	for i, c := range s.bucketCounts {
+		cum += c
+		le := "+Inf"
+		if i < len(f.buckets) {
+			le = formatValue(f.buckets[i])
+		}
+		bw.WriteString(f.name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, f.labels, s.vals, le, 1)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(f.name)
+	bw.WriteString("_sum")
+	writeLabels(bw, f.labels, s.vals, "", 0)
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(s.sum))
+	bw.WriteByte('\n')
+	bw.WriteString(f.name)
+	bw.WriteString("_count")
+	writeLabels(bw, f.labels, s.vals, "", 0)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(cum, 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabels renders {k="v",...}; extraLe (when extra == 1) appends the
+// histogram bucket's le label. No braces are written for a label-less
+// sample.
+func writeLabels(bw *bufio.Writer, labels, vals []string, extraLe string, extra int) {
+	if len(labels)+extra == 0 {
+		return
+	}
+	bw.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(l)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(vals[i]))
+		bw.WriteByte('"')
+	}
+	if extra == 1 {
+		if len(labels) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(extraLe)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+// formatValue renders a float sample value the way Prometheus expects
+// (shortest round-trippable form; integers without a decimal point).
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the text format: backslash, quote
+// and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string (backslash and newline; quotes are
+// legal there).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns the GET /metrics endpoint serving this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ExpositionContentType)
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,415 @@
+// Package obs is the serving stack's dependency-free observability core:
+// a metrics registry of atomic counters, gauges and fixed-bucket histograms
+// with Prometheus text-format exposition (expo.go), a bounded ring of
+// recent slow-request traces (trace.go), and the build identity of the
+// running binary (buildinfo.go).
+//
+// The design is shaped by the engine's hot-path discipline. Instruments are
+// resolved once (Vec.With at setup time) into plain structs of atomics, so
+// the per-event cost of Counter.Add and Histogram.Observe is a handful of
+// atomic operations with zero allocation — safe inside //wec:noalloc
+// functions. Values the serving layer already tracks in its own atomics are
+// exported through func instruments (FuncVec), which are evaluated only at
+// scrape time and cost the hot path nothing at all.
+//
+// Label cardinality is bounded by construction: label values are the fixed
+// vocabularies of the fleet (graph names, query kinds, rebuild strategies,
+// cache layers), never per-request data like vertex ids, and
+// Registry.DeleteLabeled retires a deleted graph's series so the scrape
+// surface tracks the live fleet.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Type names an instrument family's Prometheus metric type.
+type Type string
+
+// The metric types the registry exposes.
+const (
+	// TypeCounter is a monotonically increasing count.
+	TypeCounter Type = "counter"
+	// TypeGauge is a value that can go up and down.
+	TypeGauge Type = "gauge"
+	// TypeHistogram is a fixed-bucket distribution with sum and count.
+	TypeHistogram Type = "histogram"
+)
+
+// DurationBuckets is the default histogram layout for latencies in seconds:
+// 10µs to 10s in a 1-2.5-5 progression, covering WAL fsyncs at the low end
+// and full oracle rebuilds at the high end.
+var DurationBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets is the default histogram layout for request/batch sizes:
+// powers of four from 1 to the serving layer's MaxBatch (2^20).
+var SizeBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+// ByteBuckets is the default histogram layout for on-disk sizes: powers of
+// eight from 1 KiB to 8 GiB.
+var ByteBuckets = []float64{1 << 10, 8 << 10, 64 << 10, 512 << 10, 4 << 20, 32 << 20, 256 << 20, 2 << 30, 8 << 30}
+
+// Registry is an ordered set of metric families. All methods are safe for
+// concurrent use; families expose in registration order so scrapes are
+// stable across the process lifetime.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*family
+	order  []*family
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// family is one named metric with a fixed label schema and one series per
+// distinct label-value tuple.
+type family struct {
+	name    string
+	help    string
+	typ     Type
+	labels  []string
+	buckets []float64 // histograms only
+
+	series map[string]*series // key: label values joined with \xff
+}
+
+// series is one (family, label values) instrument. Exactly one of the
+// value fields is set, matching the family type; fn (when non-nil) wins —
+// it is the scrape-time callback of a func instrument.
+type series struct {
+	vals []string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	fn   func() float64
+}
+
+// metricNameOK guards family and label names: Prometheus identifier
+// grammar, no embedded quoting needed at exposition time.
+func metricNameOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// getFamily returns the named family, creating it on first use. A name
+// re-registered with a different type, label schema or bucket layout is a
+// programmer error and panics — silently forking a family would corrupt
+// the exposition.
+func (r *Registry) getFamily(name, help string, typ Type, buckets []float64, labels []string) *family {
+	if !metricNameOK(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !metricNameOK(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q in %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) || len(f.buckets) != len(buckets) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different schema", name))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %q re-registered with different labels", name))
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels, buckets: buckets, series: map[string]*series{}}
+	r.byName[name] = f
+	r.order = append(r.order, f)
+	return f
+}
+
+// seriesKey joins label values into a family's series map key.
+func seriesKey(vals []string) string { return strings.Join(vals, "\xff") }
+
+// getSeries returns the family's series for vals, creating it with mk on
+// first use. Caller holds r.mu via the vec methods below.
+func (r *Registry) getSeries(f *family, vals []string, mk func() *series) *series {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(vals)))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := seriesKey(vals)
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk()
+	s.vals = append([]string(nil), vals...)
+	f.series[key] = s
+	return s
+}
+
+// DeleteLabeled removes every series, in every family, whose label named
+// label carries the value value — how the serving layer retires a deleted
+// graph's series so the scrape surface stays bounded by the live fleet.
+// Families themselves remain registered (an empty family still exposes its
+// HELP/TYPE header). Instrument handles already resolved for a deleted
+// series keep working but are no longer scraped.
+func (r *Registry) DeleteLabeled(label, value string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.order {
+		li := -1
+		for i, l := range f.labels {
+			if l == label {
+				li = i
+				break
+			}
+		}
+		if li < 0 {
+			continue
+		}
+		for key, s := range f.series {
+			if s.vals[li] == value {
+				delete(f.series, key)
+			}
+		}
+	}
+}
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use, but counters are normally resolved through
+// CounterVec.With so they are exposed at /metrics.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n must be >= 0; negative deltas would
+// silently break Prometheus rate() math and are the caller's bug).
+//
+//wec:noalloc
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+//
+//wec:noalloc
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float-valued metric that can move in both directions, stored
+// as IEEE-754 bits in one atomic word.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+//
+//wec:noalloc
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution. Bucket bounds are set at
+// family registration and shared by every series; counts are per-bucket
+// atomics (the +Inf bucket is implicit as the last slot) and the sum is
+// accumulated with a compare-and-swap on its float bits — Observe performs
+// only atomic operations and never allocates, which is what lets the
+// engine's //wec:noalloc query path observe latencies directly.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Int64 // len(upper)+1; last is +Inf
+	sum    atomic.Uint64  // math.Float64bits of the running sum
+}
+
+// Observe records one value.
+//
+//wec:noalloc
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// CounterVec is a counter family; With resolves one labeled series.
+type CounterVec struct {
+	r *Registry
+	f *family
+}
+
+// NewCounterVec registers (or returns the already-registered) counter
+// family with the given label schema.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r: r, f: r.getFamily(name, help, TypeCounter, nil, labels)}
+}
+
+// With returns the counter for the given label values, creating the series
+// on first use. Resolve once at setup time and keep the handle; With takes
+// the registry lock.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.r.getSeries(v.f, values, func() *series { return &series{c: &Counter{}} }).c
+}
+
+// GaugeVec is a gauge family; With resolves one labeled series.
+type GaugeVec struct {
+	r *Registry
+	f *family
+}
+
+// NewGaugeVec registers (or returns the already-registered) gauge family
+// with the given label schema.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r: r, f: r.getFamily(name, help, TypeGauge, nil, labels)}
+}
+
+// With returns the gauge for the given label values, creating the series on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.r.getSeries(v.f, values, func() *series { return &series{g: &Gauge{}} }).g
+}
+
+// HistogramVec is a histogram family; With resolves one labeled series.
+type HistogramVec struct {
+	r *Registry
+	f *family
+}
+
+// NewHistogramVec registers (or returns the already-registered) histogram
+// family with the given bucket upper bounds (ascending; +Inf is implicit)
+// and label schema. Nil buckets select DurationBuckets.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DurationBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: metric %q buckets not ascending", name))
+		}
+	}
+	return &HistogramVec{r: r, f: r.getFamily(name, help, TypeHistogram, buckets, labels)}
+}
+
+// With returns the histogram for the given label values, creating the
+// series on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.r.getSeries(v.f, values, func() *series {
+		return &series{h: &Histogram{upper: v.f.buckets, counts: make([]atomic.Int64, len(v.f.buckets)+1)}}
+	}).h
+}
+
+// FuncVec is a family of scrape-time callback instruments: each series
+// reports whatever its function returns when /metrics is read. This is the
+// zero-hot-path-cost way to export values the serving layer already tracks
+// in its own atomics (cache hit counters, the published epoch, pool
+// telemetry). The callback must be safe to call from any goroutine and
+// should be fast; it runs under the registry lock during exposition.
+type FuncVec struct {
+	r *Registry
+	f *family
+}
+
+// NewFuncVec registers (or returns the already-registered) func-instrument
+// family exposed with the given metric type (TypeCounter or TypeGauge).
+func (r *Registry) NewFuncVec(name, help string, typ Type, labels ...string) *FuncVec {
+	if typ != TypeCounter && typ != TypeGauge {
+		panic(fmt.Sprintf("obs: func metric %q must be counter or gauge, got %q", name, typ))
+	}
+	return &FuncVec{r: r, f: r.getFamily(name, help, typ, nil, labels)}
+}
+
+// Set installs (or replaces) the callback behind the given label values.
+func (v *FuncVec) Set(fn func() float64, values ...string) {
+	s := v.r.getSeries(v.f, values, func() *series { return &series{} })
+	v.r.mu.Lock()
+	s.fn = fn
+	v.r.mu.Unlock()
+}
+
+// snapshotFamilies copies the family list and per-family sorted series so
+// exposition can run without holding the lock across the writer. Func
+// instruments are evaluated here, under the lock, so a concurrent
+// DeleteLabeled cannot race a callback whose target is being retired.
+func (r *Registry) snapshotFamilies() []familySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]familySnapshot, 0, len(r.order))
+	for _, f := range r.order {
+		fs := familySnapshot{name: f.name, help: f.help, typ: f.typ, labels: f.labels, buckets: f.buckets}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			ss := seriesSnapshot{vals: s.vals}
+			switch {
+			case s.fn != nil:
+				ss.value = s.fn()
+			case s.c != nil:
+				ss.value = float64(s.c.Value())
+			case s.g != nil:
+				ss.value = s.g.Value()
+			case s.h != nil:
+				ss.bucketCounts = make([]int64, len(s.h.counts))
+				for i := range s.h.counts {
+					ss.bucketCounts[i] = s.h.counts[i].Load()
+				}
+				ss.sum = s.h.Sum()
+			}
+			fs.series = append(fs.series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// familySnapshot is one family's exposition-time state.
+type familySnapshot struct {
+	name    string
+	help    string
+	typ     Type
+	labels  []string
+	buckets []float64
+	series  []seriesSnapshot
+}
+
+// seriesSnapshot is one series' exposition-time state.
+type seriesSnapshot struct {
+	vals         []string
+	value        float64 // counter/gauge/func
+	bucketCounts []int64 // histogram (non-cumulative; +Inf last)
+	sum          float64 // histogram
+}

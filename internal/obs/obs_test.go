@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounterVec("t_total", "help", "graph").With("g1")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.NewGaugeVec("t_gauge", "help", "graph").With("g1")
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", got)
+	}
+	h := r.NewHistogramVec("t_seconds", "help", []float64{0.1, 1, 10}, "graph").With("g1")
+	h.Observe(0.05) // bucket 0
+	h.Observe(0.5)  // bucket 1
+	h.Observe(100)  // +Inf
+	if got := h.Count(); got != 3 {
+		t.Fatalf("histogram count = %d, want 3", got)
+	}
+	if got := h.Sum(); math.Abs(got-100.55) > 1e-9 {
+		t.Fatalf("histogram sum = %v, want 100.55", got)
+	}
+}
+
+func TestVecWithReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("t_total", "help", "graph")
+	if v.With("a") != v.With("a") {
+		t.Fatal("With returned distinct handles for identical label values")
+	}
+	if v.With("a") == v.With("b") {
+		t.Fatal("With returned the same handle for distinct label values")
+	}
+}
+
+func TestReRegisterSchemaMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("t_total", "help", "graph")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different type did not panic")
+		}
+	}()
+	r.NewGaugeVec("t_total", "help", "graph")
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("t_queries_total", "Total queries.", "graph", "kind").With("g1", "conn").Add(7)
+	r.NewGaugeVec("t_epoch", "Published epoch.", "graph").With("g1").Set(42)
+	h := r.NewHistogramVec("t_dur_seconds", "Latency.", []float64{0.01, 0.1}, "graph").With("g1")
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.NewFuncVec("t_fn", "Callback gauge.", TypeGauge, "graph").Set(func() float64 { return 9 }, "g1")
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	exp, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+	for _, fam := range []string{"t_queries_total", "t_epoch", "t_dur_seconds", "t_fn"} {
+		if !exp.HasFamily(fam) {
+			t.Errorf("family %q missing from exposition", fam)
+		}
+	}
+	want := map[string]float64{
+		"t_queries_total":     7,
+		"t_epoch":             42,
+		"t_fn":                9,
+		"t_dur_seconds_count": 3,
+	}
+	got := map[string]float64{}
+	bucketCum := map[string]float64{}
+	for _, s := range exp.Samples {
+		if s.Name == "t_dur_seconds_bucket" {
+			bucketCum[s.Labels["le"]] = s.Value
+			continue
+		}
+		got[s.Name] = s.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("sample %s = %v, want %v", name, got[name], v)
+		}
+	}
+	// Buckets must be cumulative and end at +Inf == _count.
+	if bucketCum["0.01"] != 1 || bucketCum["0.1"] != 2 || bucketCum["+Inf"] != 3 {
+		t.Errorf("cumulative buckets wrong: %v", bucketCum)
+	}
+	if got["t_queries_total"] != 7 {
+		t.Errorf("counter sample = %v", got["t_queries_total"])
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("t_total", "help", "graph").With("we\"ird\\name\n").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("escaped exposition does not parse: %v\n%s", err, sb.String())
+	}
+	if len(exp.Samples) != 1 || exp.Samples[0].Labels["graph"] != "we\"ird\\name\n" {
+		t.Fatalf("label did not round-trip: %+v", exp.Samples)
+	}
+}
+
+func TestDeleteLabeled(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("t_total", "help", "graph", "kind")
+	v.With("g1", "conn").Inc()
+	v.With("g2", "conn").Inc()
+	r.NewGaugeVec("t_epoch", "help", "graph").With("g1").Set(1)
+	r.DeleteLabeled("graph", "g1")
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if strings.Contains(text, `graph="g1"`) {
+		t.Fatalf("deleted graph's series still exposed:\n%s", text)
+	}
+	if !strings.Contains(text, `graph="g2"`) {
+		t.Fatalf("surviving graph's series missing:\n%s", text)
+	}
+	// Family headers survive an emptied family.
+	if !strings.Contains(text, "# TYPE t_epoch gauge") {
+		t.Fatalf("emptied family lost its header:\n%s", text)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("t_total", "help").With().Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ExpositionContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, ExpositionContentType)
+	}
+	if _, err := ParseExposition(rec.Body); err != nil {
+		t.Fatalf("handler output does not parse: %v", err)
+	}
+}
+
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounterVec("t_total", "help", "graph").With("g")
+	h := r.NewHistogramVec("t_seconds", "help", nil, "graph").With("g")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(0.001)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseExposition(strings.NewReader(sb.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if c.Value() != h.Count() {
+		t.Fatalf("counter %d != histogram count %d", c.Value(), h.Count())
+	}
+}
+
+func TestObserveNoAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounterVec("t_total", "help", "graph").With("g")
+	g := r.NewGaugeVec("t_gauge", "help", "graph").With("g")
+	h := r.NewHistogramVec("t_seconds", "help", nil, "graph").With("g")
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1.5)
+		h.Observe(0.25)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path instrument ops allocated %v/op, want 0", allocs)
+	}
+}
+
+func TestFuncVecEvaluatedAtScrape(t *testing.T) {
+	r := NewRegistry()
+	var v float64 = 1
+	r.NewFuncVec("t_fn", "help", TypeCounter, "graph").Set(func() float64 { return v }, "g")
+	scrape := func() string {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if !strings.Contains(scrape(), `t_fn{graph="g"} 1`) {
+		t.Fatalf("func value not exposed:\n%s", scrape())
+	}
+	v = 2
+	if !strings.Contains(scrape(), `t_fn{graph="g"} 2`) {
+		t.Fatalf("func re-evaluation not exposed:\n%s", scrape())
+	}
+}
+
+func TestParseRejectsUndeclaredSample(t *testing.T) {
+	_, err := ParseExposition(strings.NewReader("mystery_total 1\n"))
+	if err == nil {
+		t.Fatal("sample with no TYPE header parsed")
+	}
+}
+
+func TestBuildInfoPopulated(t *testing.T) {
+	b := Build()
+	if b.GoVersion == "" {
+		t.Fatal("BuildInfo.GoVersion empty")
+	}
+	if b.String() == "" {
+		t.Fatal("BuildInfo.String empty")
+	}
+}
+
+func TestDurationBucketsCoverTypicalLatencies(t *testing.T) {
+	h := NewRegistry().NewHistogramVec("t_seconds", "help", nil, "graph").With("g")
+	for _, d := range []time.Duration{5 * time.Microsecond, time.Millisecond, time.Second, time.Minute} {
+		h.Observe(d.Seconds())
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is a minimal parser/validator for the Prometheus text
+// exposition format — the consumer half of expo.go. It exists so the test
+// suite and the wecbench smoke harnesses can assert that /metrics serves
+// well-formed output with every expected family present, without pulling a
+// Prometheus client library into the module. It validates structure
+// (HELP/TYPE headers, sample shape, numeric values, samples belonging to a
+// declared family) rather than implementing every corner of the spec.
+
+// Sample is one parsed exposition sample line.
+type Sample struct {
+	// Name is the full sample name (histogram samples keep their
+	// _bucket/_sum/_count suffix).
+	Name string
+	// Labels holds the sample's label pairs (including histogram le).
+	Labels map[string]string
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// Exposition is one parsed scrape.
+type Exposition struct {
+	// Families maps each declared family name to its TYPE.
+	Families map[string]Type
+	// Samples holds every sample line in input order.
+	Samples []Sample
+}
+
+// HasFamily reports whether the scrape declared the named family.
+func (e *Exposition) HasFamily(name string) bool {
+	_, ok := e.Families[name]
+	return ok
+}
+
+// ParseExposition reads one Prometheus text-format scrape, returning its
+// families and samples, or an error describing the first malformed line.
+// Every sample must belong to a family declared by a preceding # TYPE line
+// (histogram samples via their _bucket/_sum/_count suffixes) — an
+// undeclared sample is how a typo'd family name or a missing header
+// surfaces in the smoke checks.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Families: map[string]Type{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseHeader(line, exp); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if !sampleDeclared(exp, s.Name) {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE declaration", lineNo, s.Name)
+		}
+		exp.Samples = append(exp.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// parseHeader handles # HELP / # TYPE lines (other comments pass through).
+func parseHeader(line string, exp *Exposition) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		typ := Type(fields[3])
+		if typ != TypeCounter && typ != TypeGauge && typ != TypeHistogram && typ != "summary" && typ != "untyped" {
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		exp.Families[fields[2]] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	}
+	return nil
+}
+
+// sampleDeclared reports whether name belongs to a declared family,
+// accounting for histogram sample suffixes.
+func sampleDeclared(exp *Exposition, name string) bool {
+	if _, ok := exp.Families[name]; ok {
+		return true
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok {
+			continue
+		}
+		if exp.Families[base] == TypeHistogram {
+			return true
+		}
+	}
+	return false
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	} else {
+		s.Name = rest[:i]
+		if !metricNameOK(s.Name) {
+			return s, fmt.Errorf("invalid sample name %q", s.Name)
+		}
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("malformed sample value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses k="v" pairs (escaped values per the text format).
+func parseLabels(body string, out map[string]string) error {
+	for body != "" {
+		eq := strings.Index(body, "=")
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair %q", body)
+		}
+		name := strings.TrimSpace(body[:eq])
+		if !metricNameOK(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		body = body[eq+1:]
+		if !strings.HasPrefix(body, `"`) {
+			return fmt.Errorf("unquoted label value for %q", name)
+		}
+		body = body[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(body); i++ {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				i++
+				switch body[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(body[i])
+				}
+				continue
+			}
+			if c == '"' {
+				out[name] = val.String()
+				body = strings.TrimPrefix(strings.TrimSpace(body[i+1:]), ",")
+				body = strings.TrimSpace(body)
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value for %q", name)
+		}
+	}
+	return nil
+}

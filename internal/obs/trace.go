@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the request-tracing half of the package: a per-request span
+// recorder for the HTTP layer (Req) feeding a bounded ring of recent slow
+// requests (Tracer), served as JSON at GET /debug/traces. Tracing is
+// deliberately HTTP-layer-only — a Req allocates, so it is built where a
+// request already allocates (decoders, response writers), never inside the
+// engine's zero-alloc query path; the pool-queue and answer spans are
+// reported up by the engine as plain durations instead.
+
+// DefaultSlowQuery is the capture threshold selected by a zero Tracer
+// threshold: requests at least this slow are kept.
+const DefaultSlowQuery = 100 * time.Millisecond
+
+// DefaultTraceCap is the slow-request ring size selected by a non-positive
+// Tracer capacity.
+const DefaultTraceCap = 64
+
+// Span is one phase of a traced request, with its offset from the request
+// start. Durations are reported in milliseconds, matching the /stats
+// convention for JSON surfaces (docs/observability.md maps the units).
+type Span struct {
+	// Name identifies the phase: admit, decode, pool_queue, answer,
+	// update, encode.
+	Name string `json:"name"`
+	// OffsetMs is the span start relative to the request start.
+	OffsetMs float64 `json:"offset_ms"`
+	// DurMs is the span duration.
+	DurMs float64 `json:"dur_ms"`
+}
+
+// Trace is one captured slow request.
+type Trace struct {
+	// Start is the request's wall-clock start time.
+	Start time.Time `json:"start"`
+	// Graph is the target graph's name.
+	Graph string `json:"graph"`
+	// Op is the request kind: query, batch or update.
+	Op string `json:"op"`
+	// Detail is a short bounded description (e.g. "queries=512").
+	Detail string `json:"detail,omitempty"`
+	// Status is the HTTP status the request finished with.
+	Status int `json:"status"`
+	// TotalMs is the end-to-end request duration.
+	TotalMs float64 `json:"total_ms"`
+	// Spans lists the request's phases in order.
+	Spans []Span `json:"spans"`
+}
+
+// Tracer keeps the most recent slow requests in a bounded ring: a finished
+// request is recorded only when its total duration reaches the threshold,
+// and the oldest capture rotates out beyond the capacity. All methods are
+// safe for concurrent use; a nil *Tracer is valid and records nothing.
+type Tracer struct {
+	thresholdNs atomic.Int64
+	seen        atomic.Int64 // requests finished (captured or not)
+
+	mu       sync.Mutex
+	ring     []Trace
+	next     int
+	captured int64
+}
+
+// NewTracer returns a tracer keeping up to capacity slow requests
+// (non-positive selects DefaultTraceCap). A zero threshold selects
+// DefaultSlowQuery; a negative threshold captures every request.
+func NewTracer(capacity int, threshold time.Duration) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	t := &Tracer{ring: make([]Trace, 0, capacity)}
+	t.SetThreshold(threshold)
+	return t
+}
+
+// SetThreshold replaces the capture threshold (zero selects
+// DefaultSlowQuery, negative captures everything).
+func (t *Tracer) SetThreshold(threshold time.Duration) {
+	if threshold == 0 {
+		threshold = DefaultSlowQuery
+	}
+	if threshold < 0 {
+		threshold = -1 // any non-negative total qualifies
+	}
+	t.thresholdNs.Store(int64(threshold))
+}
+
+// Threshold returns the current capture threshold (negative means every
+// request is captured).
+func (t *Tracer) Threshold() time.Duration {
+	return time.Duration(t.thresholdNs.Load())
+}
+
+// record keeps tr if it qualifies, rotating the oldest capture out.
+func (t *Tracer) record(tr Trace) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+	} else {
+		t.ring[t.next] = tr
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.captured++
+}
+
+// Snapshot returns the captured traces, oldest first.
+func (t *Tracer) Snapshot() []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Trace, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// TracesPage is the GET /debug/traces response body.
+type TracesPage struct {
+	// ThresholdMs is the active capture threshold (negative: capture all).
+	ThresholdMs float64 `json:"threshold_ms"`
+	// Seen counts requests observed by the tracer since start.
+	Seen int64 `json:"seen"`
+	// Captured counts requests that met the threshold (including ones the
+	// ring has since rotated out).
+	Captured int64 `json:"captured"`
+	// Traces holds the ring contents, oldest first.
+	Traces []Trace `json:"traces"`
+}
+
+// Handler returns the GET /debug/traces endpoint serving the ring as JSON.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		page := TracesPage{Traces: []Trace{}}
+		if t != nil {
+			thr := t.Threshold()
+			page.ThresholdMs = float64(thr.Microseconds()) / 1000
+			if thr < 0 {
+				page.ThresholdMs = -1
+			}
+			page.Seen = t.seen.Load()
+			page.Traces = t.Snapshot()
+			t.mu.Lock()
+			page.Captured = t.captured
+			t.mu.Unlock()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(page)
+	})
+}
+
+// Req accumulates one in-flight request's spans; Finish hands it to the
+// tracer when the total duration meets the threshold. A nil *Req (from a
+// nil Tracer) is valid: every method is a no-op, so handlers never branch
+// on tracing being enabled.
+type Req struct {
+	t     *Tracer
+	start time.Time
+	mark  time.Time
+	tr    Trace
+}
+
+// Start begins tracing one request against the named graph.
+func (t *Tracer) Start(graphName, op string) *Req {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	return &Req{t: t, start: now, mark: now, tr: Trace{Start: now, Graph: graphName, Op: op}}
+}
+
+// Phase closes the current phase: a span named name covering the time from
+// the previous span's end (or the request start) to now.
+func (r *Req) Phase(name string) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.tr.Spans = append(r.tr.Spans, Span{
+		Name:     name,
+		OffsetMs: ms(r.mark.Sub(r.start)),
+		DurMs:    ms(now.Sub(r.mark)),
+	})
+	r.mark = now
+}
+
+// Add appends an explicit span at the given offset from the request start
+// — used when one measured interval splits into sub-phases (the engine
+// reports the pool queue wait inside a batch dispatch as a duration, not a
+// callback). The phase mark advances to the span's end when that is later.
+func (r *Req) Add(name string, offset, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	r.tr.Spans = append(r.tr.Spans, Span{Name: name, OffsetMs: ms(offset), DurMs: ms(dur)})
+	if end := r.start.Add(offset + dur); end.After(r.mark) {
+		r.mark = end
+	}
+}
+
+// Elapsed returns the time since the request started.
+func (r *Req) Elapsed() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start)
+}
+
+// SetDetail attaches a short bounded description (never per-request
+// unbounded data; the label-hygiene rule applies to trace output too).
+func (r *Req) SetDetail(d string) {
+	if r == nil {
+		return
+	}
+	r.tr.Detail = d
+}
+
+// Finish completes the request with its HTTP status, recording the trace
+// when the total duration meets the tracer's threshold.
+func (r *Req) Finish(status int) {
+	if r == nil {
+		return
+	}
+	total := time.Since(r.start)
+	r.t.seen.Add(1)
+	if total < time.Duration(r.t.thresholdNs.Load()) {
+		return
+	}
+	r.tr.Status = status
+	r.tr.TotalMs = ms(total)
+	r.t.record(r.tr)
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestTracerCapturesAboveThreshold(t *testing.T) {
+	tr := NewTracer(8, -1) // capture everything
+	req := tr.Start("g1", "batch")
+	req.Phase("decode")
+	req.Add("pool_queue", time.Millisecond, time.Millisecond)
+	req.SetDetail("queries=4")
+	req.Finish(200)
+
+	got := tr.Snapshot()
+	if len(got) != 1 {
+		t.Fatalf("captured %d traces, want 1", len(got))
+	}
+	c := got[0]
+	if c.Graph != "g1" || c.Op != "batch" || c.Status != 200 || c.Detail != "queries=4" {
+		t.Fatalf("trace fields wrong: %+v", c)
+	}
+	if len(c.Spans) != 2 || c.Spans[0].Name != "decode" || c.Spans[1].Name != "pool_queue" {
+		t.Fatalf("spans wrong: %+v", c.Spans)
+	}
+	if c.Spans[1].OffsetMs != 1 || c.Spans[1].DurMs != 1 {
+		t.Fatalf("explicit span offsets wrong: %+v", c.Spans[1])
+	}
+}
+
+func TestTracerSkipsBelowThreshold(t *testing.T) {
+	tr := NewTracer(8, time.Hour)
+	req := tr.Start("g1", "query")
+	req.Phase("decode")
+	req.Finish(200)
+	if got := tr.Snapshot(); len(got) != 0 {
+		t.Fatalf("fast request captured: %+v", got)
+	}
+}
+
+func TestTracerRingBounded(t *testing.T) {
+	tr := NewTracer(4, -1)
+	for i := 0; i < 10; i++ {
+		req := tr.Start("g", "query")
+		req.SetDetail(string(rune('a' + i)))
+		req.Finish(200)
+	}
+	got := tr.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(got))
+	}
+	// Oldest-first: the survivors are the last four finishes g..j.
+	for i, want := range []string{"g", "h", "i", "j"} {
+		if got[i].Detail != want {
+			t.Fatalf("ring order wrong at %d: %+v", i, got)
+		}
+	}
+}
+
+func TestTracerDefaults(t *testing.T) {
+	tr := NewTracer(0, 0)
+	if cap(tr.ring) != DefaultTraceCap {
+		t.Fatalf("default cap = %d, want %d", cap(tr.ring), DefaultTraceCap)
+	}
+	if tr.Threshold() != DefaultSlowQuery {
+		t.Fatalf("default threshold = %v, want %v", tr.Threshold(), DefaultSlowQuery)
+	}
+}
+
+func TestNilTracerAndReqAreNoOps(t *testing.T) {
+	var tr *Tracer
+	req := tr.Start("g", "query")
+	req.Phase("decode")
+	req.Add("x", 0, 0)
+	req.SetDetail("d")
+	if req.Elapsed() != 0 {
+		t.Fatal("nil req Elapsed != 0")
+	}
+	req.Finish(200)
+	if tr.Snapshot() != nil {
+		t.Fatal("nil tracer snapshot non-nil")
+	}
+	// The handler still serves an empty page for a nil tracer.
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var page TracesPage
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("nil tracer handler: %v", err)
+	}
+	if len(page.Traces) != 0 {
+		t.Fatalf("nil tracer page has traces: %+v", page)
+	}
+}
+
+func TestTracerHandlerJSON(t *testing.T) {
+	tr := NewTracer(8, -1)
+	req := tr.Start("g1", "update")
+	req.Phase("decode")
+	req.Finish(200)
+	req = tr.Start("g1", "query")
+	req.Finish(400)
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var page TracesPage
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Seen != 2 || page.Captured != 2 || len(page.Traces) != 2 {
+		t.Fatalf("page = %+v", page)
+	}
+	if page.ThresholdMs != -1 {
+		t.Fatalf("ThresholdMs = %v, want -1 (capture all)", page.ThresholdMs)
+	}
+	if page.Traces[1].Status != 400 {
+		t.Fatalf("trace order or status wrong: %+v", page.Traces)
+	}
+}
+
+func TestTracerSeenCountsSkipped(t *testing.T) {
+	tr := NewTracer(8, time.Hour)
+	for i := 0; i < 3; i++ {
+		tr.Start("g", "query").Finish(200)
+	}
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var page TracesPage
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Seen != 3 || page.Captured != 0 {
+		t.Fatalf("seen/captured = %d/%d, want 3/0", page.Seen, page.Captured)
+	}
+}

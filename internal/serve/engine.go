@@ -55,6 +55,7 @@ import (
 	"repro/internal/bicc"
 	"repro/internal/conn"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/parallel"
 )
@@ -180,6 +181,16 @@ type Config struct {
 	// InitialChainDepth is the recovered remap-chain depth adopted with
 	// InitialForest.
 	InitialChainDepth int
+
+	// GraphName is the value of the "graph" label on this engine's metric
+	// series (metrics.go); "" selects "default". A Registry passes the
+	// graph's registered name.
+	GraphName string
+	// Metrics is the obs registry the engine registers its instruments in;
+	// nil creates a private registry (NewServer still serves it at
+	// /metrics). Sharing one registry across engines is how a Registry
+	// exposes the whole fleet on one scrape.
+	Metrics *obs.Registry
 }
 
 // KindStats is the cumulative serving telemetry for one query kind.
@@ -403,6 +414,11 @@ type Engine struct {
 	edgesAdded   int64
 	edgesRemoved int64
 
+	// met holds the engine's pre-resolved metric handles (metrics.go).
+	// Assigned once in New after the first snapshot publishes, so the
+	// scrape-time callbacks registered with it never see a nil snapshot.
+	met *engineMetrics
+
 	// testRebuildErr, when non-nil, lets white-box tests inject a rebuild
 	// failure (standing in for a plugged-in oracle whose rebuild errors —
 	// the path that must surface as ErrRebuildFailed, not a 400).
@@ -492,6 +508,7 @@ func New(g *graph.Graph, cfg Config) *Engine {
 		}
 	}
 	e.snap.Store(newSnap(cfg.InitialEpoch, g, os, costs))
+	e.met = newEngineMetrics(cfg.Metrics, cfg.GraphName, e)
 	return e
 }
 
@@ -617,6 +634,28 @@ func (e *Engine) Kinds() []Kind {
 
 // Inflight returns the number of currently admitted requests.
 func (e *Engine) Inflight() int64 { return e.inflight.Load() }
+
+// MetricsRegistry returns the obs registry this engine's instruments are
+// registered in (Config.Metrics, or the private registry created when that
+// was nil). NewServer serves it at GET /metrics.
+func (e *Engine) MetricsRegistry() *obs.Registry { return e.met.reg }
+
+// clusterCacheCounts returns the cumulative oracle-side cluster-cache
+// counters: the retired snapshots' totals (folded into the engine atomics
+// at publish time) plus the live snapshot's. Shared by Stats and the
+// scrape-time cache metrics.
+func (e *Engine) clusterCacheCounts() (hits, misses, evicts int64) {
+	hits, misses, evicts = e.ccHits.Load(), e.ccMisses.Load(), e.ccEvicts.Load()
+	for _, o := range e.snap.Load().oracles {
+		if cs, ok := o.(oracle.CacheStatser); ok {
+			h, ms, ev := cs.CacheStats()
+			hits += h
+			misses += ms
+			evicts += ev
+		}
+	}
+	return hits, misses, evicts
+}
 
 // Conn exposes the current snapshot's connectivity oracle (read-only use);
 // nil if no conn factory is registered.
@@ -773,11 +812,30 @@ var (
 	boolFalse    = &boolFalseVal
 )
 
-// answer runs one query against the snapshot's oracles using the worker's
-// private meters. Dispatch is by registered kind: the spec supplies the
-// arity for validation, the kindRef the owning oracle. The single m.Write(1)
-// charges the store of the answer into the batch's result slice (the
-// output-sized write cost of the model); the oracles themselves write
+// answer runs one query through dispatch, observing its wall-clock latency
+// in the per-(graph, kind) histogram. The observation is pre-resolved
+// atomics only (obs.Histogram.Observe allocates nothing), so this wrapper
+// is as zero-alloc as the dispatch underneath it — the alloc_test.go gates
+// hold with metrics enabled. Unknown-kind errors (agg < 0) have no kind
+// series to observe into and are skipped; malformed-but-known-kind queries
+// are observed (their error counts are exported separately).
+//
+//wec:noalloc
+func (e *Engine) answer(s *snapshot, w *worker, q Query, labels *[]int32) Result {
+	start := time.Now()
+	res, agg := e.dispatch(s, w, q, labels)
+	if agg >= 0 {
+		e.met.qdur[agg].Observe(time.Since(start).Seconds())
+	}
+	return res
+}
+
+// dispatch runs one query against the snapshot's oracles using the worker's
+// private meters, returning the result and the kind's aggregate index (-1
+// for an unknown kind). Dispatch is by registered kind: the spec supplies
+// the arity for validation, the kindRef the owning oracle. The single
+// m.Write(1) charges the store of the answer into the batch's result slice
+// (the output-sized write cost of the model); the oracles themselves write
 // nothing during queries.
 //
 // labels, when non-nil, selects the zero-alloc path for oracles that
@@ -793,17 +851,17 @@ var (
 // identical on both.
 //
 //wec:noalloc
-func (e *Engine) answer(s *snapshot, w *worker, q Query, labels *[]int32) Result {
+func (e *Engine) dispatch(s *snapshot, w *worker, q Query, labels *[]int32) (Result, int) {
 	ref, ok := e.byKind[q.Kind]
 	if !ok {
 		// Unknown kinds are not attributable to a per-kind meter; count
 		// them under no kind and report the error.
-		return Result{Err: fmt.Sprintf("unknown query kind %q", q.Kind)} //wec:alloc malformed-query error path, not the hot answer path
+		return Result{Err: fmt.Sprintf("unknown query kind %q", q.Kind)}, -1 //wec:alloc malformed-query error path, not the hot answer path
 	}
 	n := int32(s.g.N())
 	if q.U < 0 || q.U >= n || (e.specs[ref.agg].Pairwise && (q.V < 0 || q.V >= n)) {
 		w.errs[ref.agg]++
-		return Result{Err: fmt.Sprintf("vertex out of range [0,%d)", n)} //wec:alloc malformed-query error path, not the hot answer path
+		return Result{Err: fmt.Sprintf("vertex out of range [0,%d)", n)}, ref.agg //wec:alloc malformed-query error path, not the hot answer path
 	}
 	m := w.meters[ref.agg]
 	if labels != nil {
@@ -838,7 +896,7 @@ func (e *Engine) answer(s *snapshot, w *worker, q Query, labels *[]int32) Result
 				}
 				if err != nil {
 					w.errs[ref.agg]++
-					return Result{Err: err.Error()}
+					return Result{Err: err.Error()}, ref.agg
 				}
 				val := rcVal{av: av, cost: m.Snapshot().Sub(before), peak: w.fillSym.HighWater()}
 				w.batchSeen[key] = val
@@ -850,30 +908,30 @@ func (e *Engine) answer(s *snapshot, w *worker, q Query, labels *[]int32) Result
 			w.counts[ref.agg]++
 			if av.IsBool {
 				if av.Bool {
-					return Result{Bool: boolTrue}
+					return Result{Bool: boolTrue}, ref.agg
 				}
-				return Result{Bool: boolFalse}
+				return Result{Bool: boolFalse}, ref.agg
 			}
 			if len(*labels) < cap(*labels) {
 				*labels = append(*labels, av.Label)
-				return Result{Label: &(*labels)[len(*labels)-1]}
+				return Result{Label: &(*labels)[len(*labels)-1]}, ref.agg
 			}
 			// Undersized arena (a caller bug — both call sites size it to
 			// one slot per query): box this label rather than let append
 			// reallocate, which would silently dangle every previously
 			// returned Result.Label into the old array.
 			lbl := av.Label
-			return Result{Label: &lbl} //wec:alloc arena-overflow fallback; both call sites size the arena to avoid it
+			return Result{Label: &lbl}, ref.agg //wec:alloc arena-overflow fallback; both call sites size the arena to avoid it
 		}
 	}
 	ans, err := s.oracles[ref.fac].Answer(m, w.sym, oracle.Query{Kind: q.Kind, U: q.U, V: q.V})
 	if err != nil {
 		w.errs[ref.agg]++
-		return Result{Err: err.Error()}
+		return Result{Err: err.Error()}, ref.agg
 	}
 	m.Write(1) // store the answer (output-sized cost)
 	w.counts[ref.agg]++
-	return Result{Bool: ans.Bool, Label: ans.Label}
+	return Result{Bool: ans.Bool, Label: ans.Label}, ref.agg
 }
 
 // Do answers a batch of queries. The snapshot pointer is loaded once, so
@@ -884,10 +942,19 @@ func (e *Engine) answer(s *snapshot, w *worker, q Query, labels *[]int32) Result
 // state. Do is safe to call from many goroutines at once; time spent
 // waiting for pool slots is recorded in the admission telemetry.
 func (e *Engine) Do(queries []Query) []Result {
+	out, _ := e.DoWait(queries)
+	return out
+}
+
+// DoWait is Do returning also the time this batch spent waiting for pool
+// worker slots — the HTTP layer splits a traced batch request into its
+// pool_queue and answer spans with it.
+func (e *Engine) DoWait(queries []Query) ([]Result, time.Duration) {
 	out := make([]Result, len(queries))
 	if len(queries) == 0 {
-		return out
+		return out, 0
 	}
+	e.met.batchSize.Observe(float64(len(queries)))
 	s := e.snap.Load()
 	chunk := (len(queries) + e.workers - 1) / e.workers
 	nchunks := (len(queries) + chunk - 1) / chunk
@@ -917,7 +984,8 @@ func (e *Engine) Do(queries []Query) []Result {
 		e.putWorker(w)
 	})
 	e.queueWaitNs.Add(int64(wait))
-	return out
+	e.met.queueWait.Observe(wait.Seconds())
+	return out, wait
 }
 
 // Query answers a single query (a one-element batch without the pool

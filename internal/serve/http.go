@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"repro/internal/asym"
+	"repro/internal/obs"
 )
 
 // This file is the HTTP/JSON surface over the Registry, mounted by
@@ -23,6 +24,14 @@ import (
 //	GET  /healthz                                        -> 200 {"ok":true} once the default graph's first
 //	                                                        snapshot is published; 503 {"ok":false,...} before
 //	                                                        (readiness, not liveness)
+//
+// Observability (fleet-wide):
+//
+//	GET /metrics       -> Prometheus text exposition of the registry's obs
+//	                      metrics (per-graph query latency, admission, caches,
+//	                      rebuilds, epoch; fleet pool and graph count)
+//	GET /debug/traces  -> JSON ring of recent slow requests (span per phase;
+//	                      threshold from RegistryConfig.SlowQuery)
 //
 // Graph lifecycle (multi-tenant):
 //
@@ -114,7 +123,9 @@ type GraphListResponse struct {
 }
 
 // Info is the /info response body: the engine's configuration plus the
-// current snapshot's shape and build costs (stable within an epoch).
+// current snapshot's shape and build costs (stable within an epoch), and
+// the binary's build identity so scraped metrics can be correlated with the
+// exact build.
 type Info struct {
 	GraphN        int                 `json:"graph_n"`
 	GraphM        int                 `json:"graph_m"`
@@ -128,6 +139,7 @@ type Info struct {
 	BuildConn     CostJSON            `json:"build_conn"`
 	BuildBicc     CostJSON            `json:"build_bicc"`
 	BuildCosts    map[string]CostJSON `json:"build_costs"`
+	Build         obs.BuildInfo       `json:"build"`
 }
 
 // CostJSON is an asym.Cost with the derived work made explicit for JSON
@@ -160,6 +172,13 @@ type PoolJSON struct {
 }
 
 // StatsJSON mirrors Stats with CostJSON leaves.
+//
+// Duration units: every duration field in the /stats document — the
+// admission and pool queue_wait_ms, and rebuild duration_ms — is in
+// MILLISECONDS, flagged by the _ms suffix. The same quantities exported
+// as histograms on GET /metrics (wec_pool_queue_wait_seconds,
+// wec_rebuild_duration_seconds) are in SECONDS, per Prometheus base-unit
+// convention. docs/observability.md carries the field-by-field mapping.
 type StatsJSON struct {
 	GraphN        int                      `json:"graph_n"`
 	GraphM        int                      `json:"graph_m"`
@@ -244,6 +263,9 @@ func NewServer(e *Engine) http.Handler {
 		Pool:        e.Pool(),
 		MaxInflight: int(e.maxInflight),
 		MaxGraphs:   1,
+		// Serve the wrapped engine's own registry at /metrics — its series
+		// were registered there when the caller built it.
+		Metrics: e.MetricsRegistry(),
 	})
 	if err := reg.Attach("default", e); err != nil {
 		panic(err) // fresh registry: unreachable
@@ -281,14 +303,27 @@ func NewRegistryServer(reg *Registry) http.Handler {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "state": state})
 	})
 
+	// Observability: the fleet's metric registry and slow-request ring.
+	mux.Handle("GET /metrics", reg.Metrics().Handler())
+	mux.Handle("GET /debug/traces", reg.Tracer().Handler())
+
 	// Single-graph endpoints, twice: un-prefixed against the default graph
-	// and under /graphs/{name}/ against any graph.
-	for prefix, resolve := range map[string]resolver{"": def, "/graphs/{name}": named} {
-		mux.HandleFunc("GET "+prefix+"/info", handleInfo(resolve))
-		mux.HandleFunc("GET "+prefix+"/stats", handleStats(resolve))
-		mux.HandleFunc("POST "+prefix+"/query", handleQuery(resolve))
-		mux.HandleFunc("POST "+prefix+"/batch", handleBatch(resolve))
-		mux.HandleFunc("POST "+prefix+"/update", handleUpdate(resolve))
+	// and under /graphs/{name}/ against any graph. The nameOf funcs label
+	// request traces without resolving the engine twice.
+	routes := []struct {
+		prefix  string
+		resolve resolver
+		nameOf  func(*http.Request) string
+	}{
+		{"", def, func(*http.Request) string { return reg.DefaultName() }},
+		{"/graphs/{name}", named, func(r *http.Request) string { return r.PathValue("name") }},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc("GET "+rt.prefix+"/info", handleInfo(rt.resolve))
+		mux.HandleFunc("GET "+rt.prefix+"/stats", handleStats(rt.resolve))
+		mux.HandleFunc("POST "+rt.prefix+"/query", handleQuery(reg.tracer, rt.resolve, rt.nameOf))
+		mux.HandleFunc("POST "+rt.prefix+"/batch", handleBatch(reg.tracer, rt.resolve, rt.nameOf))
+		mux.HandleFunc("POST "+rt.prefix+"/update", handleUpdate(reg.tracer, rt.resolve, rt.nameOf))
 	}
 
 	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, r *http.Request) {
@@ -304,7 +339,7 @@ func NewRegistryServer(reg *Registry) http.Handler {
 			return
 		}
 		var spec GraphSpec
-		if err := decodeBody(w, r, maxGraphSpecBytes, &spec); err != nil {
+		if _, err := decodeBody(w, r, maxGraphSpecBytes, &spec); err != nil {
 			return
 		}
 		st, err := reg.Create(spec)
@@ -406,100 +441,143 @@ func handleStats(resolve resolver) http.HandlerFunc {
 	}
 }
 
-func handleQuery(resolve resolver) http.HandlerFunc {
+// Traced request handlers. Each builds an obs.Req (nil-safe; Finish hands
+// it to the tracer only when the request is slow enough to capture) with a
+// span per phase. The span order is the handlers' actual order — admission
+// deliberately comes BEFORE the body decode, so a shed request costs O(1)
+// rather than a full decode; docs/observability.md has the glossary.
+
+func handleQuery(tr *obs.Tracer, resolve resolver, nameOf func(*http.Request) string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		e, ok := resolveEngine(w, r, resolve)
 		if !ok {
 			return
 		}
+		treq := tr.Start(nameOf(r), "query")
 		// Admission comes before the body decode: a shed request must cost
 		// O(1), not a full decode (the same rationale as the byte limits).
 		release, ok := admit(w, e)
+		treq.Phase("admit")
 		if !ok {
+			treq.Finish(http.StatusTooManyRequests)
 			return
 		}
 		defer release()
 		var q Query
-		if err := decodeBody(w, r, maxQueryBytes, &q); err != nil {
+		status, err := decodeBody(w, r, maxQueryBytes, &q)
+		treq.Phase("decode")
+		if err != nil {
+			treq.Finish(status)
 			return
 		}
 		res := e.Query(q)
-		status := http.StatusOK
+		treq.Phase("answer")
+		status = http.StatusOK
 		if res.Err != "" {
 			status = http.StatusBadRequest
 		}
 		writeJSON(w, status, res)
+		treq.Phase("encode")
+		treq.Finish(status)
 	}
 }
 
-func handleBatch(resolve resolver) http.HandlerFunc {
+func handleBatch(tr *obs.Tracer, resolve resolver, nameOf func(*http.Request) string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		e, ok := resolveEngine(w, r, resolve)
 		if !ok {
 			return
 		}
+		treq := tr.Start(nameOf(r), "batch")
 		release, ok := admit(w, e)
+		treq.Phase("admit")
 		if !ok {
+			treq.Finish(http.StatusTooManyRequests)
 			return
 		}
 		defer release()
 		var req BatchRequest
-		if err := decodeBody(w, r, maxBatchBytes, &req); err != nil {
+		status, err := decodeBody(w, r, maxBatchBytes, &req)
+		treq.Phase("decode")
+		if err != nil {
+			treq.Finish(status)
 			return
 		}
 		if len(req.Queries) > MaxBatch {
 			httpError(w, http.StatusRequestEntityTooLarge,
 				"batch of %d exceeds limit %d", len(req.Queries), MaxBatch)
+			treq.Finish(http.StatusRequestEntityTooLarge)
 			return
 		}
-		results := e.Do(req.Queries)
+		treq.SetDetail(fmt.Sprintf("queries=%d", len(req.Queries)))
+		// DoWait reports how much of the dispatch interval was pool queue
+		// wait, splitting it into the pool_queue and answer spans.
+		off := treq.Elapsed()
+		results, wait := e.DoWait(req.Queries)
+		dur := treq.Elapsed() - off
+		treq.Add("pool_queue", off, wait)
+		treq.Add("answer", off+wait, dur-wait)
 		writeJSON(w, http.StatusOK, BatchResponse{Results: results, Count: len(results)})
+		treq.Phase("encode")
+		treq.Finish(http.StatusOK)
 	}
 }
 
-func handleUpdate(resolve resolver) http.HandlerFunc {
+func handleUpdate(tr *obs.Tracer, resolve resolver, nameOf func(*http.Request) string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		e, ok := resolveEngine(w, r, resolve)
 		if !ok {
 			return
 		}
+		treq := tr.Start(nameOf(r), "update")
 		// Updates go through the same per-graph admission as queries: the
 		// in-flight count is what Registry.Delete's drain waits on, and a
 		// capped graph must shed update bursts too (a wait=true update can
 		// hold its slot until the rebuild publishes — that is the point).
 		release, ok := admit(w, e)
+		treq.Phase("admit")
 		if !ok {
+			treq.Finish(http.StatusTooManyRequests)
 			return
 		}
 		defer release()
 		var req UpdateRequest
-		if err := decodeBody(w, r, maxUpdateBytes, &req); err != nil {
+		status, err := decodeBody(w, r, maxUpdateBytes, &req)
+		treq.Phase("decode")
+		if err != nil {
+			treq.Finish(status)
 			return
 		}
 		if len(req.Add)+len(req.Remove) > MaxUpdateEdges {
 			httpError(w, http.StatusRequestEntityTooLarge,
 				"update of %d edges exceeds limit %d", len(req.Add)+len(req.Remove), MaxUpdateEdges)
+			treq.Finish(http.StatusRequestEntityTooLarge)
 			return
 		}
-		st, err := e.Update(Update{Add: req.Add, Remove: req.Remove}, req.Wait)
-		if err != nil {
+		treq.SetDetail(fmt.Sprintf("add=%d remove=%d wait=%t", len(req.Add), len(req.Remove), req.Wait))
+		st, uerr := e.Update(Update{Add: req.Add, Remove: req.Remove}, req.Wait)
+		treq.Phase("update")
+		if uerr != nil {
 			// 400 is reserved for requests the client got wrong (bad
 			// vertices, absent removals). A server-side failure — the
 			// engine closing, the rebuild of a valid batch failing, the
 			// durable log rejecting the append — is 5xx.
-			status := http.StatusBadRequest
+			status = http.StatusBadRequest
 			switch {
-			case errors.Is(err, ErrClosed):
+			case errors.Is(uerr, ErrClosed):
 				status = http.StatusServiceUnavailable
-			case errors.Is(err, ErrRebuildFailed), errors.Is(err, ErrPersist):
+			case errors.Is(uerr, ErrRebuildFailed), errors.Is(uerr, ErrPersist):
 				status = http.StatusInternalServerError
 			}
-			httpError(w, status, "%v", err)
+			httpError(w, status, "%v", uerr)
+			treq.Finish(status)
 			return
 		}
 		writeJSON(w, http.StatusOK, UpdateResponse{
 			Seq: st.Seq, Epoch: st.Epoch, Pending: st.Pending, Applied: st.Applied,
 		})
+		treq.Phase("encode")
+		treq.Finish(http.StatusOK)
 	}
 }
 
@@ -520,6 +598,7 @@ func infoOf(e *Engine) Info {
 		BuildCosts: costsJSON(e.buildCosts(sn)),
 	}
 	info.NumComponents, info.NumBCC = sn.counts()
+	info.Build = obs.Build()
 	return info
 }
 
@@ -589,21 +668,22 @@ func statsJSON(s Stats) StatsJSON {
 
 // decodeBody decodes a JSON request body into out, enforcing the byte limit
 // before any allocation proportional to the body happens. On failure it has
-// already written the error response: 413 when the limit tripped, 400
-// otherwise.
-func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, out any) error {
+// already written the error response — 413 when the limit tripped, 400
+// otherwise — and returns the status it wrote (0 on success) so traced
+// handlers can finish their trace with the real outcome.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, out any) (int, error) {
 	body := http.MaxBytesReader(w, r.Body, limit)
 	err := json.NewDecoder(body).Decode(out)
 	if err == nil {
-		return nil
+		return 0, nil
 	}
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
 		httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", limit)
-	} else {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return http.StatusRequestEntityTooLarge, err
 	}
-	return err
+	httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	return http.StatusBadRequest, err
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

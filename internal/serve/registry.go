@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/obs"
 )
 
 // This file is the multi-tenant half of the serving layer: a Registry owns
@@ -128,14 +129,26 @@ type RegistryConfig struct {
 	// a freshly built graph writes its initial snapshot before going
 	// ready. Attach bypasses persistence (single-engine back-compat).
 	Persist RegistryPersister
+	// Metrics is the obs registry every created engine registers its
+	// instruments in, served at GET /metrics by NewRegistryServer. Nil
+	// creates a fresh registry. Share it with the durable store
+	// (store.Options.Metrics) so WAL/snapshot families land on the same
+	// scrape.
+	Metrics *obs.Registry
+	// SlowQuery is the request-trace capture threshold for GET
+	// /debug/traces: 0 selects obs.DefaultSlowQuery, negative captures
+	// every request (tests use it for determinism).
+	SlowQuery time.Duration
 }
 
 // Registry manages named graphs with full lifecycle: background builds,
 // per-graph serving, drain-then-close deletion. All methods are safe for
 // concurrent use.
 type Registry struct {
-	cfg  RegistryConfig
-	pool *Pool
+	cfg    RegistryConfig
+	pool   *Pool
+	obs    *obs.Registry
+	tracer *obs.Tracer
 
 	mu          sync.Mutex
 	graphs      map[string]*graphEntry
@@ -183,11 +196,31 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 	if pool == nil {
 		pool = NewPool(0)
 	}
-	return &Registry{cfg: cfg, pool: pool, graphs: map[string]*graphEntry{}}
+	mreg := cfg.Metrics
+	if mreg == nil {
+		mreg = obs.NewRegistry()
+	}
+	reg := &Registry{
+		cfg:    cfg,
+		pool:   pool,
+		obs:    mreg,
+		tracer: obs.NewTracer(0, cfg.SlowQuery),
+		graphs: map[string]*graphEntry{},
+	}
+	registerFleetMetrics(mreg, reg)
+	return reg
 }
 
 // Pool returns the shared worker pool.
 func (reg *Registry) Pool() *Pool { return reg.pool }
+
+// Metrics returns the obs registry the fleet's instruments live in (served
+// at GET /metrics).
+func (reg *Registry) Metrics() *obs.Registry { return reg.obs }
+
+// Tracer returns the fleet's slow-request trace ring (served at GET
+// /debug/traces).
+func (reg *Registry) Tracer() *obs.Tracer { return reg.tracer }
 
 // DefaultName returns the default graph's name ("" while the registry is
 // empty).
@@ -477,6 +510,9 @@ func (reg *Registry) build(ent *graphEntry, load func() (*graph.Graph, error), s
 				buildErr = fmt.Errorf("initial snapshot: %w", buildErr)
 				eng.Close()
 				eng = nil
+				// The dead engine's metric series must not scrape as a live
+				// graph; the failed entry keeps the name reserved.
+				reg.obs.DeleteLabeled("graph", ent.name)
 			}
 		}
 	}()
@@ -487,6 +523,9 @@ func (reg *Registry) build(ent *graphEntry, load func() (*graph.Graph, error), s
 		reg.mu.Unlock()
 		if eng != nil {
 			eng.Close()
+			// The orphan engine registered its series in New; retire them
+			// the same way Delete does for a served graph.
+			reg.obs.DeleteLabeled("graph", ent.name)
 		}
 		return
 	}
@@ -529,6 +568,8 @@ func (reg *Registry) engineConfig(name string, spec GraphSpec) Config {
 	if cb := reg.cfg.OnRebuild; cb != nil {
 		cfg.OnRebuild = func(r RebuildRecord) { cb(name, r) }
 	}
+	cfg.GraphName = name
+	cfg.Metrics = reg.obs
 	return cfg
 }
 
@@ -642,6 +683,14 @@ func (reg *Registry) Delete(name string) error {
 			return fmt.Errorf("serve: durable delete of %q: %w", name, err)
 		}
 	}
+
+	// Retire the graph's metric series while the name is still reserved in
+	// the registry map: a concurrent Create of the same name fails with
+	// ErrGraphExists until the removal below, so a new engine cannot be
+	// registering fresh series for this label value concurrently. (Late
+	// observations through already-resolved handles are harmless — the
+	// series is simply no longer scraped.)
+	reg.obs.DeleteLabeled("graph", name)
 
 	reg.mu.Lock()
 	if reg.graphs[name] == ent {

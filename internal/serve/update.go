@@ -308,6 +308,16 @@ func (e *Engine) rebuildLoop() {
 		e.cond.Broadcast()
 		cb := e.onRebuild
 		e.mu.Unlock()
+		// Metric observation outside the lock: strategies not on the ladder
+		// (a failed build records Strategy before stepping down) fall back
+		// to no observation rather than a panic.
+		if err == nil {
+			if h := e.met.rebuildDur[rec.Strategy]; h != nil {
+				h.Observe(rec.Duration.Seconds())
+			}
+		} else {
+			e.met.rebuildFail.Inc()
+		}
 		if err == nil && e.persist != nil {
 			// Commit the published epoch to the durable log (and let it
 			// compact) outside the engine lock: the snapshot's graph and

@@ -28,6 +28,7 @@ type GraphLog struct {
 	dir  string
 	name string
 	opts Options
+	met  *logMetrics
 
 	mu       sync.Mutex
 	f        *os.File // current WAL segment (O_APPEND)
@@ -63,6 +64,7 @@ func openGraphLog(dir, name string, opts Options, snapEpoch, snapSeq int64) (*Gr
 		dir:       dir,
 		name:      name,
 		opts:      opts,
+		met:       newLogMetrics(opts.Metrics, name),
 		segEpoch:  snapEpoch,
 		older:     map[int64]int64{},
 		lastSnap:  time.Now(),
@@ -128,17 +130,27 @@ func (l *GraphLog) LogUpdate(seq int64, add, remove [][2]int32) error {
 		return errors.New("store: graph log closed")
 	}
 	cw := &countWriter{w: l.f}
+	start := time.Now()
 	if err := appendUpdateRecord(cw, seq, add, remove); err != nil {
 		return err
 	}
+	l.met.walAppend.Observe(time.Since(start).Seconds())
 	l.bytesSinceSnap += cw.n
 	if seq > l.segMaxSeq {
 		l.segMaxSeq = seq
 	}
 	if l.opts.fsync() == FsyncAlways {
-		return l.f.Sync()
+		return l.timedSync()
 	}
 	return nil
+}
+
+// timedSync fsyncs the current segment and observes the latency.
+func (l *GraphLog) timedSync() error {
+	start := time.Now()
+	err := l.f.Sync()
+	l.met.walFsync.Observe(time.Since(start).Seconds())
+	return err
 }
 
 // EpochPublished records that snapshot epoch `epoch` (folding updates
@@ -156,15 +168,17 @@ func (l *GraphLog) EpochPublished(epoch, seq int64, g *graph.Graph, dyn func() (
 	if l.closed {
 		return
 	}
+	commitStart := time.Now()
 	if err := appendCommitRecord(l.f, epoch, seq); err != nil {
 		l.opts.logf("store: [%s] commit record: %v", l.name, err)
 		return
 	}
 	if l.opts.fsync() != FsyncNone {
-		if err := l.f.Sync(); err != nil {
+		if err := l.timedSync(); err != nil {
 			l.opts.logf("store: [%s] commit sync: %v", l.name, err)
 		}
 	}
+	l.met.walCommit.Observe(time.Since(commitStart).Seconds())
 	byTrig := l.opts.compactBytes() > 0 && l.bytesSinceSnap >= l.opts.compactBytes()
 	ageTrig := l.opts.compactInterval() > 0 && time.Since(l.lastSnap) >= l.opts.compactInterval() && l.bytesSinceSnap > 0
 	if !byTrig && !ageTrig {
@@ -192,12 +206,14 @@ func (l *GraphLog) LogAbort(fromSeq, toSeq int64) error {
 		return errors.New("store: graph log closed")
 	}
 	cw := &countWriter{w: l.f}
+	start := time.Now()
 	if err := appendAbortRecord(cw, fromSeq, toSeq); err != nil {
 		return err
 	}
+	l.met.walAppend.Observe(time.Since(start).Seconds())
 	l.bytesSinceSnap += cw.n
 	if l.opts.fsync() != FsyncNone {
-		return l.f.Sync()
+		return l.timedSync()
 	}
 	return nil
 }
@@ -240,12 +256,19 @@ func (l *GraphLog) compactLocked(epoch, seq int64, g *graph.Graph, remap map[int
 			return err
 		}
 	}
-	if _, err := WriteSnapshotFile(l.dir, &Snapshot{
+	writeStart := time.Now()
+	path, err := WriteSnapshotFile(l.dir, &Snapshot{
 		Epoch: epoch, LastSeq: seq, Base: g,
 		Remap: remap, Forest: forest, ChainDepth: chainDepth,
-	}); err != nil {
+	})
+	if err != nil {
 		return err
 	}
+	l.met.snapWrite.Observe(time.Since(writeStart).Seconds())
+	if fi, serr := os.Stat(path); serr == nil {
+		l.met.snapBytes.Set(float64(fi.Size()))
+	}
+	l.met.compactions.Inc()
 	l.snapEpoch, l.snapSeq = epoch, seq
 	l.bytesSinceSnap = 0
 	l.lastSnap = time.Now()

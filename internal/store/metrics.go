@@ -1,0 +1,42 @@
+package store
+
+import (
+	"repro/internal/obs"
+)
+
+// logMetrics is one graph's pre-resolved durability instrument handles.
+// They are registered when the GraphLog opens and retired by DeleteGraph
+// (via DeleteLabeled), so a recreated graph starts from fresh series. All
+// durations are exported in seconds per Prometheus convention; the serving
+// layer's /stats JSON reports milliseconds — see docs/observability.md for
+// the mapping.
+type logMetrics struct {
+	walAppend   *obs.Histogram // update/abort record append (excl. fsync)
+	walFsync    *obs.Histogram // explicit WAL fsync calls
+	walCommit   *obs.Histogram // commit record append + policy fsync
+	snapWrite   *obs.Histogram // snapshot encode + durable write
+	snapBytes   *obs.Gauge     // size of the newest snapshot file
+	compactions *obs.Counter   // snapshots written (WAL fold points)
+}
+
+// newLogMetrics registers the per-graph durability families in reg (nil
+// selects a fresh private registry, keeping the store usable standalone).
+func newLogMetrics(reg *obs.Registry, graphName string) *logMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &logMetrics{
+		walAppend: reg.NewHistogramVec("wec_wal_append_seconds",
+			"WAL record append latency, excluding fsync.", nil, "graph").With(graphName),
+		walFsync: reg.NewHistogramVec("wec_wal_fsync_seconds",
+			"WAL fsync latency (policy-dependent: every append, commits only, or never).", nil, "graph").With(graphName),
+		walCommit: reg.NewHistogramVec("wec_wal_commit_seconds",
+			"Epoch-commit record latency including its policy fsync.", nil, "graph").With(graphName),
+		snapWrite: reg.NewHistogramVec("wec_snapshot_write_seconds",
+			"Snapshot encode and durable write latency.", nil, "graph").With(graphName),
+		snapBytes: reg.NewGaugeVec("wec_snapshot_bytes",
+			"Size of the newest durable snapshot file.", "graph").With(graphName),
+		compactions: reg.NewCounterVec("wec_compactions_total",
+			"Snapshots written (each folds the WAL and rotates the segment).", "graph").With(graphName),
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/asym"
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/obs"
 	"repro/internal/spanning"
 )
 
@@ -61,6 +62,12 @@ type Options struct {
 	CompactInterval time.Duration
 	// Logf, when non-nil, receives recovery and compaction diagnostics.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the per-graph durability families
+	// (WAL append/fsync/commit latency, snapshot write latency and size,
+	// compaction counts). Share it with the serving layer's registry so
+	// GET /metrics covers both; nil gives each graph log a private
+	// registry nothing scrapes.
+	Metrics *obs.Registry
 }
 
 func (o Options) fsync() string {
@@ -395,6 +402,12 @@ func (s *Store) DeleteGraph(name string) error {
 	}
 	if err := s.manifest.Sync(); err != nil {
 		return err
+	}
+	if s.opts.Metrics != nil {
+		// Retire the graph's durability series so a scrape after the delete
+		// doesn't report a ghost; the serving layer retires its own families
+		// the same way when the registries are shared.
+		s.opts.Metrics.DeleteLabeled("graph", name)
 	}
 	return os.RemoveAll(filepath.Join(s.dir, "graphs", name))
 }
