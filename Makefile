@@ -74,9 +74,14 @@ smoke:
 # per-oracle strategy ladder asserted exactly (patch-insert, patch-delete,
 # scheduled re-base — and zero full conn rebuilds, since every removal is
 # chosen split-free), and patched rebuilds must write strictly less than a
-# full build.
+# full build. Bicc deferral gates ride along: zero publish-path bicc
+# rebuilds, every batch deferred or absorbed, lazy builds == lazy
+# deferrals. The second phase restricts the query load to conn-family
+# kinds and asserts — counter-gated via /stats — that a conn-only workload
+# triggers ZERO bicc rebuilds across the whole churn run.
 smoke-churn:
 	$(GO) run -race ./cmd/wecbench -exp serve -servechurn 9 -servechurnedges 24 -servechurnrebase 5 -serveconc 2 -scale 1
+	$(GO) run -race ./cmd/wecbench -exp serve -servechurn 6 -servechurnedges 16 -servechurnrebase 3 -serveconc 2 -scale 1 -servechurnconnonly
 
 # End-to-end smoke of the multi-graph registry, under the race detector:
 # two graphs created through the lifecycle API and served concurrently,

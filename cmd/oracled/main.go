@@ -386,11 +386,17 @@ func logRebuild(logger *slog.Logger, name string, r serve.RebuildRecord) {
 			"graph", name, "batches", r.Batches, "error", r.Err)
 		return
 	}
+	deferred := 0
+	for _, s := range r.Strategies {
+		if s == serve.StrategyLazy {
+			deferred++
+		}
+	}
 	logger.Info("epoch published",
 		"graph", name, "epoch", r.Epoch, "strategy", r.Strategy,
 		"batches", r.Batches, "added_edges", r.AddedEdges, "removed_edges", r.RemovedEdges,
 		"duration_ms", float64(r.Duration.Nanoseconds())/1e6,
-		"oracle_strategies", r.Strategies,
+		"oracle_strategies", r.Strategies, "deferred_oracles", deferred,
 		"writes_graph", r.GraphCost.Writes, "writes_conn", r.ConnCost.Writes, "writes_bicc", r.BiccCost.Writes)
 }
 

@@ -52,7 +52,12 @@ var (
 // benchSchemaVersion is the version stamped into every BENCH file. Any
 // change to the JSON shape — fields added, removed, renamed, or retyped —
 // must bump it; the golden-file test (bench_test.go) enforces that.
-const benchSchemaVersion = 2
+//
+// v3 added the churn family's update-throughput telemetry (batches/sec,
+// published epochs, per-oracle rebuild strategies and publish-path writes
+// per epoch) and pinned the legacy sweep to serve.Config.EagerRebuilds —
+// the pre-deferral baseline that rebuilds bicc on every publish.
+const benchSchemaVersion = 3
 
 // The pinned sweep axes. Families shape the workload: uniform is a random
 // 3-regular graph, powerlaw a degree-bounded preferential-attachment graph
@@ -110,6 +115,11 @@ type benchConfig struct {
 	// HTTPClients is the concurrent-client count of the HTTP sweep (0 for
 	// engine sweeps).
 	HTTPClients int `json:"http_clients,omitempty"`
+	// EagerRebuilds records serve.Config.EagerRebuilds: true pins
+	// deferrable oracles (bicc) to a publish-path rebuild every epoch —
+	// the pre-deferral baseline the legacy sweep measures. The fast sweep
+	// leaves it false, so churn points show the lazy path's publish cost.
+	EagerRebuilds bool `json:"eager_rebuilds,omitempty"`
 }
 
 // benchPoint is one sweep point: one (size, family, mix) cell's measured
@@ -133,8 +143,20 @@ type benchPoint struct {
 	// asymmetric reads/writes/work per query (Stats deltas).
 	Asym map[string]benchAsym `json:"asym"`
 	// ChurnBatches counts update batches staged during a churn point's
-	// measurement window (0 elsewhere).
-	ChurnBatches int64 `json:"churn_batches,omitempty"`
+	// measurement window (0 elsewhere); ChurnBatchesPerSec is that count
+	// over the window's wall clock — the staged update throughput.
+	ChurnBatches       int64   `json:"churn_batches,omitempty"`
+	ChurnBatchesPerSec float64 `json:"churn_batches_per_sec,omitempty"`
+	// ChurnEpochs counts the epochs the rebuild loop published for those
+	// batches (coalescing makes it <= ChurnBatches); RebuildStrategies is
+	// the per-oracle strategy histogram over those publishes (oracle ->
+	// strategy -> count) and RebuildWritesPerBatch each oracle's mean
+	// publish-path asymmetric writes per published epoch. These are the
+	// before/after axis of the lazy-bicc story: the eager baseline pays a
+	// full bicc build every publish, the lazy path writes nothing there.
+	ChurnEpochs           int64                       `json:"churn_epochs,omitempty"`
+	RebuildStrategies     map[string]map[string]int64 `json:"rebuild_strategies,omitempty"`
+	RebuildWritesPerBatch map[string]float64          `json:"rebuild_writes_per_batch,omitempty"`
 }
 
 // benchLatency is the nearest-rank batch-latency digest in nanoseconds.
@@ -221,6 +243,39 @@ func benchCompare(legacy, fast benchDoc) {
 			p.Family, p.Mix, p.N, allocs, bytes,
 			float64(lp.LatencyNs.P95)/float64(p.LatencyNs.P95),
 			p.QPS/lp.QPS)
+	}
+	// The churn family's publish-cost story: total publish-path writes per
+	// published epoch, eager baseline vs the lazy path. The bicc column is
+	// where deferral shows — the baseline pays a full build every epoch.
+	printed := false
+	for _, p := range fast.Points {
+		if p.Family != "churn" || len(p.RebuildWritesPerBatch) == 0 {
+			continue
+		}
+		lp, ok := idx[key{p.Family, p.Mix, p.N}]
+		if !ok || len(lp.RebuildWritesPerBatch) == 0 {
+			continue
+		}
+		if !printed {
+			fmt.Printf("\n%-9s %-6s %8s | %16s %16s | %10s\n",
+				"family", "mix", "n", "bicc wr/epoch", "total wr/epoch", "cost drop")
+			printed = true
+		}
+		var ltot, ftot float64
+		for _, w := range lp.RebuildWritesPerBatch {
+			ltot += w
+		}
+		for _, w := range p.RebuildWritesPerBatch {
+			ftot += w
+		}
+		drop := "inf"
+		if ftot > 0 {
+			drop = fmt.Sprintf("%.1fx", ltot/ftot)
+		}
+		fmt.Printf("%-9s %-6s %8d | %7.0f→%-8.0f %7.0f→%-8.0f | %10s\n",
+			p.Family, p.Mix, p.N,
+			lp.RebuildWritesPerBatch["bicc"], p.RebuildWritesPerBatch["bicc"],
+			ltot, ftot, drop)
 	}
 }
 
@@ -351,11 +406,11 @@ func benchBatches(seed uint64, n, total, batch int, frac float64, dist string) [
 func benchEngineSweep(sizes []int, legacy bool) benchDoc {
 	dispatch := "fast"
 	experiment := "query_hot_path"
-	desc := "in-process serve.Engine.Do over the zero-alloc FastAnswerer dispatch path"
+	desc := "in-process serve.Engine.Do over the zero-alloc FastAnswerer dispatch path with deferred (lazy) bicc rebuilds"
 	if legacy {
 		dispatch = "legacy"
 		experiment = "query_hot_path_legacy"
-		desc = "in-process serve.Engine.Do over the boxed legacy dispatch path (pre-optimization baseline)"
+		desc = "in-process serve.Engine.Do over the boxed legacy dispatch path with eager per-epoch rebuilds (pre-optimization baseline)"
 	}
 	doc := benchDoc{
 		SchemaVersion: benchSchemaVersion,
@@ -372,6 +427,7 @@ func benchEngineSweep(sizes []int, legacy bool) benchDoc {
 			Mixes:           benchMixes,
 			QueryDist:       *benchDist,
 			GoMaxProcs:      runtime.GOMAXPROCS(0),
+			EagerRebuilds:   legacy,
 		},
 	}
 	fmt.Printf("\nengine sweep (%s dispatch): %d sizes × %d families × %d mixes, %d queries/point, ω=%d\n",
@@ -381,15 +437,22 @@ func benchEngineSweep(sizes []int, legacy bool) benchDoc {
 	for si, n := range sizes {
 		for fi, family := range benchFamilies {
 			g := benchGraph(family, n)
-			eng := serve.New(g, serve.Config{
+			cfg := serve.Config{
 				Omega:          *benchOmega,
 				Seed:           benchEngineSeed,
 				LegacyDispatch: legacy,
-			})
+				EagerRebuilds:  legacy,
+			}
+			var accum *benchRebuildAccum
+			if family == "churn" {
+				accum = &benchRebuildAccum{}
+				cfg.OnRebuild = accum.add
+			}
+			eng := serve.New(g, cfg)
 			doc.Config.K = eng.K()
 			for mi, mix := range benchMixes {
 				seed := uint64(benchQuerySeedBase + 97*si + 13*fi + mi)
-				p := benchMeasurePoint(eng, family, mix, seed)
+				p := benchMeasurePoint(eng, family, mix, seed, accum)
 				doc.Points = append(doc.Points, p)
 				allocs, bytes := "-", "-"
 				if p.AllocsPerQuery != nil {
@@ -411,9 +474,10 @@ func benchEngineSweep(sizes []int, legacy bool) benchDoc {
 // benchMeasurePoint runs one point's pregenerated query stream against the
 // engine and digests the window: latency percentiles and QPS from the batch
 // loop, allocs/bytes per query from MemStats deltas (skipped under churn),
-// per-kind asymmetric costs from Stats deltas. A point with query errors
-// aborts the run — the harness doubles as a correctness gate.
-func benchMeasurePoint(eng *serve.Engine, family, mix string, seed uint64) benchPoint {
+// per-kind asymmetric costs from Stats deltas, and — for the churn family —
+// the update-throughput digest from the OnRebuild accumulator. A point with
+// query errors aborts the run — the harness doubles as a correctness gate.
+func benchMeasurePoint(eng *serve.Engine, family, mix string, seed uint64, accum *benchRebuildAccum) benchPoint {
 	n := eng.Graph().N()
 	total := *benchQueries
 	batches := benchBatches(seed, n, total, *benchBatch, mixFrac(mix), *benchDist)
@@ -423,6 +487,7 @@ func benchMeasurePoint(eng *serve.Engine, family, mix string, seed uint64) bench
 	lat := make([]time.Duration, 0, len(batches))
 	var ch *benchChurner
 	if churn {
+		accum.take() // drop records from a previous point's tail
 		ch = startBenchChurner(eng, n, seed+benchChurnSeedBase)
 	}
 	var m0, m1 runtime.MemStats
@@ -438,6 +503,12 @@ func benchMeasurePoint(eng *serve.Engine, family, mix string, seed uint64) bench
 	runtime.ReadMemStats(&m1)
 	if ch != nil {
 		ch.stopAndWait()
+		// Drain staged-but-unpublished batches so the rebuild telemetry
+		// below accounts every batch the window staged.
+		deadline := time.Now().Add(5 * time.Second)
+		for eng.Stats().PendingUpdates > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
 	}
 	after := eng.Stats()
 
@@ -462,6 +533,28 @@ func benchMeasurePoint(eng *serve.Engine, family, mix string, seed uint64) bench
 		p.BytesPerQuery = &bytes
 	} else {
 		p.ChurnBatches = ch.batches.Load()
+		p.ChurnBatchesPerSec = float64(p.ChurnBatches) / wall.Seconds()
+		recs := accum.take()
+		p.ChurnEpochs = int64(len(recs))
+		if len(recs) > 0 {
+			p.RebuildStrategies = map[string]map[string]int64{}
+			writes := map[string]int64{}
+			for _, rec := range recs {
+				for o, s := range rec.Strategies {
+					if p.RebuildStrategies[o] == nil {
+						p.RebuildStrategies[o] = map[string]int64{}
+					}
+					p.RebuildStrategies[o][s]++
+				}
+				for o, c := range rec.OracleCosts {
+					writes[o] += c.Writes
+				}
+			}
+			p.RebuildWritesPerBatch = map[string]float64{}
+			for o, w := range writes {
+				p.RebuildWritesPerBatch[o] = float64(w) / float64(len(recs))
+			}
+		}
 	}
 	var errs int64
 	for kind, a := range after.Queries {
@@ -484,6 +577,29 @@ func benchMeasurePoint(eng *serve.Engine, family, mix string, seed uint64) bench
 		os.Exit(1)
 	}
 	return p
+}
+
+// benchRebuildAccum collects the publish-path rebuild records of one churn
+// point's window via serve.Config.OnRebuild (called from the engine's
+// rebuild goroutine, hence the lock).
+type benchRebuildAccum struct {
+	mu   sync.Mutex
+	recs []serve.RebuildRecord
+}
+
+func (a *benchRebuildAccum) add(rec serve.RebuildRecord) {
+	a.mu.Lock()
+	a.recs = append(a.recs, rec)
+	a.mu.Unlock()
+}
+
+// take returns the accumulated records and resets the accumulator.
+func (a *benchRebuildAccum) take() []serve.RebuildRecord {
+	a.mu.Lock()
+	recs := a.recs
+	a.recs = nil
+	a.mu.Unlock()
+	return recs
 }
 
 // benchChurner stages small edge-update batches against the engine while a
@@ -700,6 +816,24 @@ func validateBenchDoc(d benchDoc) error {
 		}
 		if p.AllocsPerQuery != nil && (*p.AllocsPerQuery < 0 || *p.BytesPerQuery < 0) {
 			return fmt.Errorf("point %d: negative alloc stats", i)
+		}
+		if p.Family == "churn" {
+			if p.ChurnBatches <= 0 || p.ChurnBatchesPerSec <= 0 {
+				return fmt.Errorf("point %d: churn point without update throughput (batches=%d, batches/sec=%g)",
+					i, p.ChurnBatches, p.ChurnBatchesPerSec)
+			}
+			if (p.ChurnEpochs == 0) != (len(p.RebuildStrategies) == 0) ||
+				(p.ChurnEpochs == 0) != (len(p.RebuildWritesPerBatch) == 0) {
+				return fmt.Errorf("point %d: rebuild telemetry inconsistent with %d published epochs", i, p.ChurnEpochs)
+			}
+			for o, w := range p.RebuildWritesPerBatch {
+				if w < 0 {
+					return fmt.Errorf("point %d: negative publish writes for oracle %s", i, o)
+				}
+			}
+		} else if p.ChurnBatches != 0 || p.ChurnBatchesPerSec != 0 || p.ChurnEpochs != 0 ||
+			len(p.RebuildStrategies) != 0 || len(p.RebuildWritesPerBatch) != 0 {
+			return fmt.Errorf("point %d: churn telemetry on family %q", i, p.Family)
 		}
 		if len(p.Asym) == 0 {
 			return fmt.Errorf("point %d: no asym telemetry", i)

@@ -8,13 +8,13 @@ import (
 )
 
 // goldenDoc is a fixed synthetic BENCH document exercising every schema
-// field. Its serialized form is pinned in testdata/bench_schema_v2.golden.json.
+// field. Its serialized form is pinned in testdata/bench_schema_v3.golden.json.
 func goldenDoc() benchDoc {
 	allocs, bytes := 0.25, 48.5
 	return benchDoc{
 		SchemaVersion: benchSchemaVersion,
 		Experiment:    "golden",
-		Description:   "synthetic document pinning schema v2",
+		Description:   "synthetic document pinning schema v3",
 		Config: benchConfig{
 			Dispatch:        "fast",
 			Omega:           64,
@@ -28,6 +28,7 @@ func goldenDoc() benchDoc {
 			QueryDist:       "uniform",
 			GoMaxProcs:      4,
 			HTTPClients:     2,
+			EagerRebuilds:   true,
 		},
 		Points: []benchPoint{
 			{
@@ -42,9 +43,16 @@ func goldenDoc() benchDoc {
 			{
 				Family: "churn", Mix: "conn", N: 8192, M: 12288,
 				Queries: 1024, QPS: 180000.25,
-				LatencyNs:    benchLatency{P50: 1500, P90: 2200, P95: 2600, P99: 4100, Max: 9500},
-				Asym:         map[string]benchAsym{"connected": {Queries: 1024, ReadsPerQuery: 60, WritesPerQ: 1, WorkPerQuery: 140}},
-				ChurnBatches: 12,
+				LatencyNs:          benchLatency{P50: 1500, P90: 2200, P95: 2600, P99: 4100, Max: 9500},
+				Asym:               map[string]benchAsym{"connected": {Queries: 1024, ReadsPerQuery: 60, WritesPerQ: 1, WorkPerQuery: 140}},
+				ChurnBatches:       12,
+				ChurnBatchesPerSec: 84.5,
+				ChurnEpochs:        9,
+				RebuildStrategies: map[string]map[string]int64{
+					"bicc": {"lazy": 8, "patched-insert": 1},
+					"conn": {"patched-insert": 5, "patched-delete": 4},
+				},
+				RebuildWritesPerBatch: map[string]float64{"bicc": 0, "conn": 12.5},
 			},
 		},
 	}
@@ -62,7 +70,7 @@ func TestBenchGoldenSchema(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf = append(buf, '\n')
-	golden := filepath.Join("testdata", "bench_schema_v2.golden.json")
+	golden := filepath.Join("testdata", "bench_schema_v3.golden.json")
 	if os.Getenv("UPDATE_GOLDEN") != "" {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -110,6 +118,10 @@ func TestBenchValidate(t *testing.T) {
 			a.Queries = 1
 			d.Points[0].Asym["connected"] = a
 		})},
+		{"churn without throughput", mutate(func(d *benchDoc) { d.Points[1].ChurnBatchesPerSec = 0 })},
+		{"rebuild telemetry without epochs", mutate(func(d *benchDoc) { d.Points[1].ChurnEpochs = 0 })},
+		{"churn telemetry on non-churn point", mutate(func(d *benchDoc) { d.Points[0].ChurnEpochs = 3 })},
+		{"negative publish writes", mutate(func(d *benchDoc) { d.Points[1].RebuildWritesPerBatch["conn"] = -1 })},
 	}
 	for _, tc := range cases {
 		if err := validateBenchDoc(tc.doc); err == nil {

@@ -31,12 +31,22 @@ import (
 // from-scratch engine rebuilt over the evolving edge list. The process
 // exits nonzero unless every query was answered, every post-swap answer
 // matched, the epoch advanced once per batch, the conn oracle was never
-// fully rebuilt, and every patched rebuild reported strictly fewer
-// connectivity-oracle writes than the from-scratch build.
+// fully rebuilt, the deferrable bicc oracle never rebuilt on the publish
+// path (every batch deferred lazily or absorbed as a no-op patch), and
+// every patched rebuild reported strictly fewer connectivity-oracle writes
+// than the from-scratch build.
+//
+// With -servechurnconnonly the query load and per-epoch verification are
+// restricted to conn kinds, and the harness gates on the lazy-rebuild
+// counter staying at ZERO: a pure-connectivity tenant must be able to
+// churn the graph forever without ever paying for a biconnectivity build,
+// neither at publish time nor on the query path. This is `make
+// smoke-churn`'s second phase.
 var (
-	serveChurn       = flag.Int("servechurn", 0, "serve mode: interleaved /update batches (0 = static serving; in-process only)")
-	serveChurnEdges  = flag.Int("servechurnedges", 32, "serve mode: edges added/removed per update batch")
-	serveChurnRebase = flag.Int("servechurnrebase", 5, "serve mode: re-base the conn patch chain after this many chained batches (0 = engine default, negative = never)")
+	serveChurn         = flag.Int("servechurn", 0, "serve mode: interleaved /update batches (0 = static serving; in-process only)")
+	serveChurnEdges    = flag.Int("servechurnedges", 32, "serve mode: edges added/removed per update batch")
+	serveChurnRebase   = flag.Int("servechurnrebase", 5, "serve mode: re-base the conn patch chain after this many chained batches (0 = engine default, negative = never)")
+	serveChurnConnOnly = flag.Bool("servechurnconnonly", false, "serve mode: conn-kind-only churn; gate on zero bicc builds (publish path and lazy)")
 )
 
 func churnBench(scale int) {
@@ -76,7 +86,13 @@ func churnBench(scale int) {
 			defer wg.Done()
 			rng := graph.NewRNG(uint64(9000 + client))
 			for !stop.Load() {
-				if err := postBatch(base, randomBatch(rng, n, *serveBatchSz)); err != nil {
+				var qs []serve.Query
+				if *serveChurnConnOnly {
+					qs = connOnlyBatch(rng, n, *serveBatchSz)
+				} else {
+					qs = randomBatch(rng, n, *serveBatchSz)
+				}
+				if err := postBatch(base, qs); err != nil {
 					fmt.Fprintf(os.Stderr, "churn: query batch failed: %v\n", err)
 					failed.Store(true)
 					stop.Store(true)
@@ -161,7 +177,7 @@ func churnBench(scale int) {
 			fresh.Close()
 		}
 		fresh = serve.New(graph.FromEdges(n, edges), serve.Config{Omega: *serveOmega, Seed: 7})
-		if err := verifyChurn(base, fresh, edges, graph.NewRNG(uint64(31*i))); err != nil {
+		if err := verifyChurn(base, fresh, edges, graph.NewRNG(uint64(31*i)), *serveChurnConnOnly); err != nil {
 			fmt.Fprintf(os.Stderr, "churn: FAILED — epoch %d verification: %v\n", i, err)
 			failed.Store(true)
 			break
@@ -205,11 +221,13 @@ func churnBench(scale int) {
 		failed.Store(true)
 	}
 
-	// The tentpole gate: the conn oracle must never have been fully
-	// rebuilt — every deletion was split-free, so the maintained spanning
-	// forest absorbed all of them — and the cumulative per-oracle strategy
-	// counters must match the mirrored ladder exactly (bicc has no
-	// incremental path and rebuilds fully every epoch).
+	// The tentpole gates. Conn: never fully rebuilt — every deletion was
+	// split-free, so the maintained spanning forest absorbed all of them —
+	// and the cumulative per-oracle strategy counters must match the
+	// mirrored ladder exactly. Bicc: never rebuilt on the publish path —
+	// every batch was either deferred to the lazy rung or absorbed as a
+	// provable no-op patch, so the counted avoided rebuilds must cover every
+	// epoch.
 	connStrat := st.Strategies["conn"]
 	if connStrat[serve.StrategyFull] != 0 {
 		fmt.Fprintf(os.Stderr, "churn: FAILED — %d full conn rebuilds (want 0): %v\n",
@@ -223,11 +241,41 @@ func churnBench(scale int) {
 			failed.Store(true)
 		}
 	}
-	if st.Strategies["bicc"][serve.StrategyFull] != int64(*serveChurn) {
-		fmt.Fprintf(os.Stderr, "churn: FAILED — bicc full rebuilds %d, want %d\n",
-			st.Strategies["bicc"][serve.StrategyFull], *serveChurn)
+	biccStrat := st.Strategies["bicc"]
+	if biccStrat[serve.StrategyFull] != 0 || biccStrat[serve.StrategyRebased] != 0 {
+		fmt.Fprintf(os.Stderr, "churn: FAILED — bicc rebuilt on the publish path: %v\n", biccStrat)
 		failed.Store(true)
 	}
+	deferred := biccStrat[serve.StrategyLazy] + biccStrat[serve.StrategyPatchedInsert] + biccStrat[serve.StrategyPatchedDelete]
+	if deferred != int64(*serveChurn) {
+		fmt.Fprintf(os.Stderr, "churn: FAILED — bicc deferred/patched %d of %d batches: %v\n",
+			deferred, *serveChurn, biccStrat)
+		failed.Store(true)
+	}
+	if st.RebuildsAvoided != int64(*serveChurn) {
+		fmt.Fprintf(os.Stderr, "churn: FAILED — rebuilds_avoided %d, want %d\n",
+			st.RebuildsAvoided, *serveChurn)
+		failed.Store(true)
+	}
+	if *serveChurnConnOnly {
+		// The conn-only gate: with no bicc-family query ever arriving, the
+		// deferred slot must never have built — zero publish-path rebuilds
+		// AND zero query-path (lazy) rebuilds, counter-checked.
+		if st.LazyRebuilds != 0 {
+			fmt.Fprintf(os.Stderr, "churn: FAILED — %d lazy bicc builds under a conn-only workload (want 0)\n",
+				st.LazyRebuilds)
+			failed.Store(true)
+		}
+	} else if st.LazyRebuilds != biccStrat[serve.StrategyLazy] {
+		// Every deferred epoch is verified with bicc-family queries before
+		// the next batch, so exactly one lazy build per lazy deferral.
+		fmt.Fprintf(os.Stderr, "churn: FAILED — %d lazy bicc builds, want %d (one per deferral)\n",
+			st.LazyRebuilds, biccStrat[serve.StrategyLazy])
+		failed.Store(true)
+	}
+	fmt.Printf("bicc deferral: %d avoided publish-path rebuilds (%v), %d query-triggered builds\n",
+		st.RebuildsAvoided, biccStrat, st.LazyRebuilds)
+	fmt.Printf("oracle epochs at exit: %v (published %d)\n", st.OracleEpochs, st.Epoch)
 
 	// Per-rebuild cost telemetry, and the write-savings gate: every
 	// patched rebuild must report strictly fewer connectivity-oracle
@@ -297,12 +345,27 @@ func pickSplitFreeRemovals(rng *graph.RNG, n int, working [][2]int32, count int)
 	return removed, remaining
 }
 
+// connOnlyBatch builds a query batch restricted to conn kinds — the
+// -servechurnconnonly load, which must never touch the deferred bicc slot.
+func connOnlyBatch(rng *graph.RNG, n, batch int) []serve.Query {
+	qs := make([]serve.Query, batch)
+	for i := range qs {
+		qs[i] = serve.Query{Kind: connKinds[rng.Intn(len(connKinds))], U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+	}
+	return qs
+}
+
 // verifyChurn compares the served answers (via /batch) with a from-scratch
 // engine over the same edge list: boolean kinds must agree exactly,
-// component labels as a partition.
-func verifyChurn(base string, fresh *serve.Engine, edges [][2]int32, rng *graph.RNG) error {
+// component labels as a partition. With connOnly the probe skips the
+// bicc-family kinds entirely — a conn-only run's verification must not be
+// the thing that triggers the deferred bicc build.
+func verifyChurn(base string, fresh *serve.Engine, edges [][2]int32, rng *graph.RNG, connOnly bool) error {
 	n := fresh.Graph().N()
 	boolKinds := []serve.Kind{serve.KindConnected, serve.KindBridge, serve.KindArticulation, serve.KindBiconnected, serve.KindTwoEdgeConnected}
+	if connOnly {
+		boolKinds = []serve.Kind{serve.KindConnected}
+	}
 	qs := make([]serve.Query, 0, 256)
 	for j := 0; j < 200; j++ {
 		kind := boolKinds[rng.Intn(len(boolKinds))]

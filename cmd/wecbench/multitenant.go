@@ -258,7 +258,7 @@ func multitenantBench(scale int) {
 		churnEdges = next
 		refs[churnIdx].Close()
 		refs[churnIdx] = serve.New(graph.FromEdges(churnN, churnEdges), serve.Config{Omega: *serveOmega, Seed: 7})
-		if err := verifyChurn(churnBase, refs[churnIdx], churnEdges, graph.NewRNG(uint64(31*b))); err != nil {
+		if err := verifyChurn(churnBase, refs[churnIdx], churnEdges, graph.NewRNG(uint64(31*b)), false); err != nil {
 			fail("churn epoch %d verification: %v", b, err)
 			break
 		}

@@ -129,6 +129,26 @@ func waitGraphReady(base, name string, timeout time.Duration) error {
 	return fmt.Errorf("graph %s not ready after %v", name, timeout)
 }
 
+// assertBiccUnbuilt checks /info's per-oracle built epochs on a freshly
+// recovered graph: recovery boots with LazyBoot, so the deferrable bicc
+// oracle must report -1 (never built) — recovery paid only for the graph
+// and the conn oracle. Must run BEFORE any bicc-family query against the
+// graph (restartVerify's random batch contains them and would trigger the
+// deferred build).
+func assertBiccUnbuilt(base, name string) error {
+	info, err := fetchInfo(base + "/graphs/" + name)
+	if err != nil {
+		return fmt.Errorf("%s /info: %v", name, err)
+	}
+	if got := info.OracleEpochs["bicc"]; got != -1 {
+		return fmt.Errorf("%s recovered with bicc built at epoch %d, want -1 (lazily unbuilt)", name, got)
+	}
+	if got := info.OracleEpochs["conn"]; got < 0 {
+		return fmt.Errorf("%s recovered with conn unbuilt (epoch %d)", name, got)
+	}
+	return nil
+}
+
 // rtenant tracks one graph's expected state across kills.
 type rtenant struct {
 	name       string
@@ -330,10 +350,13 @@ func restartBench(scale int) {
 	}
 	vrng := graph.NewRNG(31337)
 	for _, tn := range tenants {
+		if err := assertBiccUnbuilt(d.base, tn.name); err != nil {
+			fatalf("post-kill recovery: %v", err)
+		}
 		if err := restartVerify(d.base, tn, vrng); err != nil {
 			fatalf("post-kill verification: %v", err)
 		}
-		fmt.Printf("  %s recovered and verified: m=%d, epoch >= %d ✓\n", tn.name, len(tn.edges), tn.ackedEpoch)
+		fmt.Printf("  %s recovered and verified: m=%d, epoch >= %d, bicc lazily unbuilt until queried ✓\n", tn.name, len(tn.edges), tn.ackedEpoch)
 	}
 
 	// The recovered fleet is live: more acknowledged churn, sequence
@@ -358,6 +381,9 @@ func restartBench(scale int) {
 	}
 	for _, tn := range tenants {
 		if err := waitGraphReady(d.base, tn.name, 2*time.Minute); err != nil {
+			fatalf("post-graceful recovery: %v", err)
+		}
+		if err := assertBiccUnbuilt(d.base, tn.name); err != nil {
 			fatalf("post-graceful recovery: %v", err)
 		}
 		if err := restartVerify(d.base, tn, vrng); err != nil {

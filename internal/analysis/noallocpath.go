@@ -13,8 +13,9 @@ import (
 // allocation-shaped constructs:
 //
 //   - make / new, map and slice composite literals, &composite;
-//   - append calls, unless dominated by an `if len(x) < cap(x)` guard on
-//     the same slice (the arena idiom that provably cannot grow);
+//   - append calls, unless dominated by a `len(x) < cap(x)` guard on the
+//     same slice — as an if condition or a tagless switch case — the arena
+//     idiom that provably cannot grow;
 //   - boxing a non-pointer-shaped concrete value into an interface
 //     (assignment, call argument, or conversion);
 //   - string concatenation and string<->slice conversions;
@@ -100,11 +101,25 @@ func checkNoAlloc(pass *Pass, fn *ast.FuncDecl) {
 				report(x.Pos(), "stored or returned closure allocates on the //wec:noalloc path")
 			}
 		case *ast.AssignStmt:
-			for i, lhs := range x.Lhs {
-				if i >= len(x.Rhs) {
-					break // tuple assignment: no per-element boxing check
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					checkBoxing(pass, pass.TypesInfo.TypeOf(lhs), x.Rhs[i], report)
 				}
-				checkBoxing(pass, pass.TypesInfo.TypeOf(lhs), x.Rhs[i], report)
+				break
+			}
+			// Multi-value assignment from one call. `:=` infers the exact
+			// tuple types — no conversion, no boxing. Plain `=` into
+			// pre-declared interface variables converts element-wise, so
+			// check each tuple element type against its destination.
+			if x.Tok == token.DEFINE || len(x.Rhs) != 1 {
+				break
+			}
+			if tuple, ok := pass.TypesInfo.TypeOf(x.Rhs[0]).(*types.Tuple); ok {
+				for i, lhs := range x.Lhs {
+					if i < tuple.Len() {
+						checkBoxingType(pass, pass.TypesInfo.TypeOf(lhs), tuple.At(i).Type(), x.Rhs[0].Pos(), report)
+					}
+				}
 			}
 		case *ast.ReturnStmt:
 			// Skip FuncLit return statements: results belongs to fn itself.
@@ -199,51 +214,86 @@ func checkCall(pass *Pass, call *ast.CallExpr, stack []ast.Node, report func(tok
 // the heap. Pointer-shaped payloads (pointers, maps, channels, funcs) and
 // untyped nil are stored inline and stay free.
 func checkBoxing(pass *Pass, dst types.Type, src ast.Expr, report func(token.Pos, string, ...any)) {
-	if dst == nil || !types.IsInterface(dst.Underlying()) {
-		return
-	}
-	st := pass.TypesInfo.TypeOf(src)
-	if st == nil || types.IsInterface(st.Underlying()) {
-		return
-	}
 	if tv, ok := pass.TypesInfo.Types[src]; ok && tv.IsNil() {
 		return
 	}
-	switch st.Underlying().(type) {
+	checkBoxingType(pass, dst, pass.TypesInfo.TypeOf(src), src.Pos(), report)
+}
+
+// checkBoxingType is the type-level core of checkBoxing, for sources that
+// are tuple elements rather than expressions.
+func checkBoxingType(pass *Pass, dst, src types.Type, pos token.Pos, report func(token.Pos, string, ...any)) {
+	if dst == nil || !types.IsInterface(dst.Underlying()) {
+		return
+	}
+	if src == nil || types.IsInterface(src.Underlying()) {
+		return
+	}
+	switch src.Underlying().(type) {
 	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
 		return
 	}
-	report(src.Pos(), "boxing %s into %s allocates on the //wec:noalloc path", types.TypeString(st, types.RelativeTo(pass.Pkg)), types.TypeString(dst, types.RelativeTo(pass.Pkg)))
+	report(pos, "boxing %s into %s allocates on the //wec:noalloc path", types.TypeString(src, types.RelativeTo(pass.Pkg)), types.TypeString(dst, types.RelativeTo(pass.Pkg)))
 }
 
-// appendGuarded reports whether an append call sits under an if whose
-// condition is `len(x) < cap(x)` (or `cap(x) > len(x)`) for the same first
-// argument — the arena idiom whose append can never reallocate.
+// appendGuarded reports whether an append call sits under a
+// `len(x) < cap(x)` (or `cap(x) > len(x)`) guard for the same first
+// argument — the arena idiom whose append can never reallocate. Both the
+// `if` form and a tagless switch's `case len(x) < cap(x):` clause count.
 func appendGuarded(call *ast.CallExpr, stack []ast.Node) bool {
 	if len(call.Args) == 0 {
 		return false
 	}
 	target := exprString(call.Args[0])
 	for i := len(stack) - 1; i >= 0; i-- {
-		ifst, ok := stack[i].(*ast.IfStmt)
-		if !ok {
-			continue
-		}
-		cond, ok := ifst.Cond.(*ast.BinaryExpr)
-		if !ok {
-			continue
-		}
-		l, r := cond.X, cond.Y
-		if cond.Op == token.GTR {
-			l, r = r, l
-		} else if cond.Op != token.LSS {
-			continue
-		}
-		if builtinArg(l, "len") == target && builtinArg(r, "cap") == target {
-			return true
+		switch st := stack[i].(type) {
+		case *ast.IfStmt:
+			if lenCapGuard(st.Cond, target) {
+				return true
+			}
+		case *ast.CaseClause:
+			// Only a tagless switch's case expression is a guard; a tagged
+			// switch compares it to the tag, which proves nothing.
+			if sw := enclosingSwitch(stack[:i]); sw != nil && sw.Tag == nil {
+				for _, e := range st.List {
+					if lenCapGuard(e, target) {
+						return true
+					}
+				}
+			}
 		}
 	}
 	return false
+}
+
+// lenCapGuard reports whether cond is `len(target) < cap(target)` (or the
+// flipped `cap > len`), matched textually on the operand.
+func lenCapGuard(cond ast.Expr, target string) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	l, r := be.X, be.Y
+	if be.Op == token.GTR {
+		l, r = r, l
+	} else if be.Op != token.LSS {
+		return false
+	}
+	return builtinArg(l, "len") == target && builtinArg(r, "cap") == target
+}
+
+// enclosingSwitch returns the nearest enclosing expression switch, or nil
+// if a type switch intervenes (its case clauses carry types, not guards).
+func enclosingSwitch(stack []ast.Node) *ast.SwitchStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.SwitchStmt:
+			return s
+		case *ast.TypeSwitchStmt:
+			return nil
+		}
+	}
+	return nil
 }
 
 // builtinArg returns the printed argument of a len/cap call, "" otherwise.

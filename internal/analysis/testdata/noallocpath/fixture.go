@@ -45,6 +45,32 @@ func guardedAppend(xs []int) []int {
 }
 
 //wec:noalloc
+func switchGuardedAppend(xs []int) []int {
+	switch {
+	case len(xs) < cap(xs):
+		xs = append(xs, 1)
+	}
+	switch false {
+	case len(xs) < cap(xs): // tag comparison: this arm runs when len >= cap
+		xs = append(xs, 2) // want "append may grow its backing array"
+	}
+	return xs
+}
+
+//wec:noalloc
+func tupleDefine(src func() (int, error)) (int, error) {
+	n, err := src() // := infers the exact tuple types: no conversion, no boxing
+	return n, err
+}
+
+//wec:noalloc
+func tupleAssignBoxes(src func() (int, *pair)) {
+	var a, p any
+	a, p = src() // want "boxing int into any"
+	_, _ = a, p
+}
+
+//wec:noalloc
 func escapedAlloc(n int) []int {
 	return make([]int, n) //wec:alloc cold-path table build, measured separately
 }

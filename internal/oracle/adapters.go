@@ -116,12 +116,17 @@ func (a ConnAdapter) NumComponents() int { return a.O.NumComponents }
 func (a ConnAdapter) Remap() map[int32]int32 { return a.O.Remap() }
 
 // BiccAdapter serves the biconnectivity kinds over a bicc.Oracle
-// (Theorem 5.3). Biconnectivity is not insertion-monotone, so there is no
-// incremental path: the engine rebuilds it on every snapshot. Cache, when
-// non-nil, memoizes materialized cluster local graphs for the fast path;
-// it is created fresh by the factory on every (re)build, so it can never
-// serve a stale epoch, and hits replay the fill-time charges so telemetry
-// matches the uncached path exactly.
+// (Theorem 5.3). Biconnectivity has no general incremental path, so the
+// factory is registered Deferrable: the engine carries a stale instance
+// across update batches and rebuilds lazily at the first biconnectivity
+// query of a newer snapshot. The adapter additionally patches the provably
+// structure-preserving edits (InsertionApplier/DeletionApplier via the
+// block-cut-tree predicates in internal/bicc), refusing everything else
+// with ErrNeedsRebuild so the engine steps down to the lazy rung. Cache,
+// when non-nil, memoizes materialized cluster local graphs for the fast
+// path; it is created fresh by the factory on every (re)build, so it can
+// never serve a stale epoch, and hits replay the fill-time charges so
+// telemetry matches the uncached path exactly.
 type BiccAdapter struct {
 	O     *bicc.Oracle
 	Cache *bicc.ClusterCache
@@ -174,6 +179,47 @@ func (a BiccAdapter) AnswerFast(m *asym.Meter, sym *asym.SymTracker, q Query, sc
 	return AnswerVal{}, fmt.Errorf("oracle: bicc does not serve kind %q", q.Kind) //wec:alloc unknown-kind error path, not the hot answer path
 }
 
+// ApplyInsertions absorbs an insertion-only batch when every inserted edge
+// lands strictly inside one existing block of the block-cut tree
+// (bicc.Oracle.InsertionIsNoop): such a batch changes no
+// bridge/articulation/biconnected/2ecc answer, so the receiver itself —
+// same oracle, same cluster cache — already serves the extended edge
+// multiset exactly. The identity return is deliberate: the serving layer
+// detects the carried-forward instance and keeps its cache counters live
+// instead of folding them as retired. An edge that would merge blocks (or
+// bridge two components) is refused with an error wrapping ErrNeedsRebuild;
+// the engine's ladder reads that as "defer to the lazy rebuild", not as a
+// full rebuild on the publish path.
+func (a BiccAdapter) ApplyInsertions(m *asym.Meter, sym *asym.SymTracker, edges [][2]int32) (QueryOracle, error) {
+	sc := bicc.NewScratch()
+	for _, e := range edges {
+		if !a.O.InsertionIsNoop(m, sym, sc, a.Cache, e[0], e[1]) {
+			return nil, fmt.Errorf("%w: bicc: inserted edge (%d,%d) merges blocks", ErrNeedsRebuild, e[0], e[1])
+		}
+	}
+	return a, nil
+}
+
+// ApplyDeletions absorbs the easy half of a deletion batch: removals that
+// provably leave the block-cut tree untouched (self-loops, and parallel
+// copies whose pair keeps multiplicity >= 2 in the post-removal graph
+// next). As with ApplyInsertions, success returns the receiver itself.
+// Any other removal can split a block — even one whose endpoints remain
+// 2-edge connected — so it is refused with an error wrapping
+// ErrNeedsRebuild and handled by the engine's lazy rebuild path.
+func (a BiccAdapter) ApplyDeletions(m *asym.Meter, sym *asym.SymTracker, removed [][2]int32, next *graph.Graph) (QueryOracle, error) {
+	for _, e := range removed {
+		mult := 0
+		if e[0] != e[1] {
+			mult = next.EdgeMultiplicity(e[0], e[1])
+		}
+		if !a.O.DeletionIsNoop(m, e[0], e[1], mult) {
+			return nil, fmt.Errorf("%w: bicc: removing edge (%d,%d) can change the block-cut tree", ErrNeedsRebuild, e[0], e[1])
+		}
+	}
+	return a, nil
+}
+
 // CacheStats reports the adapter's cluster-cache hit/miss/eviction counts
 // (CacheStatser); zeros without a cache.
 func (a BiccAdapter) CacheStats() (hits, misses, evictions int64) {
@@ -213,9 +259,14 @@ func init() {
 			{Kind: KindTwoEdgeConnected, Pairwise: true},
 		},
 		Build: func(c *parallel.Ctx, vw graph.View, k int, seed uint64) QueryOracle {
-			// A fresh cache per build: the engine rebuilds bicc on every
-			// snapshot, so cache lifetime == epoch lifetime by construction.
+			// A fresh cache per build: a bicc instance (and its cache) lives
+			// until the engine builds a replacement — eagerly or lazily — so
+			// cache contents can never cross oracle generations.
 			return BiccAdapter{O: bicc.BuildOracle(c, vw, nil, k, seed), Cache: bicc.NewClusterCache(0)}
 		},
+		// Deferrable: buildNext marks bicc stale instead of rebuilding;
+		// the rebuild runs on demand at the first biconnectivity-family
+		// query of the newer snapshot (see internal/serve's lazy slot).
+		Deferrable: true,
 	})
 }

@@ -113,12 +113,14 @@ type InsertionApplier interface {
 	ApplyInsertions(m *asym.Meter, sym *asym.SymTracker, edges [][2]int32) (QueryOracle, error)
 }
 
-// ErrNeedsRebuild is the typed refusal of DeletionApplier.ApplyDeletions:
-// the batch cannot be absorbed incrementally (a deletion genuinely splits
-// a component) and the caller must step down to a full reconstruction.
-// It signals a strategy decision, not a failure — the receiver oracle is
-// untouched and still valid for its own snapshot.
-var ErrNeedsRebuild = errors.New("oracle: deletion batch needs a rebuild")
+// ErrNeedsRebuild is the typed refusal of the patch appliers: the batch
+// cannot be absorbed incrementally (a deletion genuinely splits a
+// component; an inserted edge merges biconnected blocks) and the caller
+// must step down the strategy ladder — a full reconstruction, or for a
+// Deferrable factory the lazy on-demand rebuild. It signals a strategy
+// decision, not a failure — the receiver oracle is untouched and still
+// valid for its own snapshot.
+var ErrNeedsRebuild = errors.New("oracle: update batch needs a rebuild")
 
 // DeletionApplier mirrors InsertionApplier for edge removals: oracles that
 // maintain enough structure (conn's explicit spanning forest) to absorb a
@@ -179,6 +181,17 @@ type Factory struct {
 	Specs []Spec
 	// Build constructs the oracle over the graph behind vw, charging vw.M.
 	Build func(c *parallel.Ctx, vw graph.View, k int, seed uint64) QueryOracle
+	// Deferrable marks a factory whose rebuild the serving layer may defer:
+	// instead of reconstructing the oracle on every accepted update batch,
+	// the engine carries the last-built instance forward as *stale* and
+	// rebuilds on demand the first time one of the factory's kinds is
+	// queried at a newer snapshot. The staleness contract: a stale oracle's
+	// answers correspond exactly to the epoch it was built at (its tag in
+	// the snapshot), never a mixture — the serving layer reports that epoch
+	// alongside any answer a bounded-staleness query accepts from it.
+	// Non-deferrable factories (conn, whose kinds gate admission semantics)
+	// are rebuilt or patched on every publish as before.
+	Deferrable bool
 }
 
 var (

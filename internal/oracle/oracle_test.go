@@ -131,8 +131,59 @@ func TestCounters(t *testing.T) {
 	if !ok || bc.NumBCC() != 5 {
 		t.Fatalf("bicc BCCCounter: ok=%v bccs=%v", ok, bc)
 	}
-	if _, ok := built["bicc"].(InsertionApplier); ok {
-		t.Fatal("bicc must not advertise an incremental insertion path")
+}
+
+// TestBiccPatchSurface pins the bicc adapter's patch-first contract: both
+// appliers are advertised, a provably structure-preserving batch is
+// absorbed by returning the receiver unchanged, and anything that could
+// move the block-cut tree is refused with the typed ErrNeedsRebuild (the
+// serving layer's signal to defer the rebuild to the first query).
+func TestBiccPatchSurface(t *testing.T) {
+	g := graph.Disconnected(graph.Cycle(8), 2) // two 8-cycles: one block each
+	built := buildAll(t, g, 16)
+	ia, ok := built["bicc"].(InsertionApplier)
+	if !ok {
+		t.Fatal("bicc adapter must implement InsertionApplier")
+	}
+	da, ok := built["bicc"].(DeletionApplier)
+	if !ok {
+		t.Fatal("bicc adapter must implement DeletionApplier")
+	}
+	m := asym.NewMeter(16)
+	sym := asym.NewSymTracker(0)
+
+	// A chord inside one cycle and a self-loop are no-ops: the same
+	// instance comes back (identity, not a copy — the serving layer's
+	// carried-forward detection relies on it).
+	same, err := ia.ApplyInsertions(m, sym, [][2]int32{{0, 3}, {5, 5}})
+	if err != nil {
+		t.Fatalf("within-block insertions refused: %v", err)
+	}
+	if same != built["bicc"] {
+		t.Fatal("no-op insertion patch did not return the receiver")
+	}
+	// An edge between the two cycles merges blocks: refused, typed.
+	if _, err := ia.ApplyInsertions(m, sym, [][2]int32{{0, 8}}); !errors.Is(err, ErrNeedsRebuild) {
+		t.Fatalf("merging insertion: err=%v, want ErrNeedsRebuild", err)
+	}
+
+	// Deleting one copy of a doubled edge keeps multiplicity >= 1... the
+	// no-op rule needs multiplicity >= 2 *after* removal, so removing a
+	// plain cycle edge (multiplicity 0 after) is refused.
+	postG := graph.FromEdges(g.N(), g.Edges()[1:])
+	if _, err := da.ApplyDeletions(m, sym, [][2]int32{g.Edges()[0]}, postG); !errors.Is(err, ErrNeedsRebuild) {
+		t.Fatalf("structural deletion: err=%v, want ErrNeedsRebuild", err)
+	}
+	// A self-loop removal is always a no-op.
+	loopG := graph.FromEdges(g.N(), append(append([][2]int32{}, g.Edges()...), [2]int32{2, 2}))
+	loopBuilt := buildAll(t, loopG, 16)
+	lda := loopBuilt["bicc"].(DeletionApplier)
+	same, err = lda.ApplyDeletions(m, sym, [][2]int32{{2, 2}}, g)
+	if err != nil {
+		t.Fatalf("self-loop deletion refused: %v", err)
+	}
+	if same != loopBuilt["bicc"] {
+		t.Fatal("no-op deletion patch did not return the receiver")
 	}
 }
 
@@ -170,13 +221,11 @@ func TestInsertionApplier(t *testing.T) {
 // of the built-ins: the conn adapter implements DeletionApplier (absorbing
 // split-free removals, refusing genuine splits with ErrNeedsRebuild),
 // Rebaser (chain depth + collapse) and ForestCarrier (persist/adopt); the
-// bicc adapter implements none of them (it has no incremental path).
+// bicc adapter has no re-base path (its appliers are the no-op patch
+// predicates, TestBiccPatchSurface).
 func TestDeletionApplierAndRebaser(t *testing.T) {
 	g := graph.Disconnected(graph.Cycle(10), 3)
 	built := buildAll(t, g, 16)
-	if _, ok := built["bicc"].(DeletionApplier); ok {
-		t.Fatal("bicc adapter claims a deletion path")
-	}
 	if _, ok := built["bicc"].(Rebaser); ok {
 		t.Fatal("bicc adapter claims a re-base path")
 	}

@@ -180,8 +180,22 @@ func TestChurn1kMixedZeroConnFullRebuilds(t *testing.T) {
 			t.Fatalf("conn %q count %d, want %d (counters %+v)", s, conn[s], expectConn[s], conn)
 		}
 	}
-	if st.Strategies["bicc"][StrategyFull] != int64(batches) {
-		t.Fatalf("bicc full %d, want %d", st.Strategies["bicc"][StrategyFull], batches)
+	// The workload above queries only conn kinds, so the deferrable bicc
+	// oracle must never rebuild on the publish path: every batch is either
+	// absorbed as a provable no-op patch or deferred lazily — and with no
+	// bicc-family query ever arriving, no deferred build runs either.
+	bicc := st.Strategies["bicc"]
+	if bicc[StrategyFull] != 0 || bicc[StrategyRebased] != 0 {
+		t.Fatalf("bicc rebuilt on the publish path: %+v", bicc)
+	}
+	if got := bicc[StrategyLazy] + bicc[StrategyPatchedInsert] + bicc[StrategyPatchedDelete]; got != int64(batches) {
+		t.Fatalf("bicc deferred/patched %d of %d batches: %+v", got, batches, bicc)
+	}
+	if st.LazyRebuilds != 0 {
+		t.Fatalf("lazy rebuilds %d, want 0 (no bicc-family query was sent)", st.LazyRebuilds)
+	}
+	if st.RebuildsAvoided != int64(batches) {
+		t.Fatalf("rebuilds avoided %d, want %d", st.RebuildsAvoided, batches)
 	}
 	if st.TotalRebuilds != int64(batches) || st.Epoch != int64(batches) || st.PendingUpdates != 0 {
 		t.Fatalf("rebuilds=%d epoch=%d pending=%d, want %d/%d/0",

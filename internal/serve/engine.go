@@ -85,12 +85,27 @@ const (
 // the live set.
 var Kinds = oracle.Kinds()
 
+// The per-query staleness contracts (Query.Staleness). Strict (the default)
+// answers from the current snapshot epoch, lazily rebuilding a deferred
+// oracle first if necessary; Bounded accepts an answer from the last-built
+// epoch of a stale deferrable oracle — never a mixture of epochs — with
+// that epoch reported in Result.Epoch. For kinds whose oracle is fresh (or
+// not deferrable at all) the two contracts coincide.
+const (
+	StalenessStrict  = "strict"
+	StalenessBounded = "bounded"
+)
+
 // Query is one oracle query. V is ignored by the single-vertex kinds
-// (component, articulation).
+// (component, articulation). Staleness is "" or StalenessStrict for
+// current-epoch answers (the default), or StalenessBounded to accept an
+// answer from a deferred oracle's last-built epoch instead of waiting for
+// its lazy rebuild.
 type Query struct {
-	Kind Kind  `json:"kind"`
-	U    int32 `json:"u"`
-	V    int32 `json:"v,omitempty"`
+	Kind      Kind   `json:"kind"`
+	U         int32  `json:"u"`
+	V         int32  `json:"v,omitempty"`
+	Staleness string `json:"staleness,omitempty"`
 }
 
 // Result is the answer to one Query. Exactly one of Bool/Label is set on
@@ -108,6 +123,12 @@ type Result struct {
 	Bool  *bool  `json:"bool,omitempty"`
 	Label *int32 `json:"label,omitempty"`
 	Err   string `json:"error,omitempty"`
+	// Epoch is set only on bounded-staleness queries (Query.Staleness): the
+	// epoch whose oracle state produced this answer — the snapshot epoch
+	// when the serving oracle was fresh, or the last-built epoch of a stale
+	// deferred oracle. (An answer at epoch 0 is omitted from the JSON form;
+	// in-process callers read the field directly.)
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // ErrBusy is returned by Admit when the engine's in-flight request cap is
@@ -147,6 +168,22 @@ type Config struct {
 	// (BENCH_query_hot_path_legacy.json) against the same code; answers
 	// and charged costs are identical either way.
 	LegacyDispatch bool
+
+	// EagerRebuilds disables the deferred (lazy) rebuild path: every
+	// accepted batch rebuilds every oracle on the publish path, Deferrable
+	// or not — the pre-optimization behavior. It exists so the benchmark
+	// harness can regenerate the pre-PR baseline against the same code;
+	// answers are identical either way, only where the rebuild work happens
+	// moves. It also implies boot-time construction of every oracle
+	// (LazyBoot is ignored).
+	EagerRebuilds bool
+	// LazyBoot skips the initial construction of Deferrable oracles: the
+	// engine starts serving with those slots unbuilt (built-epoch -1) and
+	// constructs them on the first query of one of their kinds. The
+	// registry sets this for recovered graphs so a restart never pays
+	// boot-time bicc rebuilds that no query may need. Ignored under
+	// EagerRebuilds.
+	LazyBoot bool
 
 	// RebaseEvery is the incremental patch-chain budget: an oracle whose
 	// chain depth (oracle.Rebaser) reaches it is re-based — rebuilt fresh
@@ -282,12 +319,33 @@ type Stats struct {
 	EdgesAdded     int64           `json:"edges_added"`
 	EdgesRemoved   int64           `json:"edges_removed"`
 	Rebuilds       []RebuildRecord `json:"rebuilds,omitempty"`
+
+	// Deferred-rebuild telemetry. RebuildsAvoided counts publishes where a
+	// Deferrable oracle's rebuild was skipped (marked stale) instead of run;
+	// LazyRebuilds counts the on-demand rebuilds queries later forced, so
+	// RebuildsAvoided - LazyRebuilds is the net rebuild work the lazy path
+	// saved. OracleEpochs maps each factory to the epoch its serving oracle
+	// was last actually (re)built at: equal to Epoch when fresh, lagging it
+	// while stale, -1 when a lazily-booted oracle has never built. The gap
+	// Epoch - OracleEpochs[f] is the oracle's epoch lag.
+	RebuildsAvoided int64            `json:"rebuilds_avoided"`
+	LazyRebuilds    int64            `json:"lazy_rebuilds"`
+	OracleEpochs    map[string]int64 `json:"oracle_epochs,omitempty"`
 }
 
 // snapshot is the immutable per-epoch serving state. A snapshot is built
 // completely before its pointer is published; after that nothing in it
-// mutates, so readers never lock. oracles, costs and fast are parallel to
-// the engine's factory list.
+// mutates, so readers never lock. oracles, costs, fast, builtEpoch and lazy
+// are parallel to the engine's factory list.
+//
+// The one deliberate exception to "nothing mutates" is behind lazy: a
+// Deferrable oracle whose rebuild was skipped at publish time gets a
+// *lazySlot (lazy.go) — a separate mutable single-flight cell the first
+// matching query fills with the freshly built oracle. The snapshot's own
+// fields (including the slot pointer itself) never change; oracles[i] then
+// holds the carried-forward *stale* instance (nil if never built) and
+// builtEpoch[i] the epoch that instance was built at, which is what the
+// bounded-staleness answer path serves and reports.
 //
 //wec:immutable
 type snapshot struct {
@@ -299,15 +357,24 @@ type snapshot struct {
 	// without one), so the per-query hot path does one slice index instead
 	// of a type assertion per query.
 	fast []oracle.FastAnswerer
+	// builtEpoch[i] is the epoch oracles[i]'s state was built at (== epoch
+	// for a fresh oracle, lagging while deferred, -1 for never-built). A
+	// nil slice means every oracle is fresh.
+	builtEpoch []int64
+	// lazy[i], when non-nil, is factory i's deferred-rebuild cell for this
+	// snapshot. A nil slice means no oracle is deferred.
+	lazy []*lazySlot
 }
 
 // newSnap assembles a snapshot, resolving each oracle's zero-alloc
 // capability once. Every snapshot — initial build and rebuild publishes —
-// goes through here so the fast slice is never missing.
+// goes through here so the fast slice is never missing. builtEpoch nil
+// means all-fresh; lazy nil means no deferred slots.
 //
 //wec:mutator the snapshot constructor: the only writes before publication
-func newSnap(epoch int64, g *graph.Graph, os []oracle.QueryOracle, costs []asym.Cost) *snapshot {
-	s := &snapshot{epoch: epoch, g: g, oracles: os, costs: costs, fast: make([]oracle.FastAnswerer, len(os))}
+func newSnap(epoch int64, g *graph.Graph, os []oracle.QueryOracle, costs []asym.Cost, builtEpoch []int64, lazy []*lazySlot) *snapshot {
+	s := &snapshot{epoch: epoch, g: g, oracles: os, costs: costs,
+		fast: make([]oracle.FastAnswerer, len(os)), builtEpoch: builtEpoch, lazy: lazy}
 	for i, o := range os {
 		if fa, ok := o.(oracle.FastAnswerer); ok {
 			s.fast[i] = fa
@@ -316,10 +383,69 @@ func newSnap(epoch int64, g *graph.Graph, os []oracle.QueryOracle, costs []asym.
 	return s
 }
 
+// oracleAt returns the effective oracle of slot fi: the lazily built one
+// when the slot's query-triggered rebuild has happened, else the (possibly
+// stale, possibly nil) instance carried in oracles.
+func (s *snapshot) oracleAt(fi int) oracle.QueryOracle {
+	if s.lazy != nil && s.lazy[fi] != nil {
+		if lb := s.lazy[fi].built.Load(); lb != nil {
+			return lb.o
+		}
+	}
+	return s.oracles[fi]
+}
+
+// costAt returns the construction cost of the effective oracle of slot fi
+// (the lazy build's cost once it has run, else the carried build cost).
+func (s *snapshot) costAt(fi int) asym.Cost {
+	if s.lazy != nil && s.lazy[fi] != nil {
+		if lb := s.lazy[fi].built.Load(); lb != nil {
+			return lb.cost
+		}
+	}
+	return s.costs[fi]
+}
+
+// builtEpochAt returns the epoch the effective oracle of slot fi was built
+// at: the snapshot epoch once a lazy build has run (or when the slot was
+// never deferred), the carried tag while stale, -1 when never built.
+func (s *snapshot) builtEpochAt(fi int) int64 {
+	if s.lazy != nil && s.lazy[fi] != nil && s.lazy[fi].built.Load() != nil {
+		return s.epoch
+	}
+	if s.builtEpoch == nil {
+		return s.epoch
+	}
+	return s.builtEpoch[fi]
+}
+
+// liveOracles calls f with every oracle instance of slot fi that can still
+// be serving answers for this snapshot: the carried base instance (which
+// bounded-staleness queries keep using even after a lazy build replaced it
+// on the strict path) and the lazily built one. Cache-counter aggregation
+// iterates these so no instance's telemetry goes dark before publish-time
+// folding retires it.
+func (s *snapshot) liveOracles(fi int, f func(oracle.QueryOracle)) {
+	if o := s.oracles[fi]; o != nil {
+		f(o)
+	}
+	if s.lazy != nil && s.lazy[fi] != nil {
+		if lb := s.lazy[fi].built.Load(); lb != nil {
+			f(lb.o)
+		}
+	}
+}
+
 // counts extracts the structure counters from whichever snapshot oracles
-// advertise them (shared by /stats and /info).
+// advertise them (shared by /stats and /info). A lazily-deferred oracle
+// that has never built contributes nothing (NumBCC reads 0 until the first
+// biconnectivity query forces its build).
 func (s *snapshot) counts() (components, bccs int) {
-	for _, o := range s.oracles {
+	for fi := range s.oracles {
+		o := s.oracleAt(fi)
+		if o == nil {
+			continue
+		}
 		if cc, ok := o.(oracle.ComponentCounter); ok {
 			components = cc.NumComponents()
 		}
@@ -349,6 +475,7 @@ type Engine struct {
 	seed        uint64
 	rebaseEvery int // resolved patch-chain budget (0 = re-basing disabled)
 	legacy      bool
+	eager       bool // Config.EagerRebuilds: deferred rebuilds disabled
 	onRebuild   func(RebuildRecord)
 	persist     GraphPersister
 
@@ -414,6 +541,13 @@ type Engine struct {
 	edgesAdded   int64
 	edgesRemoved int64
 
+	// Deferred-rebuild counters (lazy.go): publishes that skipped a
+	// Deferrable oracle's rebuild, and the on-demand builds queries later
+	// forced. Atomics because lazy builds happen on query goroutines,
+	// outside mu.
+	rebuildsAvoided atomic.Int64
+	lazyBuilds      atomic.Int64
+
 	// met holds the engine's pre-resolved metric handles (metrics.go).
 	// Assigned once in New after the first snapshot publishes, so the
 	// scrape-time callbacks registered with it never see a nil snapshot.
@@ -467,6 +601,7 @@ func New(g *graph.Graph, cfg Config) *Engine {
 		seed:        cfg.Seed,
 		rebaseEvery: rebaseEvery,
 		legacy:      cfg.LegacyDispatch,
+		eager:       cfg.EagerRebuilds,
 		onRebuild:   cfg.OnRebuild,
 		persist:     cfg.Persist,
 		seq:         cfg.InitialSeq,
@@ -493,7 +628,18 @@ func New(g *graph.Graph, cfg Config) *Engine {
 	for i := range e.kinds {
 		e.kinds[i].meter = asym.NewMeter(omega)
 	}
-	os, costs := e.buildOracles(g)
+	var skip []bool
+	if cfg.LazyBoot && !cfg.EagerRebuilds {
+		for fi, f := range e.factories {
+			if f.Deferrable {
+				if skip == nil {
+					skip = make([]bool, len(e.factories))
+				}
+				skip[fi] = true
+			}
+		}
+	}
+	os, costs := e.buildOracles(g, skip)
 	if len(cfg.InitialForest) > 0 || cfg.InitialChainDepth > 0 {
 		// Recovery: offer the persisted forest + chain depth to every
 		// forest-carrying oracle. A forest the oracle rejects (stale
@@ -507,21 +653,36 @@ func New(g *graph.Graph, cfg Config) *Engine {
 			}
 		}
 	}
-	e.snap.Store(newSnap(cfg.InitialEpoch, g, os, costs))
+	var builtEpoch []int64
+	var lazySlots []*lazySlot
+	if skip != nil {
+		builtEpoch = make([]int64, len(os))
+		lazySlots = make([]*lazySlot, len(os))
+		for i := range os {
+			builtEpoch[i] = cfg.InitialEpoch
+			if skip[i] {
+				builtEpoch[i] = -1 // never built; first matching query builds
+				lazySlots[i] = &lazySlot{}
+			}
+		}
+	}
+	e.snap.Store(newSnap(cfg.InitialEpoch, g, os, costs, builtEpoch, lazySlots))
 	e.met = newEngineMetrics(cfg.Metrics, cfg.GraphName, e)
 	return e
 }
 
 // buildOracles constructs every factory's oracle over g in parallel,
 // returning them with their separable construction costs. Used for the
-// initial snapshot and for full rebuilds.
+// initial snapshot and for full rebuilds. A non-nil skip masks factories
+// to leave unbuilt (LazyBoot's deferred slots): their oracle stays nil
+// with a zero cost.
 //
 // A panicking Build is re-raised on the *calling* goroutine: the parallel
 // fork runs branches on spawned goroutines with no recover of their own,
 // so without the capture here a single oracle panic would kill the whole
 // process instead of reaching the caller's recover (the Registry parks the
 // graph at StateFailed).
-func (e *Engine) buildOracles(g *graph.Graph) ([]oracle.QueryOracle, []asym.Cost) {
+func (e *Engine) buildOracles(g *graph.Graph, skip []bool) ([]oracle.QueryOracle, []asym.Cost) {
 	os := make([]oracle.QueryOracle, len(e.factories))
 	ms := make([]*asym.Meter, len(e.factories))
 	for i := range ms {
@@ -536,6 +697,9 @@ func (e *Engine) buildOracles(g *graph.Graph) ([]oracle.QueryOracle, []asym.Cost
 				panics[i] = fmt.Errorf("oracle %q build panicked: %v", e.factories[i].Name, r)
 			}
 		}()
+		if skip != nil && skip[i] {
+			return
+		}
 		c := parallel.NewCtx(ms[i], asym.NewSymTracker(e.sym))
 		os[i] = e.factories[i].Build(c, graph.View{G: g, M: ms[i]}, e.k, e.seed)
 	})
@@ -552,10 +716,12 @@ func (e *Engine) buildOracles(g *graph.Graph) ([]oracle.QueryOracle, []asym.Cost
 }
 
 // costByName returns the snapshot build cost of the named factory (zero if
-// that factory is not registered).
+// that factory is not registered). For a deferred slot this is the cost of
+// whatever build produced the effective oracle — the carried one while
+// stale, the lazy build's once it has run, zero while never built.
 func (e *Engine) costByName(s *snapshot, name string) asym.Cost {
 	if fi, ok := e.facByName[name]; ok {
-		return s.costs[fi]
+		return s.costAt(fi)
 	}
 	return asym.Cost{Omega: e.omega}
 }
@@ -566,7 +732,19 @@ func (e *Engine) costByName(s *snapshot, name string) asym.Cost {
 func (e *Engine) buildCosts(s *snapshot) map[string]asym.Cost {
 	out := make(map[string]asym.Cost, len(e.factories))
 	for fi, f := range e.factories {
-		out[f.Name] = s.costs[fi]
+		out[f.Name] = s.costAt(fi)
+	}
+	return out
+}
+
+// oracleEpochs maps each factory to the epoch its effective oracle was
+// last actually built at (-1 for a never-built deferred slot) — the
+// per-oracle staleness surface of /stats, /info and the oracle_epoch
+// metric gauge.
+func (e *Engine) oracleEpochs(s *snapshot) map[string]int64 {
+	out := make(map[string]int64, len(e.factories))
+	for fi, f := range e.factories {
+		out[f.Name] = s.builtEpochAt(fi)
 	}
 	return out
 }
@@ -646,13 +824,16 @@ func (e *Engine) MetricsRegistry() *obs.Registry { return e.met.reg }
 // scrape-time cache metrics.
 func (e *Engine) clusterCacheCounts() (hits, misses, evicts int64) {
 	hits, misses, evicts = e.ccHits.Load(), e.ccMisses.Load(), e.ccEvicts.Load()
-	for _, o := range e.snap.Load().oracles {
-		if cs, ok := o.(oracle.CacheStatser); ok {
-			h, ms, ev := cs.CacheStats()
-			hits += h
-			misses += ms
-			evicts += ev
-		}
+	sn := e.snap.Load()
+	for fi := range sn.oracles {
+		sn.liveOracles(fi, func(o oracle.QueryOracle) {
+			if cs, ok := o.(oracle.CacheStatser); ok {
+				h, ms, ev := cs.CacheStats()
+				hits += h
+				misses += ms
+				evicts += ev
+			}
+		})
 	}
 	return hits, misses, evicts
 }
@@ -660,8 +841,9 @@ func (e *Engine) clusterCacheCounts() (hits, misses, evicts int64) {
 // Conn exposes the current snapshot's connectivity oracle (read-only use);
 // nil if no conn factory is registered.
 func (e *Engine) Conn() *conn.Oracle {
-	for _, o := range e.snap.Load().oracles {
-		if a, ok := o.(oracle.ConnAdapter); ok {
+	sn := e.snap.Load()
+	for fi := range sn.oracles {
+		if a, ok := sn.oracleAt(fi).(oracle.ConnAdapter); ok {
 			return a.O
 		}
 	}
@@ -669,10 +851,12 @@ func (e *Engine) Conn() *conn.Oracle {
 }
 
 // Bicc exposes the current snapshot's biconnectivity oracle (read-only
-// use); nil if no bicc factory is registered.
+// use); nil if no bicc factory is registered — or registered but deferred
+// and not yet lazily built.
 func (e *Engine) Bicc() *bicc.Oracle {
-	for _, o := range e.snap.Load().oracles {
-		if a, ok := o.(oracle.BiccAdapter); ok {
+	sn := e.snap.Load()
+	for fi := range sn.oracles {
+		if a, ok := sn.oracleAt(fi).(oracle.BiccAdapter); ok {
 			return a.O
 		}
 	}
@@ -711,10 +895,12 @@ type worker struct {
 	// stays valid across snapshot swaps.
 	scratch []any
 	// batchSeen dedupes repeated (kind, u, v) queries within one chunk.
-	// Cleared in getWorker, so entries never outlive the chunk — and since
-	// a chunk runs entirely against one loaded snapshot, they never cross
-	// epochs either.
-	batchSeen map[rcKey]rcVal
+	// Cleared in getWorker, so entries never outlive the chunk. The key
+	// carries the answering oracle's built epoch because one chunk can mix
+	// strict and bounded-staleness queries for the same (kind, u, v) —
+	// those may resolve to different oracle states and must never share an
+	// entry.
+	batchSeen map[bsKey]rcVal
 	// fillSym isolates the symmetric peak of one cache-filling query so it
 	// can be recorded for replay: it is Reset before each fill, and the
 	// observed peak is pulsed onto sym (every query returns its footprint
@@ -730,7 +916,7 @@ func (e *Engine) newWorker() *worker {
 		counts:    make([]int64, len(e.specs)),
 		errs:      make([]int64, len(e.specs)),
 		sym:       asym.NewSymTracker(e.sym),
-		batchSeen: make(map[rcKey]rcVal, 64),
+		batchSeen: make(map[bsKey]rcVal, 64),
 		fillSym:   asym.NewSymTracker(0),
 	}
 	for i := range w.meters {
@@ -863,9 +1049,34 @@ func (e *Engine) dispatch(s *snapshot, w *worker, q Query, labels *[]int32) (Res
 		w.errs[ref.agg]++
 		return Result{Err: fmt.Sprintf("vertex out of range [0,%d)", n)}, ref.agg //wec:alloc malformed-query error path, not the hot answer path
 	}
+	bounded := false
+	switch q.Staleness {
+	case "", StalenessStrict:
+	case StalenessBounded:
+		bounded = true
+	default:
+		w.errs[ref.agg]++
+		return Result{Err: fmt.Sprintf("unknown staleness %q", q.Staleness)}, ref.agg //wec:alloc malformed-query error path, not the hot answer path
+	}
+	// Resolve the serving oracle: one nil check for fresh slots; for a
+	// deferred slot, the lazily built instance, the stale one (bounded
+	// queries only), or the single-flight on-demand build (lazy.go). ep is
+	// the epoch the resolved oracle's state was built at — it keys both
+	// result-cache layers, so strict and bounded answers, and answers from
+	// different build generations, never share an entry.
+	qo, fa, ep, err := e.resolveOracle(s, ref.fac, bounded)
+	if err != nil {
+		w.errs[ref.agg]++
+		return Result{Err: err.Error()}, ref.agg //wec:alloc lazy-build failure path, not the hot answer path
+	}
 	m := w.meters[ref.agg]
 	if labels != nil {
-		if fa := s.fast[ref.fac]; fa != nil {
+		if fa != nil {
+			if w.scratch[ref.fac] == nil {
+				// A lazily-booted slot had no oracle to take a scratch from
+				// when this worker was equipped; fill it on first contact.
+				w.scratch[ref.fac] = fa.NewScratch() //wec:alloc one-time per-worker scratch fill after a lazy build
+			}
 			// Result memoization, two layers: the chunk-local batchSeen map
 			// (duplicates inside one batch), then the engine's epoch-keyed
 			// shared table. Hits replay the memoized query's recorded cost
@@ -873,13 +1084,14 @@ func (e *Engine) dispatch(s *snapshot, w *worker, q Query, labels *[]int32) (Res
 			// recomputing; misses compute, record, and publish. Errors are
 			// never memoized.
 			key := rcKey{agg: int32(ref.agg), u: q.U, v: q.V}
+			bkey := bsKey{k: key, epoch: ep}
 			var av oracle.AnswerVal
-			if hit, ok := w.batchSeen[key]; ok {
+			if hit, ok := w.batchSeen[bkey]; ok {
 				w.dedup++
 				av = w.replay(m, hit)
-			} else if hit, ok := e.rcache.get(s.epoch, key); ok {
+			} else if hit, ok := e.rcache.get(ep, key); ok {
 				e.rcHits.Add(1)
-				w.batchSeen[key] = hit
+				w.batchSeen[bkey] = hit
 				av = w.replay(m, hit)
 			} else {
 				e.rcMisses.Add(1)
@@ -899,39 +1111,48 @@ func (e *Engine) dispatch(s *snapshot, w *worker, q Query, labels *[]int32) (Res
 					return Result{Err: err.Error()}, ref.agg
 				}
 				val := rcVal{av: av, cost: m.Snapshot().Sub(before), peak: w.fillSym.HighWater()}
-				w.batchSeen[key] = val
-				if e.rcache.put(s.epoch, key, val) {
+				w.batchSeen[bkey] = val
+				if e.rcache.put(ep, key, val) {
 					e.rcEvicts.Add(1)
 				}
 			}
 			m.Write(1) // store the answer (output-sized cost)
 			w.counts[ref.agg]++
-			if av.IsBool {
-				if av.Bool {
-					return Result{Bool: boolTrue}, ref.agg
-				}
-				return Result{Bool: boolFalse}, ref.agg
-			}
-			if len(*labels) < cap(*labels) {
+			var res Result
+			switch {
+			case av.IsBool && av.Bool:
+				res = Result{Bool: boolTrue}
+			case av.IsBool:
+				res = Result{Bool: boolFalse}
+			case len(*labels) < cap(*labels):
 				*labels = append(*labels, av.Label)
-				return Result{Label: &(*labels)[len(*labels)-1]}, ref.agg
+				res = Result{Label: &(*labels)[len(*labels)-1]}
+			default:
+				// Undersized arena (a caller bug — both call sites size it to
+				// one slot per query): box this label rather than let append
+				// reallocate, which would silently dangle every previously
+				// returned Result.Label into the old array.
+				lbl := av.Label
+				res = Result{Label: &lbl} //wec:alloc arena-overflow fallback; both call sites size the arena to avoid it
 			}
-			// Undersized arena (a caller bug — both call sites size it to
-			// one slot per query): box this label rather than let append
-			// reallocate, which would silently dangle every previously
-			// returned Result.Label into the old array.
-			lbl := av.Label
-			return Result{Label: &lbl}, ref.agg //wec:alloc arena-overflow fallback; both call sites size the arena to avoid it
+			if bounded {
+				res.Epoch = ep
+			}
+			return res, ref.agg
 		}
 	}
-	ans, err := s.oracles[ref.fac].Answer(m, w.sym, oracle.Query{Kind: q.Kind, U: q.U, V: q.V})
+	ans, err := qo.Answer(m, w.sym, oracle.Query{Kind: q.Kind, U: q.U, V: q.V})
 	if err != nil {
 		w.errs[ref.agg]++
 		return Result{Err: err.Error()}, ref.agg
 	}
 	m.Write(1) // store the answer (output-sized cost)
 	w.counts[ref.agg]++
-	return Result{Bool: ans.Bool, Label: ans.Label}, ref.agg
+	res := Result{Bool: ans.Bool, Label: ans.Label}
+	if bounded {
+		res.Epoch = ep
+	}
+	return res, ref.agg
 }
 
 // Do answers a batch of queries. The snapshot pointer is loaded once, so
@@ -1043,6 +1264,9 @@ func (e *Engine) Stats() Stats {
 	s.EdgesRemoved = e.edgesRemoved
 	s.Rebuilds = append([]RebuildRecord(nil), e.history...)
 	e.mu.Unlock()
+	s.RebuildsAvoided = e.rebuildsAvoided.Load()
+	s.LazyRebuilds = e.lazyBuilds.Load()
+	s.OracleEpochs = e.oracleEpochs(sn)
 	s.NumComponents, s.NumBCC = sn.counts()
 	s.ConnChainDepth = connChainDepthOf(sn)
 	for i, spec := range e.specs {
@@ -1059,15 +1283,19 @@ func (e *Engine) Stats() Stats {
 		BatchDedup: e.dedupHits.Load(),
 	}
 	// Cluster-cache counters: retired snapshots' totals (folded in at
-	// publish time, update.go) plus the live snapshot's.
+	// publish time, update.go) plus every instance still live in the
+	// current snapshot (a deferred slot can have two: the stale base that
+	// bounded queries use and the lazily built replacement).
 	s.ClusterCache = CacheStats{Hits: e.ccHits.Load(), Misses: e.ccMisses.Load(), Evictions: e.ccEvicts.Load()}
-	for _, o := range sn.oracles {
-		if cs, ok := o.(oracle.CacheStatser); ok {
-			h, ms, ev := cs.CacheStats()
-			s.ClusterCache.Hits += h
-			s.ClusterCache.Misses += ms
-			s.ClusterCache.Evictions += ev
-		}
+	for fi := range sn.oracles {
+		sn.liveOracles(fi, func(o oracle.QueryOracle) {
+			if cs, ok := o.(oracle.CacheStatser); ok {
+				h, ms, ev := cs.CacheStats()
+				s.ClusterCache.Hits += h
+				s.ClusterCache.Misses += ms
+				s.ClusterCache.Evictions += ev
+			}
+		})
 	}
 	s.Admission = AdmissionStats{
 		MaxInflight: int(e.maxInflight),

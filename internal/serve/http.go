@@ -17,7 +17,11 @@ import (
 // pre-multi-tenant client works unchanged):
 //
 //	POST /query   {"kind":"connected","u":0,"v":5}      -> Result
+//	              (optional "staleness":"bounded" answers a deferred oracle's
+//	              kinds from its last-built state, reporting "epoch")
 //	POST /batch   {"queries":[Query,...]}                -> {"results":[Result,...],"count":N}
+//	              (optional top-level "staleness" is the default for queries
+//	              that don't set their own)
 //	POST /update  {"add":[[0,5],...],"remove":[[1,2],...],"wait":true} -> UpdateResponse
 //	GET  /stats                                          -> Stats (incl. epoch, rebuild, admission, pool telemetry)
 //	GET  /info                                           -> per-snapshot build/graph info
@@ -87,9 +91,12 @@ const maxGraphSpecBytes = 64 << 20
 // not-ready 503 responses.
 const retryAfter = "1"
 
-// BatchRequest is the /batch request body.
+// BatchRequest is the /batch request body. Staleness, when set, is the
+// batch-level default applied to every query that does not set its own
+// (per-query values win; see StalenessStrict / StalenessBounded).
 type BatchRequest struct {
-	Queries []Query `json:"queries"`
+	Queries   []Query `json:"queries"`
+	Staleness string  `json:"staleness,omitempty"`
 }
 
 // BatchResponse is the /batch response body.
@@ -127,19 +134,24 @@ type GraphListResponse struct {
 // the binary's build identity so scraped metrics can be correlated with the
 // exact build.
 type Info struct {
-	GraphN        int                 `json:"graph_n"`
-	GraphM        int                 `json:"graph_m"`
-	Omega         int                 `json:"omega"`
-	K             int                 `json:"k"`
-	Workers       int                 `json:"workers"`
-	NumComponents int                 `json:"num_components"`
-	NumBCC        int                 `json:"num_bcc"`
-	Epoch         int64               `json:"epoch"`
-	Kinds         []Kind              `json:"kinds"`
-	BuildConn     CostJSON            `json:"build_conn"`
-	BuildBicc     CostJSON            `json:"build_bicc"`
-	BuildCosts    map[string]CostJSON `json:"build_costs"`
-	Build         obs.BuildInfo       `json:"build"`
+	GraphN        int      `json:"graph_n"`
+	GraphM        int      `json:"graph_m"`
+	Omega         int      `json:"omega"`
+	K             int      `json:"k"`
+	Workers       int      `json:"workers"`
+	NumComponents int      `json:"num_components"`
+	NumBCC        int      `json:"num_bcc"`
+	Epoch         int64    `json:"epoch"`
+	Kinds         []Kind   `json:"kinds"`
+	BuildConn     CostJSON `json:"build_conn"`
+	BuildBicc     CostJSON `json:"build_bicc"`
+	// OracleEpochs maps each oracle to the epoch its built state corresponds
+	// to: Epoch when fresh, lagging while its rebuild is deferred, -1 when
+	// it has never been built (a recovered graph before the first
+	// biconnectivity query, for example).
+	OracleEpochs map[string]int64    `json:"oracle_epochs,omitempty"`
+	BuildCosts   map[string]CostJSON `json:"build_costs"`
+	Build        obs.BuildInfo       `json:"build"`
 }
 
 // CostJSON is an asym.Cost with the derived work made explicit for JSON
@@ -200,6 +212,9 @@ type StatsJSON struct {
 	ClusterCache CacheStats       `json:"cluster_cache"`
 
 	Epoch               int64                       `json:"epoch"`
+	OracleEpochs        map[string]int64            `json:"oracle_epochs,omitempty"`
+	RebuildsAvoided     int64                       `json:"rebuilds_avoided"`
+	LazyRebuilds        int64                       `json:"lazy_rebuilds"`
 	PendingUpdates      int                         `json:"pending_updates"`
 	TotalRebuilds       int64                       `json:"total_rebuilds"`
 	IncrementalRebuilds int64                       `json:"incremental_rebuilds"`
@@ -509,6 +524,16 @@ func handleBatch(tr *obs.Tracer, resolve resolver, nameOf func(*http.Request) st
 			treq.Finish(http.StatusRequestEntityTooLarge)
 			return
 		}
+		if req.Staleness != "" {
+			// The batch-level default fills only unset queries, so a mixed
+			// batch can still pin individual queries to strict. An invalid
+			// value is rejected per-query by dispatch, like any other.
+			for i := range req.Queries {
+				if req.Queries[i].Staleness == "" {
+					req.Queries[i].Staleness = req.Staleness
+				}
+			}
+		}
 		treq.SetDetail(fmt.Sprintf("queries=%d", len(req.Queries)))
 		// DoWait reports how much of the dispatch interval was pool queue
 		// wait, splitting it into the pool_queue and answer spans.
@@ -586,16 +611,17 @@ func handleUpdate(tr *obs.Tracer, resolve resolver, nameOf func(*http.Request) s
 func infoOf(e *Engine) Info {
 	sn := e.snap.Load()
 	info := Info{
-		GraphN:     sn.g.N(),
-		GraphM:     sn.g.M(),
-		Omega:      e.omega,
-		K:          e.k,
-		Workers:    e.workers,
-		Epoch:      sn.epoch,
-		Kinds:      e.Kinds(),
-		BuildConn:  costJSON(e.costByName(sn, "conn")),
-		BuildBicc:  costJSON(e.costByName(sn, "bicc")),
-		BuildCosts: costsJSON(e.buildCosts(sn)),
+		GraphN:       sn.g.N(),
+		GraphM:       sn.g.M(),
+		Omega:        e.omega,
+		K:            e.k,
+		Workers:      e.workers,
+		Epoch:        sn.epoch,
+		Kinds:        e.Kinds(),
+		BuildConn:    costJSON(e.costByName(sn, "conn")),
+		BuildBicc:    costJSON(e.costByName(sn, "bicc")),
+		OracleEpochs: e.oracleEpochs(sn),
+		BuildCosts:   costsJSON(e.buildCosts(sn)),
 	}
 	info.NumComponents, info.NumBCC = sn.counts()
 	info.Build = obs.Build()
@@ -640,6 +666,9 @@ func statsJSON(s Stats) StatsJSON {
 	out.ResultCache = s.ResultCache
 	out.ClusterCache = s.ClusterCache
 	out.Epoch = s.Epoch
+	out.OracleEpochs = s.OracleEpochs
+	out.RebuildsAvoided = s.RebuildsAvoided
+	out.LazyRebuilds = s.LazyRebuilds
 	out.PendingUpdates = s.PendingUpdates
 	out.TotalRebuilds = s.TotalRebuilds
 	out.IncrementalRebuilds = s.IncrementalRebuilds

@@ -18,8 +18,9 @@ import (
 //
 // Label cardinality is bounded by construction: graph names (validated by
 // graphNameRE, retired by Registry.Delete via DeleteLabeled), query kinds
-// (the oracle registry's fixed vocabulary), rebuild strategies (the four
-// ladder rungs), and cache layer names. Per-request values — vertex ids,
+// (the oracle registry's fixed vocabulary), rebuild strategies (the five
+// ladder rungs), oracle names (registered factories), and cache layer
+// names. Per-request values — vertex ids,
 // batch contents — never become labels.
 
 // Cache layer label values of wec_cache_*_total.
@@ -83,18 +84,31 @@ func newEngineMetrics(reg *obs.Registry, graphName string, e *Engine) *engineMet
 		"Currently admitted requests.", obs.TypeGauge, "graph").
 		Set(func() float64 { return float64(e.inflight.Load()) }, graphName)
 
-	m.rebuildDur = make(map[string]*obs.Histogram, 4)
+	m.rebuildDur = make(map[string]*obs.Histogram, 5)
 	rdur := reg.NewHistogramVec("wec_rebuild_duration_seconds",
-		"Background rebuild duration by summary strategy.", nil, "graph", "strategy")
-	for _, s := range []string{StrategyPatchedInsert, StrategyPatchedDelete, StrategyRebased, StrategyFull} {
+		"Background rebuild duration by summary strategy; the lazy bucket observes deferred, query-triggered builds.", nil, "graph", "strategy")
+	for _, s := range []string{StrategyPatchedInsert, StrategyPatchedDelete, StrategyRebased, StrategyFull, StrategyLazy} {
 		m.rebuildDur[s] = rdur.With(graphName, s)
 	}
 	m.rebuildFail = reg.NewCounterVec("wec_rebuild_failures_total",
 		"Rebuild attempts that failed (their batches dropped).", "graph").With(graphName)
 
+	reg.NewFuncVec("wec_rebuilds_avoided_total",
+		"Publishes at which a deferrable oracle skipped its eager rebuild (deferred lazily or absorbed as a provable no-op patch).", obs.TypeCounter, "graph").
+		Set(func() float64 { return float64(e.rebuildsAvoided.Load()) }, graphName)
+	reg.NewFuncVec("wec_lazy_rebuilds_total",
+		"Deferred oracle rebuilds actually performed on the query path (single-flight, first matching query pays).", obs.TypeCounter, "graph").
+		Set(func() float64 { return float64(e.lazyBuilds.Load()) }, graphName)
+
 	reg.NewFuncVec("wec_published_epoch",
 		"Epoch of the currently published snapshot.", obs.TypeGauge, "graph").
 		Set(func() float64 { return float64(e.snap.Load().epoch) }, graphName)
+	oep := reg.NewFuncVec("wec_oracle_epoch",
+		"Epoch each oracle's built state corresponds to; wec_published_epoch minus this is the oracle's staleness lag (-1 = never built).", obs.TypeGauge, "graph", "oracle")
+	for fi := range e.factories {
+		fi := fi
+		oep.Set(func() float64 { return float64(e.snap.Load().builtEpochAt(fi)) }, graphName, e.factories[fi].Name)
+	}
 	reg.NewFuncVec("wec_pending_batches",
 		"Staged update batches not yet folded into a snapshot.", obs.TypeGauge, "graph").
 		Set(func() float64 {

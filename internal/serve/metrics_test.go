@@ -81,7 +81,8 @@ func TestMetricsEndpointFamiliesAndHygiene(t *testing.T) {
 		"wec_batch_size_queries", "wec_pool_queue_wait_seconds",
 		"wec_admission_rejected_total", "wec_admission_inflight",
 		"wec_rebuild_duration_seconds", "wec_rebuild_failures_total",
-		"wec_published_epoch", "wec_pending_batches",
+		"wec_rebuilds_avoided_total", "wec_lazy_rebuilds_total",
+		"wec_published_epoch", "wec_oracle_epoch", "wec_pending_batches",
 		"wec_edges_added_total", "wec_edges_removed_total",
 		"wec_cache_hits_total", "wec_cache_misses_total", "wec_cache_evictions_total",
 		"wec_pool_size", "wec_pool_in_use", "wec_pool_tasks_total", "wec_graphs",
@@ -107,8 +108,9 @@ func TestMetricsEndpointFamiliesAndHygiene(t *testing.T) {
 		"kind": {"connected": true, "component": true, "bridge": true,
 			"articulation": true, "biconnected": true, "2ecc": true},
 		"strategy": {StrategyPatchedInsert: true, StrategyPatchedDelete: true,
-			StrategyRebased: true, StrategyFull: true},
-		"cache": {"result": true, "cluster": true, "batch_dedup": true},
+			StrategyRebased: true, StrategyFull: true, StrategyLazy: true},
+		"oracle": {"conn": true, "bicc": true},
+		"cache":  {"result": true, "cluster": true, "batch_dedup": true},
 	}
 	for _, s := range exp.Samples {
 		for k, v := range s.Labels {

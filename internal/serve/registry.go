@@ -500,6 +500,11 @@ func (reg *Registry) build(ent *graphEntry, load func() (*graph.Graph, error), s
 		cfg.InitialSeq = ent.initSeq
 		cfg.InitialForest = ent.initForest
 		cfg.InitialChainDepth = ent.initDepth
+		// A recovered graph boots with its deferrable oracles unbuilt: the
+		// restart stops paying for biconnectivity until something actually
+		// asks for it (the first bicc-family query lazily builds, exactly as
+		// after a deferred update).
+		cfg.LazyBoot = ent.recovered
 		eng = New(g, cfg)
 		// A fresh create writes its initial snapshot before going ready:
 		// the durability promise starts at the moment clients can reach

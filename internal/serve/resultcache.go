@@ -31,6 +31,16 @@ type rcKey struct {
 	u, v int32
 }
 
+// bsKey is the chunk-local batch-dedup key: an rcKey plus the built epoch
+// of the oracle state that answered it. The shared table keys epoch and
+// rcKey separately (rcEntry), but the per-worker batchSeen map needs the
+// pair in one comparable value because a single chunk can mix strict and
+// bounded-staleness answers for the same (kind, u, v).
+type bsKey struct {
+	k     rcKey
+	epoch int64
+}
+
 // rcVal is one memoized answer with the charges its fill recorded.
 type rcVal struct {
 	av   oracle.AnswerVal

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"time"
 
 	"repro/internal/asym"
@@ -36,8 +37,17 @@ import (
 //                  graph collapses the remap chain and reseeds the forest
 //                  (oracle.Rebaser), scheduled before the chain's per-batch
 //                  copy cost outgrows its savings.
-//   full           everything else (biconnectivity is neither insertion-
-//                  nor deletion-monotone, so it rebuilds every epoch).
+//   lazy           the factory is Deferrable and the batch is not a provable
+//                  no-op for it: the previous instance is carried forward as
+//                  stale (tagged with its built epoch) and a lazySlot is
+//                  planted in the new snapshot. Nothing is built on the
+//                  publish path; the first query of one of the factory's
+//                  kinds pays for one single-flight rebuild (lazy.go).
+//                  Biconnectivity is neither insertion- nor deletion-
+//                  monotone, so this is its rung for every batch it cannot
+//                  prove structure-preserving — a conn-only workload churns
+//                  forever without ever rebuilding bicc.
+//   full           everything else.
 //
 // Per-rebuild asymmetric costs (graph / conn / bicc, separately metered),
 // the per-oracle strategies taken, and cumulative per-oracle strategy
@@ -52,6 +62,11 @@ const (
 	StrategyPatchedDelete = "patched-delete"
 	StrategyRebased       = "rebased"
 	StrategyFull          = "full"
+	// StrategyLazy marks a Deferrable oracle whose rebuild was skipped at
+	// publish time and deferred to the first matching query (lazy.go). Its
+	// label also keys the rebuild-duration histogram bucket those deferred,
+	// query-triggered builds observe into.
+	StrategyLazy = "lazy"
 )
 
 // DefaultRebaseEvery is the chain-depth budget selected by
@@ -92,20 +107,24 @@ type UpdateStatus struct {
 
 // RebuildRecord is the telemetry of one background rebuild attempt.
 // Strategy summarizes the batch (the most incremental rung any oracle
-// reached); Strategies records the rung each oracle actually took, keyed
-// by factory name. ConnCost/BiccCost are the built-in factories' costs
-// (kept for single-graph clients); OracleCosts has every registered
-// factory's, keyed by factory name.
+// worked on the publish path; "lazy" only when every oracle deferred);
+// Strategies records the rung each oracle actually took, keyed by factory
+// name. The costs are the publish path's own metered work: a lazily
+// deferred oracle contributes only its refused patch attempt (often zero) —
+// the deferred build's cost surfaces later on the snapshot's build-cost
+// side (/stats Oracles), not here. ConnCost/BiccCost are the built-in
+// factories' costs (kept for single-graph clients); OracleCosts has every
+// registered factory's, keyed by factory name.
 type RebuildRecord struct {
 	Epoch        int64                `json:"epoch"`
-	Strategy     string               `json:"strategy"`             // patched-insert | patched-delete | rebased | full
+	Strategy     string               `json:"strategy"`             // patched-insert | patched-delete | rebased | lazy | full
 	Strategies   map[string]string    `json:"strategies,omitempty"` // factory name -> strategy taken
 	Batches      int                  `json:"batches"`              // update batches coalesced in
 	AddedEdges   int                  `json:"added_edges"`
 	RemovedEdges int                  `json:"removed_edges"`
 	GraphCost    asym.Cost            `json:"graph_cost"` // writing the new CSR
 	ConnCost     asym.Cost            `json:"conn_cost"`  // connectivity oracle (patched, rebased or full)
-	BiccCost     asym.Cost            `json:"bicc_cost"`  // biconnectivity oracle (always full)
+	BiccCost     asym.Cost            `json:"bicc_cost"`  // biconnectivity oracle (patched, deferred or full)
 	OracleCosts  map[string]asym.Cost `json:"oracle_costs,omitempty"`
 	Duration     time.Duration        `json:"duration_ns"`
 	Err          string               `json:"error,omitempty"`
@@ -250,20 +269,39 @@ func (e *Engine) rebuildLoop() {
 			// The outgoing snapshot's oracle-side cache counters retire into
 			// the engine accumulators so /stats stays cumulative across
 			// swaps (the caches themselves are rebuilt with their oracles —
-			// that is the epoch invalidation rule).
-			for _, o := range cur.oracles {
-				if cs, ok := o.(oracle.CacheStatser); ok {
-					h, ms, ev := cs.CacheStats()
-					e.ccHits.Add(h)
-					e.ccMisses.Add(ms)
-					e.ccEvicts.Add(ev)
-				}
+			// that is the epoch invalidation rule). Instances carried into
+			// the next snapshot — a deferred oracle's stale base, a
+			// no-op-patched adapter that returned itself — are skipped: their
+			// counters stay live and folding them now would double-count.
+			for fi := range cur.oracles {
+				cur.liveOracles(fi, func(o oracle.QueryOracle) {
+					if oracleSame(o, next.oracles[fi]) {
+						return
+					}
+					if cs, ok := o.(oracle.CacheStatser); ok {
+						h, ms, ev := cs.CacheStats()
+						e.ccHits.Add(h)
+						e.ccMisses.Add(ms)
+						e.ccEvicts.Add(ev)
+					}
+				})
 			}
 			e.snap.Store(next)
 			e.pubSeq = batches[len(batches)-1].seq
 			e.nRebuilds++
-			if rec.Strategy == StrategyPatchedInsert || rec.Strategy == StrategyPatchedDelete {
+			if rec.Strategy == StrategyPatchedInsert || rec.Strategy == StrategyPatchedDelete || rec.Strategy == StrategyLazy {
 				e.nIncremental++
+			}
+			for i := range e.factories {
+				if !e.factories[i].Deferrable || e.eager {
+					continue
+				}
+				switch rec.Strategies[e.factories[i].Name] {
+				case StrategyLazy, StrategyPatchedInsert, StrategyPatchedDelete:
+					// Either rung means this publish skipped the eager
+					// rebuild the pre-deferral engine would have paid for.
+					e.rebuildsAvoided.Add(1)
+				}
 			}
 			for name, s := range rec.Strategies {
 				if e.stratCounts[name] == nil {
@@ -334,13 +372,49 @@ func (e *Engine) rebuildLoop() {
 	}
 }
 
-// planStrategy picks one oracle's rung on the update-strategy ladder for a
-// batch of the given shape: rebase when the patch chain hit its budget,
-// else the cheapest patch the oracle's capabilities and the batch shape
-// allow, else a full rebuild. The plan is provisional — patch-delete steps
-// down to full inside the build when the oracle refuses the batch with
-// oracle.ErrNeedsRebuild (a genuine component split).
-func (e *Engine) planStrategy(o oracle.QueryOracle, hasAdds, hasRemovals bool) string {
+// planStrategy picks factory fi's rung on the update-strategy ladder for a
+// batch of the given shape.
+//
+// Deferrable factories (unless Config.EagerRebuilds pins the engine to the
+// eager ladder) walk the deferred sub-ladder: attempt the no-op patch when
+// the effective instance is fresh — the patch predicates answer about the
+// instance's *own* graph, so testing a stale instance against a newer batch
+// would be unsound — and otherwise go lazy, carrying the instance forward
+// as stale for the first query to rebuild. Everything else walks the eager
+// ladder: rebase when the patch chain hit its budget, else the cheapest
+// patch the oracle's capabilities and the batch shape allow, else a full
+// rebuild.
+//
+// The plan is provisional — inside the build, patch-delete steps down to
+// full when the oracle refuses the batch with oracle.ErrNeedsRebuild (a
+// genuine component split), and a deferrable oracle's refused patch steps
+// down to lazy, never to a publish-path rebuild.
+func (e *Engine) planStrategy(fi int, cur *snapshot, hasAdds, hasRemovals bool) string {
+	o := cur.oracleAt(fi)
+	if e.factories[fi].Deferrable {
+		if e.eager {
+			// Config.EagerRebuilds pins deferrable oracles to the
+			// pre-deferral baseline — a full rebuild every publish, no
+			// patch attempts — which is what benchmark before/after pairs
+			// compare against.
+			return StrategyFull
+		}
+		if o != nil && cur.builtEpochAt(fi) == cur.epoch {
+			if !hasRemovals {
+				if _, ok := o.(oracle.InsertionApplier); ok {
+					return StrategyPatchedInsert
+				}
+			} else if _, ok := o.(oracle.DeletionApplier); ok {
+				if !hasAdds {
+					return StrategyPatchedDelete
+				}
+				if _, ok := o.(oracle.InsertionApplier); ok {
+					return StrategyPatchedDelete
+				}
+			}
+		}
+		return StrategyLazy
+	}
 	if e.rebaseEvery > 0 {
 		if rb, ok := o.(oracle.Rebaser); ok && rb.ChainDepth() >= e.rebaseEvery {
 			return StrategyRebased
@@ -364,16 +438,46 @@ func (e *Engine) planStrategy(o oracle.QueryOracle, hasAdds, hasRemovals bool) s
 }
 
 // summarizeStrategies collapses the per-oracle strategies into the record's
-// headline: the most incremental rung any oracle reached.
-func summarizeStrategies(strategies []string) string {
+// headline: the most incremental rung a non-deferred oracle *worked* on the
+// publish path. Deferrable oracles' entries are skipped entirely (unless
+// Config.EagerRebuilds put them on the eager ladder): their lazy rung did
+// no publish work, and their no-op patch absorptions are read-only
+// predicate checks — letting either outrank, say, a conn rebase would make
+// the headline (and the incremental-rebuild counter it drives) depend on
+// batch shapes the eager ladder never sees. Only a batch that defers every
+// oracle summarizes as lazy.
+func (e *Engine) summarizeStrategies(strategies []string) string {
 	rank := map[string]int{StrategyFull: 0, StrategyRebased: 1, StrategyPatchedDelete: 2, StrategyPatchedInsert: 3}
-	best := StrategyFull
-	for _, s := range strategies {
-		if rank[s] > rank[best] {
+	best := ""
+	for i, s := range strategies {
+		if s == StrategyLazy || (e.factories[i].Deferrable && !e.eager) {
+			continue
+		}
+		if best == "" || rank[s] > rank[best] {
 			best = s
 		}
 	}
+	if best == "" {
+		return StrategyLazy
+	}
 	return best
+}
+
+// oracleSame reports whether two oracle instances are the same carried
+// value. Adapter patches that absorb a batch as a provable no-op return the
+// receiver unchanged, so identity comparison is the signal that an instance
+// survived into the next snapshot. Non-comparable dynamic types (a
+// plugged-in oracle holding a map or slice directly) can't be carried-same
+// in that sense, so they compare false instead of panicking.
+func oracleSame(a, b oracle.QueryOracle) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	ta := reflect.TypeOf(a)
+	if ta != reflect.TypeOf(b) || !ta.Comparable() {
+		return false
+	}
+	return a == b
 }
 
 // buildNext folds the staged batches into a new snapshot, walking the
@@ -418,7 +522,7 @@ func (e *Engine) buildNext(cur *snapshot, batches []*updateBatch) (*snapshot, Re
 	strategies := make([]string, nf)
 	for i := range ms {
 		ms[i] = asym.NewMeter(e.omega)
-		strategies[i] = e.planStrategy(cur.oracles[i], hasAdds, hasRemovals)
+		strategies[i] = e.planStrategy(i, cur, hasAdds, hasRemovals)
 	}
 	root := parallel.NewCtx(e.disp, nil)
 	root.SetGrain(1)
@@ -433,13 +537,38 @@ func (e *Engine) buildNext(cur *snapshot, batches []*updateBatch) (*snapshot, Re
 			}
 		}()
 		switch strategies[i] {
-		case StrategyPatchedInsert:
-			ia := cur.oracles[i].(oracle.InsertionApplier)
-			os[i], errs[i] = ia.ApplyInsertions(ms[i], asym.NewSymTracker(e.sym), adds)
+		case StrategyLazy:
+			// Nothing happens on the publish path; the assembly below
+			// carries the stale instance forward and plants the slot.
 			return
+		case StrategyPatchedInsert:
+			ia := cur.oracleAt(i).(oracle.InsertionApplier)
+			o, err := ia.ApplyInsertions(ms[i], asym.NewSymTracker(e.sym), adds)
+			if err == nil {
+				os[i] = o
+				return
+			}
+			if !errors.Is(err, oracle.ErrNeedsRebuild) {
+				errs[i] = err
+				return
+			}
+			if e.factories[i].Deferrable && !e.eager {
+				// The oracle refused the patch (an insertion merges blocks):
+				// a deferrable oracle steps down to the lazy rung, never to
+				// a publish-path rebuild. The refused attempt's charges stay
+				// on ms[i] — they are real publish work and show up in the
+				// record's costs.
+				strategies[i] = StrategyLazy
+				return
+			}
+			// A typed refusal is a ladder step-down by contract, not a
+			// failure: fall through to a full rebuild on a fresh meter so
+			// the recorded cost is the rebuild's, not attempt + rebuild.
+			strategies[i] = StrategyFull
+			ms[i] = asym.NewMeter(e.omega)
 		case StrategyPatchedDelete:
 			sym := asym.NewSymTracker(e.sym)
-			patched := cur.oracles[i]
+			patched := cur.oracleAt(i)
 			var err error
 			if len(adds) > 0 {
 				// Coalesced-batch order: all adds fold in first (they can
@@ -457,13 +586,18 @@ func (e *Engine) buildNext(cur *snapshot, batches []*updateBatch) (*snapshot, Re
 				errs[i] = err
 				return
 			}
+			if e.factories[i].Deferrable && !e.eager {
+				// Refused patch on a deferrable oracle: defer, don't rebuild.
+				strategies[i] = StrategyLazy
+				return
+			}
 			// A deletion genuinely split a component: step down the ladder
 			// to a full rebuild of this oracle (fresh meter so the recorded
 			// cost is the rebuild's, not patch-attempt + rebuild).
 			strategies[i] = StrategyFull
 			ms[i] = asym.NewMeter(e.omega)
 		case StrategyRebased:
-			rb := cur.oracles[i].(oracle.Rebaser)
+			rb := cur.oracleAt(i).(oracle.Rebaser)
 			c := parallel.NewCtx(ms[i], asym.NewSymTracker(e.sym))
 			os[i] = rb.Rebase(c, graph.View{G: newG, M: ms[i]}, e.k, e.seed)
 			return
@@ -481,14 +615,55 @@ func (e *Engine) buildNext(cur *snapshot, batches []*updateBatch) (*snapshot, Re
 	for i, f := range e.factories {
 		rec.Strategies[f.Name] = strategies[i]
 	}
-	rec.Strategy = summarizeStrategies(strategies)
+	rec.Strategy = e.summarizeStrategies(strategies)
+	// The record's costs are the publish path's own work, straight off the
+	// per-oracle meters — identical to the snapshot build costs for every
+	// eager rung, but NOT for a lazy slot, whose snapshot cost is the
+	// carried (or later, the deferred build's) cost while its publish work
+	// is just the refused patch attempt.
+	rec.OracleCosts = make(map[string]asym.Cost, nf)
+	for i, f := range e.factories {
+		rec.OracleCosts[f.Name] = ms[i].Snapshot()
+	}
+	rec.ConnCost = rec.OracleCosts["conn"]
+	rec.BiccCost = rec.OracleCosts["bicc"]
 	costs := make([]asym.Cost, nf)
 	for i, m := range ms {
 		costs[i] = m.Snapshot()
 	}
-	next := newSnap(cur.epoch+1, newG, os, costs)
-	rec.ConnCost = e.costByName(next, "conn")
-	rec.BiccCost = e.costByName(next, "bicc")
-	rec.OracleCosts = e.buildCosts(next)
+	nextEpoch := cur.epoch + 1
+	var builtEpochs []int64
+	var lazySlots []*lazySlot
+	for i := range os {
+		if strategies[i] != StrategyLazy {
+			continue
+		}
+		if builtEpochs == nil {
+			builtEpochs = make([]int64, nf)
+			lazySlots = make([]*lazySlot, nf)
+			for j := range builtEpochs {
+				builtEpochs[j] = nextEpoch
+			}
+		}
+		// Carry the effective instance forward as stale, tagged with the
+		// epoch it was built at. The slot's built pointer flips nil ->
+		// non-nil exactly once, so loading it once here keeps the
+		// (instance, cost, tag) triple coherent even if a lazy build of cur
+		// races with this publish.
+		var lb *lazyBuilt
+		if cur.lazy != nil && cur.lazy[i] != nil {
+			lb = cur.lazy[i].built.Load()
+		}
+		switch {
+		case lb != nil:
+			os[i], costs[i], builtEpochs[i] = lb.o, lb.cost, cur.epoch
+		case cur.builtEpoch != nil:
+			os[i], costs[i], builtEpochs[i] = cur.oracles[i], cur.costs[i], cur.builtEpoch[i]
+		default:
+			os[i], costs[i], builtEpochs[i] = cur.oracles[i], cur.costs[i], cur.epoch
+		}
+		lazySlots[i] = &lazySlot{}
+	}
+	next := newSnap(nextEpoch, newG, os, costs, builtEpochs, lazySlots)
 	return next, rec, nil
 }
